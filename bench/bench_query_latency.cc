@@ -1,0 +1,99 @@
+// E4 — §1/§3 claim: "interactive speeds during exploration".
+//
+// Preprocesses the paper's target scale once (100K rows, ~100 attributes),
+// then measures the latency of every insight-query form in sketch mode:
+// open top-k per class, fixed-attribute queries, and metric-range queries.
+// Interactive budget: 500 ms per interaction (a conservative UI threshold).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "util/timer.h"
+
+using namespace foresight;
+
+int main() {
+  const size_t n = 100000, d_num = 90, d_cat = 10;
+  std::printf("E4: insight-query latency at paper scale (%zu x %zu)\n", n,
+              d_num + d_cat);
+  DataTable table = MakeBenchmarkTable(n, d_num, d_cat, 77);
+
+  WallTimer preprocess_timer;
+  auto engine = InsightEngine::Create(table);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("one-time preprocessing: %.2f s (sketch memory %.1f MiB)\n\n",
+              preprocess_timer.ElapsedSeconds(),
+              engine->profile().EstimateMemoryBytes() / (1024.0 * 1024.0));
+
+  std::printf("%-42s %-12s %-10s\n", "query", "latency ms", "status");
+  bool all_interactive = true;
+  auto run = [&](const std::string& label, const InsightQuery& query) {
+    WallTimer timer;
+    auto result = engine->Execute(query);
+    double ms = timer.ElapsedMillis();
+    bool interactive = result.ok() && ms < 500.0;
+    all_interactive = all_interactive && interactive;
+    std::printf("%-42s %-12.1f %-10s\n", label.c_str(), ms,
+                !result.ok() ? "ERROR" : interactive ? "ok" : "SLOW");
+  };
+
+  // Open-ended top-k per class (the carousel refresh path).
+  for (const std::string& class_name : engine->registry().names()) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.top_k = 5;
+    query.mode = ExecutionMode::kSketch;
+    run("top-5 " + class_name, query);
+  }
+
+  // Fixed-attribute drill-down (§2.1).
+  {
+    InsightQuery query;
+    query.class_name = "linear_relationship";
+    query.fixed_attributes = {"num_0"};
+    query.top_k = 10;
+    query.mode = ExecutionMode::kSketch;
+    run("correlates of num_0 (fixed attribute)", query);
+  }
+  {
+    InsightQuery query;
+    query.class_name = "monotonic_relationship";
+    query.fixed_attributes = {"num_1"};
+    query.top_k = 10;
+    query.mode = ExecutionMode::kSketch;
+    run("monotone correlates of num_1", query);
+  }
+
+  // Metric-range filter (§2.1).
+  {
+    InsightQuery query;
+    query.class_name = "linear_relationship";
+    query.min_score = 0.5;
+    query.max_score = 0.8;
+    query.top_k = 10;
+    query.mode = ExecutionMode::kSketch;
+    run("|rho| in [0.5, 0.8] (range filter)", query);
+  }
+
+  // The Figure 2 overview.
+  {
+    WallTimer timer;
+    auto overview = engine->ComputeCorrelationOverview(ExecutionMode::kSketch);
+    double ms = timer.ElapsedMillis();
+    bool interactive = overview.ok() && ms < 500.0;
+    all_interactive = all_interactive && interactive;
+    std::printf("%-42s %-12.1f %-10s\n", "correlation overview (Figure 2)", ms,
+                interactive ? "ok" : "SLOW");
+  }
+
+  std::printf("\n%s: every interaction %s the 500 ms interactive budget.\n",
+              all_interactive ? "PASS" : "FAIL",
+              all_interactive ? "within" : "exceeds");
+  return all_interactive ? 0 : 1;
+}

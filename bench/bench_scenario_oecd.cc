@@ -1,0 +1,151 @@
+// E7 — §4.1 usage scenario as a timed, verified script. Each analyst
+// interaction from the paper is executed against the synthetic OECD dataset
+// at paper scale (the demo table is 35 rows; Foresight "is intended to
+// facilitate interactive exploration of datasets ... of the order of 100K"),
+// asserting the scenario's discovery and reporting per-interaction latency.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/explorer.h"
+#include "data/generators.h"
+#include "util/timer.h"
+
+using namespace foresight;
+
+namespace {
+
+int failures = 0;
+
+void Step(const char* label, bool ok, double ms) {
+  std::printf("  [%s] %-58s %8.1f ms\n", ok ? "PASS" : "FAIL", label, ms);
+  if (!ok) ++failures;
+}
+
+bool MentionsBoth(const Insight& insight, const std::string& a,
+                  const std::string& b) {
+  auto has = [&](const std::string& name) {
+    return std::find(insight.attribute_names.begin(),
+                     insight.attribute_names.end(),
+                     name) != insight.attribute_names.end();
+  };
+  return has(a) && has(b);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: §4.1 usage scenario, timed & verified (n = 100000)\n\n");
+  WallTimer load_timer;
+  DataTable table = MakeOecdLike(100000, 1);
+  std::printf("  dataset generated in %.1f ms\n", load_timer.ElapsedMillis());
+
+  WallTimer preprocess_timer;
+  auto engine_or = InsightEngine::Create(table);
+  if (!engine_or.ok()) return 1;
+  const InsightEngine& engine = *engine_or;
+  std::printf("  preprocessed (sketches + samples) in %.2f s\n\n",
+              preprocess_timer.ElapsedSeconds());
+  ExplorationSession session(engine);
+
+  // 1. Open the carousels; the strong negative work/leisure correlation is
+  //    among the top-ranked correlation insights.
+  WallTimer t1;
+  auto carousels = session.InitialCarousels();
+  double ms1 = t1.ElapsedMillis();
+  const Insight* work_leisure = nullptr;
+  if (carousels.ok()) {
+    for (const Carousel& carousel : *carousels) {
+      if (carousel.class_name != "linear_relationship") continue;
+      for (const Insight& insight : carousel.insights) {
+        if (MentionsBoth(insight, "WorkingLongHours", "TimeDevotedToLeisure")) {
+          work_leisure = &insight;
+        }
+      }
+    }
+  }
+  Step("open carousels; spot work<->leisure anti-correlation",
+       work_leisure != nullptr && work_leisure->raw_value < -0.6, ms1);
+
+  // 2. Focus it; recommendations update toward its neighborhood.
+  WallTimer t2;
+  bool focused_ok = false;
+  if (work_leisure != nullptr) {
+    session.Focus(*work_leisure);
+    auto recommendations = session.Recommendations();
+    focused_ok = recommendations.ok();
+  }
+  Step("focus insight; neighborhood recommendations update", focused_ok,
+       t2.ElapsedMillis());
+
+  // 3. Explore leisure's correlates with Pearson AND Spearman; discover the
+  //    missing leisure<->health correlation.
+  WallTimer t3;
+  bool surprise_ok = true;
+  for (const char* class_name :
+       {"linear_relationship", "monotonic_relationship"}) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.fixed_attributes = {"TimeDevotedToLeisure"};
+    query.top_k = 23;
+    auto result = engine.Execute(query);
+    if (!result.ok()) {
+      surprise_ok = false;
+      continue;
+    }
+    for (const Insight& insight : result->insights) {
+      if (MentionsBoth(insight, "TimeDevotedToLeisure", "SelfReportedHealth")) {
+        surprise_ok = surprise_ok && insight.score < 0.15;
+      }
+    }
+  }
+  Step("leisure correlates via Pearson & Spearman; health uncorrelated",
+       surprise_ok, t3.ElapsedMillis());
+
+  // 4. Univariate insights: leisure ~ Normal, health left-skewed.
+  WallTimer t4;
+  size_t leisure = *table.ColumnIndex("TimeDevotedToLeisure");
+  size_t health = *table.ColumnIndex("SelfReportedHealth");
+  auto leisure_skew = engine.EvaluateTuple("skew", AttributeTuple{{leisure}});
+  auto leisure_tails =
+      engine.EvaluateTuple("heavy_tails", AttributeTuple{{leisure}});
+  auto health_skew = engine.EvaluateTuple("skew", AttributeTuple{{health}});
+  bool distributions_ok =
+      leisure_skew.ok() && std::abs(leisure_skew->raw_value) < 0.15 &&
+      leisure_tails.ok() && std::abs(leisure_tails->raw_value - 3.0) < 0.4 &&
+      health_skew.ok() && health_skew->raw_value < -0.4;
+  Step("distributions: leisure ~ Normal, health left-skewed",
+       distributions_ok, t4.ElapsedMillis());
+
+  // 5. Focus health; find LifeSatisfaction <-> SelfReportedHealth.
+  WallTimer t5;
+  bool satisfaction_ok = false;
+  if (health_skew.ok()) {
+    session.Focus(*health_skew);
+    InsightQuery query;
+    query.class_name = "linear_relationship";
+    query.fixed_attributes = {"SelfReportedHealth"};
+    query.top_k = 3;
+    auto correlates = engine.Execute(query);
+    if (correlates.ok() && !correlates->insights.empty()) {
+      satisfaction_ok = MentionsBoth(correlates->insights[0],
+                                     "LifeSatisfaction", "SelfReportedHealth") &&
+                        correlates->insights[0].raw_value > 0.4;
+    }
+  }
+  Step("focus health; LifeSatisfaction is its top correlate",
+       satisfaction_ok, t5.ElapsedMillis());
+
+  // 6. Save the session state for sharing.
+  WallTimer t6;
+  JsonValue state = session.SaveState();
+  auto restored = ExplorationSession::LoadState(engine, state);
+  Step("save & restore session state",
+       restored.ok() && restored->focused().size() == session.focused().size(),
+       t6.ElapsedMillis());
+
+  std::printf("\n%s (%d failures)\n",
+              failures == 0 ? "SCENARIO PASS" : "SCENARIO FAIL", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// E1 — §3 claim: "Initial experiments showed >90% accuracy" for the random
+// hyperplane correlation sketch.
+//
+// Reproduces the accuracy evaluation: planted-correlation Gaussian pairs
+// swept over rho and sketch size k; reports mean estimation accuracy
+// (100 * (1 - mean |rho_hat - rho_exact|); correlation lives on a [-1, 1]
+// scale) plus top-k rank agreement on a correlated-blocks table.
+//
+// Each column is sketched ONCE at k_max; smaller k values are evaluated on
+// signature prefixes (the hyperplanes are independent, so a prefix is a
+// valid smaller sketch). This keeps the sweep cheap without changing what is
+// measured.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "sketch/simhash.h"
+#include "stats/correlation.h"
+#include "stats/moments.h"
+
+using namespace foresight;
+
+namespace {
+
+const double kRhos[] = {-0.95, -0.8, -0.6, -0.4, -0.2, 0.0,
+                        0.2,   0.4,  0.6,  0.8,  0.9,  0.95};
+
+struct PairSignatures {
+  double exact_rho;
+  BitSignature a;
+  BitSignature b;
+};
+
+/// Sketches both columns of a planted pair in one pass over rows, sharing
+/// the generated hyperplane components.
+PairSignatures SketchPair(size_t n, size_t max_bits, double rho,
+                          uint64_t seed) {
+  CorrelatedPair pair = MakeGaussianPair(n, rho, seed);
+  PairSignatures out;
+  out.exact_rho = PearsonCorrelation(pair.x, pair.y);
+  HyperplaneSketcher sketcher(max_bits, seed * 131 + 7);
+  HyperplaneAccumulator acc_a, acc_b;
+  acc_a.dot.assign(max_bits, 0.0);
+  acc_a.ones_dot.assign(max_bits, 0.0);
+  acc_b.dot.assign(max_bits, 0.0);
+  acc_b.ones_dot.assign(max_bits, 0.0);
+  std::vector<double> row(max_bits);
+  for (size_t r = 0; r < n; ++r) {
+    sketcher.GenerateRowHyperplanes(r, row);
+    for (size_t i = 0; i < max_bits; ++i) {
+      acc_a.dot[i] += pair.x[r] * row[i];
+      acc_b.dot[i] += pair.y[r] * row[i];
+      acc_a.ones_dot[i] += row[i];
+    }
+  }
+  acc_b.ones_dot = acc_a.ones_dot;
+  out.a = sketcher.Finalize(acc_a, MomentsOf(pair.x).mean());
+  out.b = sketcher.Finalize(acc_b, MomentsOf(pair.y).mean());
+  return out;
+}
+
+void AccuracySweep(size_t n, size_t max_bits, uint64_t seeds_per_rho) {
+  std::vector<PairSignatures> pairs;
+  for (double rho : kRhos) {
+    for (uint64_t seed = 1; seed <= seeds_per_rho; ++seed) {
+      pairs.push_back(
+          SketchPair(n, max_bits, rho,
+                     seed * 977 + static_cast<uint64_t>((rho + 2.0) * 1000)));
+    }
+  }
+  std::printf("%-10s %-8s %-16s %-14s %-12s\n", "n", "k bits", "mean |error|",
+              "accuracy %", "worst |err|");
+  for (size_t k : {64, 128, 256, 512, 1024, 2048, 4096}) {
+    if (k > max_bits) break;
+    double total_error = 0.0, worst = 0.0;
+    for (const PairSignatures& p : pairs) {
+      double estimate =
+          HyperplaneSketcher::EstimateCorrelationPrefix(p.a, p.b, k);
+      double error = std::abs(estimate - p.exact_rho);
+      total_error += error;
+      worst = std::max(worst, error);
+    }
+    double mean_error = total_error / static_cast<double>(pairs.size());
+    std::printf("%-10zu %-8zu %-16.4f %-14.1f %-12.4f\n", n, k, mean_error,
+                100.0 * (1.0 - mean_error), worst);
+  }
+  double log2n = std::log2(static_cast<double>(n));
+  std::printf("  (paper guidance k = O(log^2 n): ~%.0f bits at n=%zu)\n\n",
+              log2n * log2n, n);
+}
+
+/// Fraction of the sketch-mode top-k correlation ranking that are truly
+/// strong pairs (same planted block). Within a block all pairs share the same
+/// rho, so the exact top-k subset is arbitrary among ties (the paper's §2.1
+/// "similarly high insight-metric scores" caveat); ground-truth membership is
+/// the meaningful retrieval metric.
+double RankPrecision(size_t n, size_t d, size_t bits, size_t top_k) {
+  DataTable table = MakeCorrelatedBlocks(n, d, 4, 0.65, 1234);
+  EngineOptions options;
+  options.preprocess.sketch.hyperplane_bits = bits;
+  auto engine = InsightEngine::Create(table, std::move(options));
+  if (!engine.ok()) return 0.0;
+  auto sketch =
+      engine->TopInsights("linear_relationship", top_k, ExecutionMode::kSketch);
+  if (!sketch.ok()) return 0.0;
+  size_t hits = 0;
+  for (const Insight& s : *sketch) {
+    if (s.attributes.indices[0] / 4 == s.attributes.indices[1] / 4) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(top_k);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: random hyperplane sketch accuracy (paper: >90%%)\n\n");
+  AccuracySweep(10000, 4096, 2);
+  AccuracySweep(100000, 1024, 1);
+
+  std::printf("Top-k rank agreement (precision@k), correlated-blocks table:\n");
+  std::printf("%-10s %-6s %-8s %-8s %-14s\n", "n", "d", "bits", "top-k",
+              "precision@k");
+  for (size_t bits : {256, 512, 1024}) {
+    double precision = RankPrecision(20000, 24, bits, 10);
+    std::printf("%-10d %-6d %-8zu %-8d %-14.2f\n", 20000, 24, bits, 10,
+                precision);
+  }
+  std::printf("\nPASS criterion: accuracy > 90%% for k >= 256 at both n.\n");
+  return 0;
+}

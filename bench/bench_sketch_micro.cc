@@ -1,0 +1,183 @@
+// E8 — §3 cost model: one-pass sketching in O(|B| n k) time and |B| k bits
+// of signature memory; O(|B|^2 k) all-pairs estimation. Google-benchmark
+// micro-measurements of every sketch primitive, plus a printed memory-model
+// check at the end.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/profile.h"
+#include "data/generators.h"
+#include "sketch/bundle.h"
+#include "sketch/countmin.h"
+#include "sketch/entropy.h"
+#include "sketch/kll.h"
+#include "sketch/simhash.h"
+#include "sketch/spacesaving.h"
+#include "stats/moments.h"
+#include "util/random.h"
+
+using namespace foresight;
+
+namespace {
+
+std::vector<double> RandomValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal();
+  return v;
+}
+
+void BM_MomentsAdd(benchmark::State& state) {
+  std::vector<double> values = RandomValues(4096, 1);
+  RunningMoments moments;
+  size_t i = 0;
+  for (auto _ : state) {
+    moments.Add(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(moments);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MomentsAdd);
+
+void BM_KllUpdate(benchmark::State& state) {
+  std::vector<double> values = RandomValues(4096, 2);
+  KllSketch sketch(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(values[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KllUpdate)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_HyperplaneSketchColumn(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  std::vector<double> values = RandomValues(n, 3);
+  HyperplaneSketcher sketcher(k, 5);
+  for (auto _ : state) {
+    BitSignature signature = sketcher.Sketch(values, 0.0);
+    benchmark::DoNotOptimize(signature);
+  }
+  // O(n k) per column sketch.
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["bits"] = static_cast<double>(k);
+}
+BENCHMARK(BM_HyperplaneSketchColumn)
+    ->Args({10000, 128})
+    ->Args({10000, 256})
+    ->Args({10000, 512})
+    ->Args({50000, 256});
+
+void BM_HyperplaneEstimatePair(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  std::vector<double> x = RandomValues(5000, 6);
+  std::vector<double> y = RandomValues(5000, 7);
+  HyperplaneSketcher sketcher(k, 8);
+  BitSignature a = sketcher.Sketch(x, 0.0);
+  BitSignature b = sketcher.Sketch(y, 0.0);
+  for (auto _ : state) {
+    double rho = HyperplaneSketcher::EstimateCorrelation(a, b);
+    benchmark::DoNotOptimize(rho);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyperplaneEstimatePair)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ExactCorrelationPair(benchmark::State& state) {
+  // The O(n) exact counterpart the signature estimate replaces.
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = RandomValues(n, 9);
+  std::vector<double> y = RandomValues(n, 10);
+  for (auto _ : state) {
+    double sxy = 0, sxx = 0, syy = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sxy += x[i] * y[i];
+      sxx += x[i] * x[i];
+      syy += y[i] * y[i];
+    }
+    benchmark::DoNotOptimize(sxy / (sxx * syy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExactCorrelationPair)->Arg(10000)->Arg(100000);
+
+void BM_SpaceSavingUpdate(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::string> items(4096);
+  for (auto& s : items) s = "item_" + std::to_string(rng.Zipf(10000, 1.1));
+  SpaceSavingSketch sketch(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingUpdate)->Arg(64)->Arg(256);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<std::string> items(4096);
+  for (auto& s : items) s = "item_" + std::to_string(rng.Zipf(10000, 1.1));
+  CountMinSketch sketch(1024, 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(items[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_EntropyUpdateDistinctItem(benchmark::State& state) {
+  // Cost per DISTINCT item (the preprocessor batches by dictionary code).
+  size_t k = static_cast<size_t>(state.range(0));
+  EntropySketch sketch(k, 13);
+  size_t item = 0;
+  for (auto _ : state) {
+    sketch.Update("item_" + std::to_string(item++), 100);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_EntropyUpdateDistinctItem)->Arg(64)->Arg(256);
+
+void BM_PreprocessTable(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  DataTable table = MakeCorrelatedBlocks(n, d, 4, 0.5, 21);
+  for (auto _ : state) {
+    auto profile = Preprocessor::Profile(table);
+    benchmark::DoNotOptimize(profile);
+  }
+  // §3: one pass, O(|B| n k) — items = cell count.
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * d));
+}
+BENCHMARK(BM_PreprocessTable)
+    ->Args({20000, 16})
+    ->Args({20000, 32})
+    ->Args({40000, 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Memory-model check: the bit-vector sketch consumes |B| * k bits (§3).
+  std::printf("\nE8 memory model check (|B| * k bits for signatures):\n");
+  for (size_t n : {10000, 100000}) {
+    DataTable table = MakeCorrelatedBlocks(1000, 24, 4, 0.5, 22);
+    SketchConfig config;
+    size_t k = config.ResolveHyperplaneBits(n);
+    size_t signature_bytes = 24 * (k / 8);
+    std::printf("  n=%-8zu auto k=%-5zu -> 24 columns x %zu bits = %zu bytes "
+                "of signatures (raw data: %zu bytes)\n",
+                n, k, k, signature_bytes, n * 24 * sizeof(double));
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Full walk-through of the paper's §4.1 usage scenario on the synthetic OECD
+// wellbeing dataset, with ASCII charts standing in for the demo UI:
+//
+//   1. open the carousels and spot the strong negative correlation between
+//      WorkingLongHours and TimeDevotedToLeisure;
+//   2. focus it and explore its neighborhood with Pearson AND Spearman;
+//   3. be surprised that Leisure is uncorrelated with SelfReportedHealth;
+//   4. check the univariate insights: Leisure ~ Normal, Health left-skewed;
+//   5. focus the health distribution and find LifeSatisfaction highly
+//      correlated with it;
+//   6. consult the Figure-2 overview heatmap; save the session state.
+
+#include <cstdio>
+#include <string>
+
+#include "core/explorer.h"
+#include "data/generators.h"
+#include "viz/ascii.h"
+#include "viz/charts.h"
+
+using foresight::AttributeTuple;
+using foresight::ExecutionMode;
+using foresight::Insight;
+using foresight::InsightQuery;
+
+namespace {
+
+void Banner(const char* text) { std::printf("\n====== %s ======\n", text); }
+
+void PrintAscii(const foresight::InsightEngine& engine,
+                const Insight& insight) {
+  auto ascii = foresight::RenderInsightAscii(engine, insight);
+  std::printf("%s\n", ascii.ok() ? ascii->c_str()
+                                 : ascii.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Foresight demo: exploring the (synthetic) OECD wellbeing data\n");
+  foresight::DataTable table = foresight::MakeOecdLike(5000, 1);
+  auto engine = foresight::InsightEngine::Create(table);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  foresight::ExplorationSession session(*engine);
+
+  Banner("Step 1: top correlation insights (opening carousel)");
+  auto top = engine->TopInsights("linear_relationship", 3);
+  if (!top.ok()) return 1;
+  const Insight* work_leisure = nullptr;
+  for (const Insight& insight : *top) {
+    std::printf("  %s\n", insight.description.c_str());
+    for (const std::string& name : insight.attribute_names) {
+      if (name == "WorkingLongHours") work_leisure = &insight;
+    }
+  }
+  if (work_leisure == nullptr) work_leisure = &(*top)[0];
+  PrintAscii(*engine, *work_leisure);
+
+  Banner("Step 2: focus it; neighborhood recommendations update");
+  session.Focus(*work_leisure);
+  auto recommendations = session.Recommendations();
+  if (recommendations.ok()) {
+    for (const foresight::Carousel& carousel : *recommendations) {
+      if (carousel.class_name != "linear_relationship") continue;
+      for (const Insight& insight : carousel.insights) {
+        std::printf("  -> %s\n", insight.description.c_str());
+      }
+    }
+  }
+
+  Banner("Step 3: correlates of TimeDevotedToLeisure (Pearson & Spearman)");
+  for (const char* class_name :
+       {"linear_relationship", "monotonic_relationship"}) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.fixed_attributes = {"TimeDevotedToLeisure"};
+    query.top_k = 4;
+    query.mode = ExecutionMode::kExact;
+    auto result = engine->Execute(query);
+    if (!result.ok()) continue;
+    std::printf("[%s]\n", class_name);
+    for (const Insight& insight : result->insights) {
+      std::printf("  %s\n", insight.description.c_str());
+    }
+  }
+  size_t leisure = *table.ColumnIndex("TimeDevotedToLeisure");
+  size_t health = *table.ColumnIndex("SelfReportedHealth");
+  auto surprise = engine->EvaluateTuple("linear_relationship",
+                                        AttributeTuple{{leisure, health}});
+  if (surprise.ok()) {
+    std::printf("\nSurprise: %s  <-- no correlation!\n",
+                surprise->description.c_str());
+  }
+
+  Banner("Step 4: univariate distributions of the two attributes");
+  auto leisure_skew = engine->EvaluateTuple("skew", AttributeTuple{{leisure}});
+  auto health_skew = engine->EvaluateTuple("skew", AttributeTuple{{health}});
+  if (leisure_skew.ok()) PrintAscii(*engine, *leisure_skew);
+  if (health_skew.ok()) PrintAscii(*engine, *health_skew);
+
+  Banner("Step 5: focus health; what correlates with it?");
+  if (health_skew.ok()) session.Focus(*health_skew);
+  InsightQuery health_query;
+  health_query.class_name = "linear_relationship";
+  health_query.fixed_attributes = {"SelfReportedHealth"};
+  health_query.top_k = 3;
+  auto correlates = engine->Execute(health_query);
+  if (correlates.ok()) {
+    for (const Insight& insight : correlates->insights) {
+      std::printf("  %s\n", insight.description.c_str());
+    }
+    if (!correlates->insights.empty()) {
+      PrintAscii(*engine, correlates->insights[0]);
+    }
+  }
+
+  Banner("Step 6: the overview heatmap (Figure 2) and session save");
+  auto overview = engine->ComputeCorrelationOverview();
+  if (overview.ok()) {
+    std::printf("%s",
+                foresight::RenderCorrelationHeatmapAscii(*overview).c_str());
+  }
+  foresight::JsonValue state = session.SaveState();
+  std::printf("\nSaved session state (%zu focused insights):\n%s\n",
+              session.focused().size(), state.Dump(2).c_str());
+  return 0;
+}

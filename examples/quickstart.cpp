@@ -1,0 +1,70 @@
+// Quickstart: load a CSV (or fall back to a bundled synthetic dataset),
+// preprocess it, and print the top-3 recommended insights for every one of
+// the 12 insight classes — the programmatic equivalent of Foresight's
+// opening carousel screen (Figure 1).
+//
+// Usage:
+//   quickstart [data.csv]
+
+#include <cstdio>
+#include <string>
+
+#include "core/explorer.h"
+#include "data/csv.h"
+#include "data/generators.h"
+
+namespace {
+
+foresight::DataTable LoadTable(int argc, char** argv) {
+  if (argc > 1) {
+    auto table = foresight::CsvReader::ReadFile(argv[1]);
+    if (!table.ok()) {
+      std::fprintf(stderr, "failed to read %s: %s\n", argv[1],
+                   table.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("Loaded %s: %zu rows x %zu columns\n", argv[1],
+                table->num_rows(), table->num_columns());
+    return std::move(*table);
+  }
+  std::printf("No CSV given; using the synthetic OECD wellbeing dataset.\n");
+  return foresight::MakeOecdLike(5000, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  foresight::DataTable table = LoadTable(argc, argv);
+
+  // Build the engine: one preprocessing pass computes every column's sketch
+  // bundle (moments, quantiles, sample, hyperplane signature, projections /
+  // heavy hitters, entropy) plus a shared row sample.
+  auto engine = foresight::InsightEngine::Create(table);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Preprocessed in %.1f ms (sketch memory ~%.1f KiB)\n\n",
+              engine->profile().preprocess_seconds() * 1e3,
+              engine->profile().EstimateMemoryBytes() / 1024.0);
+
+  // One carousel per insight class, strongest instances first.
+  foresight::ExplorationSession session(*engine);
+  auto carousels = session.InitialCarousels();
+  if (!carousels.ok()) {
+    std::fprintf(stderr, "%s\n", carousels.status().ToString().c_str());
+    return 1;
+  }
+  for (const foresight::Carousel& carousel : *carousels) {
+    std::printf("=== %s ===\n", carousel.display_name.c_str());
+    size_t shown = 0;
+    for (const foresight::Insight& insight : carousel.insights) {
+      if (shown++ >= 3) break;
+      std::printf("  %5.3f  %s\n", insight.score,
+                  insight.description.c_str());
+    }
+    if (carousel.insights.empty()) std::printf("  (no candidates)\n");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Sketch playground: hands-on tour of the §3 sketching layer. Shows, for each
+// sketch family, the accuracy/space trade-off against exact ground truth —
+// the cheat sheet for choosing SketchConfig values.
+//
+// Usage:
+//   sketch_playground [n_rows]   (default 100000)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/generators.h"
+#include "sketch/entropy.h"
+#include "sketch/kll.h"
+#include "sketch/simhash.h"
+#include "sketch/spacesaving.h"
+#include "stats/correlation.h"
+#include "stats/frequency.h"
+#include "stats/moments.h"
+#include "stats/quantiles.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace foresight;
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 100000;
+  std::printf("Sketch playground, n = %zu\n", n);
+
+  // --- Random hyperplane sketch: rho estimation error vs k. ---
+  std::printf("\n[1] Random hyperplane sketch (correlation), planted rho = 0.8\n");
+  std::printf("    %-8s %-12s %-12s\n", "k bits", "estimate", "|error|");
+  CorrelatedPair pair = MakeGaussianPair(n, 0.8, 7);
+  double exact_rho = PearsonCorrelation(pair.x, pair.y);
+  double mean_x = MomentsOf(pair.x).mean();
+  double mean_y = MomentsOf(pair.y).mean();
+  for (size_t k : {64, 128, 256, 512, 1024, 4096}) {
+    HyperplaneSketcher sketcher(k, 3);
+    double estimate = HyperplaneSketcher::EstimateCorrelation(
+        sketcher.Sketch(pair.x, mean_x), sketcher.Sketch(pair.y, mean_y));
+    std::printf("    %-8zu %-12.4f %-12.4f\n", k, estimate,
+                std::abs(estimate - exact_rho));
+  }
+  std::printf("    exact rho = %.4f; paper: k = O(log^2 n) ~ %.0f bits\n",
+              exact_rho, std::pow(std::log2(static_cast<double>(n)), 2));
+
+  // --- KLL quantile sketch: rank error vs k parameter. ---
+  std::printf("\n[2] KLL quantile sketch (lognormal stream)\n");
+  std::printf("    %-8s %-10s %-14s %-12s\n", "k", "retained",
+              "median est", "p99 est");
+  Rng rng(11);
+  std::vector<double> stream(n);
+  for (double& x : stream) x = rng.LogNormal(0.0, 1.0);
+  double exact_median = ExactQuantile(stream, 0.5);
+  double exact_p99 = ExactQuantile(stream, 0.99);
+  for (size_t k : {50, 100, 200, 400}) {
+    KllSketch sketch(k);
+    for (double x : stream) sketch.Update(x);
+    std::printf("    %-8zu %-10zu %-14.4f %-12.4f\n", k,
+                sketch.RetainedItems(), sketch.Quantile(0.5),
+                sketch.Quantile(0.99));
+  }
+  std::printf("    exact: median = %.4f, p99 = %.4f\n", exact_median,
+              exact_p99);
+
+  // --- SpaceSaving: RelFreq estimation vs capacity. ---
+  std::printf("\n[3] SpaceSaving frequent-items sketch (Zipf(1.2) stream)\n");
+  std::vector<std::string> items(n);
+  Rng zipf_rng(13);
+  for (std::string& s : items) {
+    s = "item_" + std::to_string(zipf_rng.Zipf(5000, 1.2));
+  }
+  FrequencyTable exact_freq(items);
+  std::printf("    exact RelFreq(5) = %.4f over %zu distinct values\n",
+              exact_freq.RelFreq(5), exact_freq.cardinality());
+  std::printf("    %-10s %-14s %-10s\n", "capacity", "RelFreq(5)", "error");
+  for (size_t capacity : {16, 32, 64, 128, 256}) {
+    SpaceSavingSketch sketch(capacity);
+    for (const std::string& s : items) sketch.Update(s);
+    double estimate = sketch.RelFreqEstimate(5);
+    std::printf("    %-10zu %-14.4f %-10.4f\n", capacity, estimate,
+                std::abs(estimate - exact_freq.RelFreq(5)));
+  }
+
+  // --- Entropy sketch: estimate vs register count. ---
+  std::printf("\n[4] Stable-projection entropy sketch (same Zipf stream)\n");
+  double exact_entropy = exact_freq.Entropy();
+  std::printf("    exact H = %.4f nats\n", exact_entropy);
+  std::printf("    %-8s %-12s %-10s %-12s\n", "k", "estimate", "error",
+              "build ms");
+  for (size_t k : {32, 64, 128, 256, 512}) {
+    WallTimer timer;
+    EntropySketch sketch(k, 17);
+    // Batch by distinct value (as the preprocessor does).
+    for (const auto& entry : exact_freq.entries()) {
+      sketch.Update(entry.value, entry.count);
+    }
+    double estimate = sketch.EstimateEntropy();
+    std::printf("    %-8zu %-12.4f %-10.4f %-12.2f\n", k, estimate,
+                std::abs(estimate - exact_entropy), timer.ElapsedMillis());
+  }
+
+  std::printf("\nDone. See DESIGN.md for how these compose per column.\n");
+  return 0;
+}

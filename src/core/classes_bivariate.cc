@@ -1,0 +1,219 @@
+// Two-attribute insight classes: Linear Relationship (§2.2, insight 6),
+// Monotonic Relationship (Spearman/Kendall), and General Dependence.
+
+#include <cmath>
+#include <memory>
+
+#include "core/classes_common.h"
+#include "core/insight_classes.h"
+#include "sketch/random_projection.h"
+#include "sketch/simhash.h"
+#include "stats/correlation.h"
+#include "stats/dependence.h"
+#include "util/string_util.h"
+
+namespace foresight {
+
+namespace {
+
+using internal_classes::ExpectMetric;
+using internal_classes::ExpectNumeric;
+using internal_classes::NumericPairCandidates;
+using internal_classes::SampledPair;
+using internal_classes::SampledPairs;
+
+/// 6. Linear Relationship: |Pearson rho| between two numeric columns.
+/// Sketch metrics:
+///   "pearson"            exact two-pass rho (default in exact mode);
+///   in sketch mode the same metric is served by the random hyperplane
+///   signature estimator cos(pi * H / k) — the paper's §3 worked example —
+///   making all-pairs ranking O(|B|^2 k) instead of O(|B|^2 n).
+///   "pearson_projection" JL-projection estimator (secondary).
+class LinearRelationshipClass final : public InsightClass {
+ public:
+  std::string name() const override { return "linear_relationship"; }
+  std::string display_name() const override { return "Linear Relationship"; }
+  size_t arity() const override { return 2; }
+  std::vector<std::string> metric_names() const override {
+    return {"pearson", "pearson_projection"};
+  }
+
+  std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const override {
+    return NumericPairCandidates(table);
+  }
+
+  StatusOr<double> EvaluateExact(const DataTable& table,
+                                 const AttributeTuple& tuple,
+                                 const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(table, tuple, 2));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    PairedValues pairs =
+        ExtractPairedValid(table.column(tuple.indices[0]).AsNumeric(),
+                           table.column(tuple.indices[1]).AsNumeric());
+    return PearsonCorrelation(pairs.x, pairs.y);
+  }
+
+  StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(profile.table(), tuple, 2));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    const NumericColumnSketch& a = profile.numeric_sketch(tuple.indices[0]);
+    const NumericColumnSketch& b = profile.numeric_sketch(tuple.indices[1]);
+    if (metric == "pearson_projection") {
+      return ProjectionSketch::EstimateCorrelation(a.CenteredProjection(),
+                                                   b.CenteredProjection());
+    }
+    return HyperplaneSketcher::EstimateCorrelation(a.signature, b.signature);
+  }
+
+  bool SupportsSketch() const override { return true; }
+  VisualizationKind visualization() const override {
+    return VisualizationKind::kScatterWithFit;
+  }
+  bool has_overview() const override { return true; }
+
+  std::string Describe(const Insight& insight) const override {
+    const char* direction = insight.raw_value < 0 ? "negative" : "positive";
+    return "Strong " + std::string(direction) + " linear relationship between " +
+           insight.attribute_names[0] + " and " + insight.attribute_names[1] +
+           " (rho = " + FormatDouble(insight.raw_value, 3) + ")";
+  }
+};
+
+/// 7. Monotonic Relationship: |Spearman| (default) or |Kendall tau|; captures
+/// nonlinear monotone association. Sketch path evaluates over the shared
+/// row sample (row-aligned, so rank structure is preserved).
+class MonotonicRelationshipClass final : public InsightClass {
+ public:
+  std::string name() const override { return "monotonic_relationship"; }
+  std::string display_name() const override {
+    return "Monotonic Relationship";
+  }
+  size_t arity() const override { return 2; }
+  std::vector<std::string> metric_names() const override {
+    return {"spearman", "kendall"};
+  }
+
+  std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const override {
+    return NumericPairCandidates(table);
+  }
+
+  StatusOr<double> EvaluateExact(const DataTable& table,
+                                 const AttributeTuple& tuple,
+                                 const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(table, tuple, 2));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    PairedValues pairs =
+        ExtractPairedValid(table.column(tuple.indices[0]).AsNumeric(),
+                           table.column(tuple.indices[1]).AsNumeric());
+    if (metric == "kendall") return KendallTau(pairs.x, pairs.y);
+    return SpearmanCorrelation(pairs.x, pairs.y);
+  }
+
+  StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(profile.table(), tuple, 2));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    if (metric == "kendall") {
+      SampledPair pair =
+          SampledPairs(profile, tuple.indices[0], tuple.indices[1]);
+      return KendallTau(pair.x, pair.y);
+    }
+    // Spearman over the profile's precomputed per-column midranks: a plain
+    // O(m) Pearson per pair, which keeps all-pairs ranking interactive.
+    const std::vector<double>& rx = profile.sampled_ranks(tuple.indices[0]);
+    const std::vector<double>& ry = profile.sampled_ranks(tuple.indices[1]);
+    std::vector<double> x, y;
+    x.reserve(rx.size());
+    y.reserve(ry.size());
+    for (size_t i = 0; i < rx.size(); ++i) {
+      if (!std::isnan(rx[i]) && !std::isnan(ry[i])) {
+        x.push_back(rx[i]);
+        y.push_back(ry[i]);
+      }
+    }
+    return PearsonCorrelation(x, y);
+  }
+
+  bool SupportsSketch() const override { return true; }
+  VisualizationKind visualization() const override {
+    return VisualizationKind::kScatter;
+  }
+  bool has_overview() const override { return true; }
+
+  std::string Describe(const Insight& insight) const override {
+    const char* direction = insight.raw_value < 0 ? "decreasing" : "increasing";
+    return "Monotonically " + std::string(direction) + " relationship between " +
+           insight.attribute_names[0] + " and " + insight.attribute_names[1] +
+           " (" + insight.metric_name + " = " +
+           FormatDouble(insight.raw_value, 3) + ")";
+  }
+};
+
+/// 9. General Dependence: normalized mutual information between two numeric
+/// columns (binned). Captures non-monotone statistical dependence. Sketch
+/// path evaluates over the shared row sample.
+class GeneralDependenceClass final : public InsightClass {
+ public:
+  std::string name() const override { return "general_dependence"; }
+  std::string display_name() const override { return "General Dependence"; }
+  size_t arity() const override { return 2; }
+  std::vector<std::string> metric_names() const override {
+    return {"normalized_mutual_information"};
+  }
+
+  std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const override {
+    return NumericPairCandidates(table);
+  }
+
+  StatusOr<double> EvaluateExact(const DataTable& table,
+                                 const AttributeTuple& tuple,
+                                 const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(table, tuple, 2));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    PairedValues pairs =
+        ExtractPairedValid(table.column(tuple.indices[0]).AsNumeric(),
+                           table.column(tuple.indices[1]).AsNumeric());
+    return NormalizedMutualInformation(pairs.x, pairs.y);
+  }
+
+  StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(profile.table(), tuple, 2));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    SampledPair pair =
+        SampledPairs(profile, tuple.indices[0], tuple.indices[1]);
+    return NormalizedMutualInformation(pair.x, pair.y);
+  }
+
+  bool SupportsSketch() const override { return true; }
+  VisualizationKind visualization() const override {
+    return VisualizationKind::kScatter;
+  }
+
+  std::string Describe(const Insight& insight) const override {
+    return "Statistical dependence between " + insight.attribute_names[0] +
+           " and " + insight.attribute_names[1] + " (NMI = " +
+           FormatDouble(insight.raw_value, 3) + ")";
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InsightClass> MakeLinearRelationshipClass() {
+  return std::make_unique<LinearRelationshipClass>();
+}
+std::unique_ptr<InsightClass> MakeMonotonicRelationshipClass() {
+  return std::make_unique<MonotonicRelationshipClass>();
+}
+std::unique_ptr<InsightClass> MakeGeneralDependenceClass() {
+  return std::make_unique<GeneralDependenceClass>();
+}
+
+}  // namespace foresight

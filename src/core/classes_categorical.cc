@@ -1,0 +1,147 @@
+// Categorical insight classes: Heterogeneous Frequencies (§2.2, insight 5)
+// and Low Entropy (concentration).
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/classes_common.h"
+#include "core/insight_classes.h"
+#include "stats/frequency.h"
+#include "util/string_util.h"
+
+namespace foresight {
+
+namespace {
+
+using internal_classes::ExpectCategorical;
+using internal_classes::ExpectMetric;
+using internal_classes::UnaryCandidates;
+
+/// 5. Heterogeneous Frequencies: a few "heavy hitter" values dominate.
+/// Metric: RelFreq(k, c), the total relative frequency of the k most
+/// frequent values (k configurable). Sketch path: SpaceSaving estimate.
+class HeterogeneousFrequenciesClass final : public InsightClass {
+ public:
+  explicit HeterogeneousFrequenciesClass(size_t k) : k_(k) {
+    FORESIGHT_CHECK(k_ >= 1);
+  }
+
+  std::string name() const override { return "heterogeneous_frequencies"; }
+  std::string display_name() const override {
+    return "Heterogeneous Frequencies";
+  }
+  size_t arity() const override { return 1; }
+  std::vector<std::string> metric_names() const override {
+    return {"relfreq"};
+  }
+
+  std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const override {
+    return UnaryCandidates(table, ColumnType::kCategorical);
+  }
+
+  StatusOr<double> EvaluateExact(const DataTable& table,
+                                 const AttributeTuple& tuple,
+                                 const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectCategorical(table, tuple, 1));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    FrequencyTable freq(table.column(tuple.indices[0]).AsCategorical());
+    // Columns with at most k distinct values trivially have RelFreq = 1;
+    // treat them as non-insights (nothing heterogeneous about them).
+    if (freq.cardinality() <= k_) return 0.0;
+    return freq.RelFreq(k_);
+  }
+
+  StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectCategorical(profile.table(), tuple, 1));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    size_t column = tuple.indices[0];
+    const CategoricalColumnSketch& sketch = profile.categorical_sketch(column);
+    size_t cardinality =
+        profile.table().column(column).AsCategorical().cardinality();
+    if (cardinality <= k_) return 0.0;
+    return sketch.heavy_hitters.RelFreqEstimate(k_);
+  }
+
+  bool SupportsSketch() const override { return true; }
+  VisualizationKind visualization() const override {
+    return VisualizationKind::kParetoChart;
+  }
+
+  std::string Describe(const Insight& insight) const override {
+    return "Top values of " + insight.attribute_names[0] + " cover " +
+           FormatDouble(insight.raw_value * 100.0, 3) + "% of rows";
+  }
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+};
+
+/// 11. Low Entropy: the value distribution is strongly concentrated.
+/// Metric: 1 - H(c) / log(cardinality), in [0, 1]. Sketch path: stable-
+/// projection entropy sketch with the exact dictionary cardinality.
+class LowEntropyClass final : public InsightClass {
+ public:
+  std::string name() const override { return "low_entropy"; }
+  std::string display_name() const override { return "Concentration"; }
+  size_t arity() const override { return 1; }
+  std::vector<std::string> metric_names() const override {
+    return {"one_minus_normalized_entropy"};
+  }
+
+  std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const override {
+    return UnaryCandidates(table, ColumnType::kCategorical);
+  }
+
+  StatusOr<double> EvaluateExact(const DataTable& table,
+                                 const AttributeTuple& tuple,
+                                 const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectCategorical(table, tuple, 1));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    FrequencyTable freq(table.column(tuple.indices[0]).AsCategorical());
+    if (freq.cardinality() <= 1) return 0.0;  // Constant column: trivial.
+    return 1.0 - freq.NormalizedEntropy();
+  }
+
+  StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(ExpectCategorical(profile.table(), tuple, 1));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    size_t column = tuple.indices[0];
+    const auto& categorical = profile.table().column(column).AsCategorical();
+    size_t cardinality = categorical.cardinality();
+    if (cardinality <= 1) return 0.0;
+    const CategoricalColumnSketch& sketch = profile.categorical_sketch(column);
+    double h = sketch.entropy.EstimateEntropy();
+    double normalized = h / std::log(static_cast<double>(cardinality));
+    return std::clamp(1.0 - normalized, 0.0, 1.0);
+  }
+
+  bool SupportsSketch() const override { return true; }
+  VisualizationKind visualization() const override {
+    return VisualizationKind::kParetoChart;
+  }
+
+  std::string Describe(const Insight& insight) const override {
+    return insight.attribute_names[0] + " is concentrated (1 - H/Hmax = " +
+           FormatDouble(insight.raw_value, 3) + ")";
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InsightClass> MakeHeterogeneousFrequenciesClass(size_t k) {
+  return std::make_unique<HeterogeneousFrequenciesClass>(k);
+}
+std::unique_ptr<InsightClass> MakeLowEntropyClass() {
+  return std::make_unique<LowEntropyClass>();
+}
+
+}  // namespace foresight

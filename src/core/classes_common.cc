@@ -1,0 +1,108 @@
+#include "core/classes_common.h"
+
+#include <algorithm>
+
+namespace foresight {
+namespace internal_classes {
+
+std::vector<double> ValidValues(const DataTable& table, size_t column) {
+  return table.column(column).AsNumeric().ValidValues();
+}
+
+std::vector<double> SampledValues(const TableProfile& profile, size_t column) {
+  const std::vector<double>& raw = profile.sampled_numeric(column);
+  std::vector<double> out;
+  out.reserve(raw.size());
+  for (double v : raw) {
+    if (!std::isnan(v)) out.push_back(v);
+  }
+  return out;
+}
+
+SampledPair SampledPairs(const TableProfile& profile, size_t col_x,
+                         size_t col_y) {
+  const std::vector<double>& xs = profile.sampled_numeric(col_x);
+  const std::vector<double>& ys = profile.sampled_numeric(col_y);
+  SampledPair out;
+  out.x.reserve(xs.size());
+  out.y.reserve(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (!std::isnan(xs[i]) && !std::isnan(ys[i])) {
+      out.x.push_back(xs[i]);
+      out.y.push_back(ys[i]);
+    }
+  }
+  return out;
+}
+
+Status ExpectNumeric(const DataTable& table, const AttributeTuple& tuple,
+                     size_t arity) {
+  if (tuple.arity() != arity) {
+    return Status::InvalidArgument("expected " + std::to_string(arity) +
+                                   " attributes, got " +
+                                   std::to_string(tuple.arity()));
+  }
+  for (size_t index : tuple.indices) {
+    if (index >= table.num_columns()) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+    if (table.column(index).type() != ColumnType::kNumeric) {
+      return Status::InvalidArgument("attribute '" + table.column_name(index) +
+                                     "' is not numeric");
+    }
+  }
+  return Status::OK();
+}
+
+Status ExpectCategorical(const DataTable& table, const AttributeTuple& tuple,
+                         size_t arity) {
+  if (tuple.arity() != arity) {
+    return Status::InvalidArgument("expected " + std::to_string(arity) +
+                                   " attributes, got " +
+                                   std::to_string(tuple.arity()));
+  }
+  for (size_t index : tuple.indices) {
+    if (index >= table.num_columns()) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+    if (table.column(index).type() != ColumnType::kCategorical) {
+      return Status::InvalidArgument("attribute '" + table.column_name(index) +
+                                     "' is not categorical");
+    }
+  }
+  return Status::OK();
+}
+
+Status ExpectMetric(const std::string& metric,
+                    const std::vector<std::string>& allowed) {
+  if (std::find(allowed.begin(), allowed.end(), metric) == allowed.end()) {
+    return Status::InvalidArgument("unsupported metric: " + metric);
+  }
+  return Status::OK();
+}
+
+std::vector<AttributeTuple> UnaryCandidates(const DataTable& table,
+                                            ColumnType type) {
+  std::vector<AttributeTuple> tuples;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).type() == type) {
+      tuples.push_back(AttributeTuple{{c}});
+    }
+  }
+  return tuples;
+}
+
+std::vector<AttributeTuple> NumericPairCandidates(const DataTable& table) {
+  std::vector<size_t> numeric = table.NumericColumnIndices();
+  std::vector<AttributeTuple> tuples;
+  tuples.reserve(numeric.size() * (numeric.size() + 1) / 2);
+  for (size_t i = 0; i < numeric.size(); ++i) {
+    for (size_t j = i + 1; j < numeric.size(); ++j) {
+      tuples.push_back(AttributeTuple{{numeric[i], numeric[j]}});
+    }
+  }
+  return tuples;
+}
+
+}  // namespace internal_classes
+}  // namespace foresight

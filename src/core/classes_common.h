@@ -1,0 +1,48 @@
+#ifndef FORESIGHT_CORE_CLASSES_COMMON_H_
+#define FORESIGHT_CORE_CLASSES_COMMON_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/insight_class.h"
+
+namespace foresight {
+namespace internal_classes {
+
+/// Non-null values of a numeric column.
+std::vector<double> ValidValues(const DataTable& table, size_t column);
+
+/// Sampled values of a numeric column from the profile (NaNs dropped).
+std::vector<double> SampledValues(const TableProfile& profile, size_t column);
+
+/// Row-aligned sampled pairs of two numeric columns (rows with any NaN
+/// dropped).
+struct SampledPair {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+SampledPair SampledPairs(const TableProfile& profile, size_t col_x,
+                         size_t col_y);
+
+/// Checks tuple arity and column types; returns InvalidArgument otherwise.
+Status ExpectNumeric(const DataTable& table, const AttributeTuple& tuple,
+                     size_t arity);
+Status ExpectCategorical(const DataTable& table, const AttributeTuple& tuple,
+                         size_t arity);
+
+/// Checks that `metric` is one of `allowed`.
+Status ExpectMetric(const std::string& metric,
+                    const std::vector<std::string>& allowed);
+
+/// All single-column tuples of the given type.
+std::vector<AttributeTuple> UnaryCandidates(const DataTable& table,
+                                            ColumnType type);
+
+/// All unordered pairs (i < j) of numeric columns.
+std::vector<AttributeTuple> NumericPairCandidates(const DataTable& table);
+
+}  // namespace internal_classes
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_CLASSES_COMMON_H_

@@ -1,0 +1,178 @@
+// 10. Segmentation: "a strong clustering of (x, y)-values according to
+// z-values" (§1) — two numeric axes segmented by one categorical attribute.
+
+#include <cmath>
+#include <memory>
+
+#include "core/classes_common.h"
+#include "core/insight_classes.h"
+#include "stats/clustering.h"
+#include "util/string_util.h"
+
+namespace foresight {
+
+namespace {
+
+using internal_classes::ExpectMetric;
+
+/// Extracts (x, y, label) rows where all three attributes are present.
+struct LabeledPoints {
+  std::vector<Point2> points;
+  std::vector<int32_t> labels;
+};
+
+LabeledPoints ExtractLabeledPoints(const NumericColumn& x,
+                                   const NumericColumn& y,
+                                   const CategoricalColumn& z) {
+  LabeledPoints out;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x.is_valid(i) && y.is_valid(i) && z.is_valid(i)) {
+      out.points.push_back({x.value(i), y.value(i)});
+      out.labels.push_back(z.code(i));
+    }
+  }
+  return out;
+}
+
+class SegmentationClass final : public InsightClass {
+ public:
+  explicit SegmentationClass(size_t max_group_cardinality)
+      : max_group_cardinality_(max_group_cardinality) {}
+
+  std::string name() const override { return "segmentation"; }
+  std::string display_name() const override { return "Segmentation"; }
+  size_t arity() const override { return 3; }
+  std::vector<std::string> metric_names() const override {
+    return {"variance_explained", "calinski_harabasz"};
+  }
+
+  std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const override {
+    std::vector<size_t> numeric = table.NumericColumnIndices();
+    std::vector<AttributeTuple> tuples;
+    for (size_t z : table.CategoricalColumnIndices()) {
+      const auto& categorical = table.column(z).AsCategorical();
+      size_t cardinality = categorical.cardinality();
+      // A useful segmenting attribute has few groups; high-cardinality
+      // categoricals (ids, names) are skipped.
+      if (cardinality < 2 || cardinality > max_group_cardinality_) continue;
+      for (size_t i = 0; i < numeric.size(); ++i) {
+        for (size_t j = i + 1; j < numeric.size(); ++j) {
+          tuples.push_back(AttributeTuple{{numeric[i], numeric[j], z}});
+        }
+      }
+    }
+    return tuples;
+  }
+
+  StatusOr<double> EvaluateExact(const DataTable& table,
+                                 const AttributeTuple& tuple,
+                                 const std::string& metric) const override {
+    FORESIGHT_RETURN_IF_ERROR(Validate(table, tuple));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    LabeledPoints data = ExtractLabeledPoints(
+        table.column(tuple.indices[0]).AsNumeric(),
+        table.column(tuple.indices[1]).AsNumeric(),
+        table.column(tuple.indices[2]).AsCategorical());
+    return ScorePoints(data, metric);
+  }
+
+  StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric) const override {
+    const DataTable& table = profile.table();
+    FORESIGHT_RETURN_IF_ERROR(Validate(table, tuple));
+    FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
+    const std::vector<double>& xs = profile.sampled_numeric(tuple.indices[0]);
+    const std::vector<double>& ys = profile.sampled_numeric(tuple.indices[1]);
+    const std::vector<int32_t>& zs = profile.sampled_codes(tuple.indices[2]);
+    LabeledPoints data;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (!std::isnan(xs[i]) && !std::isnan(ys[i]) && zs[i] >= 0) {
+        data.points.push_back({xs[i], ys[i]});
+        data.labels.push_back(zs[i]);
+      }
+    }
+    return ScorePoints(data, metric);
+  }
+
+  bool SupportsSketch() const override { return true; }
+  VisualizationKind visualization() const override {
+    return VisualizationKind::kColoredScatter;
+  }
+
+  std::string Describe(const Insight& insight) const override {
+    return insight.attribute_names[2] + " segments (" +
+           insight.attribute_names[0] + ", " + insight.attribute_names[1] +
+           ") — " + insight.metric_name + " = " +
+           FormatDouble(insight.raw_value, 3);
+  }
+
+ private:
+  Status Validate(const DataTable& table, const AttributeTuple& tuple) const {
+    if (tuple.arity() != 3) {
+      return Status::InvalidArgument("segmentation expects (x, y, z)");
+    }
+    for (size_t index : tuple.indices) {
+      if (index >= table.num_columns()) {
+        return Status::OutOfRange("attribute index out of range");
+      }
+    }
+    if (table.column(tuple.indices[0]).type() != ColumnType::kNumeric ||
+        table.column(tuple.indices[1]).type() != ColumnType::kNumeric) {
+      return Status::InvalidArgument("x and y must be numeric");
+    }
+    if (table.column(tuple.indices[2]).type() != ColumnType::kCategorical) {
+      return Status::InvalidArgument("z must be categorical");
+    }
+    return Status::OK();
+  }
+
+  double ScorePoints(const LabeledPoints& data,
+                     const std::string& metric) const {
+    if (metric == "calinski_harabasz") {
+      double ch = CalinskiHarabasz(data.points, data.labels);
+      if (std::isinf(ch)) return 1e300;
+      return ch;
+    }
+    // Standardize axes so the score is scale-invariant.
+    LabeledPoints standardized = data;
+    StandardizeAxes(standardized.points);
+    return SegmentationScore(standardized.points, standardized.labels);
+  }
+
+  static void StandardizeAxes(std::vector<Point2>& points) {
+    if (points.empty()) return;
+    double mx = 0.0, my = 0.0;
+    for (const Point2& p : points) {
+      mx += p.x;
+      my += p.y;
+    }
+    mx /= static_cast<double>(points.size());
+    my /= static_cast<double>(points.size());
+    double vx = 0.0, vy = 0.0;
+    for (const Point2& p : points) {
+      vx += (p.x - mx) * (p.x - mx);
+      vy += (p.y - my) * (p.y - my);
+    }
+    vx = std::sqrt(vx / static_cast<double>(points.size()));
+    vy = std::sqrt(vy / static_cast<double>(points.size()));
+    if (vx <= 0.0) vx = 1.0;
+    if (vy <= 0.0) vy = 1.0;
+    for (Point2& p : points) {
+      p.x = (p.x - mx) / vx;
+      p.y = (p.y - my) / vy;
+    }
+  }
+
+  size_t max_group_cardinality_;
+};
+
+}  // namespace
+
+std::unique_ptr<InsightClass> MakeSegmentationClass(
+    size_t max_group_cardinality) {
+  return std::make_unique<SegmentationClass>(max_group_cardinality);
+}
+
+}  // namespace foresight

@@ -1,0 +1,281 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace foresight {
+
+StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
+                                              EngineOptions options) {
+  InsightClassRegistry registry = options.registry.has_value()
+                                      ? std::move(*options.registry)
+                                      : InsightClassRegistry::CreateDefault();
+  InsightEngine engine(table, std::move(registry));
+  engine.set_num_workers(options.num_workers);
+  if (options.build_profile) {
+    FORESIGHT_ASSIGN_OR_RETURN(TableProfile profile,
+                               Preprocessor::Profile(table, options.preprocess));
+    engine.profile_.emplace(std::move(profile));
+  }
+  return engine;
+}
+
+StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
+    const DataTable& table, TableProfile profile,
+    std::optional<InsightClassRegistry> registry) {
+  if (&profile.table() != &table) {
+    return Status::InvalidArgument(
+        "profile was not built from (or loaded against) this table");
+  }
+  InsightClassRegistry resolved = registry.has_value()
+                                      ? std::move(*registry)
+                                      : InsightClassRegistry::CreateDefault();
+  InsightEngine engine(table, std::move(resolved));
+  engine.profile_.emplace(std::move(profile));
+  return engine;
+}
+
+StatusOr<ExecutionMode> InsightEngine::ResolveMode(ExecutionMode mode) const {
+  if (mode == ExecutionMode::kAuto) {
+    return profile_.has_value() ? ExecutionMode::kSketch : ExecutionMode::kExact;
+  }
+  if (mode == ExecutionMode::kSketch && !profile_.has_value()) {
+    return Status::FailedPrecondition(
+        "sketch mode requested but no profile was built");
+  }
+  return mode;
+}
+
+StatusOr<double> InsightEngine::Evaluate(const InsightClass& insight_class,
+                                         const AttributeTuple& tuple,
+                                         const std::string& metric,
+                                         ExecutionMode mode) const {
+  if (mode == ExecutionMode::kSketch && insight_class.SupportsSketch()) {
+    return insight_class.EvaluateSketch(*profile_, tuple, metric);
+  }
+  return insight_class.EvaluateExact(*table_, tuple, metric);
+}
+
+Insight InsightEngine::BuildInsight(const InsightClass& insight_class,
+                                    const AttributeTuple& tuple,
+                                    const std::string& metric,
+                                    double raw_value,
+                                    ExecutionMode mode) const {
+  Insight insight;
+  insight.class_name = insight_class.name();
+  insight.metric_name = metric;
+  insight.attributes = tuple;
+  for (size_t index : tuple.indices) {
+    insight.attribute_names.push_back(table_->column_name(index));
+  }
+  insight.raw_value = raw_value;
+  insight.score = insight_class.Score(raw_value);
+  insight.provenance = (mode == ExecutionMode::kSketch &&
+                        insight_class.SupportsSketch())
+                           ? Provenance::kSketch
+                           : Provenance::kExact;
+  insight.description = insight_class.Describe(insight);
+  return insight;
+}
+
+StatusOr<InsightQueryResult> InsightEngine::Execute(
+    const InsightQuery& query) const {
+  WallTimer timer;
+  const InsightClass* insight_class = registry_.Find(query.class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + query.class_name);
+  }
+  std::string metric =
+      query.metric.empty() ? insight_class->metric_names().front() : query.metric;
+  const std::vector<std::string> allowed = insight_class->metric_names();
+  if (std::find(allowed.begin(), allowed.end(), metric) == allowed.end()) {
+    return Status::InvalidArgument("metric '" + metric +
+                                   "' not supported by class '" +
+                                   query.class_name + "'");
+  }
+  if (query.min_score.has_value() && query.max_score.has_value() &&
+      *query.min_score > *query.max_score) {
+    return Status::InvalidArgument("min_score exceeds max_score");
+  }
+  FORESIGHT_ASSIGN_OR_RETURN(ExecutionMode mode, ResolveMode(query.mode));
+
+  // Resolve fixed attribute names to column indices.
+  std::vector<size_t> fixed_indices;
+  for (const std::string& name : query.fixed_attributes) {
+    FORESIGHT_ASSIGN_OR_RETURN(size_t index, table_->ColumnIndex(name));
+    fixed_indices.push_back(index);
+  }
+
+  InsightQueryResult result;
+  result.mode_used = mode;
+  std::vector<AttributeTuple> candidates =
+      insight_class->EnumerateCandidates(*table_);
+  // Structural filters first (cheap checks before any metric evaluation):
+  // fixed attributes (§2.1) and metadata-tag constraints (§2.1 future work).
+  if (!fixed_indices.empty() || !query.required_tags.empty()) {
+    std::vector<AttributeTuple> filtered;
+    filtered.reserve(candidates.size());
+    for (AttributeTuple& tuple : candidates) {
+      bool matches = true;
+      for (size_t fixed : fixed_indices) {
+        if (!tuple.Contains(fixed)) {
+          matches = false;
+          break;
+        }
+      }
+      for (size_t index : tuple.indices) {
+        if (!matches) break;
+        const ColumnSpec& spec = table_->schema().column(index);
+        for (const std::string& tag : query.required_tags) {
+          if (!spec.HasTag(tag)) {
+            matches = false;
+            break;
+          }
+        }
+      }
+      if (matches) filtered.push_back(std::move(tuple));
+    }
+    candidates = std::move(filtered);
+  }
+
+  // Evaluate every remaining candidate, optionally across worker threads
+  // (§5 future work). Raw values land in a position-indexed array so the
+  // outcome is identical to serial execution.
+  std::vector<double> raw_values(candidates.size(), 0.0);
+  std::vector<Status> errors;
+  size_t workers = std::min(num_workers_, std::max<size_t>(1, candidates.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      FORESIGHT_ASSIGN_OR_RETURN(
+          raw_values[i], Evaluate(*insight_class, candidates[i], metric, mode));
+    }
+  } else {
+    std::mutex error_mutex;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        size_t begin = candidates.size() * w / workers;
+        size_t end = candidates.size() * (w + 1) / workers;
+        for (size_t i = begin; i < end; ++i) {
+          StatusOr<double> raw =
+              Evaluate(*insight_class, candidates[i], metric, mode);
+          if (!raw.ok()) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            errors.push_back(raw.status());
+            return;
+          }
+          raw_values[i] = *raw;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    if (!errors.empty()) return errors.front();
+  }
+
+  result.candidates_evaluated = candidates.size();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double score = insight_class->Score(raw_values[i]);
+    if (query.min_score.has_value() && score < *query.min_score) continue;
+    if (query.max_score.has_value() && score > *query.max_score) continue;
+    result.insights.push_back(
+        BuildInsight(*insight_class, candidates[i], metric, raw_values[i], mode));
+  }
+
+  // Rank by descending score (ties: attribute order for determinism).
+  std::sort(result.insights.begin(), result.insights.end(),
+            [](const Insight& a, const Insight& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.attributes.indices < b.attributes.indices;
+            });
+  if (result.insights.size() > query.top_k) {
+    result.insights.resize(query.top_k);
+  }
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<std::vector<Insight>> InsightEngine::TopInsights(
+    const std::string& class_name, size_t k, ExecutionMode mode) const {
+  InsightQuery query;
+  query.class_name = class_name;
+  query.top_k = k;
+  query.mode = mode;
+  FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result, Execute(query));
+  return std::move(result.insights);
+}
+
+StatusOr<Insight> InsightEngine::EvaluateTuple(const std::string& class_name,
+                                               const AttributeTuple& tuple,
+                                               const std::string& metric,
+                                               ExecutionMode mode) const {
+  const InsightClass* insight_class = registry_.Find(class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + class_name);
+  }
+  std::string resolved_metric =
+      metric.empty() ? insight_class->metric_names().front() : metric;
+  FORESIGHT_ASSIGN_OR_RETURN(ExecutionMode resolved_mode, ResolveMode(mode));
+  FORESIGHT_ASSIGN_OR_RETURN(
+      double raw, Evaluate(*insight_class, tuple, resolved_metric, resolved_mode));
+  return BuildInsight(*insight_class, tuple, resolved_metric, raw,
+                      resolved_mode);
+}
+
+StatusOr<CorrelationOverview> InsightEngine::ComputeCorrelationOverview(
+    ExecutionMode mode) const {
+  return ComputePairwiseOverview("linear_relationship", "pearson", mode);
+}
+
+StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
+    const std::string& class_name, const std::string& metric,
+    ExecutionMode mode) const {
+  const InsightClass* insight_class = registry_.Find(class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + class_name);
+  }
+  if (insight_class->arity() != 2) {
+    return Status::InvalidArgument(
+        "pairwise overviews require an arity-2 insight class");
+  }
+  std::string resolved_metric =
+      metric.empty() ? insight_class->metric_names().front() : metric;
+  FORESIGHT_ASSIGN_OR_RETURN(ExecutionMode resolved_mode, ResolveMode(mode));
+
+  CorrelationOverview overview;
+  overview.class_name = class_name;
+  overview.metric_name = resolved_metric;
+  overview.column_indices = table_->NumericColumnIndices();
+  for (size_t index : overview.column_indices) {
+    overview.attribute_names.push_back(table_->column_name(index));
+  }
+  size_t d = overview.column_indices.size();
+  overview.matrix.assign(d * d, 0.0);
+  overview.provenance = resolved_mode == ExecutionMode::kSketch
+                            ? Provenance::kSketch
+                            : Provenance::kExact;
+  for (size_t i = 0; i < d; ++i) {
+    // Diagonal: the metric of an attribute with itself (1 for correlation
+    // and NMI-style metrics).
+    AttributeTuple self{{overview.column_indices[i], overview.column_indices[i]}};
+    FORESIGHT_ASSIGN_OR_RETURN(
+        double self_value,
+        Evaluate(*insight_class, self, resolved_metric, resolved_mode));
+    overview.matrix[i * d + i] = self_value;
+    for (size_t j = i + 1; j < d; ++j) {
+      AttributeTuple tuple{
+          {overview.column_indices[i], overview.column_indices[j]}};
+      FORESIGHT_ASSIGN_OR_RETURN(
+          double value,
+          Evaluate(*insight_class, tuple, resolved_metric, resolved_mode));
+      overview.matrix[i * d + j] = value;
+      overview.matrix[j * d + i] = value;
+    }
+  }
+  return overview;
+}
+
+}  // namespace foresight

@@ -1,0 +1,130 @@
+#ifndef FORESIGHT_CORE_ENGINE_H_
+#define FORESIGHT_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/insight_class.h"
+#include "core/profile.h"
+#include "core/query.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// Engine construction options.
+struct EngineOptions {
+  /// Build a sketch profile at construction (enables the approximate path).
+  bool build_profile = true;
+  PreprocessOptions preprocess;
+  /// Registry to use; when empty (default) the 12 built-in classes are used.
+  /// Additional classes can be registered afterwards via mutable_registry().
+  std::optional<InsightClassRegistry> registry;
+  /// Worker threads for candidate evaluation (the paper's §5 future work:
+  /// "parallel search methods that speed up insight queries"). 1 = serial.
+  /// Results are identical to serial execution regardless of worker count.
+  size_t num_workers = 1;
+};
+
+/// Pairwise overview (§2.1: "an insight may optionally have one or more
+/// associated overview visualizations that display the values of the insight
+/// metric over all tuples in the insight class"). For the linear-relationship
+/// class this is Figure 2's correlation heatmap; the same container serves
+/// any arity-2 numeric insight class (Spearman, NMI, ...).
+struct CorrelationOverview {
+  std::string class_name;   ///< Insight class the matrix belongs to.
+  std::string metric_name;  ///< Ranking metric whose raw values fill it.
+  std::vector<std::string> attribute_names;  ///< Numeric columns, table order.
+  std::vector<size_t> column_indices;
+  /// Row-major d x d matrix of raw metric values (signed for correlations).
+  std::vector<double> matrix;
+  Provenance provenance = Provenance::kExact;
+
+  double at(size_t i, size_t j) const {
+    return matrix[i * attribute_names.size() + j];
+  }
+};
+
+/// The insight recommendation engine: enumerates candidate tuples per class,
+/// evaluates ranking metrics (exactly or from sketches), and serves ranked,
+/// filtered insight queries.
+class InsightEngine {
+ public:
+  /// Builds an engine over `table` (must outlive the engine). Preprocesses a
+  /// sketch profile unless options disable it.
+  static StatusOr<InsightEngine> Create(const DataTable& table,
+                                        EngineOptions options = {});
+
+  /// Builds an engine over `table` adopting an existing profile (e.g. one
+  /// restored via Preprocessor::LoadProfile), skipping preprocessing. The
+  /// profile must have been built from (or loaded against) the same table.
+  static StatusOr<InsightEngine> CreateFromProfile(
+      const DataTable& table, TableProfile profile,
+      std::optional<InsightClassRegistry> registry = std::nullopt);
+
+  InsightEngine(InsightEngine&&) = default;
+  InsightEngine& operator=(InsightEngine&&) = default;
+
+  const DataTable& table() const { return *table_; }
+  const InsightClassRegistry& registry() const { return registry_; }
+  InsightClassRegistry& mutable_registry() { return registry_; }
+  bool has_profile() const { return profile_.has_value(); }
+  const TableProfile& profile() const { return *profile_; }
+
+  /// Executes an insight query (§2.1).
+  StatusOr<InsightQueryResult> Execute(const InsightQuery& query) const;
+
+  /// Convenience: top-k of a class with the default metric.
+  StatusOr<std::vector<Insight>> TopInsights(
+      const std::string& class_name, size_t k,
+      ExecutionMode mode = ExecutionMode::kAuto) const;
+
+  /// Evaluates one specific tuple (used by the explorer for neighborhoods).
+  StatusOr<Insight> EvaluateTuple(const std::string& class_name,
+                                  const AttributeTuple& tuple,
+                                  const std::string& metric = "",
+                                  ExecutionMode mode = ExecutionMode::kAuto) const;
+
+  /// Figure 2 overview: all pairwise correlations among numeric columns.
+  StatusOr<CorrelationOverview> ComputeCorrelationOverview(
+      ExecutionMode mode = ExecutionMode::kAuto) const;
+
+  /// Generalized overview: the metric values of ANY arity-2 numeric insight
+  /// class over all attribute pairs (§2.1's per-class overview
+  /// visualizations). Empty metric selects the class default.
+  StatusOr<CorrelationOverview> ComputePairwiseOverview(
+      const std::string& class_name, const std::string& metric = "",
+      ExecutionMode mode = ExecutionMode::kAuto) const;
+
+  /// Worker threads used for candidate evaluation.
+  size_t num_workers() const { return num_workers_; }
+  void set_num_workers(size_t workers) {
+    num_workers_ = workers == 0 ? 1 : workers;
+  }
+
+ private:
+  InsightEngine(const DataTable& table, InsightClassRegistry registry)
+      : table_(&table), registry_(std::move(registry)) {}
+
+  /// Resolves kAuto and validates the requested mode is available.
+  StatusOr<ExecutionMode> ResolveMode(ExecutionMode mode) const;
+
+  StatusOr<double> Evaluate(const InsightClass& insight_class,
+                            const AttributeTuple& tuple,
+                            const std::string& metric,
+                            ExecutionMode mode) const;
+
+  Insight BuildInsight(const InsightClass& insight_class,
+                       const AttributeTuple& tuple, const std::string& metric,
+                       double raw_value, ExecutionMode mode) const;
+
+  const DataTable* table_;
+  InsightClassRegistry registry_;
+  std::optional<TableProfile> profile_;
+  size_t num_workers_ = 1;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_ENGINE_H_

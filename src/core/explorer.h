@@ -1,0 +1,91 @@
+#ifndef FORESIGHT_CORE_EXPLORER_H_
+#define FORESIGHT_CORE_EXPLORER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// One carousel of the UI (Figure 1): an insight class with its top-ranked
+/// instances, strongest first.
+struct Carousel {
+  std::string class_name;
+  std::string display_name;
+  std::vector<Insight> insights;
+};
+
+/// Knobs for the neighborhood recommendation policy (§2.1: "Two insights can
+/// be considered similar if their metric scores are similar or if the sets of
+/// fixed attributes are similar").
+struct ExplorationOptions {
+  size_t carousel_size = 5;
+  /// Weight of attribute-set similarity (Jaccard) in insight similarity.
+  double attribute_weight = 0.6;
+  /// Weight of metric-score proximity in insight similarity.
+  double score_weight = 0.4;
+  /// Blend between base strength and focus similarity when re-ranking:
+  /// rank_score = (1 - focus_boost) * score + focus_boost * similarity.
+  double focus_boost = 0.5;
+  /// Candidate pool multiplier: each class's top (pool_factor * carousel_size)
+  /// insights are re-ranked against the focus set.
+  size_t pool_factor = 4;
+  ExecutionMode mode = ExecutionMode::kAuto;
+};
+
+/// Interactive exploration session over an InsightEngine (§4.1): initial
+/// carousels, focusing insights, neighborhood-driven re-recommendation, and
+/// state save/restore ("our analyst saves the current Foresight state to
+/// revisit later and to share with her colleagues").
+class ExplorationSession {
+ public:
+  /// `engine` must outlive the session.
+  explicit ExplorationSession(const InsightEngine& engine,
+                              ExplorationOptions options = {});
+
+  const ExplorationOptions& options() const { return options_; }
+
+  /// First-stage exploration: one carousel per registered insight class with
+  /// its strongest instances (open-ended recommendations).
+  StatusOr<std::vector<Carousel>> InitialCarousels() const;
+
+  /// Adds an insight to the focus set (idempotent on identical keys).
+  void Focus(const Insight& insight);
+
+  /// Removes an insight from the focus set by key; no-op when absent.
+  void Unfocus(const std::string& insight_key);
+
+  void ClearFocus() { focus_.clear(); }
+  const std::vector<Insight>& focused() const { return focus_; }
+
+  /// Second-stage exploration: carousels re-ranked toward the neighborhood of
+  /// the focused insights. With an empty focus set this equals
+  /// InitialCarousels().
+  StatusOr<std::vector<Carousel>> Recommendations() const;
+
+  /// Similarity between two insights per §2.1 (attribute overlap + metric
+  /// score proximity; cross-class pairs use attribute overlap only).
+  double Similarity(const Insight& a, const Insight& b) const;
+
+  /// Serializes focus set and options to JSON.
+  JsonValue SaveState() const;
+
+  /// Restores a session (focus set re-evaluated against `engine` so scores
+  /// reflect the current data). Fails on unknown classes/attributes.
+  static StatusOr<ExplorationSession> LoadState(const InsightEngine& engine,
+                                                const JsonValue& state);
+
+ private:
+  StatusOr<std::vector<Carousel>> BuildCarousels(bool apply_focus) const;
+
+  const InsightEngine* engine_;
+  ExplorationOptions options_;
+  std::vector<Insight> focus_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_EXPLORER_H_

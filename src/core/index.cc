@@ -1,0 +1,183 @@
+#include "core/index.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace foresight {
+
+StatusOr<InsightIndex> InsightIndex::Build(
+    const InsightEngine& engine, const std::vector<std::string>& class_names,
+    bool all_metrics) {
+  if (!engine.has_profile()) {
+    return Status::FailedPrecondition(
+        "index construction requires a sketch profile");
+  }
+  std::vector<std::string> classes =
+      class_names.empty() ? engine.registry().names() : class_names;
+
+  InsightIndex index;
+  index.engine_ = &engine;
+  for (const std::string& class_name : classes) {
+    const InsightClass* insight_class = engine.registry().Find(class_name);
+    if (insight_class == nullptr) {
+      return Status::NotFound("unknown insight class: " + class_name);
+    }
+    std::vector<std::string> metrics = insight_class->metric_names();
+    if (!all_metrics) metrics.resize(1);
+    for (const std::string& metric : metrics) {
+      // One full sketch-mode evaluation of the class: the ranking itself.
+      InsightQuery query;
+      query.class_name = class_name;
+      query.metric = metric;
+      query.top_k = SIZE_MAX;  // Keep everything.
+      query.mode = ExecutionMode::kSketch;
+      FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result,
+                                 engine.Execute(query));
+      Ranking ranking;
+      ranking.sorted = std::move(result.insights);
+      for (size_t position = 0; position < ranking.sorted.size(); ++position) {
+        for (size_t column : ranking.sorted[position].attributes.indices) {
+          ranking.postings[column].push_back(position);
+        }
+      }
+      index.rankings_.emplace(Key(class_name, metric), std::move(ranking));
+    }
+  }
+  return index;
+}
+
+bool InsightIndex::Covers(const std::string& class_name,
+                          const std::string& metric) const {
+  std::string resolved = metric;
+  if (resolved.empty()) {
+    const InsightClass* insight_class = engine_->registry().Find(class_name);
+    if (insight_class == nullptr) return false;
+    resolved = insight_class->metric_names().front();
+  }
+  return rankings_.count(Key(class_name, resolved)) > 0;
+}
+
+StatusOr<InsightQueryResult> InsightIndex::Execute(
+    const InsightQuery& query) const {
+  WallTimer timer;
+  const InsightClass* insight_class =
+      engine_->registry().Find(query.class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + query.class_name);
+  }
+  std::string metric = query.metric.empty()
+                           ? insight_class->metric_names().front()
+                           : query.metric;
+  auto it = rankings_.find(Key(query.class_name, metric));
+  if (it == rankings_.end()) {
+    return Status::FailedPrecondition("index does not cover " +
+                                      query.class_name + "/" + metric);
+  }
+  if (query.min_score.has_value() && query.max_score.has_value() &&
+      *query.min_score > *query.max_score) {
+    return Status::InvalidArgument("min_score exceeds max_score");
+  }
+  const Ranking& ranking = it->second;
+
+  std::vector<size_t> fixed_indices;
+  for (const std::string& name : query.fixed_attributes) {
+    FORESIGHT_ASSIGN_OR_RETURN(size_t index, engine_->table().ColumnIndex(name));
+    fixed_indices.push_back(index);
+  }
+
+  InsightQueryResult result;
+  result.mode_used = ExecutionMode::kSketch;
+  auto matches = [&](const Insight& insight) {
+    for (size_t fixed : fixed_indices) {
+      if (!insight.attributes.Contains(fixed)) return false;
+    }
+    for (size_t index : insight.attributes.indices) {
+      const ColumnSpec& spec = engine_->table().schema().column(index);
+      for (const std::string& tag : query.required_tags) {
+        if (!spec.HasTag(tag)) return false;
+      }
+    }
+    if (query.min_score.has_value() && insight.score < *query.min_score) {
+      return false;
+    }
+    if (query.max_score.has_value() && insight.score > *query.max_score) {
+      return false;
+    }
+    return true;
+  };
+
+  if (!fixed_indices.empty()) {
+    // Walk the shortest posting list (already score-ordered).
+    const std::vector<size_t>* shortest = nullptr;
+    for (size_t fixed : fixed_indices) {
+      auto posting = ranking.postings.find(fixed);
+      if (posting == ranking.postings.end()) {
+        result.elapsed_ms = timer.ElapsedMillis();
+        return result;  // No tuple contains this attribute.
+      }
+      if (shortest == nullptr || posting->second.size() < shortest->size()) {
+        shortest = &posting->second;
+      }
+    }
+    for (size_t position : *shortest) {
+      const Insight& insight = ranking.sorted[position];
+      ++result.candidates_evaluated;
+      if (!matches(insight)) continue;
+      result.insights.push_back(insight);
+      if (result.insights.size() >= query.top_k) break;
+    }
+  } else if (query.max_score.has_value()) {
+    // Skip straight to the first entry with score <= max via binary search
+    // on the descending-score array.
+    auto begin = std::lower_bound(
+        ranking.sorted.begin(), ranking.sorted.end(), *query.max_score,
+        [](const Insight& insight, double bound) {
+          return insight.score > bound;
+        });
+    for (auto iter = begin; iter != ranking.sorted.end(); ++iter) {
+      ++result.candidates_evaluated;
+      if (query.min_score.has_value() && iter->score < *query.min_score) break;
+      if (!matches(*iter)) continue;  // Tag constraints, if any.
+      result.insights.push_back(*iter);
+      if (result.insights.size() >= query.top_k) break;
+    }
+  } else {
+    for (const Insight& insight : ranking.sorted) {
+      ++result.candidates_evaluated;
+      if (query.min_score.has_value() && insight.score < *query.min_score) {
+        break;  // Sorted descending: nothing below can match.
+      }
+      if (!matches(insight)) continue;  // Tag constraints, if any.
+      result.insights.push_back(insight);
+      if (result.insights.size() >= query.top_k) break;
+    }
+  }
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+size_t InsightIndex::num_entries() const {
+  size_t total = 0;
+  for (const auto& [key, ranking] : rankings_) total += ranking.sorted.size();
+  return total;
+}
+
+size_t InsightIndex::EstimateMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, ranking] : rankings_) {
+    for (const Insight& insight : ranking.sorted) {
+      bytes += sizeof(Insight) + insight.description.size() +
+               insight.attributes.indices.size() * sizeof(size_t);
+      for (const std::string& name : insight.attribute_names) {
+        bytes += name.size();
+      }
+    }
+    for (const auto& [column, posting] : ranking.postings) {
+      bytes += posting.size() * sizeof(size_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace foresight

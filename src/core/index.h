@@ -1,0 +1,76 @@
+#ifndef FORESIGHT_CORE_INDEX_H_
+#define FORESIGHT_CORE_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// Precomputed insight rankings — the "indexes" of §3 ("the dataset is
+/// preprocessed to compute sketches, samples, and indexes that will support
+/// fast approximate insight querying").
+///
+/// For each (insight class, metric), the index stores every candidate
+/// tuple's sketch-mode score sorted descending, plus per-attribute posting
+/// lists. Insight queries are then served without re-evaluating any metric:
+///   - open top-k: front of the sorted ranking;
+///   - fixed-attribute: walk the (score-ordered) posting list of the fixed
+///     attribute;
+///   - metric-range: scan the sorted ranking within the score bounds.
+///
+/// The index is built from (and is consistent with) the engine's sketch
+/// path; building it costs one full sketch-mode evaluation per class.
+class InsightIndex {
+ public:
+  /// Builds the index over the given classes' default metrics (empty =
+  /// every registered class, every metric). Requires the engine to have a
+  /// profile (indexes are part of sketch preprocessing).
+  static StatusOr<InsightIndex> Build(
+      const InsightEngine& engine,
+      const std::vector<std::string>& class_names = {},
+      bool all_metrics = false);
+
+  /// True when the index can serve this (class, metric) pair.
+  bool Covers(const std::string& class_name, const std::string& metric) const;
+
+  /// Serves a query from the precomputed rankings. Fails with
+  /// FailedPrecondition when the (class, metric) is not covered; range and
+  /// fixed-attribute constraints are fully supported.
+  StatusOr<InsightQueryResult> Execute(const InsightQuery& query) const;
+
+  /// Number of indexed (class, metric) rankings.
+  size_t num_rankings() const { return rankings_.size(); }
+
+  /// Total indexed insight instances across all rankings.
+  size_t num_entries() const;
+
+  /// Approximate memory footprint of the index.
+  size_t EstimateMemoryBytes() const;
+
+ private:
+  struct Ranking {
+    /// Insights sorted by descending score.
+    std::vector<Insight> sorted;
+    /// attribute column -> positions in `sorted` containing it (ascending
+    /// position = descending score).
+    std::unordered_map<size_t, std::vector<size_t>> postings;
+  };
+
+  static std::string Key(const std::string& class_name,
+                         const std::string& metric) {
+    return class_name + "\x1f" + metric;
+  }
+
+  const InsightEngine* engine_ = nullptr;
+  std::map<std::string, Ranking> rankings_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_INDEX_H_

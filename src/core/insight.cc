@@ -1,0 +1,34 @@
+#include "core/insight.h"
+
+#include <algorithm>
+
+namespace foresight {
+
+bool AttributeTuple::Contains(size_t column_index) const {
+  return std::find(indices.begin(), indices.end(), column_index) !=
+         indices.end();
+}
+
+std::string Insight::Key() const {
+  std::string key = class_name;
+  key += '(';
+  for (size_t i = 0; i < attribute_names.size(); ++i) {
+    if (i > 0) key += ',';
+    key += attribute_names[i];
+  }
+  key += ')';
+  return key;
+}
+
+double AttributeJaccard(const AttributeTuple& a, const AttributeTuple& b) {
+  if (a.indices.empty() || b.indices.empty()) return 0.0;
+  size_t intersection = 0;
+  for (size_t index : a.indices) {
+    if (b.Contains(index)) ++intersection;
+  }
+  size_t union_size = a.indices.size() + b.indices.size() - intersection;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace foresight

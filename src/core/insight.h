@@ -1,0 +1,72 @@
+#ifndef FORESIGHT_CORE_INSIGHT_H_
+#define FORESIGHT_CORE_INSIGHT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace foresight {
+
+/// An ordered tuple of attribute (column) indices — the domain element of an
+/// insight class (§2.1). Foresight insights involve the marginal distribution
+/// of one, two, or three attributes.
+struct AttributeTuple {
+  std::vector<size_t> indices;
+
+  size_t arity() const { return indices.size(); }
+  bool Contains(size_t column_index) const;
+
+  friend bool operator==(const AttributeTuple& a, const AttributeTuple& b) {
+    return a.indices == b.indices;
+  }
+};
+
+/// How a metric value was computed.
+enum class Provenance {
+  kExact,   ///< Computed over the full raw data.
+  kSketch,  ///< Estimated from sketches / samples (§3).
+};
+
+/// Preferred visualization for an insight (§2.2); consumed by `viz`.
+enum class VisualizationKind {
+  kHistogram,
+  kBoxPlot,
+  kParetoChart,
+  kScatterWithFit,
+  kScatter,
+  kColoredScatter,
+  kDensity,
+  kBar,
+};
+
+/// One ranked insight instance: a strong manifestation of a distributional
+/// property on a specific attribute tuple, with its ranking-metric value.
+struct Insight {
+  /// Registry name of the insight class, e.g. "linear_relationship".
+  std::string class_name;
+  /// Ranking metric used, e.g. "pearson" or "spearman".
+  std::string metric_name;
+  AttributeTuple attributes;
+  /// Column names matching `attributes.indices`, for display.
+  std::vector<std::string> attribute_names;
+  /// Ranking strength: higher = stronger manifestation. For signed metrics
+  /// (e.g. correlation) this is the magnitude.
+  double score = 0.0;
+  /// The raw, signed/unscaled metric value (e.g. rho = -0.85).
+  double raw_value = 0.0;
+  Provenance provenance = Provenance::kExact;
+  /// Human-readable one-liner, e.g.
+  /// "strong negative linear relationship (rho = -0.85)".
+  std::string description;
+
+  /// "class(attr1, attr2)" identity key, used for dedup/similarity.
+  std::string Key() const;
+};
+
+/// Jaccard similarity of two attribute-index sets, the structural half of the
+/// paper's insight-similarity notion (§2.1).
+double AttributeJaccard(const AttributeTuple& a, const AttributeTuple& b);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_INSIGHT_H_

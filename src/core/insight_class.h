@@ -1,0 +1,100 @@
+#ifndef FORESIGHT_CORE_INSIGHT_CLASS_H_
+#define FORESIGHT_CORE_INSIGHT_CLASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/insight.h"
+#include "core/profile.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// One insight class (§2.1-2.2): the set of attribute tuples compatible with
+/// a distributional property, plus its ranking metric(s) and preferred
+/// visualization. Foresight is extensible: data scientists "plug in" new
+/// insight classes by implementing this interface and registering it.
+///
+/// Implementations are stateless; all evaluation inputs arrive as arguments.
+class InsightClass {
+ public:
+  virtual ~InsightClass() = default;
+
+  /// Stable registry key, e.g. "linear_relationship".
+  virtual std::string name() const = 0;
+
+  /// Human-readable name, e.g. "Linear Relationship".
+  virtual std::string display_name() const = 0;
+
+  /// Number of attributes per tuple (1-3).
+  virtual size_t arity() const = 0;
+
+  /// Supported ranking metrics; the first is the default (§2.1: each insight
+  /// has one or more associated insight metrics).
+  virtual std::vector<std::string> metric_names() const = 0;
+
+  /// All attribute tuples of this class for `table` (§2.1: the insight class
+  /// comprises all feature tuples compatible with the insight's metrics).
+  virtual std::vector<AttributeTuple> EnumerateCandidates(
+      const DataTable& table) const = 0;
+
+  /// Exact metric value (signed / unscaled) over the raw data.
+  virtual StatusOr<double> EvaluateExact(const DataTable& table,
+                                         const AttributeTuple& tuple,
+                                         const std::string& metric) const = 0;
+
+  /// Approximate metric value from the profile's sketches/samples. The
+  /// default delegates to EvaluateExact (classes whose metrics are already
+  /// single-pass cheap, per §3, need no separate sketch path).
+  virtual StatusOr<double> EvaluateSketch(const TableProfile& profile,
+                                          const AttributeTuple& tuple,
+                                          const std::string& metric) const;
+
+  /// True when EvaluateSketch avoids touching raw column data.
+  virtual bool SupportsSketch() const { return false; }
+
+  /// Ranking strength from the raw metric value. Defaults to |raw|.
+  virtual double Score(double raw_value) const;
+
+  /// Preferred visualization (§2.2).
+  virtual VisualizationKind visualization() const = 0;
+
+  /// Whether the class offers an overview visualization over all tuples
+  /// (§2.1, e.g. the Figure 2 correlation heatmap).
+  virtual bool has_overview() const { return false; }
+
+  /// One-line human description of an evaluated instance.
+  virtual std::string Describe(const Insight& insight) const;
+};
+
+/// Name-keyed collection of insight classes. `CreateDefault` registers the
+/// 12 built-in classes shown in the demo's carousels (Figure 1).
+class InsightClassRegistry {
+ public:
+  InsightClassRegistry() = default;
+  InsightClassRegistry(InsightClassRegistry&&) = default;
+  InsightClassRegistry& operator=(InsightClassRegistry&&) = default;
+
+  /// Registers a class; fails on duplicate names.
+  Status Register(std::unique_ptr<InsightClass> insight_class);
+
+  /// Lookup by name; nullptr when absent.
+  const InsightClass* Find(const std::string& name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  size_t size() const { return classes_.size(); }
+
+  /// Registry with the 12 built-in insight classes.
+  static InsightClassRegistry CreateDefault();
+
+ private:
+  std::vector<std::unique_ptr<InsightClass>> classes_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_INSIGHT_CLASS_H_

@@ -1,0 +1,38 @@
+#ifndef FORESIGHT_CORE_INSIGHT_CLASSES_H_
+#define FORESIGHT_CORE_INSIGHT_CLASSES_H_
+
+#include <memory>
+
+#include "core/insight_class.h"
+
+namespace foresight {
+
+/// Factories for the 12 built-in insight classes (DESIGN.md §3).
+/// Classes 1-6 follow §2.2 of the paper literally; 7-10 are the "additional
+/// insights" it names (multimodality, nonlinear monotonic relationships,
+/// general statistical dependencies, segmentation); 11-12 round out the
+/// twelve carousels of Figure 1.
+
+std::unique_ptr<InsightClass> MakeDispersionClass();                // 1
+std::unique_ptr<InsightClass> MakeSkewClass();                      // 2
+std::unique_ptr<InsightClass> MakeHeavyTailsClass();                // 3
+/// `detector_name`: "zscore", "iqr", or "mad" (§2.2: user-configurable).
+std::unique_ptr<InsightClass> MakeOutliersClass(
+    const std::string& detector_name = "iqr");                     // 4
+/// `k`: the configurable heavy-hitter count of RelFreq(k, c).
+std::unique_ptr<InsightClass> MakeHeterogeneousFrequenciesClass(
+    size_t k = 5);                                                 // 5
+std::unique_ptr<InsightClass> MakeLinearRelationshipClass();        // 6
+std::unique_ptr<InsightClass> MakeMonotonicRelationshipClass();     // 7
+std::unique_ptr<InsightClass> MakeMultimodalityClass();             // 8
+std::unique_ptr<InsightClass> MakeGeneralDependenceClass();         // 9
+/// `max_group_cardinality`: categorical columns with more distinct values
+/// than this are not considered as segmenting attributes.
+std::unique_ptr<InsightClass> MakeSegmentationClass(
+    size_t max_group_cardinality = 16);                            // 10
+std::unique_ptr<InsightClass> MakeLowEntropyClass();                // 11
+std::unique_ptr<InsightClass> MakeMissingValuesClass();             // 12
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_INSIGHT_CLASSES_H_

@@ -1,0 +1,349 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sketch/serialize.h"
+#include "stats/correlation.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace foresight {
+
+const NumericColumnSketch& TableProfile::numeric_sketch(size_t column) const {
+  auto it = numeric_.find(column);
+  FORESIGHT_CHECK_MSG(it != numeric_.end(), "no numeric sketch for column");
+  return it->second;
+}
+
+const CategoricalColumnSketch& TableProfile::categorical_sketch(
+    size_t column) const {
+  auto it = categorical_.find(column);
+  FORESIGHT_CHECK_MSG(it != categorical_.end(),
+                      "no categorical sketch for column");
+  return it->second;
+}
+
+const std::vector<double>& TableProfile::sampled_numeric(size_t column) const {
+  auto it = sampled_numeric_.find(column);
+  FORESIGHT_CHECK_MSG(it != sampled_numeric_.end(),
+                      "no sampled values for column");
+  return it->second;
+}
+
+const std::vector<double>& TableProfile::sampled_ranks(size_t column) const {
+  auto it = sampled_ranks_.find(column);
+  FORESIGHT_CHECK_MSG(it != sampled_ranks_.end(),
+                      "no sampled ranks for column");
+  return it->second;
+}
+
+const std::vector<int32_t>& TableProfile::sampled_codes(size_t column) const {
+  auto it = sampled_codes_.find(column);
+  FORESIGHT_CHECK_MSG(it != sampled_codes_.end(),
+                      "no sampled codes for column");
+  return it->second;
+}
+
+size_t TableProfile::EstimateMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [col, sketch] : numeric_) {
+    bytes += sketch.signature.words().size() * sizeof(uint64_t);
+    bytes += sketch.hyperplane_acc.dot.size() * 2 * sizeof(double);
+    bytes += sketch.projection.components().size() * 2 * sizeof(double);
+    bytes += sketch.quantiles.RetainedItems() * sizeof(double);
+    bytes += sketch.sample.values().size() * sizeof(double);
+    bytes += sizeof(RunningMoments);
+  }
+  for (const auto& [col, sketch] : categorical_) {
+    bytes += sketch.entropy.registers().size() * sizeof(double);
+    bytes += sketch.frequencies.width() * sketch.frequencies.depth() *
+             sizeof(uint64_t);
+    bytes += sketch.heavy_hitters.num_monitored() * 64;  // rough per-counter
+  }
+  for (const auto& [col, values] : sampled_numeric_) {
+    bytes += values.size() * sizeof(double);
+  }
+  for (const auto& [col, codes] : sampled_codes_) {
+    bytes += codes.size() * sizeof(int32_t);
+  }
+  bytes += sampled_rows_.size() * sizeof(size_t);
+  return bytes;
+}
+
+JsonValue TableProfile::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("format", "foresight.profile");
+  json.Set("version", 1);
+  json.Set("num_rows", table_->num_rows());
+  json.Set("config", SketchConfigToJson(config_));
+  json.Set("preprocess_seconds", preprocess_seconds_);
+  JsonValue rows = JsonValue::Array();
+  for (size_t row : sampled_rows_) rows.Append(row);
+  json.Set("sampled_rows", std::move(rows));
+  JsonValue numeric = JsonValue::Object();
+  for (const auto& [column, sketch] : numeric_) {
+    numeric.Set(table_->column_name(column), NumericSketchToJson(sketch));
+  }
+  json.Set("numeric", std::move(numeric));
+  JsonValue categorical = JsonValue::Object();
+  for (const auto& [column, sketch] : categorical_) {
+    categorical.Set(table_->column_name(column),
+                    CategoricalSketchToJson(sketch));
+  }
+  json.Set("categorical", std::move(categorical));
+  return json;
+}
+
+StatusOr<TableProfile> Preprocessor::LoadProfile(const DataTable& table,
+                                                 const JsonValue& json) {
+  const JsonValue* format = json.Get("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "foresight.profile") {
+    return Status::ParseError("not a foresight profile document");
+  }
+  const JsonValue* num_rows = json.Get("num_rows");
+  if (num_rows == nullptr || !num_rows->is_number() ||
+      static_cast<size_t>(num_rows->as_number()) != table.num_rows()) {
+    return Status::InvalidArgument(
+        "profile row count does not match the table");
+  }
+  const JsonValue* config_json = json.Get("config");
+  if (config_json == nullptr) return Status::ParseError("missing config");
+
+  TableProfile profile;
+  profile.table_ = &table;
+  FORESIGHT_ASSIGN_OR_RETURN(profile.config_,
+                             SketchConfigFromJson(*config_json));
+  profile.builder_ =
+      std::make_unique<BundleBuilder>(profile.config_, table.num_rows());
+  if (const JsonValue* seconds = json.Get("preprocess_seconds");
+      seconds != nullptr && seconds->is_number()) {
+    profile.preprocess_seconds_ = seconds->as_number();
+  }
+
+  const JsonValue* rows = json.Get("sampled_rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::ParseError("missing sampled_rows");
+  }
+  for (size_t i = 0; i < rows->size(); ++i) {
+    if (!rows->at(i).is_number()) {
+      return Status::ParseError("sampled_rows entries must be numbers");
+    }
+    size_t row = static_cast<size_t>(rows->at(i).as_number());
+    if (row >= table.num_rows()) {
+      return Status::OutOfRange("sampled row out of range");
+    }
+    profile.sampled_rows_.push_back(row);
+  }
+
+  const JsonValue* numeric = json.Get("numeric");
+  if (numeric == nullptr || !numeric->is_object()) {
+    return Status::ParseError("missing numeric sketch map");
+  }
+  for (const auto& [name, sketch_json] : numeric->items()) {
+    FORESIGHT_ASSIGN_OR_RETURN(size_t column, table.ColumnIndex(name));
+    if (table.column(column).type() != ColumnType::kNumeric) {
+      return Status::InvalidArgument("column '" + name +
+                                     "' is not numeric in this table");
+    }
+    FORESIGHT_ASSIGN_OR_RETURN(NumericColumnSketch sketch,
+                               NumericSketchFromJson(sketch_json));
+    profile.numeric_.emplace(column, std::move(sketch));
+  }
+  const JsonValue* categorical = json.Get("categorical");
+  if (categorical == nullptr || !categorical->is_object()) {
+    return Status::ParseError("missing categorical sketch map");
+  }
+  for (const auto& [name, sketch_json] : categorical->items()) {
+    FORESIGHT_ASSIGN_OR_RETURN(size_t column, table.ColumnIndex(name));
+    if (table.column(column).type() != ColumnType::kCategorical) {
+      return Status::InvalidArgument("column '" + name +
+                                     "' is not categorical in this table");
+    }
+    FORESIGHT_ASSIGN_OR_RETURN(CategoricalColumnSketch sketch,
+                               CategoricalSketchFromJson(sketch_json));
+    profile.categorical_.emplace(column, std::move(sketch));
+  }
+  // Every column must be covered.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    bool covered = table.column(c).type() == ColumnType::kNumeric
+                       ? profile.numeric_.count(c) > 0
+                       : profile.categorical_.count(c) > 0;
+    if (!covered) {
+      return Status::InvalidArgument("profile missing sketch for column '" +
+                                     table.column_name(c) + "'");
+    }
+  }
+
+  MaterializeSamples(table, profile);
+  return profile;
+}
+
+StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
+                                             const PreprocessOptions& options) {
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("cannot profile a table with no columns");
+  }
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  WallTimer timer;
+  TableProfile profile;
+  profile.table_ = &table;
+  profile.config_ = options.sketch;
+  profile.builder_ =
+      std::make_unique<BundleBuilder>(options.sketch, table.num_rows());
+  const BundleBuilder& builder = *profile.builder_;
+
+  size_t n = table.num_rows();
+  size_t parts = std::max<size_t>(1, std::min(options.num_partitions,
+                                              std::max<size_t>(1, n)));
+
+  // Numeric columns: a row-major pass per partition, generating each row's
+  // random hyperplane/projection components ONCE and folding the row into
+  // every numeric column's sketch — the paper's single-pass O(|B| * n * k)
+  // preprocessing bound (§3).
+  std::vector<size_t> numeric_cols = table.NumericColumnIndices();
+  std::vector<const NumericColumn*> numeric_ptrs;
+  numeric_ptrs.reserve(numeric_cols.size());
+  for (size_t c : numeric_cols) {
+    numeric_ptrs.push_back(&table.column(c).AsNumeric());
+  }
+  std::vector<NumericColumnSketch> merged_numeric;
+  merged_numeric.reserve(numeric_cols.size());
+  for (size_t i = 0; i < numeric_cols.size(); ++i) {
+    merged_numeric.push_back(builder.MakeNumericSketch());
+  }
+  {
+    std::vector<double> hyperplane_row;
+    std::vector<double> projection_row;
+    for (size_t p = 0; p < parts; ++p) {
+      size_t begin = n * p / parts;
+      size_t end = n * (p + 1) / parts;
+      std::vector<NumericColumnSketch> partials;
+      std::vector<NumericColumnSketch>* target = &merged_numeric;
+      if (parts > 1) {
+        partials.reserve(numeric_cols.size());
+        for (size_t i = 0; i < numeric_cols.size(); ++i) {
+          partials.push_back(builder.MakeNumericSketch());
+        }
+        target = &partials;
+      }
+      for (size_t row = begin; row < end; ++row) {
+        builder.hyperplane_sketcher().GenerateRowHyperplanes(row,
+                                                             hyperplane_row);
+        builder.projection_sketcher().GenerateRowComponents(row,
+                                                            projection_row);
+        for (size_t i = 0; i < numeric_ptrs.size(); ++i) {
+          const NumericColumn& column = *numeric_ptrs[i];
+          if (!column.is_valid(row)) continue;
+          builder.AccumulateRowValue(column.value(row), hyperplane_row,
+                                     projection_row, (*target)[i]);
+        }
+      }
+      if (parts > 1) {
+        for (size_t i = 0; i < numeric_cols.size(); ++i) {
+          merged_numeric[i].Merge(partials[i]);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < numeric_cols.size(); ++i) {
+    builder.FinalizeNumeric(merged_numeric[i]);
+    profile.numeric_.emplace(numeric_cols[i], std::move(merged_numeric[i]));
+  }
+
+  // Categorical columns: per-column passes (dictionary codes batch cheaply).
+  for (size_t c : table.CategoricalColumnIndices()) {
+    const auto& categorical = table.column(c).AsCategorical();
+    CategoricalColumnSketch merged = builder.MakeCategoricalSketch();
+    for (size_t p = 0; p < parts; ++p) {
+      size_t begin = n * p / parts;
+      size_t end = n * (p + 1) / parts;
+      if (parts == 1) {
+        builder.AccumulateCategorical(categorical, begin, end, merged);
+      } else {
+        CategoricalColumnSketch partial = builder.MakeCategoricalSketch();
+        builder.AccumulateCategorical(categorical, begin, end, partial);
+        merged.Merge(partial);
+      }
+    }
+    profile.categorical_.emplace(c, std::move(merged));
+  }
+
+  // Shared row sample: uniform without replacement, ascending.
+  size_t sample_size = std::min(options.row_sample_size, n);
+  Rng rng(options.sketch.seed ^ 0x505A4D50ULL);
+  if (sample_size == n) {
+    profile.sampled_rows_.resize(n);
+    for (size_t i = 0; i < n; ++i) profile.sampled_rows_[i] = i;
+  } else {
+    // Floyd's algorithm for a uniform sample without replacement.
+    std::vector<size_t> chosen;
+    chosen.reserve(sample_size);
+    std::unordered_map<size_t, bool> seen;
+    for (size_t j = n - sample_size; j < n; ++j) {
+      size_t t = static_cast<size_t>(rng.UniformInt(j + 1));
+      if (seen.count(t)) {
+        chosen.push_back(j);
+        seen[j] = true;
+      } else {
+        chosen.push_back(t);
+        seen[t] = true;
+      }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    profile.sampled_rows_ = std::move(chosen);
+  }
+
+  MaterializeSamples(table, profile);
+
+  profile.preprocess_seconds_ = timer.ElapsedSeconds();
+  return profile;
+}
+
+void Preprocessor::MaterializeSamples(const DataTable& table,
+                                      TableProfile& profile) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (column.type() == ColumnType::kNumeric) {
+      const auto& numeric = column.AsNumeric();
+      std::vector<double> values;
+      values.reserve(profile.sampled_rows_.size());
+      for (size_t row : profile.sampled_rows_) {
+        values.push_back(numeric.is_valid(row)
+                             ? numeric.value(row)
+                             : std::numeric_limits<double>::quiet_NaN());
+      }
+      // Midranks of the non-null sample, NaN positions preserved.
+      std::vector<double> present;
+      present.reserve(values.size());
+      for (double v : values) {
+        if (!std::isnan(v)) present.push_back(v);
+      }
+      std::vector<double> present_ranks = FractionalRanks(present);
+      std::vector<double> ranks(values.size());
+      size_t next = 0;
+      for (size_t i = 0; i < values.size(); ++i) {
+        ranks[i] = std::isnan(values[i])
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : present_ranks[next++];
+      }
+      profile.sampled_ranks_.emplace(c, std::move(ranks));
+      profile.sampled_numeric_.emplace(c, std::move(values));
+    } else {
+      const auto& categorical = column.AsCategorical();
+      std::vector<int32_t> codes;
+      codes.reserve(profile.sampled_rows_.size());
+      for (size_t row : profile.sampled_rows_) {
+        codes.push_back(categorical.code(row));
+      }
+      profile.sampled_codes_.emplace(c, std::move(codes));
+    }
+  }
+}
+
+}  // namespace foresight

@@ -1,0 +1,123 @@
+#ifndef FORESIGHT_CORE_PROFILE_H_
+#define FORESIGHT_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "sketch/bundle.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// Everything the approximate query path needs, produced by one preprocessing
+/// pass over the table (§3: "the dataset is preprocessed to compute sketches,
+/// samples, and indexes that will support fast approximate insight querying"):
+///   - a sketch bundle per column (moments, KLL, reservoir, hyperplane
+///     signature, JL projection / SpaceSaving, Count-Min, entropy sketch);
+///   - a shared uniform ROW sample (row-aligned across columns), used by
+///     metrics that need joint raw points (Spearman, mutual information,
+///     segmentation);
+///   - materialized sampled column values as the "index" into that sample.
+///
+/// The profile references (does not own) the table it was built from.
+class TableProfile {
+ public:
+  TableProfile() = default;
+  TableProfile(TableProfile&&) = default;
+  TableProfile& operator=(TableProfile&&) = default;
+
+  const DataTable& table() const { return *table_; }
+  const SketchConfig& config() const { return config_; }
+  const BundleBuilder& builder() const { return *builder_; }
+
+  /// Per-column sketches; present for every column of matching type.
+  const NumericColumnSketch& numeric_sketch(size_t column) const;
+  const CategoricalColumnSketch& categorical_sketch(size_t column) const;
+  bool has_numeric_sketch(size_t column) const {
+    return numeric_.count(column) > 0;
+  }
+  bool has_categorical_sketch(size_t column) const {
+    return categorical_.count(column) > 0;
+  }
+
+  /// Row ids in the shared row sample (ascending).
+  const std::vector<size_t>& sampled_rows() const { return sampled_rows_; }
+
+  /// Sampled values of a numeric column, aligned with `sampled_rows()`
+  /// (NaN marks nulls). Use SampledPairedValid for joint extraction.
+  const std::vector<double>& sampled_numeric(size_t column) const;
+
+  /// Fractional (midrank) ranks of the non-null sampled values of a numeric
+  /// column, aligned with `sampled_rows()` (NaN marks nulls). Precomputed so
+  /// Spearman estimates are a Pearson over cached ranks — O(m) per pair
+  /// instead of O(m log m) — which keeps all-pairs monotonic-relationship
+  /// queries interactive. (Ranks are global per column; under pairwise null
+  /// deletion this is the standard approximation.)
+  const std::vector<double>& sampled_ranks(size_t column) const;
+  /// Sampled dictionary codes of a categorical column (-1 marks null).
+  const std::vector<int32_t>& sampled_codes(size_t column) const;
+
+  /// Wall-clock seconds spent preprocessing (for E2/E8 reporting).
+  double preprocess_seconds() const { return preprocess_seconds_; }
+
+  /// Approximate total sketch memory in bytes (for E8 reporting).
+  size_t EstimateMemoryBytes() const;
+
+  /// Serializes the full profile (config, row sample, every column's sketch
+  /// bundle) to versioned JSON. Preprocessing is the expensive step; a
+  /// deployment persists the profile once and serves many sessions from it.
+  /// Sampled column values are NOT stored — they re-materialize from the
+  /// stored row ids against the table at load time.
+  JsonValue ToJson() const;
+
+ private:
+  friend class Preprocessor;
+
+  const DataTable* table_ = nullptr;
+  SketchConfig config_;
+  std::unique_ptr<BundleBuilder> builder_;
+  std::unordered_map<size_t, NumericColumnSketch> numeric_;
+  std::unordered_map<size_t, CategoricalColumnSketch> categorical_;
+  std::vector<size_t> sampled_rows_;
+  std::unordered_map<size_t, std::vector<double>> sampled_numeric_;
+  std::unordered_map<size_t, std::vector<double>> sampled_ranks_;
+  std::unordered_map<size_t, std::vector<int32_t>> sampled_codes_;
+  double preprocess_seconds_ = 0.0;
+};
+
+/// Options for preprocessing.
+struct PreprocessOptions {
+  SketchConfig sketch;
+  /// Size of the shared row sample.
+  size_t row_sample_size = 2048;
+  /// Number of row partitions to preprocess independently and merge; > 1
+  /// exercises (and demonstrates) sketch composability. 1 = single pass.
+  size_t num_partitions = 1;
+};
+
+/// Builds TableProfiles.
+class Preprocessor {
+ public:
+  /// Profiles every column of `table`. The returned profile references
+  /// `table`, which must outlive it.
+  static StatusOr<TableProfile> Profile(const DataTable& table,
+                                        const PreprocessOptions& options = {});
+
+  /// Restores a profile persisted by TableProfile::ToJson against `table`
+  /// (which must be the table it was built from: column names/types and row
+  /// count are validated). The table must outlive the profile.
+  static StatusOr<TableProfile> LoadProfile(const DataTable& table,
+                                            const JsonValue& json);
+
+ private:
+  /// Fills sampled_numeric_/sampled_ranks_/sampled_codes_ from sampled_rows_.
+  static void MaterializeSamples(const DataTable& table, TableProfile& profile);
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_PROFILE_H_

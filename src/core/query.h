@@ -1,0 +1,54 @@
+#ifndef FORESIGHT_CORE_QUERY_H_
+#define FORESIGHT_CORE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/insight.h"
+
+namespace foresight {
+
+/// Which computation path serves a query.
+enum class ExecutionMode {
+  kExact,   ///< Full-data metrics.
+  kSketch,  ///< Sketch/sample estimates (§3).
+  kAuto,    ///< Engine default (sketch when a profile is available).
+};
+
+/// An insight query (§2.1): "A basic insight query returns the visualizations
+/// for the highest-ranked feature tuples according to the insight metric
+/// selected", optionally with fixed attributes and strength filters.
+struct InsightQuery {
+  /// Registry name of the insight class to query (required).
+  std::string class_name;
+  /// Ranking metric; empty selects the class default.
+  std::string metric;
+  /// Number of top-ranked insights to return.
+  size_t top_k = 10;
+  /// Attribute names that must ALL appear in each returned tuple, e.g. fixing
+  /// x = x0 and ranking over pairs (x0, y). Empty = unconstrained.
+  std::vector<std::string> fixed_attributes;
+  /// Metadata constraints (§2.1 future work, implemented here): every
+  /// attribute of each returned tuple must carry ALL of these semantic tags
+  /// (e.g. {"currency"} to rank only money-valued attributes). Tags are
+  /// attached via DataTable::TagColumn. Empty = unconstrained.
+  std::vector<std::string> required_tags;
+  /// Inclusive bounds on the strength score (e.g. |rho| in [0.5, 0.8] "to
+  /// filter out trivially very high correlations").
+  std::optional<double> min_score;
+  std::optional<double> max_score;
+  ExecutionMode mode = ExecutionMode::kAuto;
+};
+
+/// Query outcome: ranked insights plus execution telemetry.
+struct InsightQueryResult {
+  std::vector<Insight> insights;  ///< Sorted by descending score.
+  size_t candidates_evaluated = 0;
+  double elapsed_ms = 0.0;
+  ExecutionMode mode_used = ExecutionMode::kExact;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_QUERY_H_

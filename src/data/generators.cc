@@ -1,0 +1,475 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace foresight {
+
+namespace {
+
+/// Standard-normal column of length n.
+std::vector<double> NormalColumn(size_t n, Rng& rng, double mean = 0.0,
+                                 double stddev = 1.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal(mean, stddev);
+  return v;
+}
+
+/// y = rho * x + sqrt(1 - rho^2) * eps, giving Pearson correlation ~rho.
+std::vector<double> CorrelatedWith(const std::vector<double>& x, double rho,
+                                   Rng& rng) {
+  std::vector<double> y(x.size());
+  double noise = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = rho * x[i] + noise * rng.Normal();
+  }
+  return y;
+}
+
+/// Rescales a standard-ish column to the given mean/stddev.
+std::vector<double> Rescale(std::vector<double> v, double mean, double stddev) {
+  for (double& x : v) x = mean + stddev * x;
+  return v;
+}
+
+/// Zipf-frequency categorical values "prefix_0", "prefix_1", ...
+std::vector<std::string> ZipfCategorical(size_t n, size_t cardinality, double s,
+                                         const std::string& prefix, Rng& rng) {
+  std::vector<std::string> v(n);
+  for (std::string& x : v) {
+    x = prefix + "_" + std::to_string(rng.Zipf(cardinality, s));
+  }
+  return v;
+}
+
+void MustAddNumeric(DataTable& table, const std::string& name,
+                    std::vector<double> values) {
+  Status status = table.AddNumericColumn(name, std::move(values));
+  FORESIGHT_CHECK_MSG(status.ok(), status.ToString().c_str());
+}
+
+void MustAddCategorical(DataTable& table, const std::string& name,
+                        const std::vector<std::string>& values) {
+  Status status = table.AddCategoricalColumn(name, values);
+  FORESIGHT_CHECK_MSG(status.ok(), status.ToString().c_str());
+}
+
+}  // namespace
+
+DataTable MakeOecdLike(size_t n_rows, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = n_rows;
+  DataTable table;
+
+  // --- Scenario facts (§4.1) ---
+  // Working long hours <-> time devoted to leisure: strong negative.
+  std::vector<double> working_long_hours = NormalColumn(n, rng);
+  std::vector<double> leisure = CorrelatedWith(working_long_hours, -0.85, rng);
+
+  // Self-reported health: left-skewed, independent of leisure. Built from a
+  // latent health factor plus left-skewed (negated exponential) noise.
+  std::vector<double> health_latent = NormalColumn(n, rng);
+  std::vector<double> self_reported_health(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Exponential noise has mean 1; negating it makes the tail point left.
+    self_reported_health[i] = health_latent[i] - 1.2 * (rng.Exponential(1.0) - 1.0);
+  }
+  // Life satisfaction: strongly tied to the same latent health factor.
+  std::vector<double> life_satisfaction = CorrelatedWith(health_latent, 0.85, rng);
+
+  // --- Income block: 4 indicators with pairwise rho ~ 0.7 (one factor). ---
+  std::vector<double> income_factor = NormalColumn(n, rng);
+  const double income_loading = std::sqrt(0.7);
+  auto income_indicator = [&](double scale, double offset) {
+    std::vector<double> v(n);
+    double noise = std::sqrt(1.0 - 0.7);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = offset + scale * (income_loading * income_factor[i] +
+                               noise * rng.Normal());
+    }
+    return v;
+  };
+
+  // --- Education block: 3 indicators with pairwise rho ~ 0.55. ---
+  std::vector<double> education_factor = NormalColumn(n, rng);
+  const double edu_loading = std::sqrt(0.55);
+  auto education_indicator = [&](double scale, double offset) {
+    std::vector<double> v(n);
+    double noise = std::sqrt(1.0 - 0.55);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = offset + scale * (edu_loading * education_factor[i] +
+                               noise * rng.Normal());
+    }
+    return v;
+  };
+
+  // --- Heavy-tailed and outlier-bearing indicators. ---
+  std::vector<double> air_pollution(n);
+  for (double& x : air_pollution) x = rng.LogNormal(2.5, 0.9);
+
+  std::vector<double> long_term_unemployment(n);
+  for (size_t i = 0; i < n; ++i) {
+    long_term_unemployment[i] = rng.Normal(3.0, 1.0);
+  }
+  // Plant extreme outliers in ~2% of rows (at least one).
+  size_t num_outliers = std::max<size_t>(1, n / 50);
+  for (size_t i = 0; i < num_outliers; ++i) {
+    size_t row = static_cast<size_t>(rng.UniformInt(n));
+    long_term_unemployment[row] = rng.Uniform(12.0, 20.0);
+  }
+
+  MustAddNumeric(table, "WorkingLongHours",
+                 Rescale(std::move(working_long_hours), 10.0, 4.0));
+  MustAddNumeric(table, "TimeDevotedToLeisure",
+                 Rescale(std::move(leisure), 14.5, 1.2));
+  MustAddNumeric(table, "SelfReportedHealth",
+                 Rescale(std::move(self_reported_health), 70.0, 10.0));
+  MustAddNumeric(table, "LifeSatisfaction",
+                 Rescale(std::move(life_satisfaction), 6.5, 0.8));
+  MustAddNumeric(table, "HouseholdNetWealth", income_indicator(25000.0, 60000.0));
+  MustAddNumeric(table, "HouseholdDisposableIncome",
+                 income_indicator(8000.0, 28000.0));
+  MustAddNumeric(table, "PersonalEarnings", income_indicator(12000.0, 40000.0));
+  MustAddNumeric(table, "EmploymentRate", income_indicator(8.0, 68.0));
+  MustAddNumeric(table, "EducationalAttainment", education_indicator(12.0, 75.0));
+  MustAddNumeric(table, "YearsInEducation", education_indicator(2.0, 17.0));
+  MustAddNumeric(table, "StudentSkills", education_indicator(35.0, 490.0));
+  MustAddNumeric(table, "AirPollution", std::move(air_pollution));
+  MustAddNumeric(table, "LongTermUnemployment",
+                 std::move(long_term_unemployment));
+
+  // --- Independent noise indicators to fill out the 24 numeric columns. ---
+  const char* noise_names[] = {
+      "QualityOfSupportNetwork", "WaterQuality",   "LifeExpectancy",
+      "RoomsPerPerson",          "VoterTurnout",   "HousingExpenditure",
+      "JobSecurity",             "AssaultRate",    "HomicideRate",
+      "DwellingsWithFacilities", "ConsultationOnRules"};
+  double noise_means[] = {88, 81, 79.5, 1.8, 68, 21, 7.2, 3.9, 1.1, 97, 7.3};
+  double noise_sds[] = {6, 9, 2.5, 0.4, 12, 3, 2.1, 1.5, 0.9, 2.5, 1.8};
+  for (size_t k = 0; k < std::size(noise_names); ++k) {
+    MustAddNumeric(table, noise_names[k],
+                   Rescale(NormalColumn(n, rng), noise_means[k], noise_sds[k]));
+  }
+
+  // 25th attribute: a categorical with heavy hitters (for RelFreq insights).
+  MustAddCategorical(table, "Region", ZipfCategorical(n, 8, 1.3, "region", rng));
+
+  // Semantic metadata for §2.1 metadata-constrained queries.
+  for (const char* name :
+       {"HouseholdNetWealth", "HouseholdDisposableIncome", "PersonalEarnings"}) {
+    FORESIGHT_CHECK(table.TagColumn(name, "currency").ok());
+  }
+  for (const char* name : {"EmploymentRate", "LongTermUnemployment",
+                           "EducationalAttainment", "VoterTurnout"}) {
+    FORESIGHT_CHECK(table.TagColumn(name, "percentage").ok());
+  }
+  return table;
+}
+
+DataTable MakeParkinsonLike(size_t n_rows, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = n_rows;
+  DataTable table;
+
+  // Cohort drives a planted segmentation: PD patients score high, healthy
+  // controls low, SWEDD in between, on the two main severity axes.
+  std::vector<std::string> cohort(n);
+  std::vector<double> severity_shift(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.UniformDouble();
+    if (u < 0.6) {
+      cohort[i] = "PD";
+      severity_shift[i] = 2.4;
+    } else if (u < 0.9) {
+      cohort[i] = "HealthyControl";
+      severity_shift[i] = -2.2;
+    } else {
+      cohort[i] = "SWEDD";
+      severity_shift[i] = 0.2;
+    }
+  }
+
+  // UPDRS symptom block: parts I..IV share a severity factor (rho ~ 0.65).
+  std::vector<double> severity_factor(n);
+  for (size_t i = 0; i < n; ++i) {
+    severity_factor[i] = rng.Normal() + severity_shift[i];
+  }
+  auto updrs_part = [&](double scale, double offset) {
+    std::vector<double> v(n);
+    const double loading = std::sqrt(0.65);
+    const double noise = std::sqrt(0.35);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = offset + scale * (loading * severity_factor[i] + noise * rng.Normal());
+    }
+    return v;
+  };
+  std::vector<double> updrs1 = updrs_part(2.5, 8.0);
+  std::vector<double> updrs2 = updrs_part(4.0, 12.0);
+  std::vector<double> updrs3 = updrs_part(8.0, 25.0);
+  std::vector<double> updrs4 = updrs_part(1.5, 3.0);
+  std::vector<double> updrs_total(n);
+  for (size_t i = 0; i < n; ++i) {
+    updrs_total[i] = updrs1[i] + updrs2[i] + updrs3[i] + updrs4[i];
+  }
+
+  // Disease duration correlates with total severity.
+  std::vector<double> duration(n);
+  for (size_t i = 0; i < n; ++i) {
+    duration[i] = std::max(0.0, 0.12 * (updrs_total[i] - 30.0) +
+                                    rng.Exponential(0.4));
+  }
+
+  // Right-skewed tremor score; DaTscan uptake with planted low outliers.
+  std::vector<double> tremor(n);
+  for (double& x : tremor) x = rng.LogNormal(0.5, 0.8);
+  std::vector<double> datscan(n);
+  for (size_t i = 0; i < n; ++i) datscan[i] = rng.Normal(2.1, 0.35);
+  for (size_t i = 0; i < std::max<size_t>(1, n / 60); ++i) {
+    datscan[rng.UniformInt(n)] = rng.Uniform(0.1, 0.5);
+  }
+
+  std::vector<double> age(n);
+  for (double& x : age) x = rng.Normal(62.0, 9.5);
+
+  MustAddCategorical(table, "Cohort", cohort);
+  MustAddNumeric(table, "UPDRS_Part1", std::move(updrs1));
+  MustAddNumeric(table, "UPDRS_Part2", std::move(updrs2));
+  MustAddNumeric(table, "UPDRS_Part3", std::move(updrs3));
+  MustAddNumeric(table, "UPDRS_Part4", std::move(updrs4));
+  MustAddNumeric(table, "UPDRS_Total", std::move(updrs_total));
+  MustAddNumeric(table, "DiseaseDurationYears", std::move(duration));
+  MustAddNumeric(table, "TremorScore", std::move(tremor));
+  MustAddNumeric(table, "DaTscanUptake", std::move(datscan));
+  MustAddNumeric(table, "Age", std::move(age));
+
+  std::vector<std::string> sex(n);
+  for (std::string& s : sex) s = rng.UniformDouble() < 0.62 ? "M" : "F";
+  MustAddCategorical(table, "Sex", sex);
+  MustAddCategorical(table, "Site", ZipfCategorical(n, 24, 1.1, "site", rng));
+
+  // Fill the remaining clinical descriptors: mildly correlated biomarker
+  // block + independent labs, up to 50 columns total.
+  std::vector<double> biomarker_factor = NormalColumn(n, rng);
+  size_t col = table.num_columns();
+  size_t biomarker_count = 12;
+  for (size_t k = 0; k < biomarker_count; ++k, ++col) {
+    std::vector<double> v(n);
+    const double loading = std::sqrt(0.4);
+    const double noise = std::sqrt(0.6);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = 50.0 + 12.0 * (loading * biomarker_factor[i] + noise * rng.Normal());
+    }
+    MustAddNumeric(table, "CSF_Biomarker_" + std::to_string(k), std::move(v));
+  }
+  for (size_t k = 0; table.num_columns() < 50; ++k) {
+    MustAddNumeric(table, "Lab_" + std::to_string(k),
+                   Rescale(NormalColumn(n, rng), 100.0 + 7.0 * k, 10.0 + k));
+  }
+  return table;
+}
+
+DataTable MakeImdbLike(size_t n_rows, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = n_rows;
+  DataTable table;
+
+  // Budget and gross: lognormal with strong correlation on the log scale.
+  std::vector<double> log_budget(n), budget(n), gross(n), profit(n);
+  for (size_t i = 0; i < n; ++i) {
+    log_budget[i] = rng.Normal(17.0, 1.2);  // exp ~ 24M median
+    budget[i] = std::exp(log_budget[i]);
+    double log_gross = 0.75 * (log_budget[i] - 17.0) + rng.Normal(17.2, 1.0);
+    gross[i] = std::exp(log_gross);
+    profit[i] = gross[i] - budget[i];
+  }
+
+  // Score mildly correlated with critic reviews; votes heavy-tailed and
+  // correlated with gross (commercial success <-> audience size).
+  std::vector<double> imdb_score(n), critic_reviews(n), user_votes(n);
+  for (size_t i = 0; i < n; ++i) {
+    double quality = rng.Normal();
+    imdb_score[i] = std::clamp(6.4 + 1.0 * quality, 1.0, 9.8);
+    critic_reviews[i] =
+        std::max(1.0, 140.0 + 70.0 * (0.6 * quality + 0.8 * rng.Normal()));
+    double log_votes = 0.55 * (std::log(gross[i]) - 17.2) + 0.4 * quality +
+                       rng.Normal(10.5, 1.3);
+    user_votes[i] = std::exp(log_votes);
+  }
+
+  std::vector<double> title_year(n), duration(n);
+  for (size_t i = 0; i < n; ++i) {
+    title_year[i] = std::floor(rng.Uniform(1960.0, 2017.0));
+    duration[i] = std::max(60.0, rng.Normal(108.0, 20.0));
+  }
+
+  // Facebook-like counts: heavy-tailed.
+  auto heavy_tailed = [&](double mu, double sigma) {
+    std::vector<double> v(n);
+    for (double& x : v) x = std::floor(rng.LogNormal(mu, sigma));
+    return v;
+  };
+
+  MustAddNumeric(table, "budget", std::move(budget));
+  MustAddNumeric(table, "gross", std::move(gross));
+  MustAddNumeric(table, "profit", std::move(profit));
+  MustAddNumeric(table, "imdb_score", std::move(imdb_score));
+  MustAddNumeric(table, "num_critic_reviews", std::move(critic_reviews));
+  MustAddNumeric(table, "num_user_votes", std::move(user_votes));
+  MustAddNumeric(table, "title_year", std::move(title_year));
+  MustAddNumeric(table, "duration", std::move(duration));
+  MustAddNumeric(table, "movie_facebook_likes", heavy_tailed(6.0, 2.0));
+  MustAddNumeric(table, "director_facebook_likes", heavy_tailed(5.0, 1.8));
+  MustAddNumeric(table, "cast_facebook_likes", heavy_tailed(8.0, 1.5));
+  MustAddNumeric(table, "actor_1_facebook_likes", heavy_tailed(7.0, 1.6));
+  MustAddNumeric(table, "actor_2_facebook_likes", heavy_tailed(6.2, 1.6));
+  MustAddNumeric(table, "actor_3_facebook_likes", heavy_tailed(5.4, 1.6));
+  MustAddNumeric(table, "num_user_reviews", heavy_tailed(5.3, 1.2));
+  MustAddNumeric(table, "aspect_ratio",
+                 Rescale(NormalColumn(n, rng), 2.1, 0.25));
+  MustAddNumeric(table, "facenumber_in_poster",
+                 [&] {
+                   std::vector<double> v(n);
+                   for (double& x : v) x = std::floor(rng.Exponential(0.7));
+                   return v;
+                 }());
+
+  // Categorical attributes with Zipf heavy hitters.
+  MustAddCategorical(table, "genre", ZipfCategorical(n, 20, 1.2, "genre", rng));
+  MustAddCategorical(table, "director_name",
+                     ZipfCategorical(n, 1200, 1.05, "director", rng));
+  MustAddCategorical(table, "actor_1_name",
+                     ZipfCategorical(n, 1500, 1.05, "actor", rng));
+  MustAddCategorical(table, "actor_2_name",
+                     ZipfCategorical(n, 1800, 1.05, "actor2", rng));
+  std::vector<std::string> content_rating(n);
+  for (std::string& s : content_rating) {
+    double u = rng.UniformDouble();
+    s = u < 0.42 ? "R" : u < 0.75 ? "PG-13" : u < 0.9 ? "PG" : u < 0.96 ? "G"
+                                                                        : "NC-17";
+  }
+  MustAddCategorical(table, "content_rating", content_rating);
+  std::vector<std::string> country(n);
+  for (std::string& s : country) {
+    double u = rng.UniformDouble();
+    s = u < 0.72 ? "USA" : u < 0.82 ? "UK" : u < 0.87 ? "France"
+        : u < 0.91 ? "Germany" : u < 0.94 ? "Canada" : "Other";
+  }
+  MustAddCategorical(table, "country", country);
+  std::vector<std::string> language(n);
+  for (std::string& s : language) {
+    s = rng.UniformDouble() < 0.93 ? "English" : "Other";
+  }
+  MustAddCategorical(table, "language", language);
+  MustAddCategorical(table, "color",
+                     [&] {
+                       std::vector<std::string> v(n);
+                       for (std::string& s : v) {
+                         s = rng.UniformDouble() < 0.96 ? "Color" : "BW";
+                       }
+                       return v;
+                     }());
+  MustAddCategorical(table, "plot_keyword_1",
+                     ZipfCategorical(n, 400, 1.1, "kw", rng));
+  MustAddCategorical(table, "production_company",
+                     ZipfCategorical(n, 300, 1.15, "studio", rng));
+  MustAddCategorical(table, "decade",
+                     [&] {
+                       std::vector<std::string> v(n);
+                       for (size_t i = 0; i < n; ++i) {
+                         int year = static_cast<int>(
+                             table.column(6).AsNumeric().value(i));
+                         v[i] = std::to_string((year / 10) * 10) + "s";
+                       }
+                       return v;
+                     }());
+
+  // Semantic metadata for §2.1 metadata-constrained queries.
+  for (const char* name : {"budget", "gross", "profit"}) {
+    FORESIGHT_CHECK(table.TagColumn(name, "currency").ok());
+  }
+  FORESIGHT_CHECK(table.TagColumn("title_year", "date").ok());
+  return table;
+}
+
+CorrelatedPair MakeGaussianPair(size_t n, double rho, uint64_t seed) {
+  Rng rng(seed);
+  CorrelatedPair pair;
+  pair.x = NormalColumn(n, rng);
+  pair.y = CorrelatedWith(pair.x, rho, rng);
+  return pair;
+}
+
+DataTable MakeCorrelatedBlocks(size_t n_rows, size_t d, size_t block_size,
+                               double in_block_rho, uint64_t seed) {
+  FORESIGHT_CHECK(block_size >= 1);
+  Rng rng(seed);
+  DataTable table;
+  std::vector<double> factor;
+  double loading = std::sqrt(std::max(0.0, in_block_rho));
+  double noise = std::sqrt(std::max(0.0, 1.0 - in_block_rho));
+  for (size_t c = 0; c < d; ++c) {
+    if (c % block_size == 0) factor = NormalColumn(n_rows, rng);
+    std::vector<double> v(n_rows);
+    for (size_t i = 0; i < n_rows; ++i) {
+      v[i] = loading * factor[i] + noise * rng.Normal();
+    }
+    MustAddNumeric(table, "attr_" + std::to_string(c), std::move(v));
+  }
+  return table;
+}
+
+DataTable MakeBenchmarkTable(size_t n_rows, size_t d_num, size_t d_cat,
+                             uint64_t seed) {
+  Rng rng(seed);
+  DataTable table;
+  std::vector<double> prev;  // Every 4th column correlates with the previous.
+  for (size_t c = 0; c < d_num; ++c) {
+    std::vector<double> v;
+    switch (c % 5) {
+      case 0:
+        v = NormalColumn(n_rows, rng, 50.0, 10.0);
+        break;
+      case 1:
+        v.resize(n_rows);
+        for (double& x : v) x = rng.LogNormal(2.0, 1.0);
+        break;
+      case 2:
+        v.resize(n_rows);
+        for (double& x : v) x = rng.Uniform(0.0, 100.0);
+        break;
+      case 3: {
+        // Bimodal: mixture of two well-separated normals.
+        v.resize(n_rows);
+        for (double& x : v) {
+          x = rng.UniformDouble() < 0.5 ? rng.Normal(-4.0, 1.0)
+                                        : rng.Normal(4.0, 1.0);
+        }
+        break;
+      }
+      case 4: {
+        if (!prev.empty()) {
+          v = CorrelatedWith(prev, 0.8, rng);
+        } else {
+          v = NormalColumn(n_rows, rng);
+        }
+        break;
+      }
+    }
+    prev = v;
+    MustAddNumeric(table, "num_" + std::to_string(c), std::move(v));
+  }
+  for (size_t c = 0; c < d_cat; ++c) {
+    size_t cardinality = 4 + (c % 6) * 20;
+    double s = 1.0 + 0.15 * static_cast<double>(c % 4);
+    MustAddCategorical(table, "cat_" + std::to_string(c),
+                       ZipfCategorical(n_rows, cardinality, s,
+                                       "v" + std::to_string(c), rng));
+  }
+  return table;
+}
+
+}  // namespace foresight

@@ -1,0 +1,78 @@
+#ifndef FORESIGHT_DATA_GENERATORS_H_
+#define FORESIGHT_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+namespace foresight {
+
+/// Synthetic analogues of the paper's demo datasets (§4). The originals (OECD
+/// wellbeing, Parkinson's PPMI, IMDB movies) are not redistributable, so these
+/// generators reproduce each dataset's *shape*: dimensions, attribute types,
+/// and — crucially — planted distributional structure with known ground truth
+/// (strong/weak correlations, skewed marginals, heavy hitters, outliers,
+/// cluster separation). Every generator is deterministic given its seed.
+
+/// OECD-wellbeing analogue: 24 numeric indicators + 1 categorical (Region).
+///
+/// Planted facts mirror the §4.1 usage scenario exactly:
+///  - `WorkingLongHours`  <->  `TimeDevotedToLeisure`: strong NEGATIVE
+///    correlation (the scenario's first discovery).
+///  - `TimeDevotedToLeisure` is approximately Normal.
+///  - `SelfReportedHealth` is LEFT-skewed and uncorrelated with
+///    `TimeDevotedToLeisure` (the scenario's surprise).
+///  - `LifeSatisfaction`  <->  `SelfReportedHealth`: strong POSITIVE
+///    correlation (the scenario's final discovery).
+///  - An "income" block (4 indicators, pairwise rho ~ 0.7) and an "education"
+///    block (3 indicators, pairwise rho ~ 0.55).
+///  - `AirPollution` is heavy-tailed (lognormal); `LongTermUnemployment`
+///    carries planted extreme outliers; remaining indicators are noise.
+/// The paper's table is 35 rows x 25 attributes; pass a larger `n_rows`
+/// (e.g. 100000) to exercise the system at its intended scale.
+DataTable MakeOecdLike(size_t n_rows = 35, uint64_t seed = 1);
+
+/// Parkinson's-PPMI analogue: ~2K rows x 50 columns of clinical descriptors.
+///
+/// Planted structure: a correlated UPDRS symptom block, disease duration
+/// correlated with total severity, right-skewed tremor scores, planted
+/// measurement outliers, a 3-level `Cohort` categorical that cleanly segments
+/// (updrs_total, motor_score), plus Zipf-frequency `Site` and balanced `Sex`.
+DataTable MakeParkinsonLike(size_t n_rows = 2000, uint64_t seed = 2);
+
+/// IMDB-movies analogue: ~5000 rows x 28 columns.
+///
+/// Planted structure: lognormal `budget` and `gross` with strong log-scale
+/// correlation, `profit = gross - budget`, `imdb_score` mildly correlated
+/// with critic reviews, heavy-tailed vote/like counts, Zipf-distributed
+/// `genre`/`director`/`country` categoricals with dominant heavy hitters.
+/// Supports the §4.2 questions (profitability correlates; critical response
+/// vs. commercial success).
+DataTable MakeImdbLike(size_t n_rows = 5000, uint64_t seed = 3);
+
+/// Two standard-normal columns of length `n` with exact planted Pearson
+/// correlation structure: y = rho*x + sqrt(1-rho^2)*eps. Used by the sketch
+/// accuracy experiments (E1).
+struct CorrelatedPair {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+CorrelatedPair MakeGaussianPair(size_t n, double rho, uint64_t seed);
+
+/// Table of `d` numeric columns in blocks of `block_size`; columns within a
+/// block have pairwise correlation ~`in_block_rho` (one-factor model), columns
+/// in different blocks are independent. Ground truth for heatmap/scaling
+/// experiments (E3, E5).
+DataTable MakeCorrelatedBlocks(size_t n_rows, size_t d, size_t block_size,
+                               double in_block_rho, uint64_t seed);
+
+/// Generic benchmark table: `d_num` numeric columns with varied distributions
+/// (normal / lognormal / uniform / bimodal / correlated pairs) and `d_cat`
+/// categorical columns with varied cardinality and Zipf exponents.
+DataTable MakeBenchmarkTable(size_t n_rows, size_t d_num, size_t d_cat,
+                             uint64_t seed);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_DATA_GENERATORS_H_

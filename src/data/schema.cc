@@ -1,0 +1,65 @@
+#include "data/schema.h"
+
+#include "util/logging.h"
+
+namespace foresight {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<ColumnSpec> columns) {
+  for (auto& spec : columns) {
+    Status status = AddColumn(std::move(spec));
+    FORESIGHT_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+}
+
+Status Schema::AddColumn(ColumnSpec spec) {
+  if (FindColumn(spec.name).has_value()) {
+    return Status::AlreadyExists("duplicate column name: " + spec.name);
+  }
+  columns_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::TagColumn(std::string_view name, std::string tag) {
+  std::optional<size_t> index = FindColumn(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no column named '" + std::string(name) + "'");
+  }
+  ColumnSpec& spec = columns_[*index];
+  if (!spec.HasTag(tag)) spec.tags.push_back(std::move(tag));
+  return Status::OK();
+}
+
+std::vector<size_t> Schema::ColumnsWithTag(std::string_view tag) const {
+  std::vector<size_t> result;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].HasTag(tag)) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<size_t> Schema::ColumnsOfType(ColumnType type) const {
+  std::vector<size_t> result;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type == type) result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace foresight

@@ -1,0 +1,82 @@
+#ifndef FORESIGHT_DATA_SCHEMA_H_
+#define FORESIGHT_DATA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace foresight {
+
+/// Logical attribute type. Following the paper (§2.2), the set of attribute
+/// columns splits into numeric columns `B` and categorical columns `C`.
+enum class ColumnType {
+  kNumeric,
+  kCategorical,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// Name, type, and metadata of one attribute column.
+///
+/// `tags` are free-form semantic labels ("currency", "date", "identifier",
+/// "percentage", ...). The paper's §2.1 names metadata constraints as future
+/// work — "queries will also allow inclusion of constraints involving
+/// metadata about attributes, e.g., to search for attributes that represent
+/// currency or dates" — which InsightQuery::required_tags implements.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  std::vector<std::string> tags;
+
+  bool HasTag(std::string_view tag) const {
+    for (const std::string& existing : tags) {
+      if (existing == tag) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const ColumnSpec& a, const ColumnSpec& b) {
+    return a.name == b.name && a.type == b.type && a.tags == b.tags;
+  }
+};
+
+/// Ordered set of attribute columns with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  /// Appends a column spec. Fails with AlreadyExists on duplicate names.
+  Status AddColumn(ColumnSpec spec);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t index) const { return columns_[index]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or nullopt.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Indices of all columns of the given type, in schema order.
+  std::vector<size_t> ColumnsOfType(ColumnType type) const;
+
+  /// Adds a semantic tag to the named column (idempotent). NotFound when the
+  /// column does not exist.
+  Status TagColumn(std::string_view name, std::string tag);
+
+  /// Indices of all columns carrying the tag, in schema order.
+  std::vector<size_t> ColumnsWithTag(std::string_view tag) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_DATA_SCHEMA_H_

@@ -1,0 +1,158 @@
+#include "sketch/bundle.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+size_t SketchConfig::ResolveHyperplaneBits(size_t n_rows) const {
+  if (hyperplane_bits > 0) return hyperplane_bits;
+  double log2n = std::log2(static_cast<double>(std::max<size_t>(2, n_rows)));
+  double bits = hyperplane_log2_factor * log2n * log2n;
+  size_t rounded = static_cast<size_t>(std::ceil(bits / 64.0)) * 64;
+  return std::max<size_t>(64, rounded);
+}
+
+void NumericColumnSketch::Merge(const NumericColumnSketch& other) {
+  moments.Merge(other.moments);
+  quantiles.Merge(other.quantiles);
+  sample.Merge(other.sample);
+  hyperplane_acc.Merge(other.hyperplane_acc);
+  projection.Merge(other.projection);
+  projection_ones.Merge(other.projection_ones);
+}
+
+ProjectionSketch NumericColumnSketch::CenteredProjection() const {
+  ProjectionSketch centered = projection;
+  double mean = moments.mean();
+  std::vector<double>& c = centered.mutable_components();
+  const std::vector<double>& ones = projection_ones.components();
+  FORESIGHT_CHECK(c.size() == ones.size());
+  for (size_t i = 0; i < c.size(); ++i) c[i] -= mean * ones[i];
+  return centered;
+}
+
+void CategoricalColumnSketch::Merge(const CategoricalColumnSketch& other) {
+  heavy_hitters.Merge(other.heavy_hitters);
+  frequencies.Merge(other.frequencies);
+  entropy.Merge(other.entropy);
+  observed_count += other.observed_count;
+}
+
+BundleBuilder::BundleBuilder(const SketchConfig& config, size_t n_rows)
+    : config_(config),
+      hyperplane_bits_(config.ResolveHyperplaneBits(n_rows)),
+      hyperplane_sketcher_(hyperplane_bits_, config.seed),
+      projection_sketcher_(config.projection_dims, config.seed ^ 0xA5A5A5A5ULL) {}
+
+NumericColumnSketch BundleBuilder::MakeNumericSketch() const {
+  NumericColumnSketch sketch;
+  sketch.quantiles = KllSketch(config_.kll_k, config_.seed ^ 0x1111);
+  sketch.sample = ReservoirSample(config_.reservoir_capacity,
+                                  config_.seed ^ 0x2222);
+  sketch.hyperplane_acc.dot.assign(hyperplane_bits_, 0.0);
+  sketch.hyperplane_acc.ones_dot.assign(hyperplane_bits_, 0.0);
+  sketch.projection = ProjectionSketch(config_.projection_dims);
+  sketch.projection_ones = ProjectionSketch(config_.projection_dims);
+  return sketch;
+}
+
+CategoricalColumnSketch BundleBuilder::MakeCategoricalSketch() const {
+  CategoricalColumnSketch sketch;
+  sketch.heavy_hitters = SpaceSavingSketch(config_.spacesaving_capacity);
+  sketch.frequencies = CountMinSketch(config_.countmin_width,
+                                      config_.countmin_depth,
+                                      config_.seed ^ 0x3333);
+  sketch.entropy = EntropySketch(config_.entropy_k, config_.seed ^ 0x4444);
+  return sketch;
+}
+
+void BundleBuilder::AccumulateNumeric(const NumericColumn& column,
+                                      size_t row_begin, size_t row_end,
+                                      NumericColumnSketch& sketch) const {
+  FORESIGHT_CHECK(row_end <= column.size());
+  // Null rows are skipped entirely: in sketch space this is mean-imputation
+  // (a null contributes 0 to the centered dot products).
+  std::vector<double> hyperplane_row(hyperplane_bits_);
+  std::vector<double> projection_row(config_.projection_dims);
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!column.is_valid(row)) continue;
+    hyperplane_sketcher_.GenerateRowHyperplanes(row, hyperplane_row);
+    projection_sketcher_.GenerateRowComponents(row, projection_row);
+    AccumulateRowValue(column.value(row), hyperplane_row, projection_row,
+                       sketch);
+  }
+}
+
+void BundleBuilder::AccumulateRowValue(
+    double value, const std::vector<double>& hyperplane_row,
+    const std::vector<double>& projection_row,
+    NumericColumnSketch& sketch) const {
+  FORESIGHT_DCHECK(hyperplane_row.size() == hyperplane_bits_);
+  FORESIGHT_DCHECK(projection_row.size() == config_.projection_dims);
+  sketch.moments.Add(value);
+  sketch.quantiles.Update(value);
+  sketch.sample.Add(value);
+  double* dot = sketch.hyperplane_acc.dot.data();
+  double* ones_dot = sketch.hyperplane_acc.ones_dot.data();
+  const double* hp = hyperplane_row.data();
+  for (size_t i = 0; i < hyperplane_bits_; ++i) {
+    dot[i] += value * hp[i];
+    ones_dot[i] += hp[i];
+  }
+  double projection_scale =
+      1.0 / std::sqrt(static_cast<double>(config_.projection_dims));
+  double scaled = value * projection_scale;
+  std::vector<double>& proj = sketch.projection.mutable_components();
+  std::vector<double>& ones = sketch.projection_ones.mutable_components();
+  for (size_t i = 0; i < proj.size(); ++i) {
+    proj[i] += scaled * projection_row[i];
+    ones[i] += projection_scale * projection_row[i];
+  }
+}
+
+void BundleBuilder::FinalizeNumeric(NumericColumnSketch& sketch) const {
+  sketch.signature = hyperplane_sketcher_.Finalize(sketch.hyperplane_acc,
+                                                   sketch.moments.mean());
+}
+
+void BundleBuilder::AccumulateCategorical(const CategoricalColumn& column,
+                                          size_t row_begin, size_t row_end,
+                                          CategoricalColumnSketch& sketch) const {
+  FORESIGHT_CHECK(row_end <= column.size());
+  // Dictionary encoding lets us batch: count codes in the range first, then
+  // push each distinct value once with its weight. This keeps the O(k)-per-
+  // distinct-item entropy sketch cheap while remaining a single data pass.
+  std::vector<uint64_t> counts(column.cardinality(), 0);
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!column.is_valid(row)) continue;
+    ++counts[static_cast<size_t>(column.code(row))];
+  }
+  for (size_t code = 0; code < counts.size(); ++code) {
+    if (counts[code] == 0) continue;
+    const std::string& value =
+        column.dictionary_value(static_cast<int32_t>(code));
+    sketch.heavy_hitters.Update(value, counts[code]);
+    sketch.frequencies.Update(value, counts[code]);
+    sketch.entropy.Update(value, counts[code]);
+    sketch.observed_count += counts[code];
+  }
+}
+
+NumericColumnSketch BundleBuilder::SketchNumeric(
+    const NumericColumn& column) const {
+  NumericColumnSketch sketch = MakeNumericSketch();
+  AccumulateNumeric(column, 0, column.size(), sketch);
+  FinalizeNumeric(sketch);
+  return sketch;
+}
+
+CategoricalColumnSketch BundleBuilder::SketchCategorical(
+    const CategoricalColumn& column) const {
+  CategoricalColumnSketch sketch = MakeCategoricalSketch();
+  AccumulateCategorical(column, 0, column.size(), sketch);
+  return sketch;
+}
+
+}  // namespace foresight

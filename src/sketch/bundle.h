@@ -1,0 +1,131 @@
+#ifndef FORESIGHT_SKETCH_BUNDLE_H_
+#define FORESIGHT_SKETCH_BUNDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/column.h"
+#include "sketch/countmin.h"
+#include "sketch/entropy.h"
+#include "sketch/kll.h"
+#include "sketch/random_projection.h"
+#include "sketch/reservoir.h"
+#include "sketch/simhash.h"
+#include "sketch/spacesaving.h"
+#include "stats/moments.h"
+
+namespace foresight {
+
+/// Tunable sizes for the per-column sketch bundles.
+struct SketchConfig {
+  /// Hyperplane bits for correlation estimation. The paper prescribes
+  /// k = O(log^2 n); 0 means "auto": round up hyperplane_log2_factor * log2(n)^2
+  /// to a multiple of 64.
+  size_t hyperplane_bits = 0;
+  double hyperplane_log2_factor = 1.0;
+  size_t projection_dims = 64;
+  size_t kll_k = 200;
+  size_t reservoir_capacity = 1024;
+  size_t spacesaving_capacity = 64;
+  size_t countmin_width = 512;
+  size_t countmin_depth = 4;
+  size_t entropy_k = 128;
+  uint64_t seed = 0xF0E51647;
+
+  /// Resolves hyperplane_bits for a dataset with n rows.
+  size_t ResolveHyperplaneBits(size_t n_rows) const;
+};
+
+/// All sketch state for one NUMERIC column: moments (exact, single-pass),
+/// KLL quantiles, reservoir sample, hyperplane signature, JL projection.
+/// This is the §3 composition: one preprocessing pass fills every member,
+/// and disjoint row ranges merge member-wise.
+struct NumericColumnSketch {
+  RunningMoments moments;
+  KllSketch quantiles;
+  ReservoirSample sample;
+  /// Raw mergeable accumulator; finalized into `signature` once the global
+  /// mean is known.
+  HyperplaneAccumulator hyperplane_acc;
+  BitSignature signature;
+  /// JL projection of the RAW column plus the projection of the all-ones
+  /// indicator over the same (valid) rows; centering composes as
+  /// proj(b~) = proj(b) - mean * proj(1).
+  ProjectionSketch projection;
+  ProjectionSketch projection_ones;
+
+  /// Projection of the centered column, using the final mean.
+  ProjectionSketch CenteredProjection() const;
+
+  /// Merges a sketch of a disjoint row range of the same column.
+  void Merge(const NumericColumnSketch& other);
+};
+
+/// All sketch state for one CATEGORICAL column: frequent items, point
+/// frequencies, entropy, and an exact distinct-count of dictionary codes.
+struct CategoricalColumnSketch {
+  SpaceSavingSketch heavy_hitters;
+  CountMinSketch frequencies;
+  EntropySketch entropy;
+  uint64_t observed_count = 0;
+
+  void Merge(const CategoricalColumnSketch& other);
+};
+
+/// Builds sketch bundles for whole columns (single pass each) or row ranges
+/// (for composition tests / partitioned preprocessing).
+class BundleBuilder {
+ public:
+  BundleBuilder(const SketchConfig& config, size_t n_rows);
+
+  const SketchConfig& config() const { return config_; }
+  size_t hyperplane_bits() const { return hyperplane_bits_; }
+  const HyperplaneSketcher& hyperplane_sketcher() const {
+    return hyperplane_sketcher_;
+  }
+  const ProjectionSketcher& projection_sketcher() const {
+    return projection_sketcher_;
+  }
+
+  /// Creates empty sketches sized per the config.
+  NumericColumnSketch MakeNumericSketch() const;
+  CategoricalColumnSketch MakeCategoricalSketch() const;
+
+  /// Folds rows [row_offset, ...) of a column into a sketch. Null rows are
+  /// skipped for value sketches but still advance the absolute row index, so
+  /// hyperplane/projection components stay row-aligned across columns.
+  void AccumulateNumeric(const NumericColumn& column, size_t row_begin,
+                         size_t row_end, NumericColumnSketch& sketch) const;
+
+  /// Row-major fast path: folds one value into a sketch given this row's
+  /// pre-generated hyperplane and projection components. Generating each
+  /// row's random components ONCE and applying them to every column is what
+  /// makes whole-table preprocessing a single O(|B| * n * k) pass (§3)
+  /// instead of regenerating the components |B| times.
+  void AccumulateRowValue(double value, const std::vector<double>& hyperplane_row,
+                          const std::vector<double>& projection_row,
+                          NumericColumnSketch& sketch) const;
+  void AccumulateCategorical(const CategoricalColumn& column, size_t row_begin,
+                             size_t row_end,
+                             CategoricalColumnSketch& sketch) const;
+
+  /// Finalizes the hyperplane signature once all rows are accumulated.
+  void FinalizeNumeric(NumericColumnSketch& sketch) const;
+
+  /// One-shot: sketch a full column.
+  NumericColumnSketch SketchNumeric(const NumericColumn& column) const;
+  CategoricalColumnSketch SketchCategorical(
+      const CategoricalColumn& column) const;
+
+ private:
+  SketchConfig config_;
+  size_t hyperplane_bits_;
+  HyperplaneSketcher hyperplane_sketcher_;
+  ProjectionSketcher projection_sketcher_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_BUNDLE_H_

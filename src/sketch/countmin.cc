@@ -1,0 +1,76 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+namespace {
+
+/// FNV-1a 64-bit, mixed with a per-row seed.
+uint64_t Fnv1a(std::string_view data, uint64_t seed) {
+  uint64_t hash = 14695981039346656037ULL ^ seed;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  // Final avalanche (splitmix-style) for better high-bit diffusion.
+  hash = (hash ^ (hash >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  hash = (hash ^ (hash >> 27)) * 0x94d049bb133111ebULL;
+  return hash ^ (hash >> 31);
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(std::max<size_t>(8, width)),
+      depth_(std::max<size_t>(1, depth)),
+      seed_(seed),
+      cells_(width_ * depth_, 0) {}
+
+uint64_t CountMinSketch::HashRow(std::string_view item, size_t row) const {
+  return Fnv1a(item, seed_ + 0x9e3779b97f4a7c15ULL * (row + 1)) % width_;
+}
+
+void CountMinSketch::Update(std::string_view item, uint64_t weight) {
+  total_ += weight;
+  for (size_t row = 0; row < depth_; ++row) {
+    cells_[row * width_ + HashRow(item, row)] += weight;
+  }
+}
+
+uint64_t CountMinSketch::EstimateCount(std::string_view item) const {
+  uint64_t estimate = UINT64_MAX;
+  for (size_t row = 0; row < depth_; ++row) {
+    estimate = std::min(estimate, cells_[row * width_ + HashRow(item, row)]);
+  }
+  return estimate == UINT64_MAX ? 0 : estimate;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  FORESIGHT_CHECK(width_ == other.width_ && depth_ == other.depth_ &&
+                  seed_ == other.seed_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+StatusOr<CountMinSketch> CountMinSketch::FromRaw(size_t width, size_t depth,
+                                                 uint64_t seed, uint64_t total,
+                                                 std::vector<uint64_t> cells) {
+  CountMinSketch sketch(width, depth, seed);
+  if (cells.size() != sketch.width_ * sketch.depth_) {
+    return Status::InvalidArgument("CountMin cell count mismatch");
+  }
+  sketch.total_ = total;
+  sketch.cells_ = std::move(cells);
+  return sketch;
+}
+
+double CountMinSketch::ErrorBound() const {
+  return std::exp(1.0) / static_cast<double>(width_) *
+         static_cast<double>(total_);
+}
+
+}  // namespace foresight

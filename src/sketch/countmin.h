@@ -1,0 +1,63 @@
+#ifndef FORESIGHT_SKETCH_COUNTMIN_H_
+#define FORESIGHT_SKETCH_COUNTMIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace foresight {
+
+/// Count–Min sketch (Cormode & Muthukrishnan 2005): frequency estimation with
+/// one-sided error. Complements SpaceSaving in the categorical sketch bundle:
+/// SpaceSaving identifies WHICH items are heavy, Count–Min refines point
+/// frequency estimates for arbitrary items.
+///
+/// Guarantees: estimate >= true count, and with probability >= 1 - delta,
+/// estimate <= true count + eps * N for eps = e / width, delta = e^-depth.
+class CountMinSketch {
+ public:
+  CountMinSketch(size_t width = 512, size_t depth = 4, uint64_t seed = 11);
+
+  /// Adds `weight` occurrences of `item`.
+  void Update(std::string_view item, uint64_t weight = 1);
+
+  /// Point estimate (never underestimates).
+  uint64_t EstimateCount(std::string_view item) const;
+
+  /// Merges a sketch with identical (width, depth, seed); checked.
+  void Merge(const CountMinSketch& other);
+
+  uint64_t total_count() const { return total_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  /// Additive error bound eps * N with eps = e / width.
+  double ErrorBound() const;
+
+  /// Raw state, exposed for serialization.
+  uint64_t seed() const { return seed_; }
+  const std::vector<uint64_t>& cells() const { return cells_; }
+
+  /// Reconstructs a sketch from persisted state (deserialization); `cells`
+  /// must have width * depth entries.
+  static StatusOr<CountMinSketch> FromRaw(size_t width, size_t depth,
+                                          uint64_t seed, uint64_t total,
+                                          std::vector<uint64_t> cells);
+
+ private:
+  uint64_t HashRow(std::string_view item, size_t row) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t seed_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cells_;  // depth_ x width_, row-major.
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_COUNTMIN_H_

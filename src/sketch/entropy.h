@@ -1,0 +1,62 @@
+#ifndef FORESIGHT_SKETCH_ENTROPY_H_
+#define FORESIGHT_SKETCH_ENTROPY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace foresight {
+
+/// Streaming Shannon-entropy sketch via maximally skewed 1-stable projections
+/// (Clifford & Cosma 2013) — the paper's "entropy sketch" (§3).
+///
+/// Mechanics: each of the `k` sketch registers accumulates
+/// S_j = sum_i c_i * x_ij, where c_i is the count of distinct item i and
+/// x_ij ~ Stable(alpha=1, beta=1) is derived deterministically from
+/// hash(item, j). By 1-stable scaling, S_j / n =d X + (2/pi)(ln n - H), so
+/// H is recovered from the empirical Laplace functional
+/// mean_j exp(-(pi/2) * S_j / n), whose expectation is kappa * e^(H - ln n)
+/// with the universal constant kappa = E[e^{-(pi/2) X}] = 2 / pi.
+///
+/// Updates are O(k) per item, memory O(k) doubles, and sketches over disjoint
+/// stream partitions merge by register-wise addition (composability, §3).
+class EntropySketch {
+ public:
+  explicit EntropySketch(size_t k = 256, uint64_t seed = 13);
+
+  /// Observes `weight` occurrences of `item`.
+  void Update(std::string_view item, uint64_t weight = 1);
+
+  /// Merges a sketch with identical (k, seed); checked.
+  void Merge(const EntropySketch& other);
+
+  uint64_t total_count() const { return total_; }
+  size_t k() const { return k_; }
+
+  /// Estimated Shannon entropy (nats) of the item distribution. Returns 0 on
+  /// an empty sketch; clamps to [0, ln(total_count)].
+  double EstimateEntropy() const;
+
+  const std::vector<double>& registers() const { return registers_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Reconstructs a sketch from persisted state (deserialization);
+  /// `registers` must have k entries.
+  static StatusOr<EntropySketch> FromRaw(size_t k, uint64_t seed,
+                                         uint64_t total,
+                                         std::vector<double> registers);
+
+ private:
+  size_t k_;
+  uint64_t seed_;
+  uint64_t total_ = 0;
+  std::vector<double> registers_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_ENTROPY_H_

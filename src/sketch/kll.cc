@@ -1,0 +1,172 @@
+#include "sketch/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+namespace {
+constexpr double kCapacityDecay = 2.0 / 3.0;
+}
+
+KllSketch::KllSketch(size_t k_param, uint64_t seed)
+    : k_param_(std::max<size_t>(8, k_param)),
+      rng_state_(seed | 1),
+      levels_(1) {}
+
+void KllSketch::Update(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  levels_[0].push_back(value);
+  Compress();
+}
+
+size_t KllSketch::RetainedItems() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+double KllSketch::NormalizedRankError() const {
+  return 2.296 / std::pow(static_cast<double>(k_param_), 0.9);
+}
+
+void KllSketch::Compress() {
+  // Capacity of level l with top level H: k * decay^(H - l), floored at 2.
+  size_t num_levels = levels_.size();
+  size_t total_capacity = 0;
+  std::vector<size_t> capacity(num_levels);
+  for (size_t l = 0; l < num_levels; ++l) {
+    double cap = static_cast<double>(k_param_) *
+                 std::pow(kCapacityDecay,
+                          static_cast<double>(num_levels - 1 - l));
+    capacity[l] = std::max<size_t>(2, static_cast<size_t>(std::ceil(cap)));
+    total_capacity += capacity[l];
+  }
+  if (RetainedItems() <= total_capacity) return;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() > capacity[l]) {
+      CompactLevel(l);
+      return;  // One compaction per Update keeps the amortized cost low.
+    }
+  }
+}
+
+void KllSketch::CompactLevel(size_t level) {
+  // Grow first: taking references into levels_ before emplace_back would
+  // leave them dangling after reallocation.
+  if (level + 1 >= levels_.size()) levels_.emplace_back();
+  std::vector<double>& buffer = levels_[level];
+  if (buffer.size() < 2) return;
+  std::sort(buffer.begin(), buffer.end());
+  // If odd, keep one item behind at this level.
+  bool keep_last = (buffer.size() % 2) != 0;
+  size_t pair_count = buffer.size() / 2;
+  // Random offset coin flip (xorshift64*).
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  size_t offset = static_cast<size_t>((rng_state_ * 2685821657736338717ULL) >> 63);
+
+  std::vector<double>& next = levels_[level + 1];
+  for (size_t p = 0; p < pair_count; ++p) {
+    next.push_back(buffer[2 * p + offset]);
+  }
+  if (keep_last) {
+    double last = buffer.back();
+    buffer.clear();
+    buffer.push_back(last);
+  } else {
+    buffer.clear();
+  }
+  // Higher levels are queried via the global sorted merge, so we do not need
+  // to keep them sorted here.
+}
+
+void KllSketch::Merge(const KllSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (size_t l = 0; l < other.levels_.size(); ++l) {
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(),
+                      other.levels_[l].end());
+  }
+  // Re-establish capacity invariants.
+  for (size_t guard = 0; guard < 64; ++guard) {
+    size_t before = RetainedItems();
+    Compress();
+    if (RetainedItems() == before) break;
+  }
+}
+
+std::vector<std::pair<double, uint64_t>> KllSketch::SortedWeightedItems()
+    const {
+  std::vector<std::pair<double, uint64_t>> items;
+  items.reserve(RetainedItems());
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    uint64_t weight = uint64_t{1} << l;
+    for (double v : levels_[l]) items.emplace_back(v, weight);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+double KllSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  auto items = SortedWeightedItems();
+  uint64_t total_weight = 0;
+  for (const auto& [value, weight] : items) total_weight += weight;
+  double target = q * static_cast<double>(total_weight);
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : items) {
+    cumulative += static_cast<double>(weight);
+    if (cumulative >= target) return value;
+  }
+  return max_;
+}
+
+KllSketch KllSketch::FromRaw(size_t k_param, uint64_t rng_state,
+                             uint64_t count, double min, double max,
+                             std::vector<std::vector<double>> levels) {
+  KllSketch sketch(k_param, 1);
+  sketch.rng_state_ = rng_state | 1;
+  sketch.count_ = count;
+  sketch.min_ = min;
+  sketch.max_ = max;
+  if (!levels.empty()) sketch.levels_ = std::move(levels);
+  return sketch;
+}
+
+double KllSketch::Rank(double value) const {
+  if (count_ == 0) return 0.0;
+  auto items = SortedWeightedItems();
+  uint64_t total_weight = 0;
+  uint64_t below = 0;
+  for (const auto& [item_value, weight] : items) {
+    total_weight += weight;
+    if (item_value <= value) below += weight;
+  }
+  if (total_weight == 0) return 0.0;
+  return static_cast<double>(below) / static_cast<double>(total_weight);
+}
+
+}  // namespace foresight

@@ -1,0 +1,75 @@
+#ifndef FORESIGHT_SKETCH_KLL_H_
+#define FORESIGHT_SKETCH_KLL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace foresight {
+
+/// KLL streaming quantile sketch (Karnin, Lang, Liberty 2016) — the paper's
+/// "quantile sketch" (§3). Answers rank/quantile/CDF queries over a numeric
+/// stream with additive rank error eps ~ O(1/k_param), using O(k_param)
+/// memory independent of stream length. Fully mergeable.
+class KllSketch {
+ public:
+  /// `k_param` controls accuracy/space (typical 100-400; rank error ~1-2%
+  /// at 200). `seed` drives the randomized compaction coin flips.
+  explicit KllSketch(size_t k_param = 200, uint64_t seed = 7);
+
+  /// Inserts one value. Amortized O(log(n/k)).
+  void Update(double value);
+
+  /// Merges another sketch (any k_param) into this one.
+  void Merge(const KllSketch& other);
+
+  /// Total values inserted.
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Estimated value at normalized rank q in [0, 1]. Returns 0 on empty.
+  double Quantile(double q) const;
+
+  /// Estimated normalized rank of `value`: fraction of stream <= value.
+  double Rank(double value) const;
+
+  /// Exact minimum / maximum of the stream (tracked separately).
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Number of (value, weight) pairs currently retained.
+  size_t RetainedItems() const;
+
+  /// A-priori additive rank-error bound (two-sided, ~99% confidence),
+  /// per the KLL analysis: eps ~ 2.296 / k ^ 0.9.
+  double NormalizedRankError() const;
+
+  /// Raw state, exposed for serialization.
+  size_t k_param() const { return k_param_; }
+  uint64_t rng_state() const { return rng_state_; }
+  const std::vector<std::vector<double>>& levels() const { return levels_; }
+
+  /// Reconstructs a sketch from its raw state (deserialization).
+  static KllSketch FromRaw(size_t k_param, uint64_t rng_state, uint64_t count,
+                           double min, double max,
+                           std::vector<std::vector<double>> levels);
+
+ private:
+  void Compress();
+  void CompactLevel(size_t level);
+  /// All retained (value, weight) pairs sorted by value.
+  std::vector<std::pair<double, uint64_t>> SortedWeightedItems() const;
+
+  size_t k_param_;
+  uint64_t rng_state_;
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  /// levels_[h] holds items with weight 2^h. Level 0 is the unsorted buffer;
+  /// higher levels are kept sorted.
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_KLL_H_

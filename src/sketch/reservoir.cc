@@ -1,0 +1,71 @@
+#include "sketch/reservoir.h"
+
+#include <algorithm>
+
+namespace foresight {
+
+ReservoirSample::ReservoirSample(size_t capacity, uint64_t seed)
+    : capacity_(std::max<size_t>(1, capacity)), rng_(seed) {
+  values_.reserve(capacity_);
+}
+
+void ReservoirSample::Add(double value) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(value);
+    return;
+  }
+  uint64_t slot = rng_.UniformInt(seen_);
+  if (slot < capacity_) {
+    values_[static_cast<size_t>(slot)] = value;
+  }
+}
+
+ReservoirSample ReservoirSample::FromRaw(size_t capacity, uint64_t seed,
+                                         uint64_t seen,
+                                         std::vector<double> values) {
+  ReservoirSample sample(capacity, seed);
+  sample.seen_ = seen;
+  sample.values_ = std::move(values);
+  return sample;
+}
+
+void ReservoirSample::Merge(const ReservoirSample& other) {
+  if (other.seen_ == 0) return;
+  if (seen_ == 0) {
+    values_ = other.values_;
+    seen_ = other.seen_;
+    return;
+  }
+  // Draw capacity_ elements, each taken from `this` with probability
+  // seen / (seen + other.seen), from `other` otherwise — a uniform sample of
+  // the concatenated stream given both inputs are uniform samples.
+  uint64_t total = seen_ + other.seen_;
+  std::vector<double> merged;
+  size_t target = std::min<uint64_t>(capacity_, total);
+  merged.reserve(target);
+  std::vector<double> mine = values_;
+  std::vector<double> theirs = other.values_;
+  rng_.Shuffle(mine);
+  rng_.Shuffle(theirs);
+  size_t i = 0, j = 0;
+  double p_mine = static_cast<double>(seen_) / static_cast<double>(total);
+  while (merged.size() < target) {
+    bool take_mine = rng_.UniformDouble() < p_mine;
+    if (take_mine && i < mine.size()) {
+      merged.push_back(mine[i++]);
+    } else if (!take_mine && j < theirs.size()) {
+      merged.push_back(theirs[j++]);
+    } else if (i < mine.size()) {
+      merged.push_back(mine[i++]);
+    } else if (j < theirs.size()) {
+      merged.push_back(theirs[j++]);
+    } else {
+      break;
+    }
+  }
+  values_ = std::move(merged);
+  seen_ = total;
+}
+
+}  // namespace foresight

@@ -1,0 +1,47 @@
+#ifndef FORESIGHT_SKETCH_RESERVOIR_H_
+#define FORESIGHT_SKETCH_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace foresight {
+
+/// Uniform reservoir sample of a numeric stream (Vitter's Algorithm R) — the
+/// paper's "samples" (§3). Used for metrics and visualizations that want raw
+/// points (scatter plots, KDE-based multimodality) without keeping the column.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(size_t capacity = 1024, uint64_t seed = 17);
+
+  /// Observes one stream element.
+  void Add(double value);
+
+  /// Merges another reservoir over a disjoint stream: the result is a uniform
+  /// sample of the union, built by weighted subsampling of the two reservoirs.
+  void Merge(const ReservoirSample& other);
+
+  /// Elements currently held (min(capacity, stream length)).
+  const std::vector<double>& values() const { return values_; }
+
+  /// Stream length observed so far.
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Reconstructs a reservoir from persisted state (deserialization). The
+  /// internal RNG restarts from `seed`; future updates remain uniform.
+  static ReservoirSample FromRaw(size_t capacity, uint64_t seed, uint64_t seen,
+                                 std::vector<double> values);
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_RESERVOIR_H_

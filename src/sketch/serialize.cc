@@ -1,0 +1,428 @@
+#include "sketch/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace foresight {
+
+namespace {
+
+/// uint64 values can exceed the double mantissa, so they are serialized as
+/// decimal strings.
+JsonValue U64(uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return JsonValue(std::string(buffer));
+}
+
+StatusOr<uint64_t> ParseU64(const JsonValue* json, const char* field) {
+  if (json == nullptr) {
+    return Status::ParseError(std::string("missing field: ") + field);
+  }
+  if (json->is_number()) {
+    return static_cast<uint64_t>(json->as_number());
+  }
+  if (!json->is_string()) {
+    return Status::ParseError(std::string("field not u64: ") + field);
+  }
+  char* end = nullptr;
+  uint64_t value = std::strtoull(json->as_string().c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError(std::string("bad u64 value in field: ") + field);
+  }
+  return value;
+}
+
+StatusOr<double> ParseNumber(const JsonValue* json, const char* field) {
+  if (json == nullptr || !json->is_number()) {
+    return Status::ParseError(std::string("missing numeric field: ") + field);
+  }
+  return json->as_number();
+}
+
+StatusOr<std::vector<double>> ParseDoubleArray(const JsonValue* json,
+                                               const char* field) {
+  if (json == nullptr || !json->is_array()) {
+    return Status::ParseError(std::string("missing array field: ") + field);
+  }
+  std::vector<double> out;
+  out.reserve(json->size());
+  for (size_t i = 0; i < json->size(); ++i) {
+    if (!json->at(i).is_number()) {
+      return Status::ParseError(std::string("non-numeric entry in ") + field);
+    }
+    out.push_back(json->at(i).as_number());
+  }
+  return out;
+}
+
+JsonValue DoubleArray(const std::vector<double>& values) {
+  JsonValue array = JsonValue::Array();
+  for (double v : values) array.Append(v);
+  return array;
+}
+
+}  // namespace
+
+JsonValue MomentsToJson(const RunningMoments& moments) {
+  JsonValue json = JsonValue::Object();
+  json.Set("n", U64(moments.count()));
+  json.Set("mean", moments.mean());
+  json.Set("m2", moments.m2());
+  json.Set("m3", moments.m3());
+  json.Set("m4", moments.m4());
+  json.Set("min", moments.min());
+  json.Set("max", moments.max());
+  return json;
+}
+
+StatusOr<RunningMoments> MomentsFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t n, ParseU64(json.Get("n"), "n"));
+  FORESIGHT_ASSIGN_OR_RETURN(double mean, ParseNumber(json.Get("mean"), "mean"));
+  FORESIGHT_ASSIGN_OR_RETURN(double m2, ParseNumber(json.Get("m2"), "m2"));
+  FORESIGHT_ASSIGN_OR_RETURN(double m3, ParseNumber(json.Get("m3"), "m3"));
+  FORESIGHT_ASSIGN_OR_RETURN(double m4, ParseNumber(json.Get("m4"), "m4"));
+  FORESIGHT_ASSIGN_OR_RETURN(double min, ParseNumber(json.Get("min"), "min"));
+  FORESIGHT_ASSIGN_OR_RETURN(double max, ParseNumber(json.Get("max"), "max"));
+  return RunningMoments::FromRaw(static_cast<size_t>(n), mean, m2, m3, m4, min,
+                                 max);
+}
+
+JsonValue KllToJson(const KllSketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("k", sketch.k_param());
+  json.Set("rng_state", U64(sketch.rng_state()));
+  json.Set("count", U64(sketch.count()));
+  json.Set("min", sketch.min());
+  json.Set("max", sketch.max());
+  JsonValue levels = JsonValue::Array();
+  for (const auto& level : sketch.levels()) {
+    levels.Append(DoubleArray(level));
+  }
+  json.Set("levels", std::move(levels));
+  return json;
+}
+
+StatusOr<KllSketch> KllFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t k, ParseU64(json.Get("k"), "k"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t rng_state,
+                             ParseU64(json.Get("rng_state"), "rng_state"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t count,
+                             ParseU64(json.Get("count"), "count"));
+  FORESIGHT_ASSIGN_OR_RETURN(double min, ParseNumber(json.Get("min"), "min"));
+  FORESIGHT_ASSIGN_OR_RETURN(double max, ParseNumber(json.Get("max"), "max"));
+  const JsonValue* levels_json = json.Get("levels");
+  if (levels_json == nullptr || !levels_json->is_array()) {
+    return Status::ParseError("missing KLL levels");
+  }
+  std::vector<std::vector<double>> levels;
+  for (size_t l = 0; l < levels_json->size(); ++l) {
+    FORESIGHT_ASSIGN_OR_RETURN(std::vector<double> level,
+                               ParseDoubleArray(&levels_json->at(l), "level"));
+    levels.push_back(std::move(level));
+  }
+  return KllSketch::FromRaw(static_cast<size_t>(k), rng_state, count, min, max,
+                            std::move(levels));
+}
+
+JsonValue ReservoirToJson(const ReservoirSample& sample) {
+  JsonValue json = JsonValue::Object();
+  json.Set("capacity", sample.capacity());
+  json.Set("seen", U64(sample.seen()));
+  json.Set("values", DoubleArray(sample.values()));
+  return json;
+}
+
+StatusOr<ReservoirSample> ReservoirFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t capacity,
+                             ParseU64(json.Get("capacity"), "capacity"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t seen, ParseU64(json.Get("seen"), "seen"));
+  FORESIGHT_ASSIGN_OR_RETURN(std::vector<double> values,
+                             ParseDoubleArray(json.Get("values"), "values"));
+  return ReservoirSample::FromRaw(static_cast<size_t>(capacity),
+                                  /*seed=*/capacity * 2654435761u + seen, seen,
+                                  std::move(values));
+}
+
+JsonValue SignatureToJson(const BitSignature& signature) {
+  JsonValue json = JsonValue::Object();
+  json.Set("bits", signature.num_bits());
+  JsonValue words = JsonValue::Array();
+  for (uint64_t word : signature.words()) {
+    char buffer[20];
+    std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, word);
+    words.Append(std::string(buffer));
+  }
+  json.Set("words", std::move(words));
+  return json;
+}
+
+StatusOr<BitSignature> SignatureFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t bits, ParseU64(json.Get("bits"), "bits"));
+  const JsonValue* words_json = json.Get("words");
+  if (words_json == nullptr || !words_json->is_array()) {
+    return Status::ParseError("missing signature words");
+  }
+  std::vector<uint64_t> words;
+  words.reserve(words_json->size());
+  for (size_t i = 0; i < words_json->size(); ++i) {
+    if (!words_json->at(i).is_string()) {
+      return Status::ParseError("signature word not a hex string");
+    }
+    char* end = nullptr;
+    words.push_back(std::strtoull(words_json->at(i).as_string().c_str(), &end, 16));
+    if (end == nullptr || *end != '\0') {
+      return Status::ParseError("bad signature hex word");
+    }
+  }
+  if (words.size() != (bits + 63) / 64) {
+    return Status::ParseError("signature word count mismatch");
+  }
+  return BitSignature::FromWords(static_cast<size_t>(bits), std::move(words));
+}
+
+JsonValue HyperplaneAccToJson(const HyperplaneAccumulator& acc) {
+  JsonValue json = JsonValue::Object();
+  json.Set("dot", DoubleArray(acc.dot));
+  json.Set("ones_dot", DoubleArray(acc.ones_dot));
+  return json;
+}
+
+StatusOr<HyperplaneAccumulator> HyperplaneAccFromJson(const JsonValue& json) {
+  HyperplaneAccumulator acc;
+  FORESIGHT_ASSIGN_OR_RETURN(acc.dot, ParseDoubleArray(json.Get("dot"), "dot"));
+  FORESIGHT_ASSIGN_OR_RETURN(
+      acc.ones_dot, ParseDoubleArray(json.Get("ones_dot"), "ones_dot"));
+  if (acc.dot.size() != acc.ones_dot.size()) {
+    return Status::ParseError("hyperplane accumulator size mismatch");
+  }
+  return acc;
+}
+
+JsonValue ProjectionToJson(const ProjectionSketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("components", DoubleArray(sketch.components()));
+  return json;
+}
+
+StatusOr<ProjectionSketch> ProjectionFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(
+      std::vector<double> components,
+      ParseDoubleArray(json.Get("components"), "components"));
+  ProjectionSketch sketch(components.size());
+  sketch.mutable_components() = std::move(components);
+  return sketch;
+}
+
+JsonValue SpaceSavingToJson(const SpaceSavingSketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("capacity", sketch.capacity());
+  json.Set("total", U64(sketch.total_count()));
+  JsonValue counters = JsonValue::Array();
+  for (const auto& [item, ce] : sketch.counters()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("item", item);
+    entry.Set("count", U64(ce.first));
+    entry.Set("error", U64(ce.second));
+    counters.Append(std::move(entry));
+  }
+  json.Set("counters", std::move(counters));
+  return json;
+}
+
+StatusOr<SpaceSavingSketch> SpaceSavingFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t capacity,
+                             ParseU64(json.Get("capacity"), "capacity"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t total, ParseU64(json.Get("total"), "total"));
+  const JsonValue* counters_json = json.Get("counters");
+  if (counters_json == nullptr || !counters_json->is_array()) {
+    return Status::ParseError("missing SpaceSaving counters");
+  }
+  std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> counters;
+  for (size_t i = 0; i < counters_json->size(); ++i) {
+    const JsonValue& entry = counters_json->at(i);
+    const JsonValue* item = entry.Get("item");
+    if (item == nullptr || !item->is_string()) {
+      return Status::ParseError("SpaceSaving counter missing item");
+    }
+    FORESIGHT_ASSIGN_OR_RETURN(uint64_t count,
+                               ParseU64(entry.Get("count"), "count"));
+    FORESIGHT_ASSIGN_OR_RETURN(uint64_t error,
+                               ParseU64(entry.Get("error"), "error"));
+    counters[item->as_string()] = {count, error};
+  }
+  return SpaceSavingSketch::FromRaw(static_cast<size_t>(capacity), total,
+                                    std::move(counters));
+}
+
+JsonValue CountMinToJson(const CountMinSketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("width", sketch.width());
+  json.Set("depth", sketch.depth());
+  json.Set("seed", U64(sketch.seed()));
+  json.Set("total", U64(sketch.total_count()));
+  JsonValue cells = JsonValue::Array();
+  for (uint64_t c : sketch.cells()) cells.Append(U64(c));
+  json.Set("cells", std::move(cells));
+  return json;
+}
+
+StatusOr<CountMinSketch> CountMinFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t width, ParseU64(json.Get("width"), "width"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t depth, ParseU64(json.Get("depth"), "depth"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t seed, ParseU64(json.Get("seed"), "seed"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t total, ParseU64(json.Get("total"), "total"));
+  const JsonValue* cells_json = json.Get("cells");
+  if (cells_json == nullptr || !cells_json->is_array()) {
+    return Status::ParseError("missing CountMin cells");
+  }
+  std::vector<uint64_t> cells;
+  cells.reserve(cells_json->size());
+  for (size_t i = 0; i < cells_json->size(); ++i) {
+    FORESIGHT_ASSIGN_OR_RETURN(uint64_t cell,
+                               ParseU64(&cells_json->at(i), "cell"));
+    cells.push_back(cell);
+  }
+  return CountMinSketch::FromRaw(static_cast<size_t>(width),
+                                 static_cast<size_t>(depth), seed, total,
+                                 std::move(cells));
+}
+
+JsonValue EntropyToJson(const EntropySketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("k", sketch.k());
+  json.Set("seed", U64(sketch.seed()));
+  json.Set("total", U64(sketch.total_count()));
+  json.Set("registers", DoubleArray(sketch.registers()));
+  return json;
+}
+
+StatusOr<EntropySketch> EntropyFromJson(const JsonValue& json) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t k, ParseU64(json.Get("k"), "k"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t seed, ParseU64(json.Get("seed"), "seed"));
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t total, ParseU64(json.Get("total"), "total"));
+  FORESIGHT_ASSIGN_OR_RETURN(
+      std::vector<double> registers,
+      ParseDoubleArray(json.Get("registers"), "registers"));
+  return EntropySketch::FromRaw(static_cast<size_t>(k), seed, total,
+                                std::move(registers));
+}
+
+JsonValue NumericSketchToJson(const NumericColumnSketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("moments", MomentsToJson(sketch.moments));
+  json.Set("quantiles", KllToJson(sketch.quantiles));
+  json.Set("sample", ReservoirToJson(sketch.sample));
+  json.Set("hyperplane_acc", HyperplaneAccToJson(sketch.hyperplane_acc));
+  json.Set("signature", SignatureToJson(sketch.signature));
+  json.Set("projection", ProjectionToJson(sketch.projection));
+  json.Set("projection_ones", ProjectionToJson(sketch.projection_ones));
+  return json;
+}
+
+StatusOr<NumericColumnSketch> NumericSketchFromJson(const JsonValue& json) {
+  NumericColumnSketch sketch;
+  const JsonValue* field = json.Get("moments");
+  if (field == nullptr) return Status::ParseError("missing moments");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.moments, MomentsFromJson(*field));
+  field = json.Get("quantiles");
+  if (field == nullptr) return Status::ParseError("missing quantiles");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.quantiles, KllFromJson(*field));
+  field = json.Get("sample");
+  if (field == nullptr) return Status::ParseError("missing sample");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.sample, ReservoirFromJson(*field));
+  field = json.Get("hyperplane_acc");
+  if (field == nullptr) return Status::ParseError("missing hyperplane_acc");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.hyperplane_acc,
+                             HyperplaneAccFromJson(*field));
+  field = json.Get("signature");
+  if (field == nullptr) return Status::ParseError("missing signature");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.signature, SignatureFromJson(*field));
+  field = json.Get("projection");
+  if (field == nullptr) return Status::ParseError("missing projection");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.projection, ProjectionFromJson(*field));
+  field = json.Get("projection_ones");
+  if (field == nullptr) return Status::ParseError("missing projection_ones");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.projection_ones,
+                             ProjectionFromJson(*field));
+  return sketch;
+}
+
+JsonValue CategoricalSketchToJson(const CategoricalColumnSketch& sketch) {
+  JsonValue json = JsonValue::Object();
+  json.Set("heavy_hitters", SpaceSavingToJson(sketch.heavy_hitters));
+  json.Set("frequencies", CountMinToJson(sketch.frequencies));
+  json.Set("entropy", EntropyToJson(sketch.entropy));
+  json.Set("observed_count", U64(sketch.observed_count));
+  return json;
+}
+
+StatusOr<CategoricalColumnSketch> CategoricalSketchFromJson(
+    const JsonValue& json) {
+  CategoricalColumnSketch sketch;
+  const JsonValue* field = json.Get("heavy_hitters");
+  if (field == nullptr) return Status::ParseError("missing heavy_hitters");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.heavy_hitters, SpaceSavingFromJson(*field));
+  field = json.Get("frequencies");
+  if (field == nullptr) return Status::ParseError("missing frequencies");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.frequencies, CountMinFromJson(*field));
+  field = json.Get("entropy");
+  if (field == nullptr) return Status::ParseError("missing entropy");
+  FORESIGHT_ASSIGN_OR_RETURN(sketch.entropy, EntropyFromJson(*field));
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t observed, ParseU64(json.Get("observed_count"), "observed_count"));
+  sketch.observed_count = observed;
+  return sketch;
+}
+
+JsonValue SketchConfigToJson(const SketchConfig& config) {
+  JsonValue json = JsonValue::Object();
+  json.Set("hyperplane_bits", config.hyperplane_bits);
+  json.Set("hyperplane_log2_factor", config.hyperplane_log2_factor);
+  json.Set("projection_dims", config.projection_dims);
+  json.Set("kll_k", config.kll_k);
+  json.Set("reservoir_capacity", config.reservoir_capacity);
+  json.Set("spacesaving_capacity", config.spacesaving_capacity);
+  json.Set("countmin_width", config.countmin_width);
+  json.Set("countmin_depth", config.countmin_depth);
+  json.Set("entropy_k", config.entropy_k);
+  json.Set("seed", U64(config.seed));
+  return json;
+}
+
+StatusOr<SketchConfig> SketchConfigFromJson(const JsonValue& json) {
+  SketchConfig config;
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t bits, ParseU64(json.Get("hyperplane_bits"), "hyperplane_bits"));
+  config.hyperplane_bits = static_cast<size_t>(bits);
+  FORESIGHT_ASSIGN_OR_RETURN(config.hyperplane_log2_factor,
+                             ParseNumber(json.Get("hyperplane_log2_factor"),
+                                         "hyperplane_log2_factor"));
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t proj, ParseU64(json.Get("projection_dims"), "projection_dims"));
+  config.projection_dims = static_cast<size_t>(proj);
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t kll, ParseU64(json.Get("kll_k"), "kll_k"));
+  config.kll_k = static_cast<size_t>(kll);
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t reservoir,
+      ParseU64(json.Get("reservoir_capacity"), "reservoir_capacity"));
+  config.reservoir_capacity = static_cast<size_t>(reservoir);
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t spacesaving,
+      ParseU64(json.Get("spacesaving_capacity"), "spacesaving_capacity"));
+  config.spacesaving_capacity = static_cast<size_t>(spacesaving);
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t width, ParseU64(json.Get("countmin_width"), "countmin_width"));
+  config.countmin_width = static_cast<size_t>(width);
+  FORESIGHT_ASSIGN_OR_RETURN(
+      uint64_t depth, ParseU64(json.Get("countmin_depth"), "countmin_depth"));
+  config.countmin_depth = static_cast<size_t>(depth);
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t entropy,
+                             ParseU64(json.Get("entropy_k"), "entropy_k"));
+  config.entropy_k = static_cast<size_t>(entropy);
+  FORESIGHT_ASSIGN_OR_RETURN(config.seed, ParseU64(json.Get("seed"), "seed"));
+  return config;
+}
+
+}  // namespace foresight

@@ -1,0 +1,112 @@
+#include "sketch/spacesaving.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+SpaceSavingSketch::SpaceSavingSketch(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void SpaceSavingSketch::Update(const std::string& item, uint64_t weight) {
+  total_ += weight;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    it->second.first += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(item, std::make_pair(weight, uint64_t{0}));
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error.
+  auto min_it = counters_.begin();
+  for (auto cit = counters_.begin(); cit != counters_.end(); ++cit) {
+    if (cit->second.first < min_it->second.first) min_it = cit;
+  }
+  uint64_t min_count = min_it->second.first;
+  counters_.erase(min_it);
+  counters_.emplace(item, std::make_pair(min_count + weight, min_count));
+}
+
+void SpaceSavingSketch::Merge(const SpaceSavingSketch& other) {
+  // Standard counter-union: sum counts and errors of common items; items
+  // present on one side only keep their values. Then shrink back to capacity
+  // by keeping the largest counters (adding the evicted mass is unnecessary
+  // because SpaceSaving guarantees survive union-then-truncate).
+  std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> merged =
+      counters_;
+  for (const auto& [item, ce] : other.counters_) {
+    auto it = merged.find(item);
+    if (it == merged.end()) {
+      merged.emplace(item, ce);
+    } else {
+      it->second.first += ce.first;
+      it->second.second += ce.second;
+    }
+  }
+  if (merged.size() > capacity_) {
+    std::vector<std::pair<std::string, std::pair<uint64_t, uint64_t>>> items(
+        merged.begin(), merged.end());
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+      if (a.second.first != b.second.first)
+        return a.second.first > b.second.first;
+      return a.first < b.first;
+    });
+    items.resize(capacity_);
+    merged.clear();
+    for (auto& kv : items) merged.insert(std::move(kv));
+  }
+  counters_ = std::move(merged);
+  total_ += other.total_;
+}
+
+uint64_t SpaceSavingSketch::EstimateCount(const std::string& item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second.first;
+}
+
+std::vector<HeavyHitter> SpaceSavingSketch::TopK(size_t k) const {
+  std::vector<HeavyHitter> hitters;
+  hitters.reserve(counters_.size());
+  for (const auto& [item, ce] : counters_) {
+    hitters.push_back({item, ce.first, ce.second});
+  }
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.estimated_count != b.estimated_count)
+                return a.estimated_count > b.estimated_count;
+              return a.item < b.item;
+            });
+  if (hitters.size() > k) hitters.resize(k);
+  return hitters;
+}
+
+double SpaceSavingSketch::RelFreqEstimate(size_t k) const {
+  if (total_ == 0) return 0.0;
+  uint64_t top = 0;
+  for (const HeavyHitter& h : TopK(k)) top += h.estimated_count;
+  double rel = static_cast<double>(top) / static_cast<double>(total_);
+  return std::min(rel, 1.0);
+}
+
+SpaceSavingSketch SpaceSavingSketch::FromRaw(
+    size_t capacity, uint64_t total,
+    std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> counters) {
+  SpaceSavingSketch sketch(capacity);
+  sketch.total_ = total;
+  sketch.counters_ = std::move(counters);
+  return sketch;
+}
+
+uint64_t SpaceSavingSketch::MaxError() const {
+  if (counters_.size() < capacity_) return 0;
+  uint64_t min_count = UINT64_MAX;
+  for (const auto& [item, ce] : counters_) {
+    min_count = std::min(min_count, ce.first);
+  }
+  return min_count == UINT64_MAX ? 0 : min_count;
+}
+
+}  // namespace foresight

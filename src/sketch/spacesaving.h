@@ -1,0 +1,77 @@
+#ifndef FORESIGHT_SKETCH_SPACESAVING_H_
+#define FORESIGHT_SKETCH_SPACESAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace foresight {
+
+/// One monitored item with its count estimate and maximum overestimation.
+struct HeavyHitter {
+  std::string item;
+  uint64_t estimated_count = 0;
+  /// `estimated_count - error <= true count <= estimated_count`.
+  uint64_t error = 0;
+};
+
+/// SpaceSaving frequent-items sketch (Metwally, Agrawal, El Abbadi 2005) —
+/// the paper's "frequent items sketch" (§3). Maintains `capacity` counters;
+/// any item with true frequency > n / capacity is guaranteed to be monitored.
+/// Supports the Heterogeneous Frequencies insight: RelFreqEstimate(k)
+/// approximates RelFreq(k, c) from the sketch alone.
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(size_t capacity = 64);
+
+  /// Observes one occurrence of `item`.
+  void Update(const std::string& item, uint64_t weight = 1);
+
+  /// Merges another sketch; the result monitors the union's heavy hitters
+  /// with capacities combined per the standard counter-union algorithm.
+  void Merge(const SpaceSavingSketch& other);
+
+  /// Total stream length observed.
+  uint64_t total_count() const { return total_; }
+
+  size_t capacity() const { return capacity_; }
+  size_t num_monitored() const { return counters_.size(); }
+
+  /// Estimated count of `item`: its counter if monitored, otherwise 0
+  /// (a valid lower-bound convention for reporting).
+  uint64_t EstimateCount(const std::string& item) const;
+
+  /// Monitored items sorted by descending estimated count.
+  std::vector<HeavyHitter> TopK(size_t k) const;
+
+  /// Estimate of RelFreq(k): total relative frequency of the k most frequent
+  /// items (§2.2, insight 5), computed from the top-k counter estimates.
+  double RelFreqEstimate(size_t k) const;
+
+  /// Upper bound on count error for unmonitored items (min counter value).
+  uint64_t MaxError() const;
+
+  /// Raw counter map (item -> {count, error}), exposed for serialization.
+  const std::unordered_map<std::string, std::pair<uint64_t, uint64_t>>&
+  counters() const {
+    return counters_;
+  }
+
+  /// Reconstructs a sketch from persisted state (deserialization).
+  static SpaceSavingSketch FromRaw(
+      size_t capacity, uint64_t total,
+      std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> counters);
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  /// item -> (count, error). With capacities <= a few hundred, a flat hash
+  /// map plus linear min-scan on eviction is fast and simple.
+  std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> counters_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_SPACESAVING_H_

@@ -1,0 +1,187 @@
+#include "stats/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace foresight {
+
+namespace {
+
+double SquaredDistance(const Point2& a, const Point2& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<Point2>& points, size_t k, uint64_t seed,
+                    size_t max_iterations) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  k = std::min(k, points.size());
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.UniformInt(points.size())]);
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             SquaredDistance(points[i], result.centroids.back()));
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      result.centroids.push_back(points[rng.UniformInt(points.size())]);
+      continue;
+    }
+    double target = rng.UniformDouble() * total;
+    double cumulative = 0.0;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      cumulative += min_dist[i];
+      if (cumulative >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.labels.assign(points.size(), 0);
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      int32_t best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = static_cast<int32_t>(c);
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update step.
+    std::vector<Point2> sums(k, Point2{});
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      sums[static_cast<size_t>(result.labels[i])].x += points[i].x;
+      sums[static_cast<size_t>(result.labels[i])].y += points[i].y;
+      ++counts[static_cast<size_t>(result.labels[i])];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = {sums[c].x / static_cast<double>(counts[c]),
+                               sums[c].y / static_cast<double>(counts[c])};
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredDistance(
+        points[i], result.centroids[static_cast<size_t>(result.labels[i])]);
+  }
+  return result;
+}
+
+namespace {
+
+struct GroupStats {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double count = 0.0;
+};
+
+}  // namespace
+
+double SegmentationScore(const std::vector<Point2>& points,
+                         const std::vector<int32_t>& labels) {
+  FORESIGHT_CHECK(points.size() == labels.size());
+  std::unordered_map<int32_t, GroupStats> groups;
+  double grand_x = 0.0, grand_y = 0.0, n = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] < 0) continue;
+    GroupStats& g = groups[labels[i]];
+    g.sum_x += points[i].x;
+    g.sum_y += points[i].y;
+    g.count += 1.0;
+    grand_x += points[i].x;
+    grand_y += points[i].y;
+    n += 1.0;
+  }
+  if (n < 2.0 || groups.size() < 2) return 0.0;
+  grand_x /= n;
+  grand_y /= n;
+  double ss_between = 0.0;
+  for (const auto& [label, g] : groups) {
+    double dx = g.sum_x / g.count - grand_x;
+    double dy = g.sum_y / g.count - grand_y;
+    ss_between += g.count * (dx * dx + dy * dy);
+  }
+  double ss_total = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] < 0) continue;
+    double dx = points[i].x - grand_x;
+    double dy = points[i].y - grand_y;
+    ss_total += dx * dx + dy * dy;
+  }
+  if (ss_total <= 0.0) return 0.0;
+  return std::clamp(ss_between / ss_total, 0.0, 1.0);
+}
+
+double CalinskiHarabasz(const std::vector<Point2>& points,
+                        const std::vector<int32_t>& labels) {
+  FORESIGHT_CHECK(points.size() == labels.size());
+  std::unordered_map<int32_t, GroupStats> groups;
+  double grand_x = 0.0, grand_y = 0.0, n = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] < 0) continue;
+    GroupStats& g = groups[labels[i]];
+    g.sum_x += points[i].x;
+    g.sum_y += points[i].y;
+    g.count += 1.0;
+    grand_x += points[i].x;
+    grand_y += points[i].y;
+    n += 1.0;
+  }
+  size_t k = groups.size();
+  if (n < 3.0 || k < 2 || n <= static_cast<double>(k)) return 0.0;
+  grand_x /= n;
+  grand_y /= n;
+  double ss_between = 0.0;
+  for (const auto& [label, g] : groups) {
+    double dx = g.sum_x / g.count - grand_x;
+    double dy = g.sum_y / g.count - grand_y;
+    ss_between += g.count * (dx * dx + dy * dy);
+  }
+  double ss_within = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] < 0) continue;
+    const GroupStats& g = groups[labels[i]];
+    double dx = points[i].x - g.sum_x / g.count;
+    double dy = points[i].y - g.sum_y / g.count;
+    ss_within += dx * dx + dy * dy;
+  }
+  if (ss_within <= 0.0) return std::numeric_limits<double>::infinity();
+  double kd = static_cast<double>(k);
+  return (ss_between / (kd - 1.0)) / (ss_within / (n - kd));
+}
+
+}  // namespace foresight

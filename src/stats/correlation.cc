@@ -1,0 +1,170 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  double rho = sxy / std::sqrt(sxx * syy);
+  return std::clamp(rho, -1.0, 1.0);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j] (1-based ranks).
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
+namespace {
+
+/// Counts inversions in `values` (by stable merge sort), i.e. discordant
+/// swaps needed to sort; used by Kendall's tau.
+uint64_t CountInversions(std::vector<double>& values, std::vector<double>& tmp,
+                         size_t lo, size_t hi) {
+  if (hi - lo < 2) return 0;
+  size_t mid = lo + (hi - lo) / 2;
+  uint64_t count = CountInversions(values, tmp, lo, mid) +
+                   CountInversions(values, tmp, mid, hi);
+  size_t a = lo, b = mid, out = lo;
+  while (a < mid && b < hi) {
+    if (values[b] < values[a]) {
+      count += mid - a;
+      tmp[out++] = values[b++];
+    } else {
+      tmp[out++] = values[a++];
+    }
+  }
+  while (a < mid) tmp[out++] = values[a++];
+  while (b < hi) tmp[out++] = values[b++];
+  std::copy(tmp.begin() + static_cast<ptrdiff_t>(lo),
+            tmp.begin() + static_cast<ptrdiff_t>(hi),
+            values.begin() + static_cast<ptrdiff_t>(lo));
+  return count;
+}
+
+/// Sum over tie groups of t*(t-1)/2 in a sorted vector.
+uint64_t TiePairs(std::vector<double> sorted) {
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t pairs = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    uint64_t t = j - i + 1;
+    pairs += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+
+  // Sort indices by x, then y (so x-ties are ordered by y, making y-inversions
+  // within an x-tie group count as neither concordant nor discordant).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // Count joint ties (same x AND same y).
+  uint64_t joint_tie_pairs = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && x[order[j + 1]] == x[order[i]] &&
+             y[order[j + 1]] == y[order[i]]) {
+        ++j;
+      }
+      uint64_t t = j - i + 1;
+      joint_tie_pairs += t * (t - 1) / 2;
+      i = j + 1;
+    }
+  }
+
+  std::vector<double> y_sorted_by_x(n);
+  for (size_t i = 0; i < n; ++i) y_sorted_by_x[i] = y[order[i]];
+  std::vector<double> tmp(n);
+  std::vector<double> work = y_sorted_by_x;
+  uint64_t discordant = CountInversions(work, tmp, 0, n);
+
+  uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t tie_x = TiePairs(x);
+  uint64_t tie_y = TiePairs(y);
+  // Pairs tied in x only were sorted by y, so they contributed no inversions.
+  // Concordant + discordant pairs exclude all ties:
+  double n0 = static_cast<double>(total_pairs);
+  double n1 = static_cast<double>(tie_x);
+  double n2 = static_cast<double>(tie_y);
+  double n3 = static_cast<double>(joint_tie_pairs);
+  double usable = n0 - n1 - n2 + n3;  // pairs untied in both
+  if (usable <= 0.0) return 0.0;
+  double concordant = usable - static_cast<double>(discordant);
+  double numerator = concordant - static_cast<double>(discordant);
+  double denominator = std::sqrt((n0 - n1) * (n0 - n2));
+  if (denominator <= 0.0) return 0.0;
+  return std::clamp(numerator / denominator, -1.0, 1.0);
+}
+
+PairedValues ExtractPairedValid(const NumericColumn& a,
+                                const NumericColumn& b) {
+  FORESIGHT_CHECK(a.size() == b.size());
+  PairedValues out;
+  out.x.reserve(a.valid_count());
+  out.y.reserve(a.valid_count());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.is_valid(i) && b.is_valid(i)) {
+      out.x.push_back(a.value(i));
+      out.y.push_back(b.value(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace foresight

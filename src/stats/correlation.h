@@ -1,0 +1,41 @@
+#ifndef FORESIGHT_STATS_CORRELATION_H_
+#define FORESIGHT_STATS_CORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/column.h"
+
+namespace foresight {
+
+/// Pearson product-moment correlation rho(x, y) (§2.2, insight 6). Inputs
+/// must have equal length; returns 0 for fewer than 2 points or when either
+/// side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Fractional ranks with ties averaged (the standard midrank convention).
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Spearman rank correlation: Pearson over midranks. Captures nonlinear
+/// monotonic relationships (one of the paper's "additional insights", and the
+/// second ranking metric the §4.1 scenario uses for correlation insights).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Kendall's tau-b, computed in O(n log n) via merge-sort inversion counting
+/// with tie correction.
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Extracts the rows where BOTH numeric columns are non-null, as paired
+/// vectors (pairwise deletion, the convention used for all two-column
+/// insight metrics).
+struct PairedValues {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+PairedValues ExtractPairedValid(const NumericColumn& a, const NumericColumn& b);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_CORRELATION_H_

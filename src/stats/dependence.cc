@@ -1,0 +1,160 @@
+#include "stats/dependence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+namespace {
+
+/// Maps values to equi-width bin ids in [0, bins).
+std::vector<size_t> EquiWidthBins(const std::vector<double>& values,
+                                  size_t bins) {
+  std::vector<size_t> ids(values.size(), 0);
+  if (values.empty()) return ids;
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *min_it, hi = *max_it;
+  if (lo == hi) return ids;
+  double width = (hi - lo) / static_cast<double>(bins);
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t bin = static_cast<size_t>((values[i] - lo) / width);
+    ids[i] = std::min(bin, bins - 1);
+  }
+  return ids;
+}
+
+double EntropyOfCounts(const std::vector<double>& counts, double total) {
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      double p = c / total;
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double BinnedMutualInformation(const std::vector<double>& x,
+                               const std::vector<double>& y, size_t bins) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  FORESIGHT_CHECK(bins >= 2);
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  std::vector<size_t> bx = EquiWidthBins(x, bins);
+  std::vector<size_t> by = EquiWidthBins(y, bins);
+  std::vector<double> joint(bins * bins, 0.0);
+  std::vector<double> mx(bins, 0.0), my(bins, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    joint[bx[i] * bins + by[i]] += 1.0;
+    mx[bx[i]] += 1.0;
+    my[by[i]] += 1.0;
+  }
+  double total = static_cast<double>(n);
+  double mi = 0.0;
+  for (size_t a = 0; a < bins; ++a) {
+    if (mx[a] == 0.0) continue;
+    for (size_t b = 0; b < bins; ++b) {
+      double c = joint[a * bins + b];
+      if (c == 0.0 || my[b] == 0.0) continue;
+      double pxy = c / total;
+      mi += pxy * std::log(pxy * total * total / (mx[a] * my[b]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double NormalizedMutualInformation(const std::vector<double>& x,
+                                   const std::vector<double>& y, size_t bins) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  std::vector<size_t> bx = EquiWidthBins(x, bins);
+  std::vector<size_t> by = EquiWidthBins(y, bins);
+  std::vector<double> mx(bins, 0.0), my(bins, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    mx[bx[i]] += 1.0;
+    my[by[i]] += 1.0;
+  }
+  double total = static_cast<double>(n);
+  double hx = EntropyOfCounts(mx, total);
+  double hy = EntropyOfCounts(my, total);
+  if (hx <= 0.0 || hy <= 0.0) return 0.0;
+  double mi = BinnedMutualInformation(x, y, bins);
+  return std::clamp(mi / std::sqrt(hx * hy), 0.0, 1.0);
+}
+
+double CramersV(const std::vector<int32_t>& x, const std::vector<int32_t>& y) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  // Re-map codes to dense indices over the rows where both are present.
+  std::unordered_map<int32_t, size_t> xmap, ymap;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < 0 || y[i] < 0) continue;
+    auto [xi, x_inserted] = xmap.try_emplace(x[i], xmap.size());
+    auto [yi, y_inserted] = ymap.try_emplace(y[i], ymap.size());
+    pairs.emplace_back(xi->second, yi->second);
+  }
+  size_t r = xmap.size(), c = ymap.size();
+  size_t n = pairs.size();
+  if (n < 2 || r < 2 || c < 2) return 0.0;
+
+  std::vector<double> joint(r * c, 0.0), row(r, 0.0), col(c, 0.0);
+  for (auto [a, b] : pairs) {
+    joint[a * c + b] += 1.0;
+    row[a] += 1.0;
+    col[b] += 1.0;
+  }
+  double total = static_cast<double>(n);
+  double chi2 = 0.0;
+  for (size_t a = 0; a < r; ++a) {
+    for (size_t b = 0; b < c; ++b) {
+      double expected = row[a] * col[b] / total;
+      if (expected > 0.0) {
+        double diff = joint[a * c + b] - expected;
+        chi2 += diff * diff / expected;
+      }
+    }
+  }
+  double denom = total * static_cast<double>(std::min(r, c) - 1);
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(std::sqrt(chi2 / denom), 0.0, 1.0);
+}
+
+double CorrelationRatio(const std::vector<double>& values,
+                        const std::vector<int32_t>& codes) {
+  FORESIGHT_CHECK(values.size() == codes.size());
+  std::unordered_map<int32_t, std::pair<double, double>> groups;  // sum, count
+  double grand_sum = 0.0;
+  double n = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (codes[i] < 0) continue;
+    auto& [sum, count] = groups[codes[i]];
+    sum += values[i];
+    count += 1.0;
+    grand_sum += values[i];
+    n += 1.0;
+  }
+  if (n < 2.0 || groups.size() < 2) return 0.0;
+  double grand_mean = grand_sum / n;
+  double ss_between = 0.0;
+  for (const auto& [code, sc] : groups) {
+    double group_mean = sc.first / sc.second;
+    double d = group_mean - grand_mean;
+    ss_between += sc.second * d * d;
+  }
+  double ss_total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (codes[i] < 0) continue;
+    double d = values[i] - grand_mean;
+    ss_total += d * d;
+  }
+  if (ss_total <= 0.0) return 0.0;
+  return std::clamp(ss_between / ss_total, 0.0, 1.0);
+}
+
+}  // namespace foresight

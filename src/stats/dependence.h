@@ -1,0 +1,38 @@
+#ifndef FORESIGHT_STATS_DEPENDENCE_H_
+#define FORESIGHT_STATS_DEPENDENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace foresight {
+
+/// Measures of "general statistical dependence" (one of the paper's
+/// additional insights), covering every attribute-type pairing:
+///   numeric x numeric      -> binned normalized mutual information
+///   categorical x categorical -> Cramér's V
+///   numeric x categorical  -> correlation ratio eta^2
+
+/// Mutual information (nats) between two equal-length numeric vectors after
+/// equi-width binning into `bins` x `bins` cells.
+double BinnedMutualInformation(const std::vector<double>& x,
+                               const std::vector<double>& y, size_t bins = 16);
+
+/// MI normalized by sqrt(Hx * Hy), in [0, 1]; 0 when either marginal entropy
+/// vanishes.
+double NormalizedMutualInformation(const std::vector<double>& x,
+                                   const std::vector<double>& y,
+                                   size_t bins = 16);
+
+/// Cramér's V in [0, 1] over two code vectors (codes need not be dense;
+/// negative codes mean missing and such rows are skipped pairwise).
+double CramersV(const std::vector<int32_t>& x, const std::vector<int32_t>& y);
+
+/// Correlation ratio eta^2 in [0, 1]: fraction of the variance of `values`
+/// explained by the grouping `codes` (rows with negative codes are skipped).
+double CorrelationRatio(const std::vector<double>& values,
+                        const std::vector<int32_t>& codes);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_DEPENDENCE_H_

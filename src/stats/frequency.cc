@@ -1,0 +1,77 @@
+#include "stats/frequency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace foresight {
+
+FrequencyTable::FrequencyTable(const CategoricalColumn& column) {
+  std::vector<uint64_t> counts(column.cardinality(), 0);
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.is_valid(i)) {
+      ++counts[static_cast<size_t>(column.code(i))];
+    }
+  }
+  std::vector<ValueCount> entries;
+  entries.reserve(counts.size());
+  for (size_t code = 0; code < counts.size(); ++code) {
+    if (counts[code] > 0) {
+      entries.push_back(
+          {column.dictionary_value(static_cast<int32_t>(code)), counts[code]});
+    }
+  }
+  BuildSorted(std::move(entries));
+}
+
+FrequencyTable::FrequencyTable(const std::vector<std::string>& values) {
+  std::unordered_map<std::string, uint64_t> counts;
+  for (const std::string& v : values) ++counts[v];
+  std::vector<ValueCount> entries;
+  entries.reserve(counts.size());
+  for (auto& [value, count] : counts) entries.push_back({value, count});
+  BuildSorted(std::move(entries));
+}
+
+void FrequencyTable::BuildSorted(std::vector<ValueCount> counts) {
+  std::sort(counts.begin(), counts.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  entries_ = std::move(counts);
+  total_ = 0;
+  for (const ValueCount& e : entries_) total_ += e.count;
+}
+
+double FrequencyTable::RelFreq(size_t k) const {
+  if (total_ == 0) return 0.0;
+  k = std::min(k, entries_.size());
+  uint64_t top = 0;
+  for (size_t i = 0; i < k; ++i) top += entries_[i].count;
+  return static_cast<double>(top) / static_cast<double>(total_);
+}
+
+std::vector<ValueCount> FrequencyTable::TopK(size_t k) const {
+  k = std::min(k, entries_.size());
+  return std::vector<ValueCount>(entries_.begin(),
+                                 entries_.begin() + static_cast<ptrdiff_t>(k));
+}
+
+double FrequencyTable::Entropy() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  double n = static_cast<double>(total_);
+  for (const ValueCount& e : entries_) {
+    double p = static_cast<double>(e.count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double FrequencyTable::NormalizedEntropy() const {
+  if (entries_.size() <= 1) return 0.0;
+  return Entropy() / std::log(static_cast<double>(entries_.size()));
+}
+
+}  // namespace foresight

@@ -1,0 +1,65 @@
+#ifndef FORESIGHT_STATS_FREQUENCY_H_
+#define FORESIGHT_STATS_FREQUENCY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+
+namespace foresight {
+
+/// One distinct categorical value with its count.
+struct ValueCount {
+  std::string value;
+  uint64_t count = 0;
+};
+
+/// Exact frequency distribution of a categorical column (nulls excluded),
+/// sorted by descending count (ties broken by value for determinism).
+///
+/// Supports the Heterogeneous Frequencies insight (§2.2, insight 5): for a
+/// configurable k, the strength metric is RelFreq(k, c), the total relative
+/// frequency of the k most frequent elements of c.
+class FrequencyTable {
+ public:
+  FrequencyTable() = default;
+  explicit FrequencyTable(const CategoricalColumn& column);
+
+  /// Builds directly from values (convenience for tests and sketches).
+  explicit FrequencyTable(const std::vector<std::string>& values);
+
+  /// Distinct values sorted by descending count.
+  const std::vector<ValueCount>& entries() const { return entries_; }
+
+  /// Number of non-null observations.
+  uint64_t total_count() const { return total_; }
+
+  /// Number of distinct values.
+  size_t cardinality() const { return entries_.size(); }
+
+  /// RelFreq(k): total relative frequency of the k heaviest hitters.
+  /// Returns 0 when the table is empty; caps k at the cardinality.
+  double RelFreq(size_t k) const;
+
+  /// The k most frequent entries.
+  std::vector<ValueCount> TopK(size_t k) const;
+
+  /// Shannon entropy in nats over the empirical distribution.
+  double Entropy() const;
+
+  /// Entropy normalized by log(cardinality), in [0, 1]; 0 for cardinality
+  /// <= 1 (fully concentrated). Low values mean high concentration.
+  double NormalizedEntropy() const;
+
+ private:
+  void BuildSorted(std::vector<ValueCount> counts);
+
+  std::vector<ValueCount> entries_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_FREQUENCY_H_

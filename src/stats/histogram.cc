@@ -1,0 +1,80 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantiles.h"
+#include "util/logging.h"
+
+namespace foresight {
+
+uint64_t Histogram::total() const {
+  uint64_t sum = 0;
+  for (uint64_t c : counts) sum += c;
+  return sum;
+}
+
+size_t Histogram::ArgMax() const {
+  size_t best = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return best;
+}
+
+Histogram BuildHistogram(const std::vector<double>& values, size_t num_bins) {
+  FORESIGHT_CHECK(num_bins >= 1);
+  Histogram h;
+  if (values.empty()) {
+    h.edges = {0.0, 1.0};
+    h.counts = {0};
+    return h;
+  }
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (lo == hi) {
+    h.edges = {lo - 0.5, lo + 0.5};
+    h.counts = {static_cast<uint64_t>(values.size())};
+    return h;
+  }
+  double width = (hi - lo) / static_cast<double>(num_bins);
+  h.edges.resize(num_bins + 1);
+  for (size_t i = 0; i <= num_bins; ++i) {
+    h.edges[i] = lo + width * static_cast<double>(i);
+  }
+  h.edges.back() = hi;  // Avoid floating-point drift on the last edge.
+  h.counts.assign(num_bins, 0);
+  for (double x : values) {
+    size_t bin = static_cast<size_t>((x - lo) / width);
+    if (bin >= num_bins) bin = num_bins - 1;  // x == hi lands in last bin.
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+size_t AutoBinCount(const std::vector<double>& values, size_t max_bins) {
+  if (values.size() < 2) return 1;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double range = sorted.back() - sorted.front();
+  if (range <= 0.0) return 1;
+  double n = static_cast<double>(values.size());
+  double iqr = SortedQuantile(sorted, 0.75) - SortedQuantile(sorted, 0.25);
+  double bin_width;
+  if (iqr > 0.0) {
+    bin_width = 2.0 * iqr / std::cbrt(n);  // Freedman–Diaconis.
+  } else {
+    bin_width = range / (std::log2(n) + 1.0);  // Sturges fallback.
+  }
+  if (bin_width <= 0.0) return 1;
+  size_t bins = static_cast<size_t>(std::ceil(range / bin_width));
+  return std::clamp<size_t>(bins, 1, max_bins);
+}
+
+Histogram BuildAutoHistogram(const std::vector<double>& values,
+                             size_t max_bins) {
+  return BuildHistogram(values, AutoBinCount(values, max_bins));
+}
+
+}  // namespace foresight

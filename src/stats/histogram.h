@@ -1,0 +1,41 @@
+#ifndef FORESIGHT_STATS_HISTOGRAM_H_
+#define FORESIGHT_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace foresight {
+
+/// Equi-width histogram: the paper's visualization for the dispersion, skew,
+/// heavy-tails and multimodality insights.
+struct Histogram {
+  /// `edges.size() == counts.size() + 1`; bin i covers
+  /// [edges[i], edges[i+1]) with the last bin closed on the right.
+  std::vector<double> edges;
+  std::vector<uint64_t> counts;
+
+  size_t num_bins() const { return counts.size(); }
+  double bin_width() const {
+    return edges.size() >= 2 ? edges[1] - edges[0] : 0.0;
+  }
+  uint64_t total() const;
+  /// Index of the fullest bin (0 for an empty histogram).
+  size_t ArgMax() const;
+};
+
+/// Builds an equi-width histogram with a fixed bin count. Degenerate inputs
+/// (empty, or all values equal) produce a single bin.
+Histogram BuildHistogram(const std::vector<double>& values, size_t num_bins);
+
+/// Chooses a bin count by the Freedman–Diaconis rule (falling back to
+/// Sturges when the IQR is zero), clamped to [1, max_bins].
+size_t AutoBinCount(const std::vector<double>& values, size_t max_bins = 64);
+
+/// BuildHistogram with AutoBinCount.
+Histogram BuildAutoHistogram(const std::vector<double>& values,
+                             size_t max_bins = 64);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_HISTOGRAM_H_

@@ -1,0 +1,113 @@
+#include "stats/moments.h"
+
+#include <cmath>
+#include <limits>
+
+namespace foresight {
+
+void RunningMoments::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  // Pébay one-pass update.
+  double n1 = static_cast<double>(n_);
+  ++n_;
+  double n = static_cast<double>(n_);
+  double delta = x - mean_;
+  double delta_n = delta / n;
+  double delta_n2 = delta_n * delta_n;
+  double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double n = na + nb;
+  double delta = other.mean_ - mean_;
+  double delta2 = delta * delta;
+  double delta3 = delta2 * delta;
+  double delta4 = delta2 * delta2;
+
+  double m4 = m4_ + other.m4_ +
+              delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+              6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+              4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+  double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+              3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningMoments::variance() const {
+  if (n_ < 1) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+double RunningMoments::skewness() const {
+  if (n_ < 1) return 0.0;
+  double var = variance();
+  if (var <= 0.0) return 0.0;
+  double n = static_cast<double>(n_);
+  return (m3_ / n) / std::pow(var, 1.5);
+}
+
+double RunningMoments::kurtosis() const {
+  if (n_ < 1) return 0.0;
+  double var = variance();
+  if (var <= 0.0) return 0.0;
+  double n = static_cast<double>(n_);
+  return (m4_ / n) / (var * var);
+}
+
+double RunningMoments::coefficient_of_variation() const {
+  if (n_ == 0) return 0.0;
+  double sd = stddev();
+  if (mean_ == 0.0) {
+    return sd > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return std::abs(sd / mean_);
+}
+
+RunningMoments RunningMoments::FromRaw(size_t n, double mean, double m2,
+                                       double m3, double m4, double min,
+                                       double max) {
+  RunningMoments m;
+  m.n_ = n;
+  m.mean_ = mean;
+  m.m2_ = m2;
+  m.m3_ = m3;
+  m.m4_ = m4;
+  m.min_ = min;
+  m.max_ = max;
+  return m;
+}
+
+RunningMoments MomentsOf(const std::vector<double>& values) {
+  RunningMoments m;
+  for (double x : values) m.Add(x);
+  return m;
+}
+
+}  // namespace foresight

@@ -1,0 +1,78 @@
+#ifndef FORESIGHT_STATS_MOMENTS_H_
+#define FORESIGHT_STATS_MOMENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace foresight {
+
+/// Streaming central moments up to order four.
+///
+/// This is the paper's "fast and easy" path (§3): skewness and kurtosis "can
+/// both be computed for numeric columns in a single pass by maintaining and
+/// combining a few running sums". Uses the numerically stable one-pass update
+/// (Pébay's formulas) and supports merging partial results, so moment
+/// profiles compose across data partitions exactly.
+///
+/// Conventions follow the paper (§2.2): population variance
+/// sigma^2 = n^-1 * sum (b_i - mu)^2, standardized skewness
+/// gamma_1 = n^-1 * sum (b_i - mu)^3 / sigma^3, and (non-excess) kurtosis
+/// Kurt = n^-1 * sum (b_i - mu)^4 / sigma^4.
+class RunningMoments {
+ public:
+  RunningMoments() = default;
+
+  /// Folds one observation into the summary.
+  void Add(double x);
+
+  /// Folds another summary into this one; equivalent to having Add-ed all of
+  /// `other`'s observations.
+  void Merge(const RunningMoments& other);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (n^-1). Zero for n < 1.
+  double variance() const;
+  double stddev() const;
+
+  /// Standardized skewness gamma_1; 0 when sigma == 0.
+  double skewness() const;
+
+  /// Non-excess kurtosis (Normal -> 3); 0 when sigma == 0.
+  double kurtosis() const;
+
+  /// Excess kurtosis (Normal -> 0).
+  double excess_kurtosis() const { return n_ > 0 ? kurtosis() - 3.0 : 0.0; }
+
+  /// |sigma / mu|; infinity when mean == 0 and sigma > 0, 0 for empty input.
+  double coefficient_of_variation() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Raw power sums, exposed for tests and serialization.
+  double m2() const { return m2_; }
+  double m3() const { return m3_; }
+  double m4() const { return m4_; }
+
+  /// Reconstructs a summary from its raw state (deserialization).
+  static RunningMoments FromRaw(size_t n, double mean, double m2, double m3,
+                                double m4, double min, double max);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum (x - mean)^2
+  double m3_ = 0.0;  // sum (x - mean)^3
+  double m4_ = 0.0;  // sum (x - mean)^4
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Builds moments over a full vector.
+RunningMoments MomentsOf(const std::vector<double>& values);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_MOMENTS_H_

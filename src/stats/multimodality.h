@@ -1,0 +1,44 @@
+#ifndef FORESIGHT_STATS_MULTIMODALITY_H_
+#define FORESIGHT_STATS_MULTIMODALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace foresight {
+
+/// Gaussian kernel density estimate evaluated on a regular grid.
+struct KdeResult {
+  std::vector<double> grid;     ///< Evaluation points (ascending).
+  std::vector<double> density;  ///< Density at each grid point.
+  double bandwidth = 0.0;       ///< Bandwidth used (Silverman's rule).
+};
+
+/// Evaluates a Gaussian KDE on `grid_size` points spanning the data range
+/// padded by one bandwidth on each side. Empty input yields empty grids.
+KdeResult ComputeKde(const std::vector<double>& values, size_t grid_size = 128);
+
+/// A local maximum of the KDE.
+struct Mode {
+  double location = 0.0;   ///< Grid position of the peak.
+  double density = 0.0;    ///< Density at the peak.
+  double prominence = 0.0; ///< Peak height above the higher flanking valley.
+};
+
+/// Finds KDE modes, keeping those whose prominence exceeds
+/// `min_prominence_frac` of the global maximum density.
+std::vector<Mode> FindModes(const KdeResult& kde,
+                            double min_prominence_frac = 0.05);
+
+/// Multimodality insight metric in [0, 1): 0 for unimodal data; for multimodal
+/// data, the summed prominence of the secondary modes relative to the primary
+/// peak, saturating via x / (1 + x). One of the paper's "additional insights".
+double MultimodalityScore(const std::vector<double>& values);
+
+/// Sarle's bimodality coefficient (gamma1^2 + 1) / kurtosis: a cheap
+/// moments-only screen; > 5/9 suggests bi-/multi-modality. Provided as an
+/// alternative ranking metric (the framework allows several per insight).
+double BimodalityCoefficient(const std::vector<double>& values);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_MULTIMODALITY_H_

@@ -1,0 +1,88 @@
+#include "stats/outliers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/moments.h"
+#include "stats/quantiles.h"
+
+namespace foresight {
+
+void OutlierDetector::FinalizeScore(const std::vector<double>& values,
+                                    OutlierResult& result) {
+  if (result.indices.empty()) {
+    result.mean_standardized_distance = 0.0;
+    return;
+  }
+  RunningMoments m = MomentsOf(values);
+  double sigma = m.stddev();
+  if (sigma <= 0.0) {
+    result.mean_standardized_distance = 0.0;
+    return;
+  }
+  double total = 0.0;
+  for (size_t i : result.indices) {
+    total += std::abs(values[i] - m.mean()) / sigma;
+  }
+  result.mean_standardized_distance =
+      total / static_cast<double>(result.indices.size());
+}
+
+OutlierResult ZScoreDetector::Detect(const std::vector<double>& values) const {
+  OutlierResult result;
+  RunningMoments m = MomentsOf(values);
+  double sigma = m.stddev();
+  if (sigma <= 0.0) return result;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (std::abs(values[i] - m.mean()) > threshold_ * sigma) {
+      result.indices.push_back(i);
+    }
+  }
+  FinalizeScore(values, result);
+  return result;
+}
+
+OutlierResult IqrFenceDetector::Detect(const std::vector<double>& values) const {
+  OutlierResult result;
+  if (values.size() < 4) return result;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double q1 = SortedQuantile(sorted, 0.25);
+  double q3 = SortedQuantile(sorted, 0.75);
+  double iqr = q3 - q1;
+  if (iqr <= 0.0) return result;
+  double lo = q1 - k_ * iqr;
+  double hi = q3 + k_ * iqr;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < lo || values[i] > hi) result.indices.push_back(i);
+  }
+  FinalizeScore(values, result);
+  return result;
+}
+
+OutlierResult MadDetector::Detect(const std::vector<double>& values) const {
+  OutlierResult result;
+  if (values.empty()) return result;
+  double median = Median(values);
+  std::vector<double> abs_dev(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    abs_dev[i] = std::abs(values[i] - median);
+  }
+  double mad = Median(abs_dev);
+  if (mad <= 0.0) return result;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double modified_z = 0.6745 * abs_dev[i] / mad;
+    if (modified_z > threshold_) result.indices.push_back(i);
+  }
+  FinalizeScore(values, result);
+  return result;
+}
+
+std::unique_ptr<OutlierDetector> MakeOutlierDetector(const std::string& name) {
+  if (name == "zscore") return std::make_unique<ZScoreDetector>();
+  if (name == "iqr") return std::make_unique<IqrFenceDetector>();
+  if (name == "mad") return std::make_unique<MadDetector>();
+  return nullptr;
+}
+
+}  // namespace foresight

@@ -1,0 +1,79 @@
+#ifndef FORESIGHT_STATS_OUTLIERS_H_
+#define FORESIGHT_STATS_OUTLIERS_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace foresight {
+
+/// Result of running an outlier detector over one numeric column.
+struct OutlierResult {
+  /// Indices (into the input vector) flagged as outliers.
+  std::vector<size_t> indices;
+  /// The paper's ranking metric (§2.2, insight 4): average standardized
+  /// distance of the outliers from the mean, in standard deviations.
+  /// Zero when no outliers are found or when sigma == 0.
+  double mean_standardized_distance = 0.0;
+};
+
+/// User-configurable outlier detection (§2.2: "a user-configurable
+/// outlier-detection algorithm"). Implementations are stateless and
+/// thread-compatible.
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  /// Name used for configuration and reporting, e.g. "zscore".
+  virtual std::string name() const = 0;
+
+  /// Flags outliers and computes the ranking metric.
+  virtual OutlierResult Detect(const std::vector<double>& values) const = 0;
+
+ protected:
+  /// Fills `mean_standardized_distance` for an already-flagged index set.
+  static void FinalizeScore(const std::vector<double>& values,
+                            OutlierResult& result);
+};
+
+/// Flags |x - mu| > threshold * sigma. The classical parametric detector.
+class ZScoreDetector final : public OutlierDetector {
+ public:
+  explicit ZScoreDetector(double threshold = 3.0) : threshold_(threshold) {}
+  std::string name() const override { return "zscore"; }
+  OutlierResult Detect(const std::vector<double>& values) const override;
+
+ private:
+  double threshold_;
+};
+
+/// Flags points beyond Tukey fences: [q1 - k*IQR, q3 + k*IQR].
+class IqrFenceDetector final : public OutlierDetector {
+ public:
+  explicit IqrFenceDetector(double k = 1.5) : k_(k) {}
+  std::string name() const override { return "iqr"; }
+  OutlierResult Detect(const std::vector<double>& values) const override;
+
+ private:
+  double k_;
+};
+
+/// Flags points whose modified z-score 0.6745 * |x - median| / MAD exceeds
+/// the threshold; robust to the outliers themselves.
+class MadDetector final : public OutlierDetector {
+ public:
+  explicit MadDetector(double threshold = 3.5) : threshold_(threshold) {}
+  std::string name() const override { return "mad"; }
+  OutlierResult Detect(const std::vector<double>& values) const override;
+
+ private:
+  double threshold_;
+};
+
+/// Factory by name ("zscore", "iqr", "mad"); nullptr for unknown names.
+std::unique_ptr<OutlierDetector> MakeOutlierDetector(const std::string& name);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_OUTLIERS_H_

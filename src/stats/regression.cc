@@ -1,0 +1,33 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  LinearFit fit;
+  size_t n = x.size();
+  if (n < 2) return fit;
+  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 0.0;
+  fit.valid = true;
+  return fit;
+}
+
+}  // namespace foresight

@@ -1,0 +1,25 @@
+#ifndef FORESIGHT_STATS_REGRESSION_H_
+#define FORESIGHT_STATS_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace foresight {
+
+/// Ordinary-least-squares line y = slope * x + intercept, used to superimpose
+/// the best-fit line on Linear Relationship scatter plots (§2.2, insight 6).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+  bool valid = false;
+};
+
+/// Fits by least squares; `valid` is false for fewer than 2 points or a
+/// constant x.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_STATS_REGRESSION_H_

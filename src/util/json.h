@@ -1,0 +1,94 @@
+#ifndef FORESIGHT_UTIL_JSON_H_
+#define FORESIGHT_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace foresight {
+
+/// A self-contained JSON document model used for Vega-Lite chart specs and
+/// exploration-session serialization. Supports the full JSON data model;
+/// object keys preserve insertion order (Vega-Lite specs read better that way).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructors for each JSON type.
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(int value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(int64_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(size_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Array access. `Append` is valid only on arrays.
+  void Append(JsonValue value);
+  size_t size() const;
+  const JsonValue& at(size_t index) const;
+
+  /// Object access. `Set` overwrites; `Get` returns nullptr when absent.
+  void Set(std::string key, JsonValue value);
+  const JsonValue* Get(std::string_view key) const;
+  bool Has(std::string_view key) const { return Get(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& items() const {
+    return object_;
+  }
+
+  /// Serializes to a JSON string. `indent < 0` produces compact output;
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a JSON document. Returns ParseError with position info on failure.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes a string for embedding in JSON output (without the quotes).
+std::string JsonEscape(std::string_view input);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_JSON_H_

@@ -1,0 +1,30 @@
+#ifndef FORESIGHT_UTIL_LOGGING_H_
+#define FORESIGHT_UTIL_LOGGING_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These abort the process on violation: they guard
+/// programming errors, not user input (user input errors surface as `Status`).
+#define FORESIGHT_CHECK(cond)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FORESIGHT_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define FORESIGHT_CHECK_MSG(cond, msg)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FORESIGHT_CHECK failed at %s:%d: %s (%s)\n",   \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define FORESIGHT_DCHECK(cond) assert(cond)
+
+#endif  // FORESIGHT_UTIL_LOGGING_H_

@@ -1,0 +1,136 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // PCG recommended seeding: mix the seed into both state and stream.
+  state_ = 0;
+  inc_ = (seed << 1u) | 1u;
+  NextUint32();
+  state_ += 0x853c49e6748fea9bULL + seed;
+  NextUint32();
+}
+
+uint32_t Rng::NextUint32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint64_t Rng::NextUint64() {
+  return (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  FORESIGHT_CHECK(bound > 0);
+  // Rejection sampling over the top of the range to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits mapped to [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  FORESIGHT_CHECK(rate > 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::Cauchy() {
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0 || u == 0.5);
+  return std::tan(kPi * (u - 0.5));
+}
+
+double Rng::LogNormal(double mu_log, double sigma_log) {
+  return std::exp(Normal(mu_log, sigma_log));
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  FORESIGHT_CHECK(n > 0);
+  FORESIGHT_CHECK(s > 0.0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.assign(n, 0.0);
+    double total = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = total;
+    }
+    for (uint64_t i = 0; i < n; ++i) zipf_cdf_[i] /= total;
+  }
+  double u = UniformDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+double Rng::StableSkewed(double alpha) {
+  FORESIGHT_CHECK(alpha > 0.0 && alpha <= 2.0);
+  // Chambers–Mallows–Stuck with beta = 1 (maximally right-skewed).
+  double u = kPi * (UniformDouble() - 0.5);
+  double w = Exponential(1.0);
+  if (std::abs(alpha - 1.0) < 1e-12) {
+    // alpha == 1, beta == 1 special case.
+    double half_pi = kPi / 2.0;
+    return (1.0 / half_pi) *
+           ((half_pi + u) * std::tan(u) -
+            std::log((half_pi * w * std::cos(u)) / (half_pi + u)));
+  }
+  double zeta = -std::tan(kPi * alpha / 2.0);  // beta = 1
+  double xi = std::atan(-zeta) / alpha;
+  double num = std::sin(alpha * (u + xi));
+  double den = std::pow(std::cos(u), 1.0 / alpha);
+  double tail = std::pow(std::cos(u - alpha * (u + xi)) / w, (1.0 - alpha) / alpha);
+  return std::pow(1.0 + zeta * zeta, 1.0 / (2.0 * alpha)) * (num / den) * tail;
+}
+
+}  // namespace foresight

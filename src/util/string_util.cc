@@ -1,0 +1,101 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace foresight {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> result;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delimiter) {
+      result.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return result;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(separator);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::optional<double> ParseDouble(std::string_view input) {
+  std::string_view trimmed = Trim(input);
+  if (trimmed.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ >= 11.
+  double value = 0.0;
+  const char* first = trimmed.data();
+  const char* last = trimmed.data() + trimmed.size();
+  // from_chars rejects a leading '+'; accept it manually.
+  if (*first == '+' && trimmed.size() > 1) ++first;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view input) {
+  std::string_view trimmed = Trim(input);
+  if (trimmed.empty()) return std::nullopt;
+  int64_t value = 0;
+  const char* first = trimmed.data();
+  const char* last = trimmed.data() + trimmed.size();
+  if (*first == '+' && trimmed.size() > 1) ++first;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+bool IsMissingToken(std::string_view value) {
+  std::string lower = ToLower(Trim(value));
+  return lower.empty() || lower == "na" || lower == "n/a" || lower == "nan" ||
+         lower == "null" || lower == "none" || lower == "?";
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+}  // namespace foresight

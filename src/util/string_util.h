@@ -1,0 +1,44 @@
+#ifndef FORESIGHT_UTIL_STRING_UTIL_H_
+#define FORESIGHT_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace foresight {
+
+/// Splits `input` on `delimiter`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Strict double parse: the whole (trimmed) string must be a finite or
+/// infinite numeric literal. Returns nullopt for empty or non-numeric input.
+std::optional<double> ParseDouble(std::string_view input);
+
+/// Strict int64 parse of the whole (trimmed) string.
+std::optional<int64_t> ParseInt64(std::string_view input);
+
+/// True if `value` case-insensitively equals one of the conventional CSV
+/// missing-value markers: "", "na", "n/a", "nan", "null", "none", "?".
+bool IsMissingToken(std::string_view value);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view input);
+
+/// Formats a double compactly with up to `precision` significant digits
+/// ("0.5", "1.25e-06"); never produces locale-dependent separators.
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_STRING_UTIL_H_

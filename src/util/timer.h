@@ -1,0 +1,31 @@
+#ifndef FORESIGHT_UTIL_TIMER_H_
+#define FORESIGHT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace foresight {
+
+/// Monotonic wall-clock timer for benchmark reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_TIMER_H_

@@ -1,0 +1,173 @@
+#include "viz/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace foresight {
+
+namespace {
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace
+
+std::string RenderHistogramAscii(const Histogram& histogram, size_t max_width) {
+  std::string out;
+  uint64_t max_count = 1;
+  for (uint64_t c : histogram.counts) max_count = std::max(max_count, c);
+  for (size_t i = 0; i < histogram.num_bins(); ++i) {
+    std::string label = "[" + FormatDouble(histogram.edges[i], 4) + ", " +
+                        FormatDouble(histogram.edges[i + 1], 4) + ")";
+    size_t bar = static_cast<size_t>(
+        std::llround(static_cast<double>(histogram.counts[i]) /
+                     static_cast<double>(max_count) *
+                     static_cast<double>(max_width)));
+    out += PadRight(label, 26) + "|" + std::string(bar, '#') + " " +
+           std::to_string(histogram.counts[i]) + "\n";
+  }
+  return out;
+}
+
+std::string RenderParetoAscii(const FrequencyTable& frequencies,
+                              size_t max_bars, size_t max_width) {
+  std::string out;
+  if (frequencies.total_count() == 0) return "(empty)\n";
+  uint64_t max_count = std::max<uint64_t>(1, frequencies.entries().empty()
+                                                 ? 1
+                                                 : frequencies.entries()[0].count);
+  double total = static_cast<double>(frequencies.total_count());
+  double cumulative = 0.0;
+  size_t shown = 0;
+  for (const ValueCount& entry : frequencies.entries()) {
+    if (shown >= max_bars) break;
+    cumulative += static_cast<double>(entry.count) / total;
+    size_t bar = static_cast<size_t>(
+        std::llround(static_cast<double>(entry.count) /
+                     static_cast<double>(max_count) *
+                     static_cast<double>(max_width)));
+    out += PadRight(entry.value, 18) + "|" + std::string(bar, '#') + " " +
+           std::to_string(entry.count) + "  (cum " +
+           FormatDouble(cumulative * 100.0, 3) + "%)\n";
+    ++shown;
+  }
+  size_t remaining = frequencies.cardinality() - shown;
+  if (remaining > 0) {
+    out += "... and " + std::to_string(remaining) + " more distinct values\n";
+  }
+  return out;
+}
+
+std::string RenderBoxPlotAscii(const BoxPlotStats& stats, size_t width) {
+  if (width < 10) width = 10;
+  double lo = stats.min;
+  double hi = stats.max;
+  if (hi <= lo) hi = lo + 1.0;
+  auto position = [&](double v) {
+    double t = (v - lo) / (hi - lo);
+    return std::min(width - 1, static_cast<size_t>(t * static_cast<double>(width - 1)));
+  };
+  std::string row(width, ' ');
+  // Whisker span.
+  size_t lw = position(stats.lower_whisker);
+  size_t uw = position(stats.upper_whisker);
+  for (size_t i = lw; i <= uw; ++i) row[i] = '-';
+  // Box.
+  size_t q1 = position(stats.q1);
+  size_t q3 = position(stats.q3);
+  for (size_t i = q1; i <= q3; ++i) row[i] = '=';
+  row[q1] = '[';
+  row[q3] = ']';
+  row[position(stats.median)] = '|';
+  // Outliers.
+  std::string marks(width, ' ');
+  bool has_outliers = false;
+  for (size_t index : stats.outlier_indices) {
+    (void)index;
+    has_outliers = true;
+  }
+  std::string out = row + "\n";
+  out += "min=" + FormatDouble(stats.min, 4) + " q1=" + FormatDouble(stats.q1, 4) +
+         " med=" + FormatDouble(stats.median, 4) + " q3=" +
+         FormatDouble(stats.q3, 4) + " max=" + FormatDouble(stats.max, 4) +
+         " outliers=" + std::to_string(stats.outlier_indices.size()) + "\n";
+  (void)has_outliers;
+  (void)marks;
+  return out;
+}
+
+std::string RenderScatterAscii(const std::vector<double>& x,
+                               const std::vector<double>& y, size_t width,
+                               size_t height) {
+  if (x.empty() || x.size() != y.size()) return "(no data)\n";
+  auto [xmin_it, xmax_it] = std::minmax_element(x.begin(), x.end());
+  auto [ymin_it, ymax_it] = std::minmax_element(y.begin(), y.end());
+  double xmin = *xmin_it, xmax = *xmax_it, ymin = *ymin_it, ymax = *ymax_it;
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t i = 0; i < x.size(); ++i) {
+    size_t cx = std::min(width - 1, static_cast<size_t>((x[i] - xmin) /
+                                                        (xmax - xmin) *
+                                                        (width - 1)));
+    size_t cy = std::min(height - 1, static_cast<size_t>((y[i] - ymin) /
+                                                         (ymax - ymin) *
+                                                         (height - 1)));
+    char& cell = grid[height - 1 - cy][cx];
+    cell = cell == ' ' ? '.' : (cell == '.' ? 'o' : '@');
+  }
+  std::string out;
+  for (const std::string& row : grid) out += "|" + row + "|\n";
+  out += "x: [" + FormatDouble(xmin, 4) + ", " + FormatDouble(xmax, 4) +
+         "]  y: [" + FormatDouble(ymin, 4) + ", " + FormatDouble(ymax, 4) +
+         "]\n";
+  return out;
+}
+
+std::string RenderCorrelationHeatmapAscii(const CorrelationOverview& overview) {
+  size_t d = overview.attribute_names.size();
+  if (d == 0) return "(no numeric attributes)\n";
+  // Signed shade glyphs from strong negative to strong positive.
+  auto glyph = [](double rho) {
+    double magnitude = std::abs(rho);
+    if (magnitude < 0.2) return ' ';
+    char positive[] = {'.', '+', '*', '#'};
+    char negative[] = {',', '-', '=', '%'};
+    size_t level = magnitude < 0.4 ? 0 : magnitude < 0.6 ? 1 : magnitude < 0.8 ? 2 : 3;
+    return rho >= 0 ? positive[level] : negative[level];
+  };
+  size_t label_width = 0;
+  for (const std::string& name : overview.attribute_names) {
+    label_width = std::max(label_width, name.size());
+  }
+  label_width = std::min<size_t>(label_width, 26);
+  std::string out;
+  for (size_t i = 0; i < d; ++i) {
+    std::string name = overview.attribute_names[i].substr(0, label_width);
+    out += PadLeft(name, label_width) + " ";
+    for (size_t j = 0; j < d; ++j) {
+      out += glyph(overview.at(i, j));
+      out += ' ';
+    }
+    out += "\n";
+  }
+  out += PadLeft("", label_width) + " ";
+  for (size_t j = 0; j < d; ++j) {
+    out += static_cast<char>('a' + (j % 26));
+    out += ' ';
+  }
+  out += "\nlegend: magnitude  .,=0.2-0.4  +-=0.4-0.6  *==0.6-0.8  #%=0.8-1.0 "
+         "(left char positive, right negative)\n";
+  return out;
+}
+
+}  // namespace foresight

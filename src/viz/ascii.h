@@ -1,0 +1,39 @@
+#ifndef FORESIGHT_VIZ_ASCII_H_
+#define FORESIGHT_VIZ_ASCII_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "stats/frequency.h"
+#include "stats/histogram.h"
+#include "stats/quantiles.h"
+
+namespace foresight {
+
+/// Terminal renderers used by the example programs, so the demo scenarios are
+/// self-contained without a Vega runtime. All return multi-line strings.
+
+/// Horizontal-bar histogram.
+std::string RenderHistogramAscii(const Histogram& histogram,
+                                 size_t max_width = 50);
+
+/// Top-N frequency bars with cumulative share (Pareto).
+std::string RenderParetoAscii(const FrequencyTable& frequencies,
+                              size_t max_bars = 10, size_t max_width = 40);
+
+/// One-line box plot with whiskers and quartiles mapped onto a character row.
+std::string RenderBoxPlotAscii(const BoxPlotStats& stats, size_t width = 60);
+
+/// Dot-matrix scatter plot.
+std::string RenderScatterAscii(const std::vector<double>& x,
+                               const std::vector<double>& y, size_t width = 60,
+                               size_t height = 18);
+
+/// Correlation heatmap (Figure 2): one signed glyph per cell, darker = |rho|
+/// closer to 1; '+' shades for positive, '-' shades for negative.
+std::string RenderCorrelationHeatmapAscii(const CorrelationOverview& overview);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_VIZ_ASCII_H_

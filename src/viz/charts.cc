@@ -1,0 +1,293 @@
+#include "viz/charts.h"
+
+#include <algorithm>
+
+#include "stats/correlation.h"
+#include "stats/regression.h"
+#include "util/string_util.h"
+#include "util/random.h"
+#include "viz/ascii.h"
+#include "viz/vega.h"
+
+namespace foresight {
+
+namespace {
+
+/// Uniformly subsamples paired vectors down to `max_points`.
+void SubsamplePairs(std::vector<double>& x, std::vector<double>& y,
+                    std::vector<std::string>* color, size_t max_points,
+                    uint64_t seed) {
+  if (x.size() <= max_points) return;
+  Rng rng(seed);
+  std::vector<size_t> order(x.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  order.resize(max_points);
+  std::sort(order.begin(), order.end());
+  std::vector<double> nx, ny;
+  std::vector<std::string> nc;
+  nx.reserve(max_points);
+  ny.reserve(max_points);
+  for (size_t index : order) {
+    nx.push_back(x[index]);
+    ny.push_back(y[index]);
+    if (color != nullptr) nc.push_back((*color)[index]);
+  }
+  x = std::move(nx);
+  y = std::move(ny);
+  if (color != nullptr) *color = std::move(nc);
+}
+
+struct InsightData {
+  VisualizationKind kind;
+  const InsightClass* insight_class;
+};
+
+StatusOr<InsightData> ResolveInsight(const InsightEngine& engine,
+                                     const Insight& insight) {
+  const InsightClass* insight_class =
+      engine.registry().Find(insight.class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + insight.class_name);
+  }
+  for (size_t index : insight.attributes.indices) {
+    if (index >= engine.table().num_columns()) {
+      return Status::OutOfRange("insight references an invalid column index");
+    }
+  }
+  return InsightData{insight_class->visualization(), insight_class};
+}
+
+}  // namespace
+
+StatusOr<JsonValue> BuildInsightChart(const InsightEngine& engine,
+                                      const Insight& insight,
+                                      const ChartOptions& options) {
+  FORESIGHT_ASSIGN_OR_RETURN(InsightData data, ResolveInsight(engine, insight));
+  const DataTable& table = engine.table();
+  const std::string title = insight.description;
+
+  switch (data.kind) {
+    case VisualizationKind::kHistogram:
+    case VisualizationKind::kDensity: {
+      const auto& column = table.column(insight.attributes.indices[0]);
+      if (column.type() != ColumnType::kNumeric) {
+        return Status::InvalidArgument("histogram needs a numeric attribute");
+      }
+      std::vector<double> values = column.AsNumeric().ValidValues();
+      Histogram histogram =
+          BuildAutoHistogram(values, options.max_histogram_bins);
+      return HistogramSpec(histogram, title, insight.attribute_names[0]);
+    }
+    case VisualizationKind::kBoxPlot: {
+      const auto& column = table.column(insight.attributes.indices[0]);
+      if (column.type() != ColumnType::kNumeric) {
+        return Status::InvalidArgument("box plot needs a numeric attribute");
+      }
+      std::vector<double> values = column.AsNumeric().ValidValues();
+      BoxPlotStats stats = ComputeBoxPlotStats(values);
+      std::vector<double> outliers;
+      for (size_t index : stats.outlier_indices) {
+        outliers.push_back(values[index]);
+        if (outliers.size() >= options.max_scatter_points) break;
+      }
+      return BoxPlotSpec(stats, title, insight.attribute_names[0], outliers);
+    }
+    case VisualizationKind::kParetoChart: {
+      const auto& column = table.column(insight.attributes.indices[0]);
+      if (column.type() != ColumnType::kCategorical) {
+        return Status::InvalidArgument("Pareto chart needs a categorical");
+      }
+      FrequencyTable frequencies(column.AsCategorical());
+      return ParetoSpec(frequencies, options.max_pareto_bars, title,
+                        insight.attribute_names[0]);
+    }
+    case VisualizationKind::kScatter:
+    case VisualizationKind::kScatterWithFit: {
+      if (insight.attributes.arity() < 2) {
+        return Status::InvalidArgument("scatter needs two attributes");
+      }
+      PairedValues pairs = ExtractPairedValid(
+          table.column(insight.attributes.indices[0]).AsNumeric(),
+          table.column(insight.attributes.indices[1]).AsNumeric());
+      SubsamplePairs(pairs.x, pairs.y, nullptr, options.max_scatter_points,
+                     options.sample_seed);
+      LinearFit fit;
+      const LinearFit* fit_ptr = nullptr;
+      if (data.kind == VisualizationKind::kScatterWithFit) {
+        fit = FitLine(pairs.x, pairs.y);
+        fit_ptr = &fit;
+      }
+      return ScatterSpec(pairs.x, pairs.y, insight.attribute_names[0],
+                         insight.attribute_names[1], title, fit_ptr);
+    }
+    case VisualizationKind::kColoredScatter: {
+      if (insight.attributes.arity() < 3) {
+        return Status::InvalidArgument("colored scatter needs (x, y, z)");
+      }
+      const auto& x_col =
+          table.column(insight.attributes.indices[0]).AsNumeric();
+      const auto& y_col =
+          table.column(insight.attributes.indices[1]).AsNumeric();
+      const auto& z_col =
+          table.column(insight.attributes.indices[2]).AsCategorical();
+      std::vector<double> x, y;
+      std::vector<std::string> color;
+      for (size_t i = 0; i < x_col.size(); ++i) {
+        if (x_col.is_valid(i) && y_col.is_valid(i) && z_col.is_valid(i)) {
+          x.push_back(x_col.value(i));
+          y.push_back(y_col.value(i));
+          color.push_back(z_col.value(i));
+        }
+      }
+      SubsamplePairs(x, y, &color, options.max_scatter_points,
+                     options.sample_seed);
+      return ColoredScatterSpec(x, y, color, insight.attribute_names[0],
+                                insight.attribute_names[1],
+                                insight.attribute_names[2], title);
+    }
+    case VisualizationKind::kBar: {
+      // Missing-values style: one bar for the insight's attribute.
+      return BarSpec({insight.attribute_names[0]}, {insight.raw_value}, title,
+                     insight.metric_name);
+    }
+  }
+  return Status::Internal("unhandled visualization kind");
+}
+
+namespace {
+
+/// Top insights of a unary class over all candidates, for bar overviews.
+StatusOr<std::vector<Insight>> UnaryOverviewInsights(
+    const InsightEngine& engine, const std::string& class_name,
+    ExecutionMode mode, size_t max_bars) {
+  InsightQuery query;
+  query.class_name = class_name;
+  query.top_k = max_bars;
+  query.mode = mode;
+  FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result, engine.Execute(query));
+  return std::move(result.insights);
+}
+
+}  // namespace
+
+StatusOr<JsonValue> BuildOverviewChart(const InsightEngine& engine,
+                                       const std::string& class_name,
+                                       ExecutionMode mode, size_t max_bars) {
+  const InsightClass* insight_class = engine.registry().Find(class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + class_name);
+  }
+  if (insight_class->arity() == 2) {
+    FORESIGHT_ASSIGN_OR_RETURN(
+        CorrelationOverview overview,
+        engine.ComputePairwiseOverview(class_name, "", mode));
+    return CorrelationHeatmapSpec(
+        overview, insight_class->display_name() + " overview (" +
+                      overview.metric_name + ")");
+  }
+  if (insight_class->arity() == 1) {
+    FORESIGHT_ASSIGN_OR_RETURN(
+        std::vector<Insight> insights,
+        UnaryOverviewInsights(engine, class_name, mode, max_bars));
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const Insight& insight : insights) {
+      labels.push_back(insight.attribute_names[0]);
+      values.push_back(insight.score);
+    }
+    return BarSpec(labels, values,
+                   insight_class->display_name() + " overview",
+                   insight_class->metric_names().front());
+  }
+  return Status::Unimplemented(
+      "overview charts are defined for arity-1 and arity-2 classes");
+}
+
+StatusOr<std::string> RenderOverviewAscii(const InsightEngine& engine,
+                                          const std::string& class_name,
+                                          ExecutionMode mode, size_t max_bars) {
+  const InsightClass* insight_class = engine.registry().Find(class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + class_name);
+  }
+  if (insight_class->arity() == 2) {
+    FORESIGHT_ASSIGN_OR_RETURN(
+        CorrelationOverview overview,
+        engine.ComputePairwiseOverview(class_name, "", mode));
+    return insight_class->display_name() + " overview (" +
+           overview.metric_name + "):\n" +
+           RenderCorrelationHeatmapAscii(overview);
+  }
+  if (insight_class->arity() == 1) {
+    FORESIGHT_ASSIGN_OR_RETURN(
+        std::vector<Insight> insights,
+        UnaryOverviewInsights(engine, class_name, mode, max_bars));
+    double max_score = 1e-12;
+    for (const Insight& insight : insights) {
+      max_score = std::max(max_score, insight.score);
+    }
+    std::string out = insight_class->display_name() + " overview (" +
+                      insight_class->metric_names().front() + "):\n";
+    for (const Insight& insight : insights) {
+      size_t bar = static_cast<size_t>(insight.score / max_score * 40.0);
+      std::string name = insight.attribute_names[0].substr(0, 26);
+      name.resize(26, ' ');
+      out += "  " + name + "|" + std::string(bar, '#') + " " +
+             FormatDouble(insight.raw_value, 4) + "\n";
+    }
+    return out;
+  }
+  return Status::Unimplemented(
+      "overview charts are defined for arity-1 and arity-2 classes");
+}
+
+StatusOr<std::string> RenderInsightAscii(const InsightEngine& engine,
+                                         const Insight& insight,
+                                         const ChartOptions& options) {
+  FORESIGHT_ASSIGN_OR_RETURN(InsightData data, ResolveInsight(engine, insight));
+  const DataTable& table = engine.table();
+  std::string out = insight.description + "\n";
+
+  switch (data.kind) {
+    case VisualizationKind::kHistogram:
+    case VisualizationKind::kDensity: {
+      std::vector<double> values =
+          table.column(insight.attributes.indices[0]).AsNumeric().ValidValues();
+      out += RenderHistogramAscii(
+          BuildAutoHistogram(values, std::min<size_t>(16, options.max_histogram_bins)));
+      return out;
+    }
+    case VisualizationKind::kBoxPlot: {
+      std::vector<double> values =
+          table.column(insight.attributes.indices[0]).AsNumeric().ValidValues();
+      out += RenderBoxPlotAscii(ComputeBoxPlotStats(values));
+      return out;
+    }
+    case VisualizationKind::kParetoChart: {
+      FrequencyTable frequencies(
+          table.column(insight.attributes.indices[0]).AsCategorical());
+      out += RenderParetoAscii(frequencies, options.max_pareto_bars);
+      return out;
+    }
+    case VisualizationKind::kScatter:
+    case VisualizationKind::kScatterWithFit:
+    case VisualizationKind::kColoredScatter: {
+      PairedValues pairs = ExtractPairedValid(
+          table.column(insight.attributes.indices[0]).AsNumeric(),
+          table.column(insight.attributes.indices[1]).AsNumeric());
+      SubsamplePairs(pairs.x, pairs.y, nullptr, options.max_scatter_points,
+                     options.sample_seed);
+      out += RenderScatterAscii(pairs.x, pairs.y);
+      return out;
+    }
+    case VisualizationKind::kBar: {
+      out += insight.attribute_names[0] + ": " +
+             FormatDouble(insight.raw_value, 4) + "\n";
+      return out;
+    }
+  }
+  return Status::Internal("unhandled visualization kind");
+}
+
+}  // namespace foresight

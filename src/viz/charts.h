@@ -1,0 +1,49 @@
+#ifndef FORESIGHT_VIZ_CHARTS_H_
+#define FORESIGHT_VIZ_CHARTS_H_
+
+#include <string>
+
+#include "core/engine.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// Options for insight chart generation.
+struct ChartOptions {
+  /// Scatter plots subsample to at most this many points.
+  size_t max_scatter_points = 500;
+  size_t max_pareto_bars = 12;
+  size_t max_histogram_bins = 32;
+  uint64_t sample_seed = 29;
+};
+
+/// Builds the Vega-Lite spec for one insight, choosing the chart form the
+/// insight class prescribes (§2.2): histogram, box plot, Pareto chart,
+/// scatter (+fit), colored scatter, or bar.
+StatusOr<JsonValue> BuildInsightChart(const InsightEngine& engine,
+                                      const Insight& insight,
+                                      const ChartOptions& options = {});
+
+/// Renders an ASCII approximation of the same chart for terminal demos.
+StatusOr<std::string> RenderInsightAscii(const InsightEngine& engine,
+                                         const Insight& insight,
+                                         const ChartOptions& options = {});
+
+/// Class-level overview chart (§2.1 "overview visualizations ... display the
+/// values of the insight metric over all tuples in the insight class"):
+/// arity-2 numeric classes get a Figure-2-style matrix heatmap; arity-1
+/// classes get a ranked bar chart of the metric across all attributes.
+StatusOr<JsonValue> BuildOverviewChart(const InsightEngine& engine,
+                                       const std::string& class_name,
+                                       ExecutionMode mode = ExecutionMode::kAuto,
+                                       size_t max_bars = 24);
+
+/// ASCII counterpart of BuildOverviewChart.
+StatusOr<std::string> RenderOverviewAscii(
+    const InsightEngine& engine, const std::string& class_name,
+    ExecutionMode mode = ExecutionMode::kAuto, size_t max_bars = 24);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_VIZ_CHARTS_H_

@@ -1,0 +1,368 @@
+#include "viz/vega.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+namespace {
+
+JsonValue BaseSpec(const std::string& title) {
+  JsonValue spec = JsonValue::Object();
+  spec.Set("$schema", "https://vega.github.io/schema/vega-lite/v5.json");
+  spec.Set("title", title);
+  spec.Set("width", 360);
+  spec.Set("height", 240);
+  return spec;
+}
+
+JsonValue FieldEncoding(const std::string& field, const std::string& type,
+                        const std::string& axis_title = "") {
+  JsonValue enc = JsonValue::Object();
+  enc.Set("field", field);
+  enc.Set("type", type);
+  if (!axis_title.empty()) enc.Set("title", axis_title);
+  return enc;
+}
+
+}  // namespace
+
+JsonValue HistogramSpec(const Histogram& histogram, const std::string& title,
+                        const std::string& attribute_name) {
+  JsonValue spec = BaseSpec(title);
+  JsonValue values = JsonValue::Array();
+  for (size_t i = 0; i < histogram.num_bins(); ++i) {
+    JsonValue row = JsonValue::Object();
+    row.Set("bin_start", histogram.edges[i]);
+    row.Set("bin_end", histogram.edges[i + 1]);
+    row.Set("count", static_cast<double>(histogram.counts[i]));
+    values.Append(std::move(row));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+  spec.Set("mark", "bar");
+  JsonValue encoding = JsonValue::Object();
+  JsonValue x = FieldEncoding("bin_start", "quantitative", attribute_name);
+  JsonValue bin = JsonValue::Object();
+  bin.Set("binned", true);
+  x.Set("bin", std::move(bin));
+  encoding.Set("x", std::move(x));
+  encoding.Set("x2", FieldEncoding("bin_end", "quantitative"));
+  encoding.Set("y", FieldEncoding("count", "quantitative", "count"));
+  spec.Set("encoding", std::move(encoding));
+  return spec;
+}
+
+JsonValue BoxPlotSpec(const BoxPlotStats& stats, const std::string& title,
+                      const std::string& attribute_name,
+                      const std::vector<double>& outlier_values) {
+  JsonValue spec = BaseSpec(title);
+  // Pre-aggregated box plot: one summary row + individual outlier points.
+  JsonValue summary = JsonValue::Object();
+  summary.Set("attribute", attribute_name);
+  summary.Set("lower_whisker", stats.lower_whisker);
+  summary.Set("q1", stats.q1);
+  summary.Set("median", stats.median);
+  summary.Set("q3", stats.q3);
+  summary.Set("upper_whisker", stats.upper_whisker);
+  JsonValue values = JsonValue::Array();
+  values.Append(std::move(summary));
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+
+  JsonValue layers = JsonValue::Array();
+  {
+    JsonValue rule = JsonValue::Object();
+    rule.Set("mark", "rule");
+    JsonValue enc = JsonValue::Object();
+    enc.Set("x", FieldEncoding("attribute", "nominal", ""));
+    enc.Set("y", FieldEncoding("lower_whisker", "quantitative",
+                               attribute_name));
+    enc.Set("y2", FieldEncoding("upper_whisker", "quantitative"));
+    rule.Set("encoding", std::move(enc));
+    layers.Append(std::move(rule));
+  }
+  {
+    JsonValue bar = JsonValue::Object();
+    JsonValue mark = JsonValue::Object();
+    mark.Set("type", "bar");
+    mark.Set("size", 28);
+    bar.Set("mark", std::move(mark));
+    JsonValue enc = JsonValue::Object();
+    enc.Set("x", FieldEncoding("attribute", "nominal", ""));
+    enc.Set("y", FieldEncoding("q1", "quantitative"));
+    enc.Set("y2", FieldEncoding("q3", "quantitative"));
+    bar.Set("encoding", std::move(enc));
+    layers.Append(std::move(bar));
+  }
+  {
+    JsonValue tick = JsonValue::Object();
+    JsonValue mark = JsonValue::Object();
+    mark.Set("type", "tick");
+    mark.Set("color", "white");
+    mark.Set("size", 28);
+    tick.Set("mark", std::move(mark));
+    JsonValue enc = JsonValue::Object();
+    enc.Set("x", FieldEncoding("attribute", "nominal", ""));
+    enc.Set("y", FieldEncoding("median", "quantitative"));
+    tick.Set("encoding", std::move(enc));
+    layers.Append(std::move(tick));
+  }
+  if (!outlier_values.empty()) {
+    JsonValue points = JsonValue::Object();
+    JsonValue point_values = JsonValue::Array();
+    for (double v : outlier_values) {
+      JsonValue row = JsonValue::Object();
+      row.Set("attribute", attribute_name);
+      row.Set("value", v);
+      point_values.Append(std::move(row));
+    }
+    JsonValue point_data = JsonValue::Object();
+    point_data.Set("values", std::move(point_values));
+    points.Set("data", std::move(point_data));
+    points.Set("mark", "point");
+    JsonValue enc = JsonValue::Object();
+    enc.Set("x", FieldEncoding("attribute", "nominal", ""));
+    enc.Set("y", FieldEncoding("value", "quantitative"));
+    points.Set("encoding", std::move(enc));
+    layers.Append(std::move(points));
+  }
+  spec.Set("layer", std::move(layers));
+  return spec;
+}
+
+JsonValue ParetoSpec(const FrequencyTable& frequencies, size_t max_bars,
+                     const std::string& title,
+                     const std::string& attribute_name) {
+  JsonValue spec = BaseSpec(title);
+  JsonValue values = JsonValue::Array();
+  double total = static_cast<double>(std::max<uint64_t>(1, frequencies.total_count()));
+  double cumulative = 0.0;
+  size_t rank = 0;
+  for (const ValueCount& entry : frequencies.entries()) {
+    if (rank >= max_bars) break;
+    cumulative += static_cast<double>(entry.count) / total;
+    JsonValue row = JsonValue::Object();
+    row.Set("value", entry.value);
+    row.Set("count", static_cast<double>(entry.count));
+    row.Set("cumulative_share", cumulative);
+    row.Set("rank", static_cast<double>(rank));
+    values.Append(std::move(row));
+    ++rank;
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+
+  JsonValue layers = JsonValue::Array();
+  {
+    JsonValue bars = JsonValue::Object();
+    bars.Set("mark", "bar");
+    JsonValue enc = JsonValue::Object();
+    JsonValue x = FieldEncoding("value", "nominal", attribute_name);
+    JsonValue sort = JsonValue::Object();
+    sort.Set("field", "rank");
+    x.Set("sort", std::move(sort));
+    enc.Set("x", std::move(x));
+    enc.Set("y", FieldEncoding("count", "quantitative", "count"));
+    bars.Set("encoding", std::move(enc));
+    layers.Append(std::move(bars));
+  }
+  {
+    JsonValue line = JsonValue::Object();
+    JsonValue mark = JsonValue::Object();
+    mark.Set("type", "line");
+    mark.Set("color", "firebrick");
+    mark.Set("point", true);
+    line.Set("mark", std::move(mark));
+    JsonValue enc = JsonValue::Object();
+    JsonValue x = FieldEncoding("value", "nominal", "");
+    JsonValue sort = JsonValue::Object();
+    sort.Set("field", "rank");
+    x.Set("sort", std::move(sort));
+    enc.Set("x", std::move(x));
+    JsonValue y = FieldEncoding("cumulative_share", "quantitative",
+                                "cumulative share");
+    JsonValue scale = JsonValue::Object();
+    JsonValue domain = JsonValue::Array();
+    domain.Append(0.0);
+    domain.Append(1.0);
+    scale.Set("domain", std::move(domain));
+    y.Set("scale", std::move(scale));
+    enc.Set("y", std::move(y));
+    line.Set("encoding", std::move(enc));
+    layers.Append(std::move(line));
+  }
+  spec.Set("layer", std::move(layers));
+  JsonValue resolve = JsonValue::Object();
+  JsonValue scale = JsonValue::Object();
+  scale.Set("y", "independent");
+  resolve.Set("scale", std::move(scale));
+  spec.Set("resolve", std::move(resolve));
+  return spec;
+}
+
+JsonValue ScatterSpec(const std::vector<double>& x,
+                      const std::vector<double>& y, const std::string& x_name,
+                      const std::string& y_name, const std::string& title,
+                      const LinearFit* fit) {
+  FORESIGHT_CHECK(x.size() == y.size());
+  JsonValue spec = BaseSpec(title);
+  JsonValue values = JsonValue::Array();
+  for (size_t i = 0; i < x.size(); ++i) {
+    JsonValue row = JsonValue::Object();
+    row.Set("x", x[i]);
+    row.Set("y", y[i]);
+    values.Append(std::move(row));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+
+  JsonValue layers = JsonValue::Array();
+  {
+    JsonValue points = JsonValue::Object();
+    JsonValue mark = JsonValue::Object();
+    mark.Set("type", "point");
+    mark.Set("opacity", 0.55);
+    points.Set("mark", std::move(mark));
+    JsonValue enc = JsonValue::Object();
+    enc.Set("x", FieldEncoding("x", "quantitative", x_name));
+    enc.Set("y", FieldEncoding("y", "quantitative", y_name));
+    points.Set("encoding", std::move(enc));
+    layers.Append(std::move(points));
+  }
+  if (fit != nullptr && fit->valid && !x.empty()) {
+    auto [min_it, max_it] = std::minmax_element(x.begin(), x.end());
+    JsonValue line = JsonValue::Object();
+    JsonValue line_values = JsonValue::Array();
+    for (double xv : {*min_it, *max_it}) {
+      JsonValue row = JsonValue::Object();
+      row.Set("x", xv);
+      row.Set("y", fit->slope * xv + fit->intercept);
+      line_values.Append(std::move(row));
+    }
+    JsonValue line_data = JsonValue::Object();
+    line_data.Set("values", std::move(line_values));
+    line.Set("data", std::move(line_data));
+    JsonValue mark = JsonValue::Object();
+    mark.Set("type", "line");
+    mark.Set("color", "firebrick");
+    line.Set("mark", std::move(mark));
+    JsonValue enc = JsonValue::Object();
+    enc.Set("x", FieldEncoding("x", "quantitative"));
+    enc.Set("y", FieldEncoding("y", "quantitative"));
+    line.Set("encoding", std::move(enc));
+    layers.Append(std::move(line));
+  }
+  spec.Set("layer", std::move(layers));
+  return spec;
+}
+
+JsonValue ColoredScatterSpec(const std::vector<double>& x,
+                             const std::vector<double>& y,
+                             const std::vector<std::string>& color,
+                             const std::string& x_name,
+                             const std::string& y_name,
+                             const std::string& color_name,
+                             const std::string& title) {
+  FORESIGHT_CHECK(x.size() == y.size() && x.size() == color.size());
+  JsonValue spec = BaseSpec(title);
+  JsonValue values = JsonValue::Array();
+  for (size_t i = 0; i < x.size(); ++i) {
+    JsonValue row = JsonValue::Object();
+    row.Set("x", x[i]);
+    row.Set("y", y[i]);
+    row.Set("group", color[i]);
+    values.Append(std::move(row));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+  JsonValue mark = JsonValue::Object();
+  mark.Set("type", "point");
+  mark.Set("opacity", 0.6);
+  spec.Set("mark", std::move(mark));
+  JsonValue enc = JsonValue::Object();
+  enc.Set("x", FieldEncoding("x", "quantitative", x_name));
+  enc.Set("y", FieldEncoding("y", "quantitative", y_name));
+  enc.Set("color", FieldEncoding("group", "nominal", color_name));
+  spec.Set("encoding", std::move(enc));
+  return spec;
+}
+
+JsonValue CorrelationHeatmapSpec(const CorrelationOverview& overview,
+                                 const std::string& title) {
+  JsonValue spec = BaseSpec(title);
+  spec.Set("width", 480);
+  spec.Set("height", 480);
+  size_t d = overview.attribute_names.size();
+  JsonValue values = JsonValue::Array();
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      JsonValue row = JsonValue::Object();
+      row.Set("x", overview.attribute_names[i]);
+      row.Set("y", overview.attribute_names[j]);
+      double rho = overview.at(i, j);
+      row.Set("correlation", rho);
+      row.Set("magnitude", std::abs(rho));
+      values.Append(std::move(row));
+    }
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+  JsonValue mark = JsonValue::Object();
+  mark.Set("type", "circle");
+  spec.Set("mark", std::move(mark));
+  JsonValue enc = JsonValue::Object();
+  enc.Set("x", FieldEncoding("x", "nominal", ""));
+  enc.Set("y", FieldEncoding("y", "nominal", ""));
+  JsonValue color = FieldEncoding("correlation", "quantitative", "rho");
+  JsonValue color_scale = JsonValue::Object();
+  color_scale.Set("scheme", "blueorange");
+  JsonValue domain = JsonValue::Array();
+  domain.Append(-1.0);
+  domain.Append(1.0);
+  color_scale.Set("domain", std::move(domain));
+  color.Set("scale", std::move(color_scale));
+  enc.Set("color", std::move(color));
+  JsonValue size = FieldEncoding("magnitude", "quantitative", "|rho|");
+  JsonValue size_scale = JsonValue::Object();
+  JsonValue size_domain = JsonValue::Array();
+  size_domain.Append(0.0);
+  size_domain.Append(1.0);
+  size_scale.Set("domain", std::move(size_domain));
+  size.Set("scale", std::move(size_scale));
+  enc.Set("size", std::move(size));
+  spec.Set("encoding", std::move(enc));
+  return spec;
+}
+
+JsonValue BarSpec(const std::vector<std::string>& labels,
+                  const std::vector<double>& values, const std::string& title,
+                  const std::string& value_name) {
+  FORESIGHT_CHECK(labels.size() == values.size());
+  JsonValue spec = BaseSpec(title);
+  JsonValue rows = JsonValue::Array();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    JsonValue row = JsonValue::Object();
+    row.Set("label", labels[i]);
+    row.Set("value", values[i]);
+    rows.Append(std::move(row));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("values", std::move(rows));
+  spec.Set("data", std::move(data));
+  spec.Set("mark", "bar");
+  JsonValue enc = JsonValue::Object();
+  enc.Set("x", FieldEncoding("label", "nominal", ""));
+  enc.Set("y", FieldEncoding("value", "quantitative", value_name));
+  spec.Set("encoding", std::move(enc));
+  return spec;
+}
+
+}  // namespace foresight

@@ -1,0 +1,64 @@
+#ifndef FORESIGHT_VIZ_VEGA_H_
+#define FORESIGHT_VIZ_VEGA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "stats/frequency.h"
+#include "stats/histogram.h"
+#include "stats/quantiles.h"
+#include "stats/regression.h"
+#include "util/json.h"
+
+namespace foresight {
+
+/// Builders for Vega-Lite v5 chart specifications — the renderable artifacts
+/// standing in for the demo UI's D3 charts. Each returns a complete,
+/// self-contained spec (inline data values) that any Vega-Lite runtime can
+/// render. The mapping of insight class -> chart follows §2.2.
+
+/// Histogram of a numeric attribute (dispersion / skew / heavy tails).
+JsonValue HistogramSpec(const Histogram& histogram, const std::string& title,
+                        const std::string& attribute_name);
+
+/// Box-and-whisker plot (outliers insight).
+JsonValue BoxPlotSpec(const BoxPlotStats& stats, const std::string& title,
+                      const std::string& attribute_name,
+                      const std::vector<double>& outlier_values);
+
+/// Pareto chart: descending value frequencies with cumulative share line
+/// (heterogeneous frequencies / concentration insights).
+JsonValue ParetoSpec(const FrequencyTable& frequencies, size_t max_bars,
+                     const std::string& title,
+                     const std::string& attribute_name);
+
+/// Scatter plot, optionally with the least-squares line superimposed
+/// (linear / monotonic relationship insights).
+JsonValue ScatterSpec(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const std::string& x_name, const std::string& y_name,
+                      const std::string& title, const LinearFit* fit);
+
+/// Scatter colored by a categorical attribute (segmentation insight).
+JsonValue ColoredScatterSpec(const std::vector<double>& x,
+                             const std::vector<double>& y,
+                             const std::vector<std::string>& color,
+                             const std::string& x_name,
+                             const std::string& y_name,
+                             const std::string& color_name,
+                             const std::string& title);
+
+/// Figure 2 overview: all pairwise correlations as a heatmap whose circle
+/// size and color encode correlation strength.
+JsonValue CorrelationHeatmapSpec(const CorrelationOverview& overview,
+                                 const std::string& title);
+
+/// Simple bar chart (missing-values insight and generic use).
+JsonValue BarSpec(const std::vector<std::string>& labels,
+                  const std::vector<double>& values, const std::string& title,
+                  const std::string& value_name);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_VIZ_VEGA_H_

@@ -1,0 +1,137 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace foresight {
+namespace {
+
+TEST(PearsonTest, PerfectLinearRelationships) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariance) {
+  Rng rng(1);
+  std::vector<double> x(500), y(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = 0.5 * x[i] + rng.Normal();
+  }
+  double base = PearsonCorrelation(x, y);
+  std::vector<double> x2 = x, y2 = y;
+  for (double& v : x2) v = 100.0 + 7.0 * v;
+  for (double& v : y2) v = -3.0 + 0.01 * v;
+  EXPECT_NEAR(PearsonCorrelation(x2, y2), base, 1e-9);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  // Constant column: correlation undefined -> 0.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, RecoversPlantedCorrelation) {
+  for (double rho : {-0.7, 0.2, 0.9}) {
+    CorrelatedPair pair = MakeGaussianPair(100000, rho, 99);
+    EXPECT_NEAR(PearsonCorrelation(pair.x, pair.y), rho, 0.015);
+  }
+}
+
+TEST(FractionalRanksTest, MidrankTies) {
+  std::vector<double> v{10.0, 20.0, 20.0, 30.0};
+  std::vector<double> ranks = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanTest, PerfectMonotoneNonlinear) {
+  // y = exp(x) is nonlinear but perfectly monotone: Spearman = 1,
+  // Pearson < 1.
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(static_cast<double>(i) / 5.0);
+    y.push_back(std::exp(x.back()));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.95);
+}
+
+TEST(SpearmanTest, InvariantUnderMonotoneTransform) {
+  Rng rng(2);
+  std::vector<double> x(1000), y(1000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = 0.6 * x[i] + 0.8 * rng.Normal();
+  }
+  double base = SpearmanCorrelation(x, y);
+  std::vector<double> y_transformed = y;
+  for (double& v : y_transformed) v = std::exp(v);  // strictly increasing
+  EXPECT_NEAR(SpearmanCorrelation(x, y_transformed), base, 1e-9);
+}
+
+TEST(KendallTest, SmallKnownCase) {
+  // x: 1 2 3 4 5, y: 3 1 4 2 5 -> y has 3 inversions, so discordant = 3,
+  // concordant = 7, tau = (7 - 3) / 10 = 0.4.
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 1, 4, 2, 5};
+  EXPECT_NEAR(KendallTau(x, y), 0.4, 1e-12);
+}
+
+TEST(KendallTest, PerfectAndReversed) {
+  std::vector<double> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(KendallTau(x, x), 1.0);
+  std::vector<double> rev{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(x, rev), -1.0);
+}
+
+TEST(KendallTest, MatchesNaiveImplementationWithTies) {
+  Rng rng(3);
+  std::vector<double> x(300), y(300);
+  for (size_t i = 0; i < x.size(); ++i) {
+    // Coarse grid values so ties are plentiful.
+    x[i] = std::floor(rng.Uniform(0.0, 8.0));
+    y[i] = std::floor(x[i] / 2.0 + rng.Uniform(0.0, 4.0));
+  }
+  // Naive O(n^2) tau-b.
+  double concordant = 0, discordant = 0, tie_x = 0, tie_y = 0;
+  size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dx = x[i] - x[j], dy = y[i] - y[j];
+      if (dx == 0 && dy == 0) continue;
+      if (dx == 0) { ++tie_x; continue; }
+      if (dy == 0) { ++tie_y; continue; }
+      if (dx * dy > 0) ++concordant; else ++discordant;
+    }
+  }
+  double n0 = static_cast<double>(n) * (n - 1) / 2;
+  double joint_ties = n0 - concordant - discordant - tie_x - tie_y;
+  double naive = (concordant - discordant) /
+                 std::sqrt((n0 - (tie_x + joint_ties)) * (n0 - (tie_y + joint_ties)));
+  EXPECT_NEAR(KendallTau(x, y), naive, 1e-9);
+}
+
+TEST(ExtractPairedValidTest, PairwiseDeletion) {
+  NumericColumn a, b;
+  a.Append(1.0); b.Append(10.0);
+  a.AppendNull(); b.Append(20.0);
+  a.Append(3.0); b.AppendNull();
+  a.Append(4.0); b.Append(40.0);
+  PairedValues pairs = ExtractPairedValid(a, b);
+  EXPECT_EQ(pairs.x, (std::vector<double>{1.0, 4.0}));
+  EXPECT_EQ(pairs.y, (std::vector<double>{10.0, 40.0}));
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,186 @@
+#include "core/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace foresight {
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new DataTable(MakeOecdLike(3000, 23));
+    EngineOptions options;
+    options.preprocess.sketch.hyperplane_bits = 512;
+    auto engine = InsightEngine::Create(*table_, std::move(options));
+    ASSERT_TRUE(engine.ok());
+    engine_ = new InsightEngine(std::move(*engine));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete table_;
+    engine_ = nullptr;
+    table_ = nullptr;
+  }
+
+  static DataTable* table_;
+  static InsightEngine* engine_;
+};
+
+DataTable* ExplorerTest::table_ = nullptr;
+InsightEngine* ExplorerTest::engine_ = nullptr;
+
+TEST_F(ExplorerTest, InitialCarouselsCoverAllClasses) {
+  ExplorationSession session(*engine_);
+  auto carousels = session.InitialCarousels();
+  ASSERT_TRUE(carousels.ok());
+  EXPECT_EQ(carousels->size(), 12u);  // One carousel per class (Figure 1).
+  for (const Carousel& carousel : *carousels) {
+    EXPECT_FALSE(carousel.display_name.empty());
+    EXPECT_LE(carousel.insights.size(), session.options().carousel_size);
+    for (size_t i = 1; i < carousel.insights.size(); ++i) {
+      EXPECT_GE(carousel.insights[i - 1].score, carousel.insights[i].score);
+    }
+  }
+}
+
+TEST_F(ExplorerTest, FocusIsIdempotentAndUnfocusable) {
+  ExplorationSession session(*engine_);
+  auto top = engine_->TopInsights("linear_relationship", 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_FALSE(top->empty());
+  session.Focus((*top)[0]);
+  session.Focus((*top)[0]);
+  EXPECT_EQ(session.focused().size(), 1u);
+  session.Unfocus((*top)[0].Key());
+  EXPECT_TRUE(session.focused().empty());
+  session.Unfocus("nonexistent");  // No-op.
+}
+
+TEST_F(ExplorerTest, SimilarityFollowsPaperDefinition) {
+  ExplorationSession session(*engine_);
+  auto top = engine_->TopInsights("linear_relationship", 10,
+                                  ExecutionMode::kExact);
+  ASSERT_TRUE(top.ok());
+  ASSERT_GE(top->size(), 3u);
+  const Insight& a = (*top)[0];
+  // Self-similarity is maximal.
+  double self = session.Similarity(a, a);
+  for (size_t i = 1; i < top->size(); ++i) {
+    EXPECT_LE(session.Similarity(a, (*top)[i]), self + 1e-12);
+  }
+  // An insight sharing one attribute is more similar than a disjoint one
+  // with the same score gap. Build synthetic insights to control both.
+  Insight shares = a;
+  shares.attributes.indices[1] = 999;  // One shared, one different.
+  shares.attribute_names[1] = "other";
+  Insight disjoint = a;
+  disjoint.attributes.indices = {997, 998};
+  disjoint.attribute_names = {"p", "q"};
+  EXPECT_GT(session.Similarity(a, shares), session.Similarity(a, disjoint));
+}
+
+TEST_F(ExplorerTest, FocusReordersTowardNeighborhood) {
+  ExplorationOptions options;
+  options.carousel_size = 8;
+  options.focus_boost = 0.8;
+  // Isolate the structural half of the similarity (shared attributes) and
+  // widen the pool so attribute-sharing pairs are reachable even when their
+  // base correlation is weak.
+  options.attribute_weight = 1.0;
+  options.score_weight = 0.0;
+  options.pool_factor = 40;
+  ExplorationSession session(*engine_, options);
+
+  // Focus on the strongest correlation insight; pairs sharing one of its
+  // attributes should rise in the recommended correlation carousel.
+  auto top = engine_->TopInsights("linear_relationship", 1);
+  ASSERT_TRUE(top.ok());
+  const Insight& focus = (*top)[0];
+  session.Focus(focus);
+  auto recs = session.Recommendations();
+  ASSERT_TRUE(recs.ok());
+  const Carousel* correlation_carousel = nullptr;
+  for (const Carousel& c : *recs) {
+    if (c.class_name == "linear_relationship") correlation_carousel = &c;
+  }
+  ASSERT_NE(correlation_carousel, nullptr);
+  ASSERT_GE(correlation_carousel->insights.size(), 3u);
+  // With attribute-only similarity, a 0.8 boost, and a pool covering all
+  // pairs, every recommended insight must share an attribute with the focus
+  // (its similarity edge, 0.8/3, exceeds the max base-score edge, 0.2).
+  for (const Insight& insight : correlation_carousel->insights) {
+    EXPECT_GT(AttributeJaccard(insight.attributes, focus.attributes), 0.0)
+        << insight.Key();
+  }
+}
+
+TEST_F(ExplorerTest, EmptyFocusRecommendationsEqualInitial) {
+  ExplorationSession session(*engine_);
+  auto initial = session.InitialCarousels();
+  auto recs = session.Recommendations();
+  ASSERT_TRUE(initial.ok());
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(initial->size(), recs->size());
+  for (size_t c = 0; c < initial->size(); ++c) {
+    ASSERT_EQ((*initial)[c].insights.size(), (*recs)[c].insights.size());
+    for (size_t i = 0; i < (*initial)[c].insights.size(); ++i) {
+      EXPECT_EQ((*initial)[c].insights[i].Key(), (*recs)[c].insights[i].Key());
+    }
+  }
+}
+
+TEST_F(ExplorerTest, SaveAndLoadRoundTripsFocusState) {
+  ExplorationOptions options;
+  options.carousel_size = 7;
+  options.focus_boost = 0.33;
+  ExplorationSession session(*engine_, options);
+  auto top = engine_->TopInsights("linear_relationship", 2);
+  ASSERT_TRUE(top.ok());
+  for (const Insight& insight : *top) session.Focus(insight);
+
+  JsonValue state = session.SaveState();
+  // The state is valid JSON that round-trips through text.
+  auto reparsed = JsonValue::Parse(state.Dump());
+  ASSERT_TRUE(reparsed.ok());
+
+  auto restored = ExplorationSession::LoadState(*engine_, *reparsed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->options().carousel_size, 7u);
+  EXPECT_DOUBLE_EQ(restored->options().focus_boost, 0.33);
+  ASSERT_EQ(restored->focused().size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(restored->focused()[i].Key(), session.focused()[i].Key());
+    // Scores are re-evaluated against the same data: identical.
+    EXPECT_NEAR(restored->focused()[i].score, session.focused()[i].score,
+                0.15);
+  }
+}
+
+TEST_F(ExplorerTest, LoadStateRejectsMalformedInput) {
+  EXPECT_FALSE(
+      ExplorationSession::LoadState(*engine_, JsonValue(3.0)).ok());
+  auto bad_focus = JsonValue::Parse(R"({"focus": "not_an_array"})");
+  ASSERT_TRUE(bad_focus.ok());
+  EXPECT_FALSE(ExplorationSession::LoadState(*engine_, *bad_focus).ok());
+  auto bad_class = JsonValue::Parse(
+      R"({"focus": [{"class": "nope", "attributes": ["WorkingLongHours"]}]})");
+  ASSERT_TRUE(bad_class.ok());
+  EXPECT_FALSE(ExplorationSession::LoadState(*engine_, *bad_class).ok());
+  auto bad_attribute = JsonValue::Parse(
+      R"({"focus": [{"class": "skew", "attributes": ["NoSuchColumn"]}]})");
+  ASSERT_TRUE(bad_attribute.ok());
+  EXPECT_FALSE(ExplorationSession::LoadState(*engine_, *bad_attribute).ok());
+}
+
+TEST_F(ExplorerTest, LoadStateWithEmptyObjectYieldsDefaultSession) {
+  auto empty = JsonValue::Parse("{}");
+  ASSERT_TRUE(empty.ok());
+  auto session = ExplorationSession::LoadState(*engine_, *empty);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->focused().empty());
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,138 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/frequency.h"
+#include "stats/histogram.h"
+#include "util/random.h"
+
+namespace foresight {
+namespace {
+
+TEST(FrequencyTableTest, CountsAndSortsDescending) {
+  FrequencyTable freq(std::vector<std::string>{"b", "a", "b", "c", "b", "a"});
+  ASSERT_EQ(freq.cardinality(), 3u);
+  EXPECT_EQ(freq.total_count(), 6u);
+  EXPECT_EQ(freq.entries()[0].value, "b");
+  EXPECT_EQ(freq.entries()[0].count, 3u);
+  EXPECT_EQ(freq.entries()[1].value, "a");
+  EXPECT_EQ(freq.entries()[2].value, "c");
+}
+
+TEST(FrequencyTableTest, TiesBreakAlphabetically) {
+  FrequencyTable freq(std::vector<std::string>{"z", "y", "z", "y"});
+  EXPECT_EQ(freq.entries()[0].value, "y");
+  EXPECT_EQ(freq.entries()[1].value, "z");
+}
+
+TEST(FrequencyTableTest, FromCategoricalColumnSkipsNulls) {
+  CategoricalColumn col;
+  col.Append("x");
+  col.AppendNull();
+  col.Append("x");
+  col.Append("y");
+  FrequencyTable freq(col);
+  EXPECT_EQ(freq.total_count(), 3u);
+  EXPECT_EQ(freq.entries()[0].count, 2u);
+}
+
+TEST(FrequencyTableTest, RelFreqMatchesPaperDefinition) {
+  // RelFreq(k, c) = total relative frequency of the k most frequent values.
+  FrequencyTable freq(
+      std::vector<std::string>{"a", "a", "a", "a", "b", "b", "c", "d", "e", "f"});
+  EXPECT_DOUBLE_EQ(freq.RelFreq(1), 0.4);
+  EXPECT_DOUBLE_EQ(freq.RelFreq(2), 0.6);
+  EXPECT_DOUBLE_EQ(freq.RelFreq(100), 1.0);  // k capped at cardinality.
+  EXPECT_DOUBLE_EQ(FrequencyTable(std::vector<std::string>{}).RelFreq(3), 0.0);
+}
+
+TEST(FrequencyTableTest, EntropyUniformAndDegenerate) {
+  FrequencyTable uniform(std::vector<std::string>{"a", "b", "c", "d"});
+  EXPECT_NEAR(uniform.Entropy(), std::log(4.0), 1e-12);
+  EXPECT_NEAR(uniform.NormalizedEntropy(), 1.0, 1e-12);
+  FrequencyTable constant(std::vector<std::string>{"a", "a", "a"});
+  EXPECT_DOUBLE_EQ(constant.Entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(constant.NormalizedEntropy(), 0.0);
+}
+
+TEST(FrequencyTableTest, EntropyKnownSplit) {
+  // p = (0.5, 0.25, 0.25): H = 1.5 ln 2.
+  FrequencyTable freq(std::vector<std::string>{"a", "a", "b", "c"});
+  EXPECT_NEAR(freq.Entropy(), 1.5 * std::log(2.0), 1e-12);
+}
+
+TEST(FrequencyTableTest, TopK) {
+  FrequencyTable freq(std::vector<std::string>{"a", "a", "b", "c", "c", "c"});
+  auto top = freq.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].value, "c");
+  EXPECT_EQ(top[1].value, "a");
+}
+
+TEST(HistogramTest, BinsCoverRangeAndCountAll) {
+  std::vector<double> v{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+  Histogram h = BuildHistogram(v, 5);
+  EXPECT_EQ(h.num_bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.edges.front(), 0.0);
+  EXPECT_DOUBLE_EQ(h.edges.back(), 10.0);
+  EXPECT_EQ(h.total(), v.size());
+  // Max value lands in the last bin, not out of range.
+  EXPECT_EQ(h.counts.back(), 3u);  // 8, 9, 10
+}
+
+TEST(HistogramTest, DegenerateInputs) {
+  Histogram empty = BuildHistogram({}, 4);
+  EXPECT_EQ(empty.num_bins(), 1u);
+  EXPECT_EQ(empty.total(), 0u);
+  Histogram constant = BuildHistogram({5.0, 5.0, 5.0}, 8);
+  EXPECT_EQ(constant.num_bins(), 1u);
+  EXPECT_EQ(constant.total(), 3u);
+  EXPECT_LT(constant.edges.front(), 5.0);
+  EXPECT_GT(constant.edges.back(), 5.0);
+}
+
+TEST(HistogramTest, ArgMaxFindsMode) {
+  Histogram h;
+  h.edges = {0, 1, 2, 3};
+  h.counts = {2, 9, 4};
+  EXPECT_EQ(h.ArgMax(), 1u);
+}
+
+TEST(AutoBinCountTest, GrowsWithSampleSize) {
+  Rng rng(4);
+  std::vector<double> small(100), large(100000);
+  for (double& x : small) x = rng.Normal();
+  for (double& x : large) x = rng.Normal();
+  size_t small_bins = AutoBinCount(small);
+  size_t large_bins = AutoBinCount(large);
+  EXPECT_GT(large_bins, small_bins);
+  EXPECT_LE(large_bins, 64u);
+  EXPECT_GE(small_bins, 1u);
+}
+
+TEST(AutoBinCountTest, HandlesZeroIqr) {
+  // Most mass at a point with a few spread values: IQR = 0 -> Sturges.
+  std::vector<double> v(100, 5.0);
+  v.push_back(0.0);
+  v.push_back(10.0);
+  size_t bins = AutoBinCount(v);
+  EXPECT_GE(bins, 1u);
+  EXPECT_LE(bins, 64u);
+}
+
+TEST(BuildAutoHistogramTest, NormalDataIsBellShaped) {
+  Rng rng(5);
+  std::vector<double> v(50000);
+  for (double& x : v) x = rng.Normal();
+  Histogram h = BuildAutoHistogram(v);
+  // The modal bin should be near the center of the range.
+  size_t mode = h.ArgMax();
+  double mode_center = (h.edges[mode] + h.edges[mode + 1]) / 2.0;
+  EXPECT_NEAR(mode_center, 0.0, 0.5);
+  // Tail bins are much emptier than the mode.
+  EXPECT_LT(h.counts.front() * 10, h.counts[mode]);
+  EXPECT_LT(h.counts.back() * 10, h.counts[mode]);
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,156 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/frequency.h"
+#include "stats/moments.h"
+
+namespace foresight {
+namespace {
+
+PairedValues Pair(const DataTable& table, const std::string& a,
+                  const std::string& b) {
+  return ExtractPairedValid(*table.NumericColumnByName(a).value(),
+                            *table.NumericColumnByName(b).value());
+}
+
+TEST(OecdGeneratorTest, HasPaperShape) {
+  DataTable table = MakeOecdLike(35, 1);
+  EXPECT_EQ(table.num_rows(), 35u);
+  EXPECT_EQ(table.num_columns(), 25u);
+  EXPECT_EQ(table.NumericColumnIndices().size(), 24u);
+  EXPECT_EQ(table.CategoricalColumnIndices().size(), 1u);
+}
+
+TEST(OecdGeneratorTest, ScenarioFactsArePlanted) {
+  // Use a large sample so the planted correlations are measured tightly.
+  DataTable table = MakeOecdLike(20000, 1);
+  PairedValues work_leisure =
+      Pair(table, "WorkingLongHours", "TimeDevotedToLeisure");
+  double rho_wl = PearsonCorrelation(work_leisure.x, work_leisure.y);
+  EXPECT_LT(rho_wl, -0.8);  // Strong negative (the scenario's 1st discovery).
+
+  PairedValues leisure_health =
+      Pair(table, "TimeDevotedToLeisure", "SelfReportedHealth");
+  double rho_lh = PearsonCorrelation(leisure_health.x, leisure_health.y);
+  EXPECT_LT(std::abs(rho_lh), 0.1);  // No correlation (the surprise).
+
+  PairedValues satisfaction_health =
+      Pair(table, "LifeSatisfaction", "SelfReportedHealth");
+  double rho_sh = PearsonCorrelation(satisfaction_health.x, satisfaction_health.y);
+  EXPECT_GT(rho_sh, 0.5);  // Strong positive (the final discovery).
+
+  // Self-reported health is left-skewed; leisure approximately normal.
+  auto health = table.NumericColumnByName("SelfReportedHealth").value()->ValidValues();
+  EXPECT_LT(MomentsOf(health).skewness(), -0.5);
+  auto leisure = table.NumericColumnByName("TimeDevotedToLeisure").value()->ValidValues();
+  EXPECT_LT(std::abs(MomentsOf(leisure).skewness()), 0.15);
+  EXPECT_NEAR(MomentsOf(leisure).kurtosis(), 3.0, 0.3);
+}
+
+TEST(OecdGeneratorTest, BlocksAndTailsArePlanted) {
+  DataTable table = MakeOecdLike(20000, 1);
+  PairedValues income = Pair(table, "HouseholdNetWealth", "PersonalEarnings");
+  EXPECT_GT(PearsonCorrelation(income.x, income.y), 0.55);
+  PairedValues education = Pair(table, "YearsInEducation", "StudentSkills");
+  EXPECT_GT(PearsonCorrelation(education.x, education.y), 0.4);
+
+  auto pollution = table.NumericColumnByName("AirPollution").value()->ValidValues();
+  EXPECT_GT(MomentsOf(pollution).kurtosis(), 6.0);  // Heavy-tailed lognormal.
+
+  auto unemployment =
+      table.NumericColumnByName("LongTermUnemployment").value()->ValidValues();
+  EXPECT_GT(MomentsOf(unemployment).max(), 10.0);  // Planted outliers.
+}
+
+TEST(OecdGeneratorTest, DeterministicGivenSeed) {
+  DataTable a = MakeOecdLike(100, 5);
+  DataTable b = MakeOecdLike(100, 5);
+  const auto& col_a = a.column(0).AsNumeric();
+  const auto& col_b = b.column(0).AsNumeric();
+  for (size_t i = 0; i < col_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(col_a.value(i), col_b.value(i));
+  }
+  DataTable c = MakeOecdLike(100, 6);
+  EXPECT_NE(a.column(0).AsNumeric().value(0), c.column(0).AsNumeric().value(0));
+}
+
+TEST(ParkinsonGeneratorTest, HasPaperShape) {
+  DataTable table = MakeParkinsonLike(2000, 2);
+  EXPECT_EQ(table.num_rows(), 2000u);
+  EXPECT_EQ(table.num_columns(), 50u);
+  EXPECT_GE(table.CategoricalColumnIndices().size(), 3u);
+}
+
+TEST(ParkinsonGeneratorTest, ClinicalStructureIsPlanted) {
+  DataTable table = MakeParkinsonLike(4000, 2);
+  PairedValues updrs = Pair(table, "UPDRS_Part1", "UPDRS_Part3");
+  EXPECT_GT(PearsonCorrelation(updrs.x, updrs.y), 0.5);
+  PairedValues duration = Pair(table, "DiseaseDurationYears", "UPDRS_Total");
+  EXPECT_GT(PearsonCorrelation(duration.x, duration.y), 0.4);
+  auto tremor = table.NumericColumnByName("TremorScore").value()->ValidValues();
+  EXPECT_GT(MomentsOf(tremor).skewness(), 1.0);
+
+  FrequencyTable cohort(
+      *table.CategoricalColumnByName("Cohort").value());
+  EXPECT_EQ(cohort.cardinality(), 3u);
+  EXPECT_EQ(cohort.entries()[0].value, "PD");  // 60% majority.
+}
+
+TEST(ImdbGeneratorTest, HasPaperShape) {
+  DataTable table = MakeImdbLike(5000, 3);
+  EXPECT_EQ(table.num_rows(), 5000u);
+  EXPECT_EQ(table.num_columns(), 28u);
+}
+
+TEST(ImdbGeneratorTest, CommercialStructureIsPlanted) {
+  DataTable table = MakeImdbLike(5000, 3);
+  // Budget-gross correlation is strong on the log scale.
+  auto budget = table.NumericColumnByName("budget").value()->ValidValues();
+  auto gross = table.NumericColumnByName("gross").value()->ValidValues();
+  std::vector<double> log_budget(budget.size()), log_gross(gross.size());
+  for (size_t i = 0; i < budget.size(); ++i) {
+    log_budget[i] = std::log(budget[i]);
+    log_gross[i] = std::log(gross[i]);
+  }
+  EXPECT_GT(PearsonCorrelation(log_budget, log_gross), 0.5);
+
+  // Votes are heavy-tailed; content rating has dominant heavy hitters.
+  auto votes = table.NumericColumnByName("num_user_votes").value()->ValidValues();
+  EXPECT_GT(MomentsOf(votes).kurtosis(), 10.0);
+  FrequencyTable rating(*table.CategoricalColumnByName("content_rating").value());
+  EXPECT_GT(rating.RelFreq(2), 0.65);  // R + PG-13 dominate.
+}
+
+TEST(GaussianPairTest, PlantsRequestedCorrelation) {
+  for (double rho : {-0.9, -0.5, 0.0, 0.3, 0.8}) {
+    CorrelatedPair pair = MakeGaussianPair(50000, rho, 11);
+    EXPECT_NEAR(PearsonCorrelation(pair.x, pair.y), rho, 0.02)
+        << "rho = " << rho;
+  }
+}
+
+TEST(CorrelatedBlocksTest, InBlockAndCrossBlockStructure) {
+  DataTable table = MakeCorrelatedBlocks(20000, 8, 4, 0.6, 13);
+  EXPECT_EQ(table.num_columns(), 8u);
+  PairedValues in_block = Pair(table, "attr_0", "attr_1");
+  EXPECT_NEAR(PearsonCorrelation(in_block.x, in_block.y), 0.6, 0.05);
+  PairedValues cross_block = Pair(table, "attr_0", "attr_4");
+  EXPECT_LT(std::abs(PearsonCorrelation(cross_block.x, cross_block.y)), 0.05);
+}
+
+TEST(BenchmarkTableTest, ShapeAndVariety) {
+  DataTable table = MakeBenchmarkTable(500, 10, 4, 17);
+  EXPECT_EQ(table.num_rows(), 500u);
+  EXPECT_EQ(table.NumericColumnIndices().size(), 10u);
+  EXPECT_EQ(table.CategoricalColumnIndices().size(), 4u);
+  // Column 4 correlates with column 3 by construction.
+  PairedValues pair = Pair(table, "num_3", "num_4");
+  EXPECT_GT(std::abs(PearsonCorrelation(pair.x, pair.y)), 0.5);
+}
+
+}  // namespace
+}  // namespace foresight

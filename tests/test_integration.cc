@@ -1,0 +1,185 @@
+// End-to-end integration test: the §4.1 usage scenario executed against the
+// synthetic OECD dataset, exercising data -> preprocessing -> engine ->
+// explorer -> viz -> session persistence in one flow.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "viz/charts.h"
+
+namespace foresight {
+namespace {
+
+bool MentionsBoth(const Insight& insight, const std::string& a,
+                  const std::string& b) {
+  auto has = [&](const std::string& name) {
+    return std::find(insight.attribute_names.begin(),
+                     insight.attribute_names.end(),
+                     name) != insight.attribute_names.end();
+  };
+  return has(a) && has(b);
+}
+
+TEST(ScenarioIntegrationTest, Section41WalkThrough) {
+  // The analyst loads the OECD dataset...
+  DataTable table = MakeOecdLike(5000, 41);
+  EngineOptions options;
+  options.preprocess.sketch.hyperplane_bits = 1024;
+  auto engine_or = InsightEngine::Create(table, std::move(options));
+  ASSERT_TRUE(engine_or.ok());
+  const InsightEngine& engine = *engine_or;
+  ExplorationSession session(engine);
+
+  // ...and eyeballs the carousels (Figure 1): 12 classes, strongest first.
+  auto carousels = session.InitialCarousels();
+  ASSERT_TRUE(carousels.ok());
+  ASSERT_EQ(carousels->size(), 12u);
+
+  // "She notes instantly that WorkingLongHours and TimeDevotedToLeisure have
+  // a strong negative correlation, one of the top-ranked correlation
+  // insights."
+  const Carousel* correlations = nullptr;
+  for (const Carousel& c : *carousels) {
+    if (c.class_name == "linear_relationship") correlations = &c;
+  }
+  ASSERT_NE(correlations, nullptr);
+  ASSERT_FALSE(correlations->insights.empty());
+  const Insight* work_leisure = nullptr;
+  for (const Insight& insight : correlations->insights) {
+    if (MentionsBoth(insight, "WorkingLongHours", "TimeDevotedToLeisure")) {
+      work_leisure = &insight;
+    }
+  }
+  ASSERT_NE(work_leisure, nullptr)
+      << "planted strong correlation must be in the top carousel";
+  EXPECT_LT(work_leisure->raw_value, -0.6);
+
+  // "She brings this insight into focus... Foresight updates recommendations
+  // within the neighborhood of the focused insight."
+  session.Focus(*work_leisure);
+  auto recommendations = session.Recommendations();
+  ASSERT_TRUE(recommendations.ok());
+
+  // "She explores correlations through multiple ranking metrics such as
+  // Pearson and Spearman..." — fixed-attribute query on Leisure with both.
+  for (const char* spec :
+       {"linear_relationship", "monotonic_relationship"}) {
+    InsightQuery query;
+    query.class_name = spec;
+    query.fixed_attributes = {"TimeDevotedToLeisure"};
+    query.top_k = 30;
+    query.mode = ExecutionMode::kExact;
+    auto result = engine.Execute(query);
+    ASSERT_TRUE(result.ok());
+    // "...and is surprised to learn Leisure has NO correlation with
+    // SelfReportedHealth": that pair must rank near the bottom.
+    const auto& insights = result->insights;
+    ptrdiff_t position = -1;
+    for (size_t i = 0; i < insights.size(); ++i) {
+      if (MentionsBoth(insights[i], "TimeDevotedToLeisure",
+                       "SelfReportedHealth")) {
+        position = static_cast<ptrdiff_t>(i);
+        EXPECT_LT(insights[i].score, 0.15);
+      }
+    }
+    ASSERT_GE(position, 0);
+    // It must not be among the strongest correlates of Leisure (the other
+    // weak pairs are all near zero too, so only the top matters).
+    EXPECT_GE(position, 5);
+  }
+
+  // "The univariate distributional insights show Leisure is Normal while
+  // SelfReportedHealth is left-skewed."
+  size_t health = *table.ColumnIndex("SelfReportedHealth");
+  size_t leisure = *table.ColumnIndex("TimeDevotedToLeisure");
+  auto health_skew =
+      engine.EvaluateTuple("skew", AttributeTuple{{health}});
+  auto leisure_skew =
+      engine.EvaluateTuple("skew", AttributeTuple{{leisure}});
+  ASSERT_TRUE(health_skew.ok());
+  ASSERT_TRUE(leisure_skew.ok());
+  EXPECT_LT(health_skew->raw_value, -0.4);              // Left-skewed.
+  EXPECT_LT(std::abs(leisure_skew->raw_value), 0.15);   // ~Normal.
+
+  // "She clicks on the distribution of SelfReportedHealth, adding it as a
+  // focal insight; Foresight recommends correlated attributes and she finds
+  // LifeSatisfaction and SelfReportedHealth are highly correlated."
+  session.Focus(*health_skew);
+  InsightQuery health_correlates;
+  health_correlates.class_name = "linear_relationship";
+  health_correlates.fixed_attributes = {"SelfReportedHealth"};
+  health_correlates.top_k = 3;
+  health_correlates.mode = ExecutionMode::kExact;
+  auto correlates = engine.Execute(health_correlates);
+  ASSERT_TRUE(correlates.ok());
+  ASSERT_FALSE(correlates->insights.empty());
+  EXPECT_TRUE(MentionsBoth(correlates->insights[0], "LifeSatisfaction",
+                           "SelfReportedHealth"));
+  EXPECT_GT(correlates->insights[0].raw_value, 0.4);
+
+  // Every surfaced insight renders to a chart spec.
+  for (const Insight& insight :
+       {*work_leisure, *health_skew, correlates->insights[0]}) {
+    auto spec = BuildInsightChart(engine, insight);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_TRUE(spec->Has("$schema"));
+  }
+
+  // "Our analyst saves the current Foresight state to revisit later..."
+  JsonValue state = session.SaveState();
+  auto restored = ExplorationSession::LoadState(engine, state);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->focused().size(), session.focused().size());
+
+  // The overview (Figure 2) is available at any point to orient the user.
+  auto overview = engine.ComputeCorrelationOverview();
+  ASSERT_TRUE(overview.ok());
+  EXPECT_EQ(overview->attribute_names.size(), 24u);
+}
+
+TEST(CsvEndToEndTest, CsvRoundTripFeedsTheEngine) {
+  // Generate -> write CSV -> read CSV -> query: types and insights survive.
+  DataTable original = MakeImdbLike(800, 43);
+  std::string csv = CsvWriter::WriteString(original);
+  auto reread = CsvReader::ReadString(csv);
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread->num_columns(), original.num_columns());
+
+  EngineOptions options;
+  options.preprocess.sketch.hyperplane_bits = 256;
+  auto engine = InsightEngine::Create(*reread, std::move(options));
+  ASSERT_TRUE(engine.ok());
+  auto heavy = engine->TopInsights("heavy_tails", 3, ExecutionMode::kExact);
+  ASSERT_TRUE(heavy.ok());
+  ASSERT_FALSE(heavy->empty());
+  EXPECT_GT((*heavy)[0].score, 3.0);  // Planted heavy-tailed like counts.
+
+  auto hitters =
+      engine->TopInsights("heterogeneous_frequencies", 3, ExecutionMode::kExact);
+  ASSERT_TRUE(hitters.ok());
+  ASSERT_FALSE(hitters->empty());
+  EXPECT_GT((*hitters)[0].score, 0.5);
+}
+
+TEST(ScalabilityIntegrationTest, WideTableEndToEnd) {
+  // Paper target: "datasets with data items of the order of 100K and
+  // attributes that number in the hundreds" — shrunk here to stay fast, but
+  // preserving the shape (more columns than the demo datasets).
+  DataTable table = MakeBenchmarkTable(2000, 40, 8, 47);
+  EngineOptions options;
+  options.preprocess.sketch.hyperplane_bits = 256;
+  auto engine = InsightEngine::Create(table, std::move(options));
+  ASSERT_TRUE(engine.ok());
+  for (const std::string& class_name : engine->registry().names()) {
+    auto result = engine->TopInsights(class_name, 3);
+    ASSERT_TRUE(result.ok()) << class_name;
+  }
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,213 @@
+// Cross-cutting property tests over the whole insight-class suite:
+//  - exact metrics are invariant under row permutation;
+//  - scale-free metrics are invariant under affine transforms of the data;
+//  - engines built twice over the same table produce identical rankings
+//    (full determinism of the sketch path given the seed).
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace foresight {
+namespace {
+
+/// Returns a copy of `table` with rows permuted by `seed`.
+DataTable PermuteRows(const DataTable& table, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> order(table.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  DataTable permuted;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    std::unique_ptr<Column> out;
+    if (column.type() == ColumnType::kNumeric) {
+      auto numeric = std::make_unique<NumericColumn>();
+      const auto& source = column.AsNumeric();
+      for (size_t row : order) {
+        if (source.is_valid(row)) {
+          numeric->Append(source.value(row));
+        } else {
+          numeric->AppendNull();
+        }
+      }
+      out = std::move(numeric);
+    } else {
+      auto categorical = std::make_unique<CategoricalColumn>();
+      const auto& source = column.AsCategorical();
+      for (size_t row : order) {
+        if (source.is_valid(row)) {
+          categorical->Append(source.value(row));
+        } else {
+          categorical->AppendNull();
+        }
+      }
+      out = std::move(categorical);
+    }
+    EXPECT_TRUE(permuted.AddColumn(table.column_name(c), std::move(out)).ok());
+  }
+  return permuted;
+}
+
+/// Returns a copy with every numeric column mapped x -> a*x + b.
+DataTable AffineTransform(const DataTable& table, double a, double b) {
+  DataTable transformed;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    std::unique_ptr<Column> out;
+    if (column.type() == ColumnType::kNumeric) {
+      auto numeric = std::make_unique<NumericColumn>();
+      const auto& source = column.AsNumeric();
+      for (size_t row = 0; row < source.size(); ++row) {
+        if (source.is_valid(row)) {
+          numeric->Append(a * source.value(row) + b);
+        } else {
+          numeric->AppendNull();
+        }
+      }
+      out = std::move(numeric);
+    } else {
+      out = column.Clone();
+    }
+    EXPECT_TRUE(
+        transformed.AddColumn(table.column_name(c), std::move(out)).ok());
+  }
+  return transformed;
+}
+
+class InvariantTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new DataTable(MakeBenchmarkTable(1500, 12, 3, 71));
+    registry_ = new InsightClassRegistry(InsightClassRegistry::CreateDefault());
+  }
+  static void TearDownTestSuite() {
+    delete registry_;
+    delete table_;
+    registry_ = nullptr;
+    table_ = nullptr;
+  }
+  static DataTable* table_;
+  static InsightClassRegistry* registry_;
+};
+
+DataTable* InvariantTest::table_ = nullptr;
+InsightClassRegistry* InvariantTest::registry_ = nullptr;
+
+// Every exact metric depends only on the multiset of (row) values, never on
+// row order.
+TEST_P(InvariantTest, ExactMetricsAreRowPermutationInvariant) {
+  const InsightClass* insight_class = registry_->Find(GetParam());
+  ASSERT_NE(insight_class, nullptr);
+  DataTable permuted = PermuteRows(*table_, 99);
+  size_t checked = 0;
+  for (const AttributeTuple& tuple :
+       insight_class->EnumerateCandidates(*table_)) {
+    if (checked >= 8) break;  // A handful of tuples per class suffices.
+    auto original = insight_class->EvaluateExact(
+        *table_, tuple, insight_class->metric_names().front());
+    auto shuffled = insight_class->EvaluateExact(
+        permuted, tuple, insight_class->metric_names().front());
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(shuffled.ok());
+    EXPECT_NEAR(*original, *shuffled,
+                1e-9 * std::max(1.0, std::abs(*original)))
+        << GetParam() << " tuple " << checked;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, InvariantTest,
+    ::testing::Values("dispersion", "skew", "heavy_tails", "outliers",
+                      "heterogeneous_frequencies", "linear_relationship",
+                      "monotonic_relationship", "multimodality",
+                      "general_dependence", "segmentation", "low_entropy",
+                      "missing_values"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return info.param;
+    });
+
+class AffineInvariantTest : public InvariantTest {};
+
+// Scale-free metrics must not change under positive affine transforms of all
+// numeric columns (x -> 3.7 x - 11).
+TEST_P(AffineInvariantTest, ScaleFreeMetricsAreAffineInvariant) {
+  const InsightClass* insight_class = registry_->Find(GetParam());
+  ASSERT_NE(insight_class, nullptr);
+  DataTable transformed = AffineTransform(*table_, 3.7, -11.0);
+  size_t checked = 0;
+  for (const AttributeTuple& tuple :
+       insight_class->EnumerateCandidates(*table_)) {
+    if (checked >= 6) break;
+    auto original = insight_class->EvaluateExact(
+        *table_, tuple, insight_class->metric_names().front());
+    auto scaled = insight_class->EvaluateExact(
+        transformed, tuple, insight_class->metric_names().front());
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(scaled.ok());
+    EXPECT_NEAR(*original, *scaled, 1e-6 * std::max(1.0, std::abs(*original)))
+        << GetParam() << " tuple " << checked;
+    ++checked;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleFreeClasses, AffineInvariantTest,
+    ::testing::Values("skew", "heavy_tails", "outliers",
+                      "linear_relationship", "monotonic_relationship",
+                      "multimodality", "general_dependence", "segmentation"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return info.param;
+    });
+
+TEST(DeterminismTest, TwoEnginesOverSameTableAgreeExactly) {
+  DataTable table = MakeBenchmarkTable(1500, 12, 3, 72);
+  EngineOptions options_a, options_b;
+  options_a.preprocess.sketch.hyperplane_bits = 256;
+  options_b.preprocess.sketch.hyperplane_bits = 256;
+  auto a = InsightEngine::Create(table, std::move(options_a));
+  auto b = InsightEngine::Create(table, std::move(options_b));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const std::string& class_name : a->registry().names()) {
+    auto top_a = a->TopInsights(class_name, 10, ExecutionMode::kSketch);
+    auto top_b = b->TopInsights(class_name, 10, ExecutionMode::kSketch);
+    ASSERT_TRUE(top_a.ok());
+    ASSERT_TRUE(top_b.ok());
+    ASSERT_EQ(top_a->size(), top_b->size()) << class_name;
+    for (size_t i = 0; i < top_a->size(); ++i) {
+      EXPECT_EQ((*top_a)[i].Key(), (*top_b)[i].Key()) << class_name;
+      EXPECT_DOUBLE_EQ((*top_a)[i].score, (*top_b)[i].score) << class_name;
+    }
+  }
+}
+
+TEST(DeterminismTest, DifferentSketchSeedsStillAgreeOnStrongInsights) {
+  // Seeds change individual estimates but must not change WHAT is strong.
+  DataTable table = MakeOecdLike(4000, 73);
+  EngineOptions options_a, options_b;
+  options_a.preprocess.sketch.seed = 1111;
+  options_a.preprocess.sketch.hyperplane_bits = 1024;
+  options_b.preprocess.sketch.seed = 2222;
+  options_b.preprocess.sketch.hyperplane_bits = 1024;
+  auto a = InsightEngine::Create(table, std::move(options_a));
+  auto b = InsightEngine::Create(table, std::move(options_b));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto top_a = a->TopInsights("linear_relationship", 1, ExecutionMode::kSketch);
+  auto top_b = b->TopInsights("linear_relationship", 1, ExecutionMode::kSketch);
+  ASSERT_TRUE(top_a.ok());
+  ASSERT_TRUE(top_b.ok());
+  EXPECT_EQ((*top_a)[0].Key(), (*top_b)[0].Key());  // The planted pair wins.
+  EXPECT_NEAR((*top_a)[0].score, (*top_b)[0].score, 0.1);
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,150 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace foresight {
+namespace {
+
+TEST(JsonValueTest, ScalarTypes) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(3.5).is_number());
+  EXPECT_TRUE(JsonValue("hi").is_string());
+  EXPECT_TRUE(JsonValue::Array().is_array());
+  EXPECT_TRUE(JsonValue::Object().is_object());
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", 1);
+  obj.Set("apple", 2);
+  obj.Set("mango", 3);
+  EXPECT_EQ(obj.items()[0].first, "zebra");
+  EXPECT_EQ(obj.items()[1].first, "apple");
+  EXPECT_EQ(obj.items()[2].first, "mango");
+}
+
+TEST(JsonValueTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", 1);
+  obj.Set("k", 2);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.Get("k")->as_number(), 2.0);
+}
+
+TEST(JsonValueTest, GetReturnsNullptrForMissing) {
+  JsonValue obj = JsonValue::Object();
+  EXPECT_EQ(obj.Get("absent"), nullptr);
+  EXPECT_FALSE(obj.Has("absent"));
+}
+
+TEST(JsonDumpTest, CompactOutput) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", "foresight");
+  obj.Set("version", 1);
+  obj.Set("enabled", true);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append(2.5);
+  obj.Set("values", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            R"({"name":"foresight","version":1,"enabled":true,"values":[1,2.5]})");
+}
+
+TEST(JsonDumpTest, EscapesSpecialCharacters) {
+  JsonValue v(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(v.Dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonDumpTest, NanAndInfinityBecomeNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue(1.0 / 0.0).Dump(), "null");
+}
+
+TEST(JsonDumpTest, IntegersHaveNoDecimalPoint) {
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(-7.0).Dump(), "-7");
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->as_bool(), true);
+  EXPECT_EQ(JsonValue::Parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-2.5e3")->as_number(), -2500.0);
+  EXPECT_EQ(JsonValue::Parse("\"abc\"")->as_string(), "abc");
+}
+
+TEST(JsonParseTest, ParsesNestedStructure) {
+  auto result = JsonValue::Parse(R"({"a": [1, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(result.ok());
+  const JsonValue& v = *result;
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->at(0).as_number(), 1.0);
+  EXPECT_EQ(a->at(1).Get("b")->as_string(), "c");
+  EXPECT_TRUE(v.Get("d")->is_null());
+}
+
+TEST(JsonParseTest, ParsesEscapes) {
+  auto result = JsonValue::Parse(R"("line1\nline2\t\"quoted\"A")");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_string(), "line1\nline2\t\"quoted\"A");
+}
+
+TEST(JsonParseTest, ParsesUnicodeEscapeMultibyte) {
+  auto result = JsonValue::Parse(R"("é")");  // é
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("12abc").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'single':1}").ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryParseErrorCode) {
+  auto result = JsonValue::Parse("{bad}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonRoundTripTest, DumpThenParseIsIdentity) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("text", "with \"quotes\" and\nnewlines");
+  obj.Set("number", 3.14159);
+  obj.Set("flag", false);
+  JsonValue inner = JsonValue::Array();
+  inner.Append(JsonValue());
+  inner.Append("x");
+  obj.Set("arr", std::move(inner));
+
+  auto reparsed = JsonValue::Parse(obj.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), obj.Dump());
+}
+
+TEST(JsonRoundTripTest, PrettyPrintedOutputReparses) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", 1);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(true);
+  obj.Set("b", std::move(arr));
+  std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), obj.Dump());
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,171 @@
+#include "sketch/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/quantiles.h"
+#include "util/random.h"
+
+namespace foresight {
+namespace {
+
+TEST(KllTest, EmptySketch) {
+  KllSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Rank(1.0), 0.0);
+}
+
+TEST(KllTest, SmallStreamIsExact) {
+  // Below capacity nothing is compacted, so answers are exact.
+  KllSketch sketch(200);
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  for (double x : v) sketch.Update(x);
+  EXPECT_EQ(sketch.count(), 100u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 100.0);
+  EXPECT_NEAR(sketch.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(sketch.Rank(25.0), 0.25, 0.01);
+}
+
+TEST(KllTest, ExtremeQuantilesAreExactMinMax) {
+  Rng rng(1);
+  KllSketch sketch(100);
+  for (int i = 0; i < 50000; ++i) sketch.Update(rng.Normal());
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), sketch.min());
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), sketch.max());
+}
+
+struct KllCase {
+  const char* name;
+  int distribution;  // 0 normal, 1 lognormal, 2 uniform-int (many ties)
+  size_t n;
+  size_t k_param;
+  double rank_tolerance;
+};
+
+class KllAccuracyTest : public ::testing::TestWithParam<KllCase> {};
+
+// Property: estimated ranks of estimated quantiles stay within the KLL
+// additive error across distributions and stream lengths.
+TEST_P(KllAccuracyTest, RankErrorWithinBound) {
+  const KllCase& param = GetParam();
+  Rng rng(42);
+  std::vector<double> values(param.n);
+  for (double& x : values) {
+    switch (param.distribution) {
+      case 0: x = rng.Normal(100.0, 15.0); break;
+      case 1: x = rng.LogNormal(0.0, 1.5); break;
+      default: x = static_cast<double>(rng.UniformInt(50)); break;
+    }
+  }
+  KllSketch sketch(param.k_param);
+  for (double x : values) sketch.Update(x);
+  EXPECT_EQ(sketch.count(), param.n);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double estimate = sketch.Quantile(q);
+    // True rank of the estimate.
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), estimate);
+    double true_rank =
+        static_cast<double>(it - sorted.begin()) / static_cast<double>(param.n);
+    EXPECT_NEAR(true_rank, q, param.rank_tolerance)
+        << param.name << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KllAccuracyTest,
+    ::testing::Values(KllCase{"normal_200", 0, 100000, 200, 0.025},
+                      KllCase{"normal_400", 0, 100000, 400, 0.015},
+                      KllCase{"lognormal_200", 1, 100000, 200, 0.025},
+                      KllCase{"ties_200", 2, 50000, 200, 0.03},
+                      KllCase{"small_stream", 0, 500, 200, 0.01}),
+    [](const ::testing::TestParamInfo<KllCase>& info) {
+      return info.param.name;
+    });
+
+TEST(KllTest, MemoryStaysBounded) {
+  Rng rng(2);
+  KllSketch sketch(200);
+  for (int i = 0; i < 1000000; ++i) sketch.Update(rng.Normal());
+  // Retained items must be O(k log(n/k)), far below n.
+  EXPECT_LT(sketch.RetainedItems(), 3000u);
+}
+
+TEST(KllTest, MergePreservesCountAndAccuracy) {
+  Rng rng(3);
+  std::vector<double> all;
+  KllSketch a(200, 1), b(200, 2);
+  for (int i = 0; i < 40000; ++i) {
+    double x = rng.Normal(0.0, 1.0);
+    all.push_back(x);
+    a.Update(x);
+  }
+  for (int i = 0; i < 60000; ++i) {
+    double x = rng.Normal(5.0, 2.0);  // Different distribution.
+    all.push_back(x);
+    b.Update(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100000u);
+  EXPECT_DOUBLE_EQ(a.min(), *std::min_element(all.begin(), all.end()));
+  EXPECT_DOUBLE_EQ(a.max(), *std::max_element(all.begin(), all.end()));
+
+  std::sort(all.begin(), all.end());
+  for (double q : {0.1, 0.5, 0.9}) {
+    double estimate = a.Quantile(q);
+    auto it = std::upper_bound(all.begin(), all.end(), estimate);
+    double true_rank = static_cast<double>(it - all.begin()) / all.size();
+    EXPECT_NEAR(true_rank, q, 0.03) << q;
+  }
+}
+
+TEST(KllTest, MergeWithEmpty) {
+  KllSketch a(100), empty(100);
+  for (int i = 0; i < 1000; ++i) a.Update(i);
+  uint64_t count_before = a.count();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), count_before);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), count_before);
+  EXPECT_NEAR(empty.Quantile(0.5), 500.0, 30.0);
+}
+
+TEST(KllTest, RankIsMonotone) {
+  Rng rng(4);
+  KllSketch sketch(150);
+  for (int i = 0; i < 30000; ++i) sketch.Update(rng.LogNormal(0, 1));
+  double previous = -1.0;
+  for (double x = 0.1; x < 10.0; x += 0.1) {
+    double rank = sketch.Rank(x);
+    EXPECT_GE(rank, previous);
+    previous = rank;
+  }
+}
+
+TEST(KllTest, QuantileIsMonotoneInQ) {
+  Rng rng(5);
+  KllSketch sketch(150);
+  for (int i = 0; i < 30000; ++i) sketch.Update(rng.Normal());
+  double previous = sketch.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    double value = sketch.Quantile(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(KllTest, NormalizedRankErrorDecreasesWithK) {
+  EXPECT_LT(KllSketch(400).NormalizedRankError(),
+            KllSketch(100).NormalizedRankError());
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,172 @@
+#include "stats/moments.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace foresight {
+namespace {
+
+// Naive two-pass reference implementation of the paper's §2.2 definitions.
+struct NaiveMoments {
+  double mean = 0, variance = 0, skewness = 0, kurtosis = 0;
+};
+
+NaiveMoments Naive(const std::vector<double>& v) {
+  NaiveMoments out;
+  double n = static_cast<double>(v.size());
+  if (v.empty()) return out;
+  for (double x : v) out.mean += x;
+  out.mean /= n;
+  double m2 = 0, m3 = 0, m4 = 0;
+  for (double x : v) {
+    double d = x - out.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  out.variance = m2 / n;
+  double sigma = std::sqrt(out.variance);
+  if (sigma > 0) {
+    out.skewness = (m3 / n) / (sigma * sigma * sigma);
+    out.kurtosis = (m4 / n) / (out.variance * out.variance);
+  }
+  return out;
+}
+
+TEST(RunningMomentsTest, MatchesNaiveOnSmallData) {
+  std::vector<double> v{1.0, 2.5, -3.0, 7.25, 0.0, 2.5};
+  RunningMoments m = MomentsOf(v);
+  NaiveMoments naive = Naive(v);
+  EXPECT_EQ(m.count(), v.size());
+  EXPECT_NEAR(m.mean(), naive.mean, 1e-12);
+  EXPECT_NEAR(m.variance(), naive.variance, 1e-12);
+  EXPECT_NEAR(m.skewness(), naive.skewness, 1e-12);
+  EXPECT_NEAR(m.kurtosis(), naive.kurtosis, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), -3.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.25);
+}
+
+TEST(RunningMomentsTest, EmptyAndSingleton) {
+  RunningMoments empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.skewness(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.kurtosis(), 0.0);
+  RunningMoments one;
+  one.Add(5.0);
+  EXPECT_DOUBLE_EQ(one.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, ConstantColumnHasZeroHigherMoments) {
+  RunningMoments m;
+  for (int i = 0; i < 100; ++i) m.Add(3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.skewness(), 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis(), 0.0);
+  EXPECT_DOUBLE_EQ(m.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningMomentsTest, CoefficientOfVariation) {
+  RunningMoments m;
+  m.Add(9.0);
+  m.Add(11.0);
+  EXPECT_NEAR(m.coefficient_of_variation(), 0.1, 1e-12);
+  RunningMoments zero_mean;
+  zero_mean.Add(-1.0);
+  zero_mean.Add(1.0);
+  EXPECT_TRUE(std::isinf(zero_mean.coefficient_of_variation()));
+}
+
+TEST(RunningMomentsTest, ExcessKurtosisOffsetsByThree) {
+  Rng rng(3);
+  RunningMoments m;
+  for (int i = 0; i < 100000; ++i) m.Add(rng.Normal());
+  EXPECT_NEAR(m.excess_kurtosis(), m.kurtosis() - 3.0, 1e-12);
+  EXPECT_NEAR(m.excess_kurtosis(), 0.0, 0.1);
+}
+
+struct MergeCase {
+  const char* name;
+  int distribution;  // 0 normal, 1 lognormal, 2 uniform, 3 exponential
+  size_t total;
+  size_t split;
+};
+
+class MomentsMergeTest : public ::testing::TestWithParam<MergeCase> {};
+
+// Property: Merge(partial_a, partial_b) must equal single-pass moments
+// to near machine precision — this is the exact-composability guarantee the
+// preprocessor relies on (§3).
+TEST_P(MomentsMergeTest, MergeEqualsSinglePass) {
+  const MergeCase& param = GetParam();
+  Rng rng(1234);
+  std::vector<double> values(param.total);
+  for (double& x : values) {
+    switch (param.distribution) {
+      case 0: x = rng.Normal(10.0, 2.0); break;
+      case 1: x = rng.LogNormal(0.0, 1.0); break;
+      case 2: x = rng.Uniform(-5.0, 5.0); break;
+      default: x = rng.Exponential(0.5); break;
+    }
+  }
+  RunningMoments full = MomentsOf(values);
+  RunningMoments a, b;
+  for (size_t i = 0; i < param.split; ++i) a.Add(values[i]);
+  for (size_t i = param.split; i < values.size(); ++i) b.Add(values[i]);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), full.count());
+  EXPECT_NEAR(a.mean(), full.mean(), 1e-9 * std::abs(full.mean()) + 1e-12);
+  EXPECT_NEAR(a.variance(), full.variance(), 1e-8 * full.variance() + 1e-12);
+  EXPECT_NEAR(a.skewness(), full.skewness(), 1e-6);
+  EXPECT_NEAR(a.kurtosis(), full.kurtosis(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), full.min());
+  EXPECT_DOUBLE_EQ(a.max(), full.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, MomentsMergeTest,
+    ::testing::Values(MergeCase{"normal_even", 0, 10000, 5000},
+                      MergeCase{"normal_skewed_split", 0, 10000, 17},
+                      MergeCase{"lognormal", 1, 8000, 4000},
+                      MergeCase{"uniform", 2, 5000, 1},
+                      MergeCase{"exponential", 3, 5000, 4999},
+                      MergeCase{"tiny", 0, 4, 2}),
+    [](const ::testing::TestParamInfo<MergeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RunningMomentsTest, MergeWithEmptySides) {
+  RunningMoments a = MomentsOf({1.0, 2.0, 3.0});
+  RunningMoments empty;
+  RunningMoments a_copy = a;
+  a_copy.Merge(empty);
+  EXPECT_EQ(a_copy.count(), 3u);
+  EXPECT_DOUBLE_EQ(a_copy.mean(), a.mean());
+  RunningMoments other_empty;
+  other_empty.Merge(a);
+  EXPECT_EQ(other_empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(other_empty.mean(), a.mean());
+}
+
+TEST(RunningMomentsTest, KnownSkewedDistribution) {
+  // Exponential(1): skewness 2, kurtosis 9.
+  Rng rng(7);
+  RunningMoments m;
+  for (int i = 0; i < 400000; ++i) m.Add(rng.Exponential(1.0));
+  EXPECT_NEAR(m.skewness(), 2.0, 0.1);
+  EXPECT_NEAR(m.kurtosis(), 9.0, 0.5);
+}
+
+TEST(RunningMomentsTest, NumericallyStableOnLargeOffsets) {
+  // A classic catastrophic-cancellation case: small variance, huge mean.
+  RunningMoments m;
+  for (int i = 0; i < 1000; ++i) m.Add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(m.variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,112 @@
+#include "stats/outliers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.h"
+#include "util/random.h"
+
+namespace foresight {
+namespace {
+
+std::vector<double> NormalWithOutliers(size_t n, std::vector<double> outliers,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal(0.0, 1.0);
+  for (size_t i = 0; i < outliers.size(); ++i) v[i * 7 + 3] = outliers[i];
+  return v;
+}
+
+class DetectorParamTest
+    : public ::testing::TestWithParam<const char*> {};
+
+// Every detector must flag obvious planted extremes and stay quiet on clean
+// Gaussian data (allowing a small false-positive rate for zscore/iqr).
+TEST_P(DetectorParamTest, FlagsPlantedExtremes) {
+  auto detector = MakeOutlierDetector(GetParam());
+  ASSERT_NE(detector, nullptr);
+  std::vector<double> v = NormalWithOutliers(2000, {15.0, -12.0, 18.0}, 42);
+  OutlierResult result = detector->Detect(v);
+  // All three planted points must be flagged.
+  int planted_found = 0;
+  for (size_t index : result.indices) {
+    if (std::abs(v[index]) >= 12.0) ++planted_found;
+  }
+  EXPECT_EQ(planted_found, 3) << GetParam();
+  EXPECT_GT(result.mean_standardized_distance, 3.0);
+}
+
+TEST_P(DetectorParamTest, FewFalsePositivesOnCleanData) {
+  auto detector = MakeOutlierDetector(GetParam());
+  Rng rng(7);
+  std::vector<double> v(5000);
+  for (double& x : v) x = rng.Normal();
+  OutlierResult result = detector->Detect(v);
+  // Normal data: zscore(3) ~ 0.27%, iqr(1.5) ~ 0.7%, mad(3.5) ~ tiny.
+  EXPECT_LT(result.indices.size(), 75u) << GetParam();
+}
+
+TEST_P(DetectorParamTest, ConstantDataHasNoOutliers) {
+  auto detector = MakeOutlierDetector(GetParam());
+  std::vector<double> v(100, 4.0);
+  OutlierResult result = detector->Detect(v);
+  EXPECT_TRUE(result.indices.empty());
+  EXPECT_DOUBLE_EQ(result.mean_standardized_distance, 0.0);
+}
+
+TEST_P(DetectorParamTest, EmptyInput) {
+  auto detector = MakeOutlierDetector(GetParam());
+  OutlierResult result = detector->Detect({});
+  EXPECT_TRUE(result.indices.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorParamTest,
+                         ::testing::Values("zscore", "iqr", "mad"));
+
+TEST(OutlierScoreTest, MeanStandardizedDistanceDefinition) {
+  // Construct data with known mean/sigma and one planted outlier; the score
+  // must equal |outlier - mean| / sigma per §2.2 insight 4.
+  std::vector<double> v = NormalWithOutliers(5000, {25.0}, 9);
+  ZScoreDetector detector(4.0);
+  OutlierResult result = detector.Detect(v);
+  ASSERT_EQ(result.indices.size(), 1u);
+  RunningMoments m = MomentsOf(v);
+  double expected = std::abs(v[result.indices[0]] - m.mean()) / m.stddev();
+  EXPECT_NEAR(result.mean_standardized_distance, expected, 1e-12);
+}
+
+TEST(MadDetectorTest, RobustToMassiveContamination) {
+  // 20% contamination at +50: MAD still flags them; zscore's sigma is so
+  // inflated it can miss moderate ones. This is why the detector is
+  // user-configurable.
+  Rng rng(11);
+  std::vector<double> v(1000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = i < 200 ? 50.0 + rng.Normal() : rng.Normal();
+  }
+  MadDetector mad;
+  OutlierResult result = mad.Detect(v);
+  size_t contaminated_found = 0;
+  for (size_t index : result.indices) {
+    if (index < 200) ++contaminated_found;
+  }
+  EXPECT_EQ(contaminated_found, 200u);
+}
+
+TEST(IqrFenceDetectorTest, TightFenceFlagsMore) {
+  std::vector<double> v = NormalWithOutliers(3000, {6.0, -6.0}, 13);
+  IqrFenceDetector loose(3.0);
+  IqrFenceDetector tight(1.0);
+  EXPECT_GE(tight.Detect(v).indices.size(), loose.Detect(v).indices.size());
+}
+
+TEST(MakeOutlierDetectorTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeOutlierDetector("dbscan"), nullptr);
+  EXPECT_NE(MakeOutlierDetector("zscore"), nullptr);
+  EXPECT_EQ(MakeOutlierDetector("zscore")->name(), "zscore");
+}
+
+}  // namespace
+}  // namespace foresight

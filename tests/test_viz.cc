@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "viz/ascii.h"
+#include "viz/charts.h"
+#include "viz/vega.h"
+
+namespace foresight {
+namespace {
+
+class VizTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new DataTable(MakeOecdLike(500, 31));
+    EngineOptions options;
+    options.preprocess.sketch.hyperplane_bits = 256;
+    auto engine = InsightEngine::Create(*table_, std::move(options));
+    ASSERT_TRUE(engine.ok());
+    engine_ = new InsightEngine(std::move(*engine));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete table_;
+    engine_ = nullptr;
+    table_ = nullptr;
+  }
+
+  static Insight TopOf(const std::string& class_name) {
+    auto top = engine_->TopInsights(class_name, 1, ExecutionMode::kExact);
+    EXPECT_TRUE(top.ok());
+    EXPECT_FALSE(top->empty());
+    return (*top)[0];
+  }
+
+  static DataTable* table_;
+  static InsightEngine* engine_;
+};
+
+DataTable* VizTest::table_ = nullptr;
+InsightEngine* VizTest::engine_ = nullptr;
+
+// Every insight class must produce a parseable, well-formed Vega-Lite spec
+// with a schema, data values, and some mark/layer.
+TEST_F(VizTest, EveryClassProducesAWellFormedSpec) {
+  for (const std::string& class_name : engine_->registry().names()) {
+    Insight insight = TopOf(class_name);
+    auto spec = BuildInsightChart(*engine_, insight);
+    ASSERT_TRUE(spec.ok()) << class_name << ": " << spec.status();
+    EXPECT_TRUE(spec->Has("$schema")) << class_name;
+    EXPECT_TRUE(spec->Has("data") || spec->Has("layer")) << class_name;
+    EXPECT_TRUE(spec->Has("mark") || spec->Has("layer")) << class_name;
+    // Round-trips through JSON text.
+    auto reparsed = JsonValue::Parse(spec->Dump());
+    EXPECT_TRUE(reparsed.ok()) << class_name;
+  }
+}
+
+TEST_F(VizTest, EveryClassRendersAscii) {
+  for (const std::string& class_name : engine_->registry().names()) {
+    Insight insight = TopOf(class_name);
+    auto ascii = RenderInsightAscii(*engine_, insight);
+    ASSERT_TRUE(ascii.ok()) << class_name;
+    EXPECT_GT(ascii->size(), 20u) << class_name;
+  }
+}
+
+TEST_F(VizTest, HistogramSpecBinsMatchData) {
+  Histogram h;
+  h.edges = {0.0, 1.0, 2.0};
+  h.counts = {3, 7};
+  JsonValue spec = HistogramSpec(h, "title", "attr");
+  const JsonValue* data = spec.Get("data");
+  ASSERT_NE(data, nullptr);
+  const JsonValue* values = data->Get("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_DOUBLE_EQ(values->at(1).Get("count")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(values->at(1).Get("bin_start")->as_number(), 1.0);
+}
+
+TEST_F(VizTest, ScatterSpecIncludesFitLineLayer) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  LinearFit fit = FitLine(x, y);
+  JsonValue spec = ScatterSpec(x, y, "x", "y", "t", &fit);
+  const JsonValue* layers = spec.Get("layer");
+  ASSERT_NE(layers, nullptr);
+  EXPECT_EQ(layers->size(), 2u);  // Points + best-fit line (§2.2 insight 6).
+  JsonValue no_fit = ScatterSpec(x, y, "x", "y", "t", nullptr);
+  EXPECT_EQ(no_fit.Get("layer")->size(), 1u);
+}
+
+TEST_F(VizTest, ParetoSpecHasCumulativeShare) {
+  FrequencyTable freq(
+      std::vector<std::string>{"a", "a", "a", "b", "b", "c"});
+  JsonValue spec = ParetoSpec(freq, 10, "t", "attr");
+  const JsonValue* values = spec.Get("data")->Get("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->size(), 3u);
+  EXPECT_NEAR(values->at(0).Get("cumulative_share")->as_number(), 0.5, 1e-12);
+  EXPECT_NEAR(values->at(2).Get("cumulative_share")->as_number(), 1.0, 1e-12);
+}
+
+TEST_F(VizTest, CorrelationHeatmapSpecIsComplete) {
+  auto overview = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
+  ASSERT_TRUE(overview.ok());
+  JsonValue spec = CorrelationHeatmapSpec(*overview, "Figure 2");
+  size_t d = overview->attribute_names.size();
+  EXPECT_EQ(spec.Get("data")->Get("values")->size(), d * d);
+  // Color and size channels encode correlation and magnitude (Figure 2).
+  const JsonValue* encoding = spec.Get("encoding");
+  ASSERT_NE(encoding, nullptr);
+  EXPECT_TRUE(encoding->Has("color"));
+  EXPECT_TRUE(encoding->Has("size"));
+}
+
+TEST_F(VizTest, AsciiHeatmapShowsStrongCells) {
+  auto overview = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
+  ASSERT_TRUE(overview.ok());
+  std::string ascii = RenderCorrelationHeatmapAscii(*overview);
+  // Diagonal is rho = 1 -> '#' glyphs must appear.
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  // The planted negative correlation produces a negative glyph.
+  EXPECT_TRUE(ascii.find('%') != std::string::npos ||
+              ascii.find('=') != std::string::npos);
+}
+
+TEST_F(VizTest, AsciiHistogramBarsScale) {
+  Histogram h;
+  h.edges = {0, 1, 2};
+  h.counts = {1, 10};
+  std::string out = RenderHistogramAscii(h, 20);
+  // Second bar is the longest.
+  size_t first_hashes = 0, second_hashes = 0;
+  size_t line_break = out.find('\n');
+  for (char c : out.substr(0, line_break)) first_hashes += c == '#';
+  for (char c : out.substr(line_break)) second_hashes += c == '#';
+  EXPECT_EQ(second_hashes, 20u);
+  EXPECT_LE(first_hashes, 2u);
+}
+
+TEST_F(VizTest, ChartRejectsUnknownClass) {
+  Insight bogus;
+  bogus.class_name = "not_registered";
+  bogus.attributes.indices = {0};
+  bogus.attribute_names = {"x"};
+  EXPECT_EQ(BuildInsightChart(*engine_, bogus).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(RenderInsightAscii(*engine_, bogus).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(VizTest, ChartRejectsOutOfRangeColumns) {
+  Insight bogus;
+  bogus.class_name = "skew";
+  bogus.attributes.indices = {9999};
+  bogus.attribute_names = {"ghost"};
+  EXPECT_EQ(BuildInsightChart(*engine_, bogus).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(VizTest, ScatterSubsamplesLargeData) {
+  Insight insight = TopOf("linear_relationship");
+  ChartOptions options;
+  options.max_scatter_points = 50;
+  auto spec = BuildInsightChart(*engine_, insight, options);
+  ASSERT_TRUE(spec.ok());
+  const JsonValue* layers = spec->Get("layer");
+  ASSERT_NE(layers, nullptr);
+  const JsonValue* points_data = layers->at(0).Has("data")
+                                     ? layers->at(0).Get("data")
+                                     : spec->Get("data");
+  ASSERT_NE(points_data, nullptr);
+  EXPECT_LE(points_data->Get("values")->size(), 50u);
+}
+
+}  // namespace
+}  // namespace foresight
