@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_carousels.dir/bench_figure1_carousels.cc.o"
+  "CMakeFiles/bench_figure1_carousels.dir/bench_figure1_carousels.cc.o.d"
+  "bench_figure1_carousels"
+  "bench_figure1_carousels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_carousels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

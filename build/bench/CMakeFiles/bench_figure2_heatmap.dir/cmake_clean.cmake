@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_heatmap.dir/bench_figure2_heatmap.cc.o"
+  "CMakeFiles/bench_figure2_heatmap.dir/bench_figure2_heatmap.cc.o.d"
+  "bench_figure2_heatmap"
+  "bench_figure2_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_queries.dir/bench_index_queries.cc.o"
+  "CMakeFiles/bench_index_queries.dir/bench_index_queries.cc.o.d"
+  "bench_index_queries"
+  "bench_index_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

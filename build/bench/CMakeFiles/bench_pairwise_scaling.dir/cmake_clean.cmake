@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pairwise_scaling.dir/bench_pairwise_scaling.cc.o"
+  "CMakeFiles/bench_pairwise_scaling.dir/bench_pairwise_scaling.cc.o.d"
+  "bench_pairwise_scaling"
+  "bench_pairwise_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pairwise_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preprocessing_speedup.dir/bench_preprocessing_speedup.cc.o"
+  "CMakeFiles/bench_preprocessing_speedup.dir/bench_preprocessing_speedup.cc.o.d"
+  "bench_preprocessing_speedup"
+  "bench_preprocessing_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preprocessing_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

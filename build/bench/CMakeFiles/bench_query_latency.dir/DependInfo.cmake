@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_query_latency.cc" "bench/CMakeFiles/bench_query_latency.dir/bench_query_latency.cc.o" "gcc" "bench/CMakeFiles/bench_query_latency.dir/bench_query_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/foresight_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/foresight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/foresight_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/foresight_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/foresight_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foresight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

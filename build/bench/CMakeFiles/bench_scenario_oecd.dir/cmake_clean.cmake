@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_oecd.dir/bench_scenario_oecd.cc.o"
+  "CMakeFiles/bench_scenario_oecd.dir/bench_scenario_oecd.cc.o.d"
+  "bench_scenario_oecd"
+  "bench_scenario_oecd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_oecd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch_accuracy.dir/bench_sketch_accuracy.cc.o"
+  "CMakeFiles/bench_sketch_accuracy.dir/bench_sketch_accuracy.cc.o.d"
+  "bench_sketch_accuracy"
+  "bench_sketch_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

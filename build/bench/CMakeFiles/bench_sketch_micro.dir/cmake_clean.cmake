@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch_micro.dir/bench_sketch_micro.cc.o"
+  "CMakeFiles/bench_sketch_micro.dir/bench_sketch_micro.cc.o.d"
+  "bench_sketch_micro"
+  "bench_sketch_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

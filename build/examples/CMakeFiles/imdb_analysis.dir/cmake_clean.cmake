@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdb_analysis.dir/imdb_analysis.cpp.o"
+  "CMakeFiles/imdb_analysis.dir/imdb_analysis.cpp.o.d"
+  "imdb_analysis"
+  "imdb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oecd_exploration.dir/oecd_exploration.cpp.o"
+  "CMakeFiles/oecd_exploration.dir/oecd_exploration.cpp.o.d"
+  "oecd_exploration"
+  "oecd_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oecd_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parkinson_progression.dir/parkinson_progression.cpp.o"
+  "CMakeFiles/parkinson_progression.dir/parkinson_progression.cpp.o.d"
+  "parkinson_progression"
+  "parkinson_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parkinson_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

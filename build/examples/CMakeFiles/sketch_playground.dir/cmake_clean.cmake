@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_playground.dir/sketch_playground.cpp.o"
+  "CMakeFiles/sketch_playground.dir/sketch_playground.cpp.o.d"
+  "sketch_playground"
+  "sketch_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

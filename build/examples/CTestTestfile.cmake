@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_oecd_exploration "/root/repo/build/examples/oecd_exploration")
+set_tests_properties(example_oecd_exploration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_imdb_analysis "/root/repo/build/examples/imdb_analysis")
+set_tests_properties(example_imdb_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parkinson "/root/repo/build/examples/parkinson_progression")
+set_tests_properties(example_parkinson PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sketch_playground "/root/repo/build/examples/sketch_playground" "20000")
+set_tests_properties(example_sketch_playground PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_scripted "sh" "-c" "printf 'demo oecd\\ntop linear_relationship 3\\nfocus 1\\nrecs\\ntag PersonalEarnings money\\ntagged dispersion money 3\\noverview skew\\nquit\\n' | /root/repo/build/examples/foresight_cli")
+set_tests_properties(example_cli_scripted PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

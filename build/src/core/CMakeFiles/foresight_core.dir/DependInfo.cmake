@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classes_bivariate.cc" "src/core/CMakeFiles/foresight_core.dir/classes_bivariate.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/classes_bivariate.cc.o.d"
+  "/root/repo/src/core/classes_categorical.cc" "src/core/CMakeFiles/foresight_core.dir/classes_categorical.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/classes_categorical.cc.o.d"
+  "/root/repo/src/core/classes_common.cc" "src/core/CMakeFiles/foresight_core.dir/classes_common.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/classes_common.cc.o.d"
+  "/root/repo/src/core/classes_segmentation.cc" "src/core/CMakeFiles/foresight_core.dir/classes_segmentation.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/classes_segmentation.cc.o.d"
+  "/root/repo/src/core/classes_univariate.cc" "src/core/CMakeFiles/foresight_core.dir/classes_univariate.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/classes_univariate.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/foresight_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "src/core/CMakeFiles/foresight_core.dir/explorer.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/explorer.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/foresight_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/index.cc.o.d"
+  "/root/repo/src/core/insight.cc" "src/core/CMakeFiles/foresight_core.dir/insight.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/insight.cc.o.d"
+  "/root/repo/src/core/insight_class.cc" "src/core/CMakeFiles/foresight_core.dir/insight_class.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/insight_class.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/foresight_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/foresight_core.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/foresight_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/foresight_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/foresight_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foresight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_core.dir/classes_bivariate.cc.o"
+  "CMakeFiles/foresight_core.dir/classes_bivariate.cc.o.d"
+  "CMakeFiles/foresight_core.dir/classes_categorical.cc.o"
+  "CMakeFiles/foresight_core.dir/classes_categorical.cc.o.d"
+  "CMakeFiles/foresight_core.dir/classes_common.cc.o"
+  "CMakeFiles/foresight_core.dir/classes_common.cc.o.d"
+  "CMakeFiles/foresight_core.dir/classes_segmentation.cc.o"
+  "CMakeFiles/foresight_core.dir/classes_segmentation.cc.o.d"
+  "CMakeFiles/foresight_core.dir/classes_univariate.cc.o"
+  "CMakeFiles/foresight_core.dir/classes_univariate.cc.o.d"
+  "CMakeFiles/foresight_core.dir/engine.cc.o"
+  "CMakeFiles/foresight_core.dir/engine.cc.o.d"
+  "CMakeFiles/foresight_core.dir/explorer.cc.o"
+  "CMakeFiles/foresight_core.dir/explorer.cc.o.d"
+  "CMakeFiles/foresight_core.dir/index.cc.o"
+  "CMakeFiles/foresight_core.dir/index.cc.o.d"
+  "CMakeFiles/foresight_core.dir/insight.cc.o"
+  "CMakeFiles/foresight_core.dir/insight.cc.o.d"
+  "CMakeFiles/foresight_core.dir/insight_class.cc.o"
+  "CMakeFiles/foresight_core.dir/insight_class.cc.o.d"
+  "CMakeFiles/foresight_core.dir/profile.cc.o"
+  "CMakeFiles/foresight_core.dir/profile.cc.o.d"
+  "libforesight_core.a"
+  "libforesight_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

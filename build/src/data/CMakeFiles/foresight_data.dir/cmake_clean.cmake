@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_data.dir/column.cc.o"
+  "CMakeFiles/foresight_data.dir/column.cc.o.d"
+  "CMakeFiles/foresight_data.dir/csv.cc.o"
+  "CMakeFiles/foresight_data.dir/csv.cc.o.d"
+  "CMakeFiles/foresight_data.dir/generators.cc.o"
+  "CMakeFiles/foresight_data.dir/generators.cc.o.d"
+  "CMakeFiles/foresight_data.dir/schema.cc.o"
+  "CMakeFiles/foresight_data.dir/schema.cc.o.d"
+  "CMakeFiles/foresight_data.dir/table.cc.o"
+  "CMakeFiles/foresight_data.dir/table.cc.o.d"
+  "libforesight_data.a"
+  "libforesight_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

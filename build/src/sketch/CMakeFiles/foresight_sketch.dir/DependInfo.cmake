@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bundle.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/bundle.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/bundle.cc.o.d"
+  "/root/repo/src/sketch/countmin.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/countmin.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/countmin.cc.o.d"
+  "/root/repo/src/sketch/entropy.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/entropy.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/entropy.cc.o.d"
+  "/root/repo/src/sketch/kll.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/kll.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/kll.cc.o.d"
+  "/root/repo/src/sketch/random_projection.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/random_projection.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/random_projection.cc.o.d"
+  "/root/repo/src/sketch/reservoir.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/reservoir.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/reservoir.cc.o.d"
+  "/root/repo/src/sketch/serialize.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/serialize.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/serialize.cc.o.d"
+  "/root/repo/src/sketch/simhash.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/simhash.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/simhash.cc.o.d"
+  "/root/repo/src/sketch/spacesaving.cc" "src/sketch/CMakeFiles/foresight_sketch.dir/spacesaving.cc.o" "gcc" "src/sketch/CMakeFiles/foresight_sketch.dir/spacesaving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/foresight_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/foresight_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foresight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

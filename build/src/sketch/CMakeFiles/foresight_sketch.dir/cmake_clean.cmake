@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_sketch.dir/bundle.cc.o"
+  "CMakeFiles/foresight_sketch.dir/bundle.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/countmin.cc.o"
+  "CMakeFiles/foresight_sketch.dir/countmin.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/entropy.cc.o"
+  "CMakeFiles/foresight_sketch.dir/entropy.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/kll.cc.o"
+  "CMakeFiles/foresight_sketch.dir/kll.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/random_projection.cc.o"
+  "CMakeFiles/foresight_sketch.dir/random_projection.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/reservoir.cc.o"
+  "CMakeFiles/foresight_sketch.dir/reservoir.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/serialize.cc.o"
+  "CMakeFiles/foresight_sketch.dir/serialize.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/simhash.cc.o"
+  "CMakeFiles/foresight_sketch.dir/simhash.cc.o.d"
+  "CMakeFiles/foresight_sketch.dir/spacesaving.cc.o"
+  "CMakeFiles/foresight_sketch.dir/spacesaving.cc.o.d"
+  "libforesight_sketch.a"
+  "libforesight_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

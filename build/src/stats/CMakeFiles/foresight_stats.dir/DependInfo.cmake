@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/clustering.cc" "src/stats/CMakeFiles/foresight_stats.dir/clustering.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/clustering.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/foresight_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/dependence.cc" "src/stats/CMakeFiles/foresight_stats.dir/dependence.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/dependence.cc.o.d"
+  "/root/repo/src/stats/frequency.cc" "src/stats/CMakeFiles/foresight_stats.dir/frequency.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/frequency.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/foresight_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/moments.cc" "src/stats/CMakeFiles/foresight_stats.dir/moments.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/moments.cc.o.d"
+  "/root/repo/src/stats/multimodality.cc" "src/stats/CMakeFiles/foresight_stats.dir/multimodality.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/multimodality.cc.o.d"
+  "/root/repo/src/stats/outliers.cc" "src/stats/CMakeFiles/foresight_stats.dir/outliers.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/outliers.cc.o.d"
+  "/root/repo/src/stats/quantiles.cc" "src/stats/CMakeFiles/foresight_stats.dir/quantiles.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/quantiles.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/foresight_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/foresight_stats.dir/regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/foresight_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foresight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

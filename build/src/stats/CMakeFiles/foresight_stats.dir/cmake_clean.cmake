@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_stats.dir/clustering.cc.o"
+  "CMakeFiles/foresight_stats.dir/clustering.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/correlation.cc.o"
+  "CMakeFiles/foresight_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/dependence.cc.o"
+  "CMakeFiles/foresight_stats.dir/dependence.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/frequency.cc.o"
+  "CMakeFiles/foresight_stats.dir/frequency.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/histogram.cc.o"
+  "CMakeFiles/foresight_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/moments.cc.o"
+  "CMakeFiles/foresight_stats.dir/moments.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/multimodality.cc.o"
+  "CMakeFiles/foresight_stats.dir/multimodality.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/outliers.cc.o"
+  "CMakeFiles/foresight_stats.dir/outliers.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/quantiles.cc.o"
+  "CMakeFiles/foresight_stats.dir/quantiles.cc.o.d"
+  "CMakeFiles/foresight_stats.dir/regression.cc.o"
+  "CMakeFiles/foresight_stats.dir/regression.cc.o.d"
+  "libforesight_stats.a"
+  "libforesight_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libforesight_stats.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_util.dir/json.cc.o"
+  "CMakeFiles/foresight_util.dir/json.cc.o.d"
+  "CMakeFiles/foresight_util.dir/random.cc.o"
+  "CMakeFiles/foresight_util.dir/random.cc.o.d"
+  "CMakeFiles/foresight_util.dir/status.cc.o"
+  "CMakeFiles/foresight_util.dir/status.cc.o.d"
+  "CMakeFiles/foresight_util.dir/string_util.cc.o"
+  "CMakeFiles/foresight_util.dir/string_util.cc.o.d"
+  "libforesight_util.a"
+  "libforesight_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii.cc" "src/viz/CMakeFiles/foresight_viz.dir/ascii.cc.o" "gcc" "src/viz/CMakeFiles/foresight_viz.dir/ascii.cc.o.d"
+  "/root/repo/src/viz/charts.cc" "src/viz/CMakeFiles/foresight_viz.dir/charts.cc.o" "gcc" "src/viz/CMakeFiles/foresight_viz.dir/charts.cc.o.d"
+  "/root/repo/src/viz/vega.cc" "src/viz/CMakeFiles/foresight_viz.dir/vega.cc.o" "gcc" "src/viz/CMakeFiles/foresight_viz.dir/vega.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/foresight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/foresight_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foresight_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/foresight_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/foresight_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

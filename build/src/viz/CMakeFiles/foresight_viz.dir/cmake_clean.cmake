@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_viz.dir/ascii.cc.o"
+  "CMakeFiles/foresight_viz.dir/ascii.cc.o.d"
+  "CMakeFiles/foresight_viz.dir/charts.cc.o"
+  "CMakeFiles/foresight_viz.dir/charts.cc.o.d"
+  "CMakeFiles/foresight_viz.dir/vega.cc.o"
+  "CMakeFiles/foresight_viz.dir/vega.cc.o.d"
+  "libforesight_viz.a"
+  "libforesight_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bundle_profile.dir/test_bundle_profile.cc.o"
+  "CMakeFiles/test_bundle_profile.dir/test_bundle_profile.cc.o.d"
+  "test_bundle_profile"
+  "test_bundle_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bundle_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_column_table.dir/test_column_table.cc.o"
+  "CMakeFiles/test_column_table.dir/test_column_table.cc.o.d"
+  "test_column_table"
+  "test_column_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_column_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

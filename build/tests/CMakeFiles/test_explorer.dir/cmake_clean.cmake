@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explorer.dir/test_explorer.cc.o"
+  "CMakeFiles/test_explorer.dir/test_explorer.cc.o.d"
+  "test_explorer"
+  "test_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insight_classes.dir/test_insight_classes.cc.o"
+  "CMakeFiles/test_insight_classes.dir/test_insight_classes.cc.o.d"
+  "test_insight_classes"
+  "test_insight_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insight_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kll.dir/test_kll.cc.o"
+  "CMakeFiles/test_kll.dir/test_kll.cc.o.d"
+  "test_kll"
+  "test_kll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_overview.dir/test_metadata_overview.cc.o"
+  "CMakeFiles/test_metadata_overview.dir/test_metadata_overview.cc.o.d"
+  "test_metadata_overview"
+  "test_metadata_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

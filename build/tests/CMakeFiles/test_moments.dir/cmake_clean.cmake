@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moments.dir/test_moments.cc.o"
+  "CMakeFiles/test_moments.dir/test_moments.cc.o.d"
+  "test_moments"
+  "test_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantiles.dir/test_quantiles.cc.o"
+  "CMakeFiles/test_quantiles.dir/test_quantiles.cc.o.d"
+  "test_quantiles"
+  "test_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

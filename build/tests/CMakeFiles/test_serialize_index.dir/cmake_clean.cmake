@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize_index.dir/test_serialize_index.cc.o"
+  "CMakeFiles/test_serialize_index.dir/test_serialize_index.cc.o.d"
+  "test_serialize_index"
+  "test_serialize_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

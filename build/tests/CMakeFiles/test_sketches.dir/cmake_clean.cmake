@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketches.dir/test_sketches.cc.o"
+  "CMakeFiles/test_sketches.dir/test_sketches.cc.o.d"
+  "test_sketches"
+  "test_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_misc.dir/test_stats_misc.cc.o"
+  "CMakeFiles/test_stats_misc.dir/test_stats_misc.cc.o.d"
+  "test_stats_misc"
+  "test_stats_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
