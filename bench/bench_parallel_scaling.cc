@@ -1,0 +1,182 @@
+// Parallel scaling of the three hot paths rewired onto the shared ThreadPool:
+//   1. Preprocessing (Preprocessor::Profile) — per-column sketch bundles.
+//   2. Insight queries (InsightEngine::Execute) — candidate evaluation.
+//   3. Pairwise overview (ComputePairwiseOverview) — Figure 2's d x d matrix.
+//
+// Measured at 1/2/4/8 workers on a synthetic wide table; every parallel run
+// is checked bit-identical to the 1-worker run (profile JSON, query scores,
+// overview matrix). Results are printed as a table AND written to
+// BENCH_parallel.json so future PRs can track the perf trajectory
+// machine-readably.
+//
+// NOTE: speedups only materialize on multi-core hardware; the equivalence
+// checks are meaningful everywhere.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace foresight;
+
+namespace {
+
+constexpr size_t kRows = 30000;
+constexpr size_t kNumericCols = 64;
+constexpr size_t kCategoricalCols = 8;
+constexpr uint64_t kSeed = 7;
+constexpr int kQueryReps = 3;
+
+struct RunResult {
+  size_t workers = 0;
+  double preprocess_seconds = 0.0;
+  double query_seconds = 0.0;  // One full sweep of all classes, top-10 sketch.
+  double overview_seconds = 0.0;  // Exact-mode pairwise matrix.
+  std::string profile_fingerprint;
+  double query_checksum = 0.0;
+  double overview_checksum = 0.0;
+};
+
+std::string ProfileFingerprint(const TableProfile& profile) {
+  JsonValue json = profile.ToJson();
+  json.Set("preprocess_seconds", 0.0);  // The one wall-clock-dependent field.
+  return json.Dump();
+}
+
+RunResult RunAtWorkers(const DataTable& table, size_t workers) {
+  RunResult result;
+  result.workers = workers;
+  ThreadPool pool(workers);
+  ThreadPool* pool_ptr = workers > 1 ? &pool : nullptr;
+
+  PreprocessOptions preprocess;
+  WallTimer timer;
+  auto profile = Preprocessor::Profile(table, preprocess, pool_ptr);
+  result.preprocess_seconds = timer.ElapsedSeconds();
+  if (!profile.ok()) {
+    std::fprintf(stderr, "profile failed: %s\n",
+                 profile.status().ToString().c_str());
+    return result;
+  }
+  result.profile_fingerprint = ProfileFingerprint(*profile);
+
+  auto engine = InsightEngine::CreateFromProfile(table, std::move(*profile));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return result;
+  }
+  engine->set_num_workers(workers);
+
+  // Query sweep: every class's top-10 in sketch mode, repeated; report the
+  // best rep (steady-state latency, first rep warms caches).
+  double best = 1e100;
+  for (int rep = 0; rep < kQueryReps; ++rep) {
+    double checksum = 0.0;
+    timer.Restart();
+    for (const std::string& class_name : engine->registry().names()) {
+      auto top = engine->TopInsights(class_name, 10, ExecutionMode::kSketch);
+      if (!top.ok()) continue;
+      for (const Insight& insight : *top) checksum += insight.score;
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+    result.query_checksum = checksum;
+  }
+  result.query_seconds = best;
+
+  timer.Restart();
+  auto overview = engine->ComputePairwiseOverview("linear_relationship",
+                                                  "pearson",
+                                                  ExecutionMode::kExact);
+  result.overview_seconds = timer.ElapsedSeconds();
+  if (overview.ok()) {
+    for (double v : overview->matrix) result.overview_checksum += v;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Parallel scaling: shared ThreadPool across preprocessing, queries, "
+      "pairwise overview\n");
+  std::printf("workload: %zu rows x (%zu numeric + %zu categorical) columns\n",
+              kRows, kNumericCols, kCategoricalCols);
+  std::printf("hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+  DataTable table =
+      MakeBenchmarkTable(kRows, kNumericCols, kCategoricalCols, kSeed);
+
+  std::vector<RunResult> runs;
+  std::printf("%-8s | %-15s %-14s %-14s\n", "workers", "preprocess (s)",
+              "queries (s)", "overview (s)");
+  for (size_t workers : {1, 2, 4, 8}) {
+    runs.push_back(RunAtWorkers(table, workers));
+    const RunResult& run = runs.back();
+    std::printf("%-8zu | %-15.3f %-14.3f %-14.3f\n", run.workers,
+                run.preprocess_seconds, run.query_seconds,
+                run.overview_seconds);
+  }
+
+  const RunResult& serial = runs.front();
+  bool equivalent = true;
+  for (const RunResult& run : runs) {
+    if (run.profile_fingerprint != serial.profile_fingerprint ||
+        run.query_checksum != serial.query_checksum ||
+        run.overview_checksum != serial.overview_checksum) {
+      equivalent = false;
+      std::printf("EQUIVALENCE FAILURE at %zu workers!\n", run.workers);
+    }
+  }
+  const RunResult& widest = runs.back();
+  double preprocess_speedup =
+      serial.preprocess_seconds / widest.preprocess_seconds;
+  double query_speedup = serial.query_seconds / widest.query_seconds;
+  double overview_speedup = serial.overview_seconds / widest.overview_seconds;
+  std::printf(
+      "\n%zu-worker speedup vs serial: preprocess %.2fx, queries %.2fx, "
+      "overview %.2fx\n",
+      widest.workers, preprocess_speedup, query_speedup, overview_speedup);
+  std::printf("parallel results bit-identical to serial: %s\n",
+              equivalent ? "yes" : "NO");
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "parallel_scaling");
+  JsonValue workload = JsonValue::Object();
+  workload.Set("rows", kRows);
+  workload.Set("numeric_cols", kNumericCols);
+  workload.Set("categorical_cols", kCategoricalCols);
+  workload.Set("seed", kSeed);
+  doc.Set("workload", std::move(workload));
+  doc.Set("hardware_concurrency",
+          static_cast<size_t>(std::thread::hardware_concurrency()));
+  JsonValue results = JsonValue::Array();
+  for (const RunResult& run : runs) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("workers", run.workers);
+    entry.Set("preprocess_seconds", run.preprocess_seconds);
+    entry.Set("query_sweep_seconds", run.query_seconds);
+    entry.Set("overview_seconds", run.overview_seconds);
+    results.Append(std::move(entry));
+  }
+  doc.Set("results", std::move(results));
+  JsonValue speedup = JsonValue::Object();
+  speedup.Set("workers", widest.workers);
+  speedup.Set("preprocess", preprocess_speedup);
+  speedup.Set("queries", query_speedup);
+  speedup.Set("overview", overview_speedup);
+  doc.Set("speedup_vs_serial", std::move(speedup));
+  doc.Set("bit_identical_to_serial", equivalent);
+
+  std::ofstream out("BENCH_parallel.json");
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote BENCH_parallel.json\n");
+  return equivalent ? 0 : 1;
+}

@@ -1,12 +1,51 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <thread>
 
 #include "util/timer.h"
 
 namespace foresight {
+
+namespace {
+
+/// Collects the error of the LOWEST work-item index across concurrent
+/// workers, so a parallel run reports exactly the error a serial left-to-right
+/// scan would have hit first — regardless of thread timing.
+class FirstError {
+ public:
+  bool has_error() const {
+    return min_index_.load(std::memory_order_acquire) != SIZE_MAX;
+  }
+  /// True when an error at an index <= `index` is already recorded, meaning
+  /// work item `index` cannot change the outcome and may be skipped.
+  bool ShadowedAt(size_t index) const {
+    return min_index_.load(std::memory_order_relaxed) <= index;
+  }
+  void Record(size_t index, Status status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index < min_index_.load(std::memory_order_relaxed)) {
+      min_index_.store(index, std::memory_order_release);
+      status_ = std::move(status);
+    }
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  std::atomic<size_t> min_index_{SIZE_MAX};
+  std::mutex mutex_;
+  Status status_;
+};
+
+/// Chunk size that splits `items` into a few chunks per worker (dynamic
+/// load balancing without excessive claiming overhead).
+size_t BalancedGrain(size_t items, size_t workers) {
+  return std::max<size_t>(1, items / (workers * 4));
+}
+
+}  // namespace
 
 StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
                                               EngineOptions options) {
@@ -16,11 +55,21 @@ StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
   InsightEngine engine(table, std::move(registry));
   engine.set_num_workers(options.num_workers);
   if (options.build_profile) {
-    FORESIGHT_ASSIGN_OR_RETURN(TableProfile profile,
-                               Preprocessor::Profile(table, options.preprocess));
+    FORESIGHT_ASSIGN_OR_RETURN(
+        TableProfile profile,
+        Preprocessor::Profile(table, options.preprocess, engine.pool_.get()));
     engine.profile_.emplace(std::move(profile));
   }
   return engine;
+}
+
+void InsightEngine::set_num_workers(size_t workers) {
+  if (workers == 0) {
+    workers = std::max<unsigned int>(1, std::thread::hardware_concurrency());
+  }
+  if (workers == num_workers_ && (workers == 1 || pool_ != nullptr)) return;
+  num_workers_ = workers;
+  pool_ = workers > 1 ? std::make_unique<ThreadPool>(workers) : nullptr;
 }
 
 StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
@@ -34,6 +83,7 @@ StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
                                       ? std::move(*registry)
                                       : InsightClassRegistry::CreateDefault();
   InsightEngine engine(table, std::move(resolved));
+  engine.set_num_workers(0);  // Auto-size, same default as Create().
   engine.profile_.emplace(std::move(profile));
   return engine;
 }
@@ -141,39 +191,33 @@ StatusOr<InsightQueryResult> InsightEngine::Execute(
     candidates = std::move(filtered);
   }
 
-  // Evaluate every remaining candidate, optionally across worker threads
-  // (§5 future work). Raw values land in a position-indexed array so the
-  // outcome is identical to serial execution.
+  // Evaluate every remaining candidate, in parallel on the engine pool
+  // (§5 future work). Raw values land in a position-indexed array and a
+  // failure reports the lowest failing candidate index, so the outcome is
+  // identical to serial execution.
   std::vector<double> raw_values(candidates.size(), 0.0);
-  std::vector<Status> errors;
-  size_t workers = std::min(num_workers_, std::max<size_t>(1, candidates.size()));
-  if (workers <= 1) {
+  if (pool_ == nullptr || candidates.size() < 2) {
     for (size_t i = 0; i < candidates.size(); ++i) {
       FORESIGHT_ASSIGN_OR_RETURN(
           raw_values[i], Evaluate(*insight_class, candidates[i], metric, mode));
     }
   } else {
-    std::mutex error_mutex;
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        size_t begin = candidates.size() * w / workers;
-        size_t end = candidates.size() * (w + 1) / workers;
-        for (size_t i = begin; i < end; ++i) {
-          StatusOr<double> raw =
-              Evaluate(*insight_class, candidates[i], metric, mode);
-          if (!raw.ok()) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            errors.push_back(raw.status());
-            return;
+    FirstError first_error;
+    pool_->ParallelFor(
+        0, candidates.size(), BalancedGrain(candidates.size(), num_workers_),
+        [&](size_t chunk_begin, size_t chunk_end) {
+          for (size_t i = chunk_begin; i < chunk_end; ++i) {
+            if (first_error.ShadowedAt(i)) return;
+            StatusOr<double> raw =
+                Evaluate(*insight_class, candidates[i], metric, mode);
+            if (!raw.ok()) {
+              first_error.Record(i, raw.status());
+              return;
+            }
+            raw_values[i] = *raw;
           }
-          raw_values[i] = *raw;
-        }
-      });
-    }
-    for (std::thread& thread : threads) thread.join();
-    if (!errors.empty()) return errors.front();
+        });
+    if (first_error.has_error()) return first_error.status();
   }
 
   result.candidates_evaluated = candidates.size();
@@ -185,15 +229,22 @@ StatusOr<InsightQueryResult> InsightEngine::Execute(
         BuildInsight(*insight_class, candidates[i], metric, raw_values[i], mode));
   }
 
-  // Rank by descending score (ties: attribute order for determinism).
-  std::sort(result.insights.begin(), result.insights.end(),
-            [](const Insight& a, const Insight& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.attributes.indices < b.attributes.indices;
-            });
+  // Rank by descending score (ties: attribute order for determinism). The
+  // ordering is total (distinct tuples have distinct attribute indices), so
+  // selecting the top k with nth_element and then sorting just those k gives
+  // exactly the prefix a full sort would — in O(c + k log k) instead of
+  // O(c log c) when top_k << candidates.
+  auto stronger = [](const Insight& a, const Insight& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.attributes.indices < b.attributes.indices;
+  };
   if (result.insights.size() > query.top_k) {
+    std::nth_element(result.insights.begin(),
+                     result.insights.begin() + query.top_k,
+                     result.insights.end(), stronger);
     result.insights.resize(query.top_k);
   }
+  std::sort(result.insights.begin(), result.insights.end(), stronger);
   result.elapsed_ms = timer.ElapsedMillis();
   return result;
 }
@@ -257,22 +308,50 @@ StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
   overview.provenance = resolved_mode == ExecutionMode::kSketch
                             ? Provenance::kSketch
                             : Provenance::kExact;
+
+  // Symmetric metric: evaluate only the diagonal + upper triangle —
+  // d*(d+1)/2 evaluations instead of d*d — flattened into one work list
+  // (serial row-scan order, so error reporting matches serial) that the
+  // pool chews through in parallel, then mirror.
+  std::vector<std::pair<size_t, size_t>> cells;
+  cells.reserve(d * (d + 1) / 2);
   for (size_t i = 0; i < d; ++i) {
-    // Diagonal: the metric of an attribute with itself (1 for correlation
-    // and NMI-style metrics).
-    AttributeTuple self{{overview.column_indices[i], overview.column_indices[i]}};
-    FORESIGHT_ASSIGN_OR_RETURN(
-        double self_value,
-        Evaluate(*insight_class, self, resolved_metric, resolved_mode));
-    overview.matrix[i * d + i] = self_value;
-    for (size_t j = i + 1; j < d; ++j) {
+    for (size_t j = i; j < d; ++j) cells.emplace_back(i, j);
+  }
+  auto evaluate_cells = [&](size_t chunk_begin, size_t chunk_end,
+                            FirstError* first_error) {
+    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+      if (first_error != nullptr && first_error->ShadowedAt(c)) return;
+      auto [i, j] = cells[c];
+      // The diagonal is the metric of an attribute with itself (1 for
+      // correlation and NMI-style metrics).
       AttributeTuple tuple{
           {overview.column_indices[i], overview.column_indices[j]}};
-      FORESIGHT_ASSIGN_OR_RETURN(
-          double value,
-          Evaluate(*insight_class, tuple, resolved_metric, resolved_mode));
-      overview.matrix[i * d + j] = value;
-      overview.matrix[j * d + i] = value;
+      StatusOr<double> value =
+          Evaluate(*insight_class, tuple, resolved_metric, resolved_mode);
+      if (!value.ok()) {
+        if (first_error != nullptr) first_error->Record(c, value.status());
+        return;
+      }
+      overview.matrix[i * d + j] = *value;
+    }
+  };
+  if (pool_ == nullptr || cells.size() < 2) {
+    FirstError first_error;
+    evaluate_cells(0, cells.size(), &first_error);
+    if (first_error.has_error()) return first_error.status();
+  } else {
+    FirstError first_error;
+    pool_->ParallelFor(0, cells.size(),
+                       BalancedGrain(cells.size(), num_workers_),
+                       [&](size_t chunk_begin, size_t chunk_end) {
+                         evaluate_cells(chunk_begin, chunk_end, &first_error);
+                       });
+    if (first_error.has_error()) return first_error.status();
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      overview.matrix[j * d + i] = overview.matrix[i * d + j];
     }
   }
   return overview;

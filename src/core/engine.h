@@ -10,6 +10,7 @@
 #include "core/query.h"
 #include "data/table.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace foresight {
 
@@ -21,10 +22,13 @@ struct EngineOptions {
   /// Registry to use; when empty (default) the 12 built-in classes are used.
   /// Additional classes can be registered afterwards via mutable_registry().
   std::optional<InsightClassRegistry> registry;
-  /// Worker threads for candidate evaluation (the paper's §5 future work:
-  /// "parallel search methods that speed up insight queries"). 1 = serial.
-  /// Results are identical to serial execution regardless of worker count.
-  size_t num_workers = 1;
+  /// Total threads for preprocessing, candidate evaluation, pairwise
+  /// overviews and carousel building (the paper's §5 future work: "parallel
+  /// search methods that speed up insight queries"). The engine owns one
+  /// persistent ThreadPool of this size; 0 (the default) resolves to
+  /// std::thread::hardware_concurrency(), 1 = serial. Results are
+  /// bit-identical to serial execution regardless of worker count.
+  size_t num_workers = 0;
 };
 
 /// Pairwise overview (§2.1: "an insight may optionally have one or more
@@ -97,11 +101,14 @@ class InsightEngine {
       const std::string& class_name, const std::string& metric = "",
       ExecutionMode mode = ExecutionMode::kAuto) const;
 
-  /// Worker threads used for candidate evaluation.
+  /// Resolved worker-thread count used by every parallel path (>= 1).
   size_t num_workers() const { return num_workers_; }
-  void set_num_workers(size_t workers) {
-    num_workers_ = workers == 0 ? 1 : workers;
-  }
+  /// Resizes the engine's thread pool; 0 = hardware_concurrency.
+  void set_num_workers(size_t workers);
+
+  /// The engine-owned pool (nullptr when num_workers() == 1). Shared by
+  /// preprocessing, Execute, overviews, and the exploration session.
+  ThreadPool* thread_pool() const { return pool_.get(); }
 
  private:
   InsightEngine(const DataTable& table, InsightClassRegistry registry)
@@ -123,6 +130,7 @@ class InsightEngine {
   InsightClassRegistry registry_;
   std::optional<TableProfile> profile_;
   size_t num_workers_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace foresight

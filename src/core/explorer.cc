@@ -1,7 +1,12 @@
 #include "core/explorer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <optional>
+
+#include "util/thread_pool.h"
 
 namespace foresight {
 
@@ -49,52 +54,92 @@ double ExplorationSession::Similarity(const Insight& a,
 
 StatusOr<std::vector<Carousel>> ExplorationSession::BuildCarousels(
     bool apply_focus) const {
-  std::vector<Carousel> carousels;
-  size_t pool = options_.carousel_size *
-                (apply_focus ? std::max<size_t>(1, options_.pool_factor) : 1);
-  for (const std::string& class_name : engine_->registry().names()) {
-    const InsightClass* insight_class = engine_->registry().Find(class_name);
-    InsightQuery query;
-    query.class_name = class_name;
-    query.top_k = pool;
-    query.mode = options_.mode;
-    FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result,
-                               engine_->Execute(query));
-    Carousel carousel;
-    carousel.class_name = class_name;
-    carousel.display_name = insight_class->display_name();
-    carousel.insights = std::move(result.insights);
+  size_t pool_size = options_.carousel_size *
+                     (apply_focus ? std::max<size_t>(1, options_.pool_factor) : 1);
+  const std::vector<std::string> names = engine_->registry().names();
 
-    if (apply_focus && !carousel.insights.empty()) {
-      // Re-rank the pool toward the focus neighborhood: blend base strength
-      // (normalized within the pool, since score scales differ per class)
-      // with the best similarity to any focused insight.
-      double max_score = 0.0;
-      for (const Insight& insight : carousel.insights) {
-        max_score = std::max(max_score, insight.score);
-      }
-      auto rank_score = [&](const Insight& insight) {
-        double normalized =
-            max_score > 0.0 ? insight.score / max_score : 0.0;
-        double best_similarity = 0.0;
-        for (const Insight& focused : focus_) {
-          best_similarity =
-              std::max(best_similarity, Similarity(insight, focused));
+  // One carousel per class, built into position-indexed slots — fanned out
+  // on the engine's shared thread pool (each per-class query itself fans its
+  // candidate evaluations out on the same pool; ParallelFor is reentrant).
+  // Errors report the first class in registry order, matching a serial scan.
+  std::vector<std::optional<Carousel>> slots(names.size());
+  std::atomic<size_t> error_index{SIZE_MAX};
+  std::mutex error_mutex;
+  Status error_status;
+  auto build_class = [&](size_t class_begin, size_t class_end) {
+    for (size_t idx = class_begin; idx < class_end; ++idx) {
+      if (error_index.load(std::memory_order_relaxed) <= idx) return;
+      StatusOr<Carousel> carousel = BuildOneCarousel(names[idx], pool_size,
+                                                     apply_focus);
+      if (!carousel.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (idx < error_index.load(std::memory_order_relaxed)) {
+          error_index.store(idx, std::memory_order_relaxed);
+          error_status = carousel.status();
         }
-        return (1.0 - options_.focus_boost) * normalized +
-               options_.focus_boost * best_similarity;
-      };
-      std::stable_sort(carousel.insights.begin(), carousel.insights.end(),
-                       [&](const Insight& a, const Insight& b) {
-                         return rank_score(a) > rank_score(b);
-                       });
+        return;
+      }
+      slots[idx] = std::move(*carousel);
     }
-    if (carousel.insights.size() > options_.carousel_size) {
-      carousel.insights.resize(options_.carousel_size);
-    }
-    carousels.push_back(std::move(carousel));
+  };
+  ThreadPool* pool = engine_->thread_pool();
+  if (pool != nullptr && names.size() > 1) {
+    pool->ParallelFor(0, names.size(), 1, build_class);
+  } else {
+    build_class(0, names.size());
+  }
+  if (error_index.load(std::memory_order_acquire) != SIZE_MAX) {
+    return error_status;
+  }
+  std::vector<Carousel> carousels;
+  carousels.reserve(names.size());
+  for (std::optional<Carousel>& slot : slots) {
+    carousels.push_back(std::move(*slot));
   }
   return carousels;
+}
+
+StatusOr<Carousel> ExplorationSession::BuildOneCarousel(
+    const std::string& class_name, size_t pool_size, bool apply_focus) const {
+  const InsightClass* insight_class = engine_->registry().Find(class_name);
+  InsightQuery query;
+  query.class_name = class_name;
+  query.top_k = pool_size;
+  query.mode = options_.mode;
+  FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result,
+                             engine_->Execute(query));
+  Carousel carousel;
+  carousel.class_name = class_name;
+  carousel.display_name = insight_class->display_name();
+  carousel.insights = std::move(result.insights);
+
+  if (apply_focus && !carousel.insights.empty()) {
+    // Re-rank the pool toward the focus neighborhood: blend base strength
+    // (normalized within the pool, since score scales differ per class)
+    // with the best similarity to any focused insight.
+    double max_score = 0.0;
+    for (const Insight& insight : carousel.insights) {
+      max_score = std::max(max_score, insight.score);
+    }
+    auto rank_score = [&](const Insight& insight) {
+      double normalized = max_score > 0.0 ? insight.score / max_score : 0.0;
+      double best_similarity = 0.0;
+      for (const Insight& focused : focus_) {
+        best_similarity =
+            std::max(best_similarity, Similarity(insight, focused));
+      }
+      return (1.0 - options_.focus_boost) * normalized +
+             options_.focus_boost * best_similarity;
+    };
+    std::stable_sort(carousel.insights.begin(), carousel.insights.end(),
+                     [&](const Insight& a, const Insight& b) {
+                       return rank_score(a) > rank_score(b);
+                     });
+  }
+  if (carousel.insights.size() > options_.carousel_size) {
+    carousel.insights.resize(options_.carousel_size);
+  }
+  return carousel;
 }
 
 JsonValue ExplorationSession::SaveState() const {

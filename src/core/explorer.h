@@ -79,7 +79,14 @@ class ExplorationSession {
                                                 const JsonValue& state);
 
  private:
+  /// Builds one carousel per registered class, fanned out on the engine's
+  /// thread pool; slot-indexed results keep registry order and a failure
+  /// reports the first failing class in that order (as a serial scan would).
   StatusOr<std::vector<Carousel>> BuildCarousels(bool apply_focus) const;
+
+  /// Builds the carousel for a single class (query + optional focus re-rank).
+  StatusOr<Carousel> BuildOneCarousel(const std::string& class_name,
+                                      size_t pool_size, bool apply_focus) const;
 
   const InsightEngine* engine_;
   ExplorationOptions options_;

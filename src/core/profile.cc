@@ -8,9 +8,24 @@
 #include "stats/correlation.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace foresight {
+
+namespace {
+
+/// Splits `items` into one contiguous block per pool thread. Used for the
+/// numeric sketching passes, where each block re-generates the per-row
+/// hyperplane/projection components: fewer, larger blocks keep that
+/// regeneration overhead at (threads / columns) of the serial cost instead
+/// of once per column.
+size_t BlockGrain(size_t items, const ThreadPool* pool) {
+  size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  return std::max<size_t>(1, (items + threads - 1) / threads);
+}
+
+}  // namespace
 
 const NumericColumnSketch& TableProfile::numeric_sketch(size_t column) const {
   auto it = numeric_.find(column);
@@ -183,7 +198,8 @@ StatusOr<TableProfile> Preprocessor::LoadProfile(const DataTable& table,
 }
 
 StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
-                                             const PreprocessOptions& options) {
+                                             const PreprocessOptions& options,
+                                             ThreadPool* pool) {
   if (table.num_columns() == 0) {
     return Status::InvalidArgument("cannot profile a table with no columns");
   }
@@ -202,76 +218,156 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
   size_t parts = std::max<size_t>(1, std::min(options.num_partitions,
                                               std::max<size_t>(1, n)));
 
-  // Numeric columns: a row-major pass per partition, generating each row's
-  // random hyperplane/projection components ONCE and folding the row into
+  // Numeric columns: row-major passes, generating each row's random
+  // hyperplane/projection components once per pass and folding the row into
   // every numeric column's sketch — the paper's single-pass O(|B| * n * k)
-  // preprocessing bound (§3).
+  // preprocessing bound (§3). With a pool, columns split into one block per
+  // thread and blocks run concurrently. Each block regenerates the per-row
+  // components (they are pure functions of (seed, row)) and every column's
+  // sketches still consume their rows in ascending order with per-sketch RNG
+  // state, so the result is bit-identical to the serial pass.
   std::vector<size_t> numeric_cols = table.NumericColumnIndices();
+  size_t n_num = numeric_cols.size();
   std::vector<const NumericColumn*> numeric_ptrs;
-  numeric_ptrs.reserve(numeric_cols.size());
+  numeric_ptrs.reserve(n_num);
   for (size_t c : numeric_cols) {
     numeric_ptrs.push_back(&table.column(c).AsNumeric());
   }
   std::vector<NumericColumnSketch> merged_numeric;
-  merged_numeric.reserve(numeric_cols.size());
-  for (size_t i = 0; i < numeric_cols.size(); ++i) {
+  merged_numeric.reserve(n_num);
+  for (size_t i = 0; i < n_num; ++i) {
     merged_numeric.push_back(builder.MakeNumericSketch());
   }
-  {
+  // Accumulates rows [row_begin, row_end) of columns [col_begin, col_end)
+  // into `target` (indexed by absolute column position).
+  auto accumulate_numeric = [&](size_t col_begin, size_t col_end,
+                                size_t row_begin, size_t row_end,
+                                std::vector<NumericColumnSketch>& target) {
     std::vector<double> hyperplane_row;
     std::vector<double> projection_row;
-    for (size_t p = 0; p < parts; ++p) {
-      size_t begin = n * p / parts;
-      size_t end = n * (p + 1) / parts;
+    for (size_t row = row_begin; row < row_end; ++row) {
+      builder.hyperplane_sketcher().GenerateRowHyperplanes(row, hyperplane_row);
+      builder.projection_sketcher().GenerateRowComponents(row, projection_row);
+      for (size_t i = col_begin; i < col_end; ++i) {
+        const NumericColumn& column = *numeric_ptrs[i];
+        if (!column.is_valid(row)) continue;
+        builder.AccumulateRowValue(column.value(row), hyperplane_row,
+                                   projection_row, target[i]);
+      }
+    }
+  };
+  if (n_num > 0) {
+    if (parts == 1) {
+      auto run_block = [&](size_t col_begin, size_t col_end) {
+        accumulate_numeric(col_begin, col_end, 0, n, merged_numeric);
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), run_block);
+      } else {
+        run_block(0, n_num);
+      }
+    } else {
+      // Partitioned: build every (partition x column-block) tile's partials
+      // concurrently, then merge each column's partials in partition order —
+      // the same merge sequence the serial path performs.
       std::vector<NumericColumnSketch> partials;
-      std::vector<NumericColumnSketch>* target = &merged_numeric;
-      if (parts > 1) {
-        partials.reserve(numeric_cols.size());
-        for (size_t i = 0; i < numeric_cols.size(); ++i) {
-          partials.push_back(builder.MakeNumericSketch());
-        }
-        target = &partials;
+      partials.reserve(parts * n_num);
+      for (size_t i = 0; i < parts * n_num; ++i) {
+        partials.push_back(builder.MakeNumericSketch());
       }
-      for (size_t row = begin; row < end; ++row) {
-        builder.hyperplane_sketcher().GenerateRowHyperplanes(row,
-                                                             hyperplane_row);
-        builder.projection_sketcher().GenerateRowComponents(row,
-                                                            projection_row);
-        for (size_t i = 0; i < numeric_ptrs.size(); ++i) {
-          const NumericColumn& column = *numeric_ptrs[i];
-          if (!column.is_valid(row)) continue;
-          builder.AccumulateRowValue(column.value(row), hyperplane_row,
-                                     projection_row, (*target)[i]);
+      size_t col_grain = BlockGrain(n_num, pool);
+      size_t num_blocks = (n_num + col_grain - 1) / col_grain;
+      auto run_tile_range = [&](size_t tile_begin, size_t tile_end) {
+        std::vector<double> hyperplane_row;
+        std::vector<double> projection_row;
+        for (size_t t = tile_begin; t < tile_end; ++t) {
+          size_t p = t / num_blocks;
+          size_t block = t % num_blocks;
+          size_t col_begin = block * col_grain;
+          size_t col_end = std::min(n_num, col_begin + col_grain);
+          size_t row_begin = n * p / parts;
+          size_t row_end = n * (p + 1) / parts;
+          for (size_t row = row_begin; row < row_end; ++row) {
+            builder.hyperplane_sketcher().GenerateRowHyperplanes(
+                row, hyperplane_row);
+            builder.projection_sketcher().GenerateRowComponents(
+                row, projection_row);
+            for (size_t i = col_begin; i < col_end; ++i) {
+              const NumericColumn& column = *numeric_ptrs[i];
+              if (!column.is_valid(row)) continue;
+              // Partials for partition p live at offset p * n_num.
+              builder.AccumulateRowValue(column.value(row), hyperplane_row,
+                                         projection_row,
+                                         partials[p * n_num + i]);
+            }
+          }
         }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, parts * num_blocks, 1, run_tile_range);
+      } else {
+        run_tile_range(0, parts * num_blocks);
       }
-      if (parts > 1) {
-        for (size_t i = 0; i < numeric_cols.size(); ++i) {
-          merged_numeric[i].Merge(partials[i]);
+      auto merge_columns = [&](size_t col_begin, size_t col_end) {
+        for (size_t i = col_begin; i < col_end; ++i) {
+          for (size_t p = 0; p < parts; ++p) {
+            merged_numeric[i].Merge(partials[p * n_num + i]);
+          }
         }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), merge_columns);
+      } else {
+        merge_columns(0, n_num);
       }
     }
   }
-  for (size_t i = 0; i < numeric_cols.size(); ++i) {
-    builder.FinalizeNumeric(merged_numeric[i]);
+  auto finalize_columns = [&](size_t col_begin, size_t col_end) {
+    for (size_t i = col_begin; i < col_end; ++i) {
+      builder.FinalizeNumeric(merged_numeric[i]);
+    }
+  };
+  if (pool != nullptr && n_num > 1) {
+    pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), finalize_columns);
+  } else {
+    finalize_columns(0, n_num);
+  }
+  for (size_t i = 0; i < n_num; ++i) {
     profile.numeric_.emplace(numeric_cols[i], std::move(merged_numeric[i]));
   }
 
-  // Categorical columns: per-column passes (dictionary codes batch cheaply).
-  for (size_t c : table.CategoricalColumnIndices()) {
-    const auto& categorical = table.column(c).AsCategorical();
-    CategoricalColumnSketch merged = builder.MakeCategoricalSketch();
-    for (size_t p = 0; p < parts; ++p) {
-      size_t begin = n * p / parts;
-      size_t end = n * (p + 1) / parts;
-      if (parts == 1) {
-        builder.AccumulateCategorical(categorical, begin, end, merged);
-      } else {
-        CategoricalColumnSketch partial = builder.MakeCategoricalSketch();
-        builder.AccumulateCategorical(categorical, begin, end, partial);
-        merged.Merge(partial);
+  // Categorical columns: per-column passes (dictionary codes batch cheaply),
+  // one parallel work item per column; emplacement stays in table order.
+  std::vector<size_t> cat_cols = table.CategoricalColumnIndices();
+  std::vector<CategoricalColumnSketch> cat_sketches;
+  cat_sketches.reserve(cat_cols.size());
+  for (size_t i = 0; i < cat_cols.size(); ++i) {
+    cat_sketches.push_back(builder.MakeCategoricalSketch());
+  }
+  auto run_categorical = [&](size_t col_begin, size_t col_end) {
+    for (size_t i = col_begin; i < col_end; ++i) {
+      const auto& categorical = table.column(cat_cols[i]).AsCategorical();
+      CategoricalColumnSketch& merged = cat_sketches[i];
+      for (size_t p = 0; p < parts; ++p) {
+        size_t begin = n * p / parts;
+        size_t end = n * (p + 1) / parts;
+        if (parts == 1) {
+          builder.AccumulateCategorical(categorical, begin, end, merged);
+        } else {
+          CategoricalColumnSketch partial = builder.MakeCategoricalSketch();
+          builder.AccumulateCategorical(categorical, begin, end, partial);
+          merged.Merge(partial);
+        }
       }
     }
-    profile.categorical_.emplace(c, std::move(merged));
+  };
+  if (pool != nullptr && cat_cols.size() > 1) {
+    pool->ParallelFor(0, cat_cols.size(), 1, run_categorical);
+  } else {
+    run_categorical(0, cat_cols.size());
+  }
+  for (size_t i = 0; i < cat_cols.size(); ++i) {
+    profile.categorical_.emplace(cat_cols[i], std::move(cat_sketches[i]));
   }
 
   // Shared row sample: uniform without replacement, ascending.
@@ -299,49 +395,73 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
     profile.sampled_rows_ = std::move(chosen);
   }
 
-  MaterializeSamples(table, profile);
+  MaterializeSamples(table, profile, pool);
 
   profile.preprocess_seconds_ = timer.ElapsedSeconds();
   return profile;
 }
 
 void Preprocessor::MaterializeSamples(const DataTable& table,
-                                      TableProfile& profile) {
+                                      TableProfile& profile,
+                                      ThreadPool* pool) {
+  // Extraction (and rank computation) runs per-column in parallel into
+  // indexed slots; the map emplacement below stays serial and in table
+  // order, so map contents and insertion order match the serial path.
+  struct ColumnSample {
+    std::vector<double> values;
+    std::vector<double> ranks;
+    std::vector<int32_t> codes;
+  };
+  std::vector<ColumnSample> slots(table.num_columns());
+  auto materialize_columns = [&](size_t col_begin, size_t col_end) {
+    for (size_t c = col_begin; c < col_end; ++c) {
+      const Column& column = table.column(c);
+      ColumnSample& slot = slots[c];
+      if (column.type() == ColumnType::kNumeric) {
+        const auto& numeric = column.AsNumeric();
+        std::vector<double>& values = slot.values;
+        values.reserve(profile.sampled_rows_.size());
+        for (size_t row : profile.sampled_rows_) {
+          values.push_back(numeric.is_valid(row)
+                               ? numeric.value(row)
+                               : std::numeric_limits<double>::quiet_NaN());
+        }
+        // Midranks of the non-null sample, NaN positions preserved.
+        std::vector<double> present;
+        present.reserve(values.size());
+        for (double v : values) {
+          if (!std::isnan(v)) present.push_back(v);
+        }
+        std::vector<double> present_ranks = FractionalRanks(present);
+        std::vector<double>& ranks = slot.ranks;
+        ranks.resize(values.size());
+        size_t next = 0;
+        for (size_t i = 0; i < values.size(); ++i) {
+          ranks[i] = std::isnan(values[i])
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : present_ranks[next++];
+        }
+      } else {
+        const auto& categorical = column.AsCategorical();
+        std::vector<int32_t>& codes = slot.codes;
+        codes.reserve(profile.sampled_rows_.size());
+        for (size_t row : profile.sampled_rows_) {
+          codes.push_back(categorical.code(row));
+        }
+      }
+    }
+  };
+  if (pool != nullptr && table.num_columns() > 1) {
+    pool->ParallelFor(0, table.num_columns(), 1, materialize_columns);
+  } else {
+    materialize_columns(0, table.num_columns());
+  }
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    const Column& column = table.column(c);
-    if (column.type() == ColumnType::kNumeric) {
-      const auto& numeric = column.AsNumeric();
-      std::vector<double> values;
-      values.reserve(profile.sampled_rows_.size());
-      for (size_t row : profile.sampled_rows_) {
-        values.push_back(numeric.is_valid(row)
-                             ? numeric.value(row)
-                             : std::numeric_limits<double>::quiet_NaN());
-      }
-      // Midranks of the non-null sample, NaN positions preserved.
-      std::vector<double> present;
-      present.reserve(values.size());
-      for (double v : values) {
-        if (!std::isnan(v)) present.push_back(v);
-      }
-      std::vector<double> present_ranks = FractionalRanks(present);
-      std::vector<double> ranks(values.size());
-      size_t next = 0;
-      for (size_t i = 0; i < values.size(); ++i) {
-        ranks[i] = std::isnan(values[i])
-                       ? std::numeric_limits<double>::quiet_NaN()
-                       : present_ranks[next++];
-      }
-      profile.sampled_ranks_.emplace(c, std::move(ranks));
-      profile.sampled_numeric_.emplace(c, std::move(values));
+    if (table.column(c).type() == ColumnType::kNumeric) {
+      profile.sampled_ranks_.emplace(c, std::move(slots[c].ranks));
+      profile.sampled_numeric_.emplace(c, std::move(slots[c].values));
     } else {
-      const auto& categorical = column.AsCategorical();
-      std::vector<int32_t> codes;
-      codes.reserve(profile.sampled_rows_.size());
-      for (size_t row : profile.sampled_rows_) {
-        codes.push_back(categorical.code(row));
-      }
-      profile.sampled_codes_.emplace(c, std::move(codes));
+      profile.sampled_codes_.emplace(c, std::move(slots[c].codes));
     }
   }
 }

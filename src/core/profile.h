@@ -13,6 +13,8 @@
 
 namespace foresight {
 
+class ThreadPool;
+
 /// Everything the approximate query path needs, produced by one preprocessing
 /// pass over the table (§3: "the dataset is preprocessed to compute sketches,
 /// samples, and indexes that will support fast approximate insight querying"):
@@ -103,9 +105,15 @@ struct PreprocessOptions {
 class Preprocessor {
  public:
   /// Profiles every column of `table`. The returned profile references
-  /// `table`, which must outlive it.
+  /// `table`, which must outlive it. When `pool` is non-null the per-column
+  /// sketch bundles (and, with num_partitions > 1, the per-partition partials
+  /// feeding each merge) are built in parallel on it; because every row's
+  /// random hyperplane/projection components derive only from (seed, row) and
+  /// each column's sketches see their rows in the same order either way, the
+  /// resulting profile is bit-identical to the serial one.
   static StatusOr<TableProfile> Profile(const DataTable& table,
-                                        const PreprocessOptions& options = {});
+                                        const PreprocessOptions& options = {},
+                                        ThreadPool* pool = nullptr);
 
   /// Restores a profile persisted by TableProfile::ToJson against `table`
   /// (which must be the table it was built from: column names/types and row
@@ -114,8 +122,10 @@ class Preprocessor {
                                             const JsonValue& json);
 
  private:
-  /// Fills sampled_numeric_/sampled_ranks_/sampled_codes_ from sampled_rows_.
-  static void MaterializeSamples(const DataTable& table, TableProfile& profile);
+  /// Fills sampled_numeric_/sampled_ranks_/sampled_codes_ from sampled_rows_,
+  /// optionally extracting columns in parallel (map insertion stays ordered).
+  static void MaterializeSamples(const DataTable& table, TableProfile& profile,
+                                 ThreadPool* pool = nullptr);
 };
 
 }  // namespace foresight

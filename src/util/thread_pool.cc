@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace foresight {
+
+/// Shared state of one ParallelFor call. Kept alive by shared_ptr until the
+/// last helper task drops it, so helpers dequeued after the call already
+/// returned find `next_chunk >= num_chunks` and exit immediately.
+struct ThreadPool::ForJob {
+  size_t begin = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  size_t end = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  // First exception by chunk order (not completion order), so a rethrown
+  // error is deterministic across runs.
+  std::exception_ptr error;
+  size_t error_chunk = SIZE_MAX;
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+  }
+  num_threads_ = num_threads == 0 ? 1 : num_threads;
+  threads_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunJob(ForJob& job) {
+  for (;;) {
+    size_t chunk = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) return;
+    size_t chunk_begin = job.begin + chunk * job.grain;
+    size_t chunk_end = std::min(job.end, chunk_begin + job.grain);
+    try {
+      (*job.fn)(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (chunk < job.error_chunk) {
+        job.error_chunk = chunk;
+        job.error = std::current_exception();
+      }
+    }
+    if (job.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  size_t span = end - begin;
+  size_t num_chunks = (span + grain - 1) / grain;
+  if (num_threads_ <= 1 || num_chunks <= 1) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t chunk_begin = begin + chunk * grain;
+      fn(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<ForJob>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+
+  size_t helpers = std::min(num_threads_ - 1, num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([job] { RunJob(*job); });
+    }
+  }
+  if (helpers == 1) {
+    queue_cv_.notify_one();
+  } else {
+    queue_cv_.notify_all();
+  }
+
+  // The caller claims chunks too, which also makes nested ParallelFor calls
+  // deadlock-free: progress never depends on a free worker existing.
+  RunJob(*job);
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&] {
+    return job->chunks_done.load(std::memory_order_acquire) == job->num_chunks;
+  });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace foresight

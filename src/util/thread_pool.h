@@ -1,0 +1,75 @@
+#ifndef FORESIGHT_UTIL_THREAD_POOL_H_
+#define FORESIGHT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace foresight {
+
+/// A persistent pool of worker threads with one blocking primitive,
+/// `ParallelFor`. Replaces the previous per-query `std::thread` spawn/join
+/// (the threads outlive any single call, so a query pays zero thread-creation
+/// cost) and gives every hot path — preprocessing, candidate evaluation,
+/// pairwise overviews, carousel building — one shared, bounded set of
+/// threads instead of each layer spawning its own.
+///
+/// Scheduling model: work-sharing, not work-stealing. `ParallelFor` splits
+/// [begin, end) into fixed chunks of `grain` indices; idle workers (and the
+/// calling thread itself) repeatedly claim the next unclaimed chunk via an
+/// atomic counter. Chunk *boundaries* are therefore deterministic; only the
+/// chunk-to-thread assignment varies between runs, so callers that write
+/// results into position-indexed slots get run-to-run identical output.
+///
+/// Reentrancy: `ParallelFor` may be called from inside a task running on this
+/// pool (e.g. the explorer fans out per-class queries, and each query fans
+/// out per-candidate evaluation). The calling thread always participates in
+/// executing its own chunks, so nested calls make progress even when every
+/// worker is busy — there is no deadlock by construction.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism (including the calling thread of
+  /// a ParallelFor). 0 resolves to std::thread::hardware_concurrency().
+  /// With a resolved value of 1 no threads are spawned and every ParallelFor
+  /// runs inline on the caller.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total parallelism (resolved, >= 1). Spawned threads are num_threads()-1.
+  size_t num_threads() const { return num_threads_; }
+
+  /// Invokes `fn(chunk_begin, chunk_end)` over consecutive chunks of at most
+  /// `grain` indices covering [begin, end), potentially concurrently, and
+  /// blocks until every chunk has finished. The calling thread participates.
+  /// If any invocation throws, the first exception (from the lowest-numbered
+  /// chunk that threw) is rethrown here after all chunks complete; `fn` must
+  /// therefore be safe to run for chunks after a failing one.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  struct ForJob;
+
+  void WorkerLoop();
+  static void RunJob(ForJob& job);
+
+  size_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_THREAD_POOL_H_
