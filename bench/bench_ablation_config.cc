@@ -20,8 +20,10 @@ namespace {
 
 /// Mean |sketch - exact| over all pairwise correlations.
 double OverviewError(const InsightEngine& engine) {
-  auto exact = engine.ComputeCorrelationOverview(ExecutionMode::kExact);
-  auto sketch = engine.ComputeCorrelationOverview(ExecutionMode::kSketch);
+  auto exact = engine.ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
+  auto sketch = engine.ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kSketch);
   if (!exact.ok() || !sketch.ok()) return -1.0;
   size_t d = exact->attribute_names.size();
   double total = 0.0;

@@ -29,8 +29,10 @@ int main() {
   auto engine = InsightEngine::Create(oecd, std::move(options));
   if (!engine.ok()) return 1;
 
-  auto exact = engine->ComputeCorrelationOverview(ExecutionMode::kExact);
-  auto sketch = engine->ComputeCorrelationOverview(ExecutionMode::kSketch);
+  auto exact = engine->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
+  auto sketch = engine->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kSketch);
   if (!exact.ok() || !sketch.ok()) return 1;
 
   std::printf("%s\n", RenderCorrelationHeatmapAscii(*exact).c_str());
@@ -70,9 +72,11 @@ int main() {
   auto block_engine = InsightEngine::Create(blocks, std::move(block_options));
   if (!block_engine.ok()) return 1;
   auto block_exact =
-      block_engine->ComputeCorrelationOverview(ExecutionMode::kExact);
+      block_engine->ComputePairwiseOverview(
+          "linear_relationship", "", ExecutionMode::kExact);
   auto block_sketch =
-      block_engine->ComputeCorrelationOverview(ExecutionMode::kSketch);
+      block_engine->ComputePairwiseOverview(
+          "linear_relationship", "", ExecutionMode::kSketch);
   if (!block_exact.ok() || !block_sketch.ok()) return 1;
 
   size_t in_block_ok_exact = 0, in_block_total = 0;

@@ -31,11 +31,13 @@ Timing MeasureAllPairs(size_t n, size_t d) {
   if (!engine.ok()) return {0, 0, 0};
 
   WallTimer exact_timer;
-  auto exact = engine->ComputeCorrelationOverview(ExecutionMode::kExact);
+  auto exact = engine->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
   double exact_ms = exact_timer.ElapsedMillis();
 
   WallTimer sketch_timer;
-  auto sketch = engine->ComputeCorrelationOverview(ExecutionMode::kSketch);
+  auto sketch = engine->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kSketch);
   double sketch_ms = sketch_timer.ElapsedMillis();
 
   (void)exact;

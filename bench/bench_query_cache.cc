@@ -1,0 +1,229 @@
+// QuerySession serving-layer benchmark:
+//   1. Repeated query: the same insight query served cold (engine computes,
+//      cache stores) vs warm (sharded LRU hit). Acceptance: >= 10x.
+//   2. Overlapping batch: 16 queries over shared candidate sets served by
+//      ExecuteBatch (1 enumeration + 1 evaluation sweep for the union) vs 16
+//      sequential Execute() calls. Acceptance: >= 2x.
+//
+// Both parts carry built-in bit-identity checks — a warm hit must return
+// exactly the cold payload, and every batch result must equal its independent
+// Execute() twin — so a speedup can never come from serving different
+// answers. Results are printed AND written to BENCH_query_cache.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "data/generators.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace foresight;
+
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr size_t kNumericCols = 40;
+constexpr size_t kCategoricalCols = 6;
+constexpr uint64_t kSeed = 23;
+constexpr int kReps = 5;          // Timed repetitions; best rep is reported.
+constexpr int kWarmIters = 200;   // Warm lookups averaged per rep.
+
+/// True when the two results carry bit-identical payloads (telemetry fields —
+/// latency, cache flags — are allowed to differ).
+bool SamePayload(const InsightQueryResult& a, const InsightQueryResult& b) {
+  if (a.candidates_evaluated != b.candidates_evaluated) return false;
+  if (a.mode_used != b.mode_used) return false;
+  if (a.insights.size() != b.insights.size()) return false;
+  for (size_t i = 0; i < a.insights.size(); ++i) {
+    const Insight& x = a.insights[i];
+    const Insight& y = b.insights[i];
+    if (x.class_name != y.class_name || x.metric_name != y.metric_name ||
+        x.attributes.indices != y.attributes.indices ||
+        x.raw_value != y.raw_value || x.score != y.score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The repeated query of part 1: full pairwise ranking, exact mode.
+InsightQuery RepeatedQuery() {
+  InsightQuery query;
+  query.class_name = "linear_relationship";
+  query.metric = "pearson";
+  query.mode = ExecutionMode::kExact;
+  query.top_k = 10;
+  return query;
+}
+
+/// 16 overlapping queries: half scan every attribute pair with different
+/// top-k / score windows, half fix one attribute. All share one
+/// (class, metric, mode) group, so ExecuteBatch evaluates the union of their
+/// candidate sets once.
+std::vector<InsightQuery> OverlappingBatch(const DataTable& table) {
+  std::vector<InsightQuery> queries;
+  for (size_t i = 0; i < 16; ++i) {
+    InsightQuery query;
+    query.class_name = "linear_relationship";
+    query.metric = "pearson";
+    query.mode = ExecutionMode::kExact;
+    query.top_k = 5 + i;
+    if (i % 2 == 1) {
+      query.fixed_attributes = {table.schema().columns()[i % 8].name};
+    }
+    if (i % 4 >= 2) {
+      query.min_score = 0.02 * static_cast<double>(i);
+      query.max_score = 0.98;
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QuerySession serving layer: cache hits & batched execution\n");
+  std::printf("workload: %zu rows x (%zu numeric + %zu categorical) columns\n\n",
+              kRows, kNumericCols, kCategoricalCols);
+  DataTable table =
+      MakeBenchmarkTable(kRows, kNumericCols, kCategoricalCols, kSeed);
+  auto engine = InsightEngine::Create(table);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  bool identical = true;
+
+  // ---- Part 1: repeated query, cold vs warm ------------------------------
+  QuerySession session(*engine);
+  InsightQuery repeated = RepeatedQuery();
+  auto reference = engine->Execute(repeated);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+
+  double cold_ms = 1e100;
+  double warm_ms = 1e100;
+  WallTimer timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    session.ClearCache();
+    timer.Restart();
+    auto cold = session.Execute(repeated);
+    double cold_elapsed = timer.ElapsedMillis();
+    if (!cold.ok() || cold->cache_hit || !SamePayload(*cold, *reference)) {
+      identical = false;
+    }
+    cold_ms = std::min(cold_ms, cold_elapsed);
+
+    timer.Restart();
+    for (int i = 0; i < kWarmIters; ++i) {
+      auto warm = session.Execute(repeated);
+      if (!warm.ok() || !warm->cache_hit || !SamePayload(*warm, *reference)) {
+        identical = false;
+      }
+    }
+    warm_ms = std::min(warm_ms, timer.ElapsedMillis() / kWarmIters);
+  }
+  double repeat_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  QueryCacheStats stats = session.cache_stats();
+  std::printf("repeated query  : cold %.3f ms, warm %.4f ms  -> %.0fx "
+              "(target >= 10x)\n",
+              cold_ms, warm_ms, repeat_speedup);
+  std::printf("cache stats     : %zu hits, %zu misses, %zu entries, %zu bytes\n",
+              stats.hits, stats.misses, stats.entries, stats.bytes);
+
+  // ---- Part 2: overlapping 16-query batch vs sequential ------------------
+  std::vector<InsightQuery> workload = OverlappingBatch(table);
+  std::vector<InsightQueryResult> sequential_results;
+  double sequential_ms = 1e100;
+  double batch_ms = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<InsightQueryResult> singles;
+    timer.Restart();
+    for (const InsightQuery& query : workload) {
+      auto result = engine->Execute(query);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      singles.push_back(std::move(*result));
+    }
+    sequential_ms = std::min(sequential_ms, timer.ElapsedMillis());
+
+    timer.Restart();
+    auto batch = engine->ExecuteBatch(workload);
+    double batch_elapsed = timer.ElapsedMillis();
+    if (!batch.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    batch_ms = std::min(batch_ms, batch_elapsed);
+    for (size_t q = 0; q < workload.size(); ++q) {
+      if (!SamePayload(singles[q], (*batch)[q])) {
+        identical = false;
+        std::printf("BIT-IDENTITY FAILURE: batch query #%zu differs from "
+                    "Execute()\n", q);
+      }
+    }
+    sequential_results = std::move(singles);
+  }
+  double batch_speedup = batch_ms > 0.0 ? sequential_ms / batch_ms : 0.0;
+  std::printf("16-query batch  : sequential %.2f ms, batched %.2f ms  -> "
+              "%.1fx (target >= 2x)\n",
+              sequential_ms, batch_ms, batch_speedup);
+  std::printf("bit-identical   : %s\n", identical ? "yes" : "NO");
+  bool met_targets = repeat_speedup >= 10.0 && batch_speedup >= 2.0;
+  std::printf("targets met     : %s\n\n", met_targets ? "yes" : "NO");
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "query_cache");
+  JsonValue workload_json = JsonValue::Object();
+  workload_json.Set("rows", kRows);
+  workload_json.Set("numeric_cols", kNumericCols);
+  workload_json.Set("categorical_cols", kCategoricalCols);
+  workload_json.Set("seed", kSeed);
+  workload_json.Set("batch_queries", workload.size());
+  doc.Set("workload", std::move(workload_json));
+  JsonValue repeat_json = JsonValue::Object();
+  repeat_json.Set("cold_ms", cold_ms);
+  repeat_json.Set("warm_ms", warm_ms);
+  repeat_json.Set("speedup", repeat_speedup);
+  repeat_json.Set("target", 10.0);
+  doc.Set("repeated_query", std::move(repeat_json));
+  JsonValue batch_json = JsonValue::Object();
+  batch_json.Set("sequential_ms", sequential_ms);
+  batch_json.Set("batch_ms", batch_ms);
+  batch_json.Set("speedup", batch_speedup);
+  batch_json.Set("target", 2.0);
+  doc.Set("overlapping_batch", std::move(batch_json));
+  JsonValue stats_json = JsonValue::Object();
+  stats_json.Set("hits", stats.hits);
+  stats_json.Set("misses", stats.misses);
+  stats_json.Set("evictions", stats.evictions);
+  stats_json.Set("entries", stats.entries);
+  stats_json.Set("bytes", stats.bytes);
+  doc.Set("cache_stats", std::move(stats_json));
+  doc.Set("bit_identical", identical);
+  doc.Set("targets_met", met_targets);
+  size_t insights_total = 0;
+  for (const InsightQueryResult& result : sequential_results) {
+    insights_total += result.insights.size();
+  }
+  doc.Set("sequential_insights_total", insights_total);
+
+  std::ofstream out("BENCH_query_cache.json");
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote BENCH_query_cache.json\n");
+  return identical ? 0 : 1;
+}

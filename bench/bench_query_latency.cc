@@ -84,7 +84,8 @@ int main() {
   // The Figure 2 overview.
   {
     WallTimer timer;
-    auto overview = engine->ComputeCorrelationOverview(ExecutionMode::kSketch);
+    auto overview = engine->ComputePairwiseOverview(
+        "linear_relationship", "", ExecutionMode::kSketch);
     double ms = timer.ElapsedMillis();
     bool interactive = overview.ok() && ms < 500.0;
     all_interactive = all_interactive && interactive;

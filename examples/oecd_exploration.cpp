@@ -118,7 +118,7 @@ int main() {
   }
 
   Banner("Step 6: the overview heatmap (Figure 2) and session save");
-  auto overview = engine->ComputeCorrelationOverview();
+  auto overview = engine->ComputePairwiseOverview("linear_relationship");
   if (overview.ok()) {
     std::printf("%s",
                 foresight::RenderCorrelationHeatmapAscii(*overview).c_str());

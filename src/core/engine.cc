@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <tuple>
 
 #include "util/timer.h"
 
@@ -45,6 +47,25 @@ size_t BalancedGrain(size_t items, size_t workers) {
   return std::max<size_t>(1, items / (workers * 4));
 }
 
+/// The structural (pre-evaluation) query filters: fixed attributes (§2.1)
+/// and metadata-tag constraints (§2.1 future work). Pure per-tuple predicate,
+/// so applying it before or after metric evaluation selects the same tuples —
+/// which is what lets ExecuteBatch evaluate a shared candidate union once.
+bool TupleMatches(const DataTable& table, const AttributeTuple& tuple,
+                  const std::vector<size_t>& fixed_indices,
+                  const std::vector<std::string>& required_tags) {
+  for (size_t fixed : fixed_indices) {
+    if (!tuple.Contains(fixed)) return false;
+  }
+  for (size_t index : tuple.indices) {
+    const ColumnSpec& spec = table.schema().column(index);
+    for (const std::string& tag : required_tags) {
+      if (!spec.HasTag(tag)) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
@@ -70,6 +91,13 @@ void InsightEngine::set_num_workers(size_t workers) {
   if (workers == num_workers_ && (workers == 1 || pool_ != nullptr)) return;
   num_workers_ = workers;
   pool_ = workers > 1 ? std::make_unique<ThreadPool>(workers) : nullptr;
+  // Results are bit-identical across worker counts, but cached telemetry
+  // (elapsed_ms, parallel path taken) is not; invalidate conservatively.
+  ++engine_epoch_;
+}
+
+uint64_t InsightEngine::serving_epoch() const {
+  return engine_epoch_ + table_->schema().version();
 }
 
 StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
@@ -131,102 +159,70 @@ Insight InsightEngine::BuildInsight(const InsightClass& insight_class,
   return insight;
 }
 
-StatusOr<InsightQueryResult> InsightEngine::Execute(
+StatusOr<ResolvedQuery> InsightEngine::ResolveQuery(
     const InsightQuery& query) const {
-  WallTimer timer;
-  const InsightClass* insight_class = registry_.Find(query.class_name);
-  if (insight_class == nullptr) {
-    return Status::NotFound("unknown insight class: " + query.class_name);
-  }
-  std::string metric =
-      query.metric.empty() ? insight_class->metric_names().front() : query.metric;
-  const std::vector<std::string> allowed = insight_class->metric_names();
-  if (std::find(allowed.begin(), allowed.end(), metric) == allowed.end()) {
-    return Status::InvalidArgument("metric '" + metric +
-                                   "' not supported by class '" +
-                                   query.class_name + "'");
-  }
-  if (query.min_score.has_value() && query.max_score.has_value() &&
-      *query.min_score > *query.max_score) {
-    return Status::InvalidArgument("min_score exceeds max_score");
-  }
-  FORESIGHT_ASSIGN_OR_RETURN(ExecutionMode mode, ResolveMode(query.mode));
-
-  // Resolve fixed attribute names to column indices.
-  std::vector<size_t> fixed_indices;
+  FORESIGHT_RETURN_IF_ERROR(query.Validate(registry_, *table_));
+  ResolvedQuery resolved;
+  resolved.insight_class = registry_.Find(query.class_name);
+  resolved.metric = query.metric.empty()
+                        ? resolved.insight_class->metric_names().front()
+                        : query.metric;
+  FORESIGHT_ASSIGN_OR_RETURN(resolved.mode, ResolveMode(query.mode));
   for (const std::string& name : query.fixed_attributes) {
     FORESIGHT_ASSIGN_OR_RETURN(size_t index, table_->ColumnIndex(name));
-    fixed_indices.push_back(index);
+    resolved.fixed_indices.push_back(index);
   }
+  return resolved;
+}
 
-  InsightQueryResult result;
-  result.mode_used = mode;
-  std::vector<AttributeTuple> candidates =
-      insight_class->EnumerateCandidates(*table_);
-  // Structural filters first (cheap checks before any metric evaluation):
-  // fixed attributes (§2.1) and metadata-tag constraints (§2.1 future work).
-  if (!fixed_indices.empty() || !query.required_tags.empty()) {
-    std::vector<AttributeTuple> filtered;
-    filtered.reserve(candidates.size());
-    for (AttributeTuple& tuple : candidates) {
-      bool matches = true;
-      for (size_t fixed : fixed_indices) {
-        if (!tuple.Contains(fixed)) {
-          matches = false;
-          break;
-        }
-      }
-      for (size_t index : tuple.indices) {
-        if (!matches) break;
-        const ColumnSpec& spec = table_->schema().column(index);
-        for (const std::string& tag : query.required_tags) {
-          if (!spec.HasTag(tag)) {
-            matches = false;
-            break;
-          }
-        }
-      }
-      if (matches) filtered.push_back(std::move(tuple));
-    }
-    candidates = std::move(filtered);
-  }
-
-  // Evaluate every remaining candidate, in parallel on the engine pool
-  // (§5 future work). Raw values land in a position-indexed array and a
-  // failure reports the lowest failing candidate index, so the outcome is
-  // identical to serial execution.
-  std::vector<double> raw_values(candidates.size(), 0.0);
-  if (pool_ == nullptr || candidates.size() < 2) {
-    for (size_t i = 0; i < candidates.size(); ++i) {
+Status InsightEngine::EvaluateCandidates(
+    const InsightClass& insight_class, const std::string& metric,
+    ExecutionMode mode, const std::vector<AttributeTuple>& tuples,
+    std::vector<double>* raw_values) const {
+  // Raw values land in a position-indexed array and a failure reports the
+  // lowest failing tuple index, so the outcome is identical to serial
+  // execution regardless of worker count (§5 future work).
+  raw_values->assign(tuples.size(), 0.0);
+  if (pool_ == nullptr || tuples.size() < 2) {
+    for (size_t i = 0; i < tuples.size(); ++i) {
       FORESIGHT_ASSIGN_OR_RETURN(
-          raw_values[i], Evaluate(*insight_class, candidates[i], metric, mode));
+          (*raw_values)[i], Evaluate(insight_class, tuples[i], metric, mode));
     }
-  } else {
-    FirstError first_error;
-    pool_->ParallelFor(
-        0, candidates.size(), BalancedGrain(candidates.size(), num_workers_),
-        [&](size_t chunk_begin, size_t chunk_end) {
-          for (size_t i = chunk_begin; i < chunk_end; ++i) {
-            if (first_error.ShadowedAt(i)) return;
-            StatusOr<double> raw =
-                Evaluate(*insight_class, candidates[i], metric, mode);
-            if (!raw.ok()) {
-              first_error.Record(i, raw.status());
-              return;
-            }
-            raw_values[i] = *raw;
-          }
-        });
-    if (first_error.has_error()) return first_error.status();
+    return Status::OK();
   }
+  FirstError first_error;
+  pool_->ParallelFor(
+      0, tuples.size(), BalancedGrain(tuples.size(), num_workers_),
+      [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          if (first_error.ShadowedAt(i)) return;
+          StatusOr<double> raw = Evaluate(insight_class, tuples[i], metric, mode);
+          if (!raw.ok()) {
+            first_error.Record(i, raw.status());
+            return;
+          }
+          (*raw_values)[i] = *raw;
+        }
+      });
+  if (first_error.has_error()) return first_error.status();
+  return Status::OK();
+}
 
+InsightQueryResult InsightEngine::AssembleResult(
+    const InsightQuery& query, const ResolvedQuery& resolved,
+    const std::vector<AttributeTuple>& candidates,
+    const std::vector<double>& raw_values) const {
+  const InsightClass& insight_class = *resolved.insight_class;
+  InsightQueryResult result;
+  result.mode_used = resolved.mode;
   result.candidates_evaluated = candidates.size();
   for (size_t i = 0; i < candidates.size(); ++i) {
-    double score = insight_class->Score(raw_values[i]);
+    double score = insight_class.Score(raw_values[i]);
     if (query.min_score.has_value() && score < *query.min_score) continue;
     if (query.max_score.has_value() && score > *query.max_score) continue;
-    result.insights.push_back(
-        BuildInsight(*insight_class, candidates[i], metric, raw_values[i], mode));
+    result.insights.push_back(BuildInsight(insight_class, candidates[i],
+                                           resolved.metric, raw_values[i],
+                                           resolved.mode));
   }
 
   // Rank by descending score (ties: attribute order for determinism). The
@@ -243,10 +239,122 @@ StatusOr<InsightQueryResult> InsightEngine::Execute(
                      result.insights.begin() + query.top_k,
                      result.insights.end(), stronger);
     result.insights.resize(query.top_k);
+    // Drop the slack left by the full candidate list: these results are
+    // retained long-term by the QuerySession cache, and its byte accounting
+    // charges capacity, not size.
+    result.insights.shrink_to_fit();
   }
   std::sort(result.insights.begin(), result.insights.end(), stronger);
+  return result;
+}
+
+StatusOr<InsightQueryResult> InsightEngine::Execute(
+    const InsightQuery& query) const {
+  WallTimer timer;
+  FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query));
+  std::vector<AttributeTuple> candidates =
+      resolved.insight_class->EnumerateCandidates(*table_);
+  // Structural filters first (cheap checks before any metric evaluation).
+  if (!resolved.fixed_indices.empty() || !query.required_tags.empty()) {
+    std::vector<AttributeTuple> filtered;
+    filtered.reserve(candidates.size());
+    for (AttributeTuple& tuple : candidates) {
+      if (TupleMatches(*table_, tuple, resolved.fixed_indices,
+                       query.required_tags)) {
+        filtered.push_back(std::move(tuple));
+      }
+    }
+    candidates = std::move(filtered);
+  }
+  std::vector<double> raw_values;
+  FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
+      *resolved.insight_class, resolved.metric, resolved.mode, candidates,
+      &raw_values));
+  InsightQueryResult result =
+      AssembleResult(query, resolved, candidates, raw_values);
   result.elapsed_ms = timer.ElapsedMillis();
   return result;
+}
+
+StatusOr<std::vector<InsightQueryResult>> InsightEngine::ExecuteBatch(
+    std::span<const InsightQuery> queries) const {
+  WallTimer timer;
+  // Validate and resolve everything up front: the first invalid query (in
+  // batch order) fails the batch before any evaluation work starts.
+  std::vector<ResolvedQuery> resolved;
+  resolved.reserve(queries.size());
+  for (const InsightQuery& query : queries) {
+    FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery r, ResolveQuery(query));
+    resolved.push_back(std::move(r));
+  }
+
+  // Group queries that can share enumeration + evaluation: same class, same
+  // resolved metric, same resolved mode. Groups keep first-appearance order.
+  std::vector<std::vector<size_t>> groups;
+  std::map<std::tuple<std::string, std::string, int>, size_t> group_index;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto key = std::make_tuple(queries[q].class_name, resolved[q].metric,
+                               static_cast<int>(resolved[q].mode));
+    auto [it, inserted] = group_index.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(q);
+  }
+
+  std::vector<InsightQueryResult> results(queries.size());
+  for (const std::vector<size_t>& group : groups) {
+    const ResolvedQuery& lead = resolved[group.front()];
+    const InsightClass& insight_class = *lead.insight_class;
+    // One enumeration for the whole group.
+    std::vector<AttributeTuple> candidates =
+        insight_class.EnumerateCandidates(*table_);
+    // Per-query structural masks, and the union of candidates anyone needs.
+    std::vector<std::vector<char>> keep(group.size());
+    std::vector<char> needed(candidates.size(), 0);
+    for (size_t g = 0; g < group.size(); ++g) {
+      size_t q = group[g];
+      keep[g].assign(candidates.size(), 0);
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (TupleMatches(*table_, candidates[i], resolved[q].fixed_indices,
+                         queries[q].required_tags)) {
+          keep[g][i] = 1;
+          needed[i] = 1;
+        }
+      }
+    }
+    // Evaluate each shared candidate once, in enumeration order on the pool.
+    std::vector<AttributeTuple> union_tuples;
+    std::vector<size_t> union_positions;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (needed[i]) {
+        union_tuples.push_back(candidates[i]);
+        union_positions.push_back(i);
+      }
+    }
+    std::vector<double> union_values;
+    FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
+        insight_class, lead.metric, lead.mode, union_tuples, &union_values));
+    std::vector<double> value_at(candidates.size(), 0.0);
+    for (size_t u = 0; u < union_positions.size(); ++u) {
+      value_at[union_positions[u]] = union_values[u];
+    }
+    // Per-query epilogue: gather that query's filtered candidates in
+    // enumeration order (exactly what its own Execute() would evaluate) and
+    // apply score filters + top-k via the shared AssembleResult.
+    for (size_t g = 0; g < group.size(); ++g) {
+      size_t q = group[g];
+      std::vector<AttributeTuple> mine;
+      std::vector<double> mine_values;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (keep[g][i]) {
+          mine.push_back(candidates[i]);
+          mine_values.push_back(value_at[i]);
+        }
+      }
+      results[q] = AssembleResult(queries[q], resolved[q], mine, mine_values);
+      results[q].elapsed_ms = timer.ElapsedMillis();
+    }
+  }
+  return results;
 }
 
 StatusOr<std::vector<Insight>> InsightEngine::TopInsights(
@@ -278,7 +386,10 @@ StatusOr<Insight> InsightEngine::EvaluateTuple(const std::string& class_name,
 
 StatusOr<CorrelationOverview> InsightEngine::ComputeCorrelationOverview(
     ExecutionMode mode) const {
-  return ComputePairwiseOverview("linear_relationship", "pearson", mode);
+  // Deprecated alias (see DESIGN.md "API deprecations"): the correlation
+  // heatmap is just the pairwise overview of the linear-relationship class
+  // with its default metric (pearson).
+  return ComputePairwiseOverview("linear_relationship", "", mode);
 }
 
 StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(

@@ -1,7 +1,9 @@
 #ifndef FORESIGHT_CORE_ENGINE_H_
 #define FORESIGHT_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,18 @@ struct CorrelationOverview {
   }
 };
 
+/// A fully validated, default-resolved insight query: the class pointer, the
+/// concrete metric (class default applied), the kAuto-resolved execution
+/// mode, and fixed-attribute names resolved to column indices. Produced by
+/// InsightEngine::ResolveQuery; the QuerySession serving layer uses it to
+/// build canonical cache keys without re-running validation.
+struct ResolvedQuery {
+  const InsightClass* insight_class = nullptr;
+  std::string metric;
+  ExecutionMode mode = ExecutionMode::kExact;
+  std::vector<size_t> fixed_indices;
+};
+
 /// The insight recommendation engine: enumerates candidate tuples per class,
 /// evaluates ranking metrics (exactly or from sketches), and serves ranked,
 /// filtered insight queries.
@@ -72,12 +86,43 @@ class InsightEngine {
 
   const DataTable& table() const { return *table_; }
   const InsightClassRegistry& registry() const { return registry_; }
-  InsightClassRegistry& mutable_registry() { return registry_; }
+  /// Mutable registry access for plugging in insight classes. Conservatively
+  /// bumps the serving epoch on every call (the caller may register or alter
+  /// classes through the reference), invalidating all cached query results.
+  InsightClassRegistry& mutable_registry() {
+    ++engine_epoch_;
+    return registry_;
+  }
   bool has_profile() const { return profile_.has_value(); }
   const TableProfile& profile() const { return *profile_; }
 
+  /// Monotonic invalidation epoch for the QuerySession result cache. Bumped
+  /// by mutable_registry() access, by set_num_workers(), and — via the
+  /// schema's mutation counter — by table tag/column changes, so a cached
+  /// result can never outlive the state that produced it.
+  uint64_t serving_epoch() const;
+
+  /// Validates `query` and resolves its defaults (metric, kAuto mode, fixed
+  /// attribute indices). Every serving path — Execute, ExecuteBatch, and the
+  /// QuerySession — funnels through this, so they reject identical queries
+  /// with identical errors.
+  StatusOr<ResolvedQuery> ResolveQuery(const InsightQuery& query) const;
+
   /// Executes an insight query (§2.1).
   StatusOr<InsightQueryResult> Execute(const InsightQuery& query) const;
+
+  /// Executes a batch of queries, sharing work across them: queries are
+  /// grouped by (class, metric, mode); each group enumerates its candidate
+  /// set once and evaluates the union of the per-query filtered candidates
+  /// once on the engine pool, then per-query filters/top-k are applied — so N
+  /// overlapping queries cost ~1 enumeration + 1 evaluation sweep instead of
+  /// N. Results are bit-identical to N independent Execute() calls (each
+  /// tuple's metric evaluation is a pure function of (tuple, metric, mode)).
+  /// All queries are validated up front; the first invalid query (in batch
+  /// order) fails the whole batch. An evaluation failure reports the error of
+  /// the lowest candidate index in the group's enumeration order.
+  StatusOr<std::vector<InsightQueryResult>> ExecuteBatch(
+      std::span<const InsightQuery> queries) const;
 
   /// Convenience: top-k of a class with the default metric.
   StatusOr<std::vector<Insight>> TopInsights(
@@ -90,7 +135,10 @@ class InsightEngine {
                                   const std::string& metric = "",
                                   ExecutionMode mode = ExecutionMode::kAuto) const;
 
-  /// Figure 2 overview: all pairwise correlations among numeric columns.
+  /// DEPRECATED: thin alias for ComputePairwiseOverview("linear_relationship")
+  /// kept for source compatibility; new code should call the generalized
+  /// overview directly (see DESIGN.md "API deprecations"). Figure 2 overview:
+  /// all pairwise correlations among numeric columns.
   StatusOr<CorrelationOverview> ComputeCorrelationOverview(
       ExecutionMode mode = ExecutionMode::kAuto) const;
 
@@ -103,7 +151,8 @@ class InsightEngine {
 
   /// Resolved worker-thread count used by every parallel path (>= 1).
   size_t num_workers() const { return num_workers_; }
-  /// Resizes the engine's thread pool; 0 = hardware_concurrency.
+  /// Resizes the engine's thread pool; 0 = hardware_concurrency. Bumps the
+  /// serving epoch when the resolved count actually changes.
   void set_num_workers(size_t workers);
 
   /// The engine-owned pool (nullptr when num_workers() == 1). Shared by
@@ -126,11 +175,30 @@ class InsightEngine {
                        const AttributeTuple& tuple, const std::string& metric,
                        double raw_value, ExecutionMode mode) const;
 
+  /// Evaluates `tuples` into the position-indexed `raw_values` (serial, or on
+  /// the pool with serial-identical first-error semantics). Shared by Execute
+  /// and ExecuteBatch so both produce bit-identical values.
+  Status EvaluateCandidates(const InsightClass& insight_class,
+                            const std::string& metric, ExecutionMode mode,
+                            const std::vector<AttributeTuple>& tuples,
+                            std::vector<double>* raw_values) const;
+
+  /// Applies score-range filters, builds Insight records, and ranks the top
+  /// k. `candidates`/`raw_values` are the query's structurally filtered
+  /// candidate list in enumeration order. Shared by Execute and ExecuteBatch.
+  InsightQueryResult AssembleResult(const InsightQuery& query,
+                                    const ResolvedQuery& resolved,
+                                    const std::vector<AttributeTuple>& candidates,
+                                    const std::vector<double>& raw_values) const;
+
   const DataTable* table_;
   InsightClassRegistry registry_;
   std::optional<TableProfile> profile_;
   size_t num_workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+  /// Engine-local slice of the serving epoch (registry/worker mutations); the
+  /// schema's mutation counter contributes the table-side slice.
+  uint64_t engine_epoch_ = 0;
 };
 
 }  // namespace foresight

@@ -12,7 +12,16 @@ namespace foresight {
 
 ExplorationSession::ExplorationSession(const InsightEngine& engine,
                                        ExplorationOptions options)
-    : engine_(&engine), options_(options) {}
+    : engine_(&engine),
+      owned_session_(std::make_unique<QuerySession>(engine)),
+      query_session_(owned_session_.get()),
+      options_(options) {}
+
+ExplorationSession::ExplorationSession(const QuerySession& session,
+                                       ExplorationOptions options)
+    : engine_(&session.engine()),
+      query_session_(&session),
+      options_(options) {}
 
 StatusOr<std::vector<Carousel>> ExplorationSession::InitialCarousels() const {
   return BuildCarousels(/*apply_focus=*/false);
@@ -106,8 +115,12 @@ StatusOr<Carousel> ExplorationSession::BuildOneCarousel(
   query.class_name = class_name;
   query.top_k = pool_size;
   query.mode = options_.mode;
+  // Through the serving layer: repeated carousel builds (initial view, every
+  // focus-driven re-recommendation) hit the result cache instead of
+  // re-evaluating the class. Focus re-ranking below happens on the returned
+  // copy, so cached entries stay pristine.
   FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result,
-                             engine_->Execute(query));
+                             query_session_->Execute(query));
   Carousel carousel;
   carousel.class_name = class_name;
   carousel.display_name = insight_class->display_name();

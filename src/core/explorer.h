@@ -1,10 +1,12 @@
 #ifndef FORESIGHT_CORE_EXPLORER_H_
 #define FORESIGHT_CORE_EXPLORER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/session.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -42,8 +44,17 @@ struct ExplorationOptions {
 /// revisit later and to share with her colleagues").
 class ExplorationSession {
  public:
-  /// `engine` must outlive the session.
+  /// `engine` must outlive the session. Carousel queries run through a
+  /// private QuerySession, so re-building carousels (e.g. Recommendations()
+  /// after each Focus() change) reuses cached per-class rankings instead of
+  /// re-evaluating every candidate.
   explicit ExplorationSession(const InsightEngine& engine,
+                              ExplorationOptions options = {});
+
+  /// Shares an external QuerySession (and therefore its result cache) with
+  /// other consumers — e.g. many exploration sessions over one hot table.
+  /// `session` must outlive this object.
+  explicit ExplorationSession(const QuerySession& session,
                               ExplorationOptions options = {});
 
   const ExplorationOptions& options() const { return options_; }
@@ -89,6 +100,10 @@ class ExplorationSession {
                                       size_t pool_size, bool apply_focus) const;
 
   const InsightEngine* engine_;
+  /// Set when this object owns its QuerySession (engine constructor);
+  /// query_session_ points at it, or at the shared external session.
+  std::unique_ptr<QuerySession> owned_session_;
+  const QuerySession* query_session_;
   ExplorationOptions options_;
   std::vector<Insight> focus_;
 };

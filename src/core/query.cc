@@ -1,0 +1,89 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/insight_class.h"
+#include "data/table.h"
+
+namespace foresight {
+
+namespace {
+
+/// Full-precision double rendering for cache keys: round-trips exactly, so
+/// distinct filter bounds never collide and equal bounds always match.
+std::string KeyDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Joins `parts` (sorted first, for order-insensitivity) with the ASCII unit
+/// separator, which cannot occur in sane column/tag names.
+std::string SortedJoin(std::vector<std::string> parts) {
+  std::sort(parts.begin(), parts.end());
+  std::string joined;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) joined += '\x1f';
+    joined += parts[i];
+  }
+  return joined;
+}
+
+}  // namespace
+
+Status InsightQuery::Validate() const {
+  if (class_name.empty()) {
+    return Status::InvalidArgument("class_name is required");
+  }
+  if (min_score.has_value() && max_score.has_value() &&
+      *min_score > *max_score) {
+    return Status::InvalidArgument("min_score exceeds max_score");
+  }
+  return Status::OK();
+}
+
+Status InsightQuery::Validate(const InsightClassRegistry& registry,
+                              const DataTable& table) const {
+  FORESIGHT_RETURN_IF_ERROR(Validate());
+  const InsightClass* insight_class = registry.Find(class_name);
+  if (insight_class == nullptr) {
+    return Status::NotFound("unknown insight class: " + class_name);
+  }
+  if (!metric.empty()) {
+    const std::vector<std::string> allowed = insight_class->metric_names();
+    if (std::find(allowed.begin(), allowed.end(), metric) == allowed.end()) {
+      return Status::InvalidArgument("metric '" + metric +
+                                     "' not supported by class '" +
+                                     class_name + "'");
+    }
+  }
+  for (const std::string& name : fixed_attributes) {
+    StatusOr<size_t> index = table.ColumnIndex(name);
+    if (!index.ok()) return index.status();
+  }
+  return Status::OK();
+}
+
+std::string InsightQuery::CacheKey(const std::string& resolved_metric,
+                                   ExecutionMode resolved_mode) const {
+  std::string key = "v1|class=";
+  key += class_name;
+  key += "|metric=";
+  key += resolved_metric;
+  key += "|mode=";
+  key += resolved_mode == ExecutionMode::kSketch ? "sketch" : "exact";
+  key += "|k=";
+  key += std::to_string(top_k);
+  key += "|fixed=";
+  key += SortedJoin(fixed_attributes);
+  key += "|tags=";
+  key += SortedJoin(required_tags);
+  key += "|min=";
+  if (min_score.has_value()) key += KeyDouble(*min_score);
+  key += "|max=";
+  if (max_score.has_value()) key += KeyDouble(*max_score);
+  return key;
+}
+
+}  // namespace foresight

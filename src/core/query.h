@@ -6,8 +6,12 @@
 #include <vector>
 
 #include "core/insight.h"
+#include "util/status.h"
 
 namespace foresight {
+
+class InsightClassRegistry;
+class DataTable;
 
 /// Which computation path serves a query.
 enum class ExecutionMode {
@@ -39,14 +43,43 @@ struct InsightQuery {
   std::optional<double> min_score;
   std::optional<double> max_score;
   ExecutionMode mode = ExecutionMode::kAuto;
+
+  /// Context-free validation: non-empty class_name, min_score <= max_score.
+  Status Validate() const;
+
+  /// Full validation against an engine's registry and table: everything
+  /// Validate() checks plus unknown class, unsupported metric, and unknown
+  /// fixed attributes. The single source of the error messages that
+  /// InsightEngine::Execute, ExecuteBatch, and QuerySession all report, so
+  /// every serving path fails identically for the same bad query.
+  Status Validate(const InsightClassRegistry& registry,
+                  const DataTable& table) const;
+
+  /// Canonical cache key for the QuerySession result cache. Two queries that
+  /// must produce identical results map to the same key: fixed attributes and
+  /// required tags are sorted (order-insensitive), and the caller supplies
+  /// the default-resolved metric and the kAuto-resolved execution mode so
+  /// `metric = ""` / `mode = kAuto` alias their explicit spellings.
+  std::string CacheKey(const std::string& resolved_metric,
+                       ExecutionMode resolved_mode) const;
 };
 
 /// Query outcome: ranked insights plus execution telemetry.
 struct InsightQueryResult {
   std::vector<Insight> insights;  ///< Sorted by descending score.
   size_t candidates_evaluated = 0;
+  /// End-to-end latency of the call that produced this result. On a
+  /// QuerySession cache hit this is the measured hit-path latency (resolve +
+  /// lookup + copy), never a stale or zero value.
   double elapsed_ms = 0.0;
+  /// The kAuto-resolved mode that computed the insights; preserved verbatim
+  /// when the result is served from the cache.
   ExecutionMode mode_used = ExecutionMode::kExact;
+  /// True when a QuerySession served this result from its cache.
+  bool cache_hit = false;
+  /// Cache shard the result's key maps to (set by QuerySession on both the
+  /// hit and the store-after-miss path; deterministic across platforms).
+  size_t cache_shard = 0;
 };
 
 }  // namespace foresight

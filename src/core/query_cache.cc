@@ -1,0 +1,116 @@
+#include "core/query_cache.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace foresight {
+
+namespace {
+
+size_t ApproxInsightBytes(const Insight& insight) {
+  size_t bytes = sizeof(Insight);
+  bytes += insight.class_name.capacity();
+  bytes += insight.metric_name.capacity();
+  bytes += insight.description.capacity();
+  bytes += insight.attributes.indices.capacity() * sizeof(size_t);
+  bytes += insight.attribute_names.capacity() * sizeof(std::string);
+  for (const std::string& name : insight.attribute_names) {
+    bytes += name.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t ApproxResultBytes(const InsightQueryResult& result) {
+  size_t bytes = sizeof(InsightQueryResult);
+  bytes += result.insights.capacity() * sizeof(Insight);
+  for (const Insight& insight : result.insights) {
+    bytes += ApproxInsightBytes(insight) - sizeof(Insight);
+  }
+  return bytes;
+}
+
+QueryCache::QueryCache(QueryCacheOptions options) {
+  size_t num_shards = std::max<size_t>(1, options.num_shards);
+  per_shard_bytes_ = std::max<size_t>(1, options.max_bytes / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t QueryCache::ShardOf(const std::string& key) const {
+  return Fnv1a64(key) % shards_.size();
+}
+
+void QueryCache::EraseEntry(Shard& shard, std::list<Entry>::iterator it) {
+  shard.bytes -= it->bytes;
+  shard.index.erase(it->key);
+  shard.lru.erase(it);
+}
+
+std::optional<InsightQueryResult> QueryCache::Lookup(const std::string& key,
+                                                     uint64_t epoch) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto found = shard.index.find(key);
+  if (found == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  if (found->second->epoch != epoch) {
+    // The engine (registry, workers, or table tags) changed since this entry
+    // was computed: drop it rather than serve a stale answer.
+    EraseEntry(shard, found->second);
+    ++shard.invalidations;
+    ++shard.misses;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, found->second);
+  ++shard.hits;
+  return found->second->result;
+}
+
+void QueryCache::Insert(const std::string& key, uint64_t epoch,
+                        const InsightQueryResult& result) {
+  size_t bytes = key.capacity() + sizeof(Entry) + ApproxResultBytes(result);
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto found = shard.index.find(key);
+  if (found != shard.index.end()) EraseEntry(shard, found->second);
+  if (bytes > per_shard_bytes_) return;  // Would evict the whole shard.
+  shard.lru.push_front(Entry{key, epoch, bytes, result});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  while (shard.bytes > per_shard_bytes_ && shard.lru.size() > 1) {
+    EraseEntry(shard, std::prev(shard.lru.end()));
+    ++shard.evictions;
+  }
+}
+
+QueryCacheStats QueryCache::stats() const {
+  QueryCacheStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.invalidations += shard->invalidations;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void QueryCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace foresight

@@ -1,0 +1,98 @@
+#ifndef FORESIGHT_CORE_QUERY_CACHE_H_
+#define FORESIGHT_CORE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace foresight {
+
+/// Sizing knobs for the QuerySession result cache.
+struct QueryCacheOptions {
+  /// Number of independently locked shards. Striping keeps concurrent
+  /// carousel / batch lookups from serializing on one mutex; keys spread
+  /// across shards by a platform-stable FNV-1a hash.
+  size_t num_shards = 8;
+  /// Total byte budget across all shards (approximate, counting key bytes
+  /// plus the deep size of each cached result). Each shard owns an equal
+  /// slice and evicts least-recently-used entries when its slice overflows.
+  size_t max_bytes = 64u << 20;
+};
+
+/// Aggregate counters across all shards (point-in-time snapshot).
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      ///< Entries dropped for capacity.
+  uint64_t invalidations = 0;  ///< Entries dropped for a stale epoch.
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// Approximate deep size of a cached result, for the byte budget.
+size_t ApproxResultBytes(const InsightQueryResult& result);
+
+/// A sharded, mutex-striped, byte-bounded LRU cache of insight query results,
+/// keyed by InsightQuery::CacheKey(). Entries carry the engine serving epoch
+/// they were computed under; a lookup presenting a newer epoch drops the
+/// entry (counted as an invalidation) instead of serving stale data. All
+/// methods are thread-safe.
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options = {});
+
+  /// The shard `key` maps to (deterministic across platforms).
+  size_t ShardOf(const std::string& key) const;
+
+  /// Returns a copy of the cached result for `key`, refreshing its LRU
+  /// position — or nullopt on miss. An entry stored under an older epoch is
+  /// erased and reported as a miss.
+  std::optional<InsightQueryResult> Lookup(const std::string& key,
+                                           uint64_t epoch);
+
+  /// Stores `result` under `key` at `epoch`, replacing any existing entry and
+  /// evicting LRU entries until the shard fits its byte slice. A result
+  /// larger than the whole shard slice is not cached.
+  void Insert(const std::string& key, uint64_t epoch,
+              const InsightQueryResult& result);
+
+  QueryCacheStats stats() const;
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    size_t bytes = 0;
+    InsightQueryResult result;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  /// Removes `it` from `shard` (caller holds the shard mutex).
+  static void EraseEntry(Shard& shard, std::list<Entry>::iterator it);
+
+  size_t per_shard_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_QUERY_CACHE_H_

@@ -1,0 +1,79 @@
+#include "core/session.h"
+
+#include <string>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace foresight {
+
+QuerySession::QuerySession(const InsightEngine& engine,
+                           QuerySessionOptions options)
+    : engine_(&engine), cache_(options.cache) {}
+
+StatusOr<InsightQueryResult> QuerySession::Execute(
+    const InsightQuery& query) const {
+  WallTimer timer;
+  FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery resolved,
+                             engine_->ResolveQuery(query));
+  const std::string key = query.CacheKey(resolved.metric, resolved.mode);
+  const uint64_t epoch = engine_->serving_epoch();
+  const size_t shard = cache_.ShardOf(key);
+  if (std::optional<InsightQueryResult> cached = cache_.Lookup(key, epoch)) {
+    cached->cache_hit = true;
+    cached->cache_shard = shard;
+    // End-to-end hit latency (resolve + lookup + copy), not the stale
+    // compute time — and mode_used stays the resolved mode it was stored
+    // with, so cached and computed results are indistinguishable modulo
+    // the cache telemetry.
+    cached->elapsed_ms = timer.ElapsedMillis();
+    return std::move(*cached);
+  }
+  FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result,
+                             engine_->Execute(query));
+  result.cache_hit = false;
+  result.cache_shard = shard;
+  cache_.Insert(key, epoch, result);
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<std::vector<InsightQueryResult>> QuerySession::ExecuteBatch(
+    std::span<const InsightQuery> queries) const {
+  WallTimer timer;
+  const uint64_t epoch = engine_->serving_epoch();
+  std::vector<InsightQueryResult> results(queries.size());
+  std::vector<std::string> keys(queries.size());
+  std::vector<size_t> miss_indices;
+  std::vector<InsightQuery> miss_queries;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery resolved,
+                               engine_->ResolveQuery(queries[q]));
+    keys[q] = queries[q].CacheKey(resolved.metric, resolved.mode);
+    if (std::optional<InsightQueryResult> cached =
+            cache_.Lookup(keys[q], epoch)) {
+      cached->cache_hit = true;
+      cached->cache_shard = cache_.ShardOf(keys[q]);
+      cached->elapsed_ms = timer.ElapsedMillis();
+      results[q] = std::move(*cached);
+    } else {
+      miss_indices.push_back(q);
+      miss_queries.push_back(queries[q]);
+    }
+  }
+  if (!miss_queries.empty()) {
+    FORESIGHT_ASSIGN_OR_RETURN(std::vector<InsightQueryResult> computed,
+                               engine_->ExecuteBatch(miss_queries));
+    for (size_t m = 0; m < miss_indices.size(); ++m) {
+      size_t q = miss_indices[m];
+      computed[m].cache_hit = false;
+      computed[m].cache_shard = cache_.ShardOf(keys[q]);
+      cache_.Insert(keys[q], epoch, computed[m]);
+      computed[m].elapsed_ms = timer.ElapsedMillis();
+      results[q] = std::move(computed[m]);
+    }
+  }
+  return results;
+}
+
+}  // namespace foresight

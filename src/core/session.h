@@ -1,0 +1,64 @@
+#ifndef FORESIGHT_CORE_SESSION_H_
+#define FORESIGHT_CORE_SESSION_H_
+
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_cache.h"
+
+namespace foresight {
+
+/// Knobs for a QuerySession.
+struct QuerySessionOptions {
+  QueryCacheOptions cache;
+};
+
+/// The serving layer in front of InsightEngine (the paper frames insight
+/// queries as an interactive, high-traffic workload: the demo repeatedly
+/// issues top-k queries over the same profiled table). A QuerySession
+/// answers repeated queries from a sharded LRU result cache and overlapping
+/// query batches from shared candidate work, instead of re-enumerating and
+/// re-evaluating every candidate on every call — the same query-reuse idea
+/// as SeeDB's shared scans and Zenvisage's reuse layer.
+///
+/// Thread safety: Execute/ExecuteBatch are const and safe to call
+/// concurrently (the cache is internally mutex-striped); the explorer's
+/// carousel fan-out issues its per-class queries through one session from
+/// many pool threads. Staleness safety: every cache entry is keyed to the
+/// engine's serving epoch, which engine/table mutations bump, so a stale
+/// result can never be served. `engine` must outlive the session.
+class QuerySession {
+ public:
+  explicit QuerySession(const InsightEngine& engine,
+                        QuerySessionOptions options = {});
+
+  const InsightEngine& engine() const { return *engine_; }
+
+  /// Executes `query`, serving it from the cache when an identical query
+  /// (after canonicalization — attribute/tag order, default metric, kAuto
+  /// mode all normalize away) was answered under the current engine epoch.
+  /// The returned result reports `cache_hit`, its `cache_shard`, and the
+  /// end-to-end latency of THIS call (on a hit: resolve + lookup + copy).
+  StatusOr<InsightQueryResult> Execute(const InsightQuery& query) const;
+
+  /// Batched execution: answers what it can from the cache, forwards the
+  /// misses to InsightEngine::ExecuteBatch (one enumeration + one evaluation
+  /// sweep per overlapping group), and caches every computed result.
+  /// Bit-identical to calling Execute() per query, in order.
+  StatusOr<std::vector<InsightQueryResult>> ExecuteBatch(
+      std::span<const InsightQuery> queries) const;
+
+  QueryCacheStats cache_stats() const { return cache_.stats(); }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  const InsightEngine* engine_;
+  /// Logically the session is a read-through view of the engine; the cache
+  /// mutates under the hood (it is internally synchronized).
+  mutable QueryCache cache_;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_SESSION_H_

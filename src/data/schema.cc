@@ -26,6 +26,7 @@ Status Schema::AddColumn(ColumnSpec spec) {
     return Status::AlreadyExists("duplicate column name: " + spec.name);
   }
   columns_.push_back(std::move(spec));
+  ++version_;
   return Status::OK();
 }
 
@@ -42,7 +43,10 @@ Status Schema::TagColumn(std::string_view name, std::string tag) {
     return Status::NotFound("no column named '" + std::string(name) + "'");
   }
   ColumnSpec& spec = columns_[*index];
-  if (!spec.HasTag(tag)) spec.tags.push_back(std::move(tag));
+  if (!spec.HasTag(tag)) {
+    spec.tags.push_back(std::move(tag));
+    ++version_;
+  }
   return Status::OK();
 }
 

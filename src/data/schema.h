@@ -52,6 +52,12 @@ class Schema {
   /// Appends a column spec. Fails with AlreadyExists on duplicate names.
   Status AddColumn(ColumnSpec spec);
 
+  /// Monotonic mutation counter: bumped whenever the column set or any
+  /// column's tags change. Cached query results keyed on schema state (the
+  /// QuerySession serving layer) compare versions to detect staleness.
+  /// Not part of equality and not serialized.
+  uint64_t version() const { return version_; }
+
   size_t num_columns() const { return columns_.size(); }
   const ColumnSpec& column(size_t index) const { return columns_[index]; }
   const std::vector<ColumnSpec>& columns() const { return columns_; }
@@ -75,6 +81,7 @@ class Schema {
 
  private:
   std::vector<ColumnSpec> columns_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace foresight

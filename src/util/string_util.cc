@@ -98,4 +98,13 @@ std::string FormatDouble(double value, int precision) {
   return buffer;
 }
 
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 }  // namespace foresight

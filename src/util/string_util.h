@@ -1,6 +1,7 @@
 #ifndef FORESIGHT_UTIL_STRING_UTIL_H_
 #define FORESIGHT_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -38,6 +39,11 @@ std::string ToLower(std::string_view input);
 /// Formats a double compactly with up to `precision` significant digits
 /// ("0.5", "1.25e-06"); never produces locale-dependent separators.
 std::string FormatDouble(double value, int precision = 6);
+
+/// 64-bit FNV-1a hash. Deterministic across platforms and standard-library
+/// implementations (unlike std::hash), so values derived from it — e.g. the
+/// query cache's shard assignment — are stable in tests and telemetry.
+uint64_t Fnv1a64(std::string_view data);
 
 }  // namespace foresight
 

@@ -188,7 +188,8 @@ TEST_F(EngineTest, EvaluateTupleMatchesQueryResults) {
 }
 
 TEST_F(EngineTest, CorrelationOverviewIsSymmetricWithUnitDiagonal) {
-  auto overview = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
+  auto overview = engine_->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
   ASSERT_TRUE(overview.ok());
   size_t d = overview->attribute_names.size();
   EXPECT_EQ(d, table_->NumericColumnIndices().size());
@@ -202,8 +203,10 @@ TEST_F(EngineTest, CorrelationOverviewIsSymmetricWithUnitDiagonal) {
 }
 
 TEST_F(EngineTest, SketchOverviewTracksExact) {
-  auto exact = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
-  auto sketch = engine_->ComputeCorrelationOverview(ExecutionMode::kSketch);
+  auto exact = engine_->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
+  auto sketch = engine_->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kSketch);
   ASSERT_TRUE(exact.ok());
   ASSERT_TRUE(sketch.ok());
   EXPECT_EQ(sketch->provenance, Provenance::kSketch);

@@ -137,7 +137,7 @@ TEST(ScenarioIntegrationTest, Section41WalkThrough) {
   EXPECT_EQ(restored->focused().size(), session.focused().size());
 
   // The overview (Figure 2) is available at any point to orient the user.
-  auto overview = engine.ComputeCorrelationOverview();
+  auto overview = engine.ComputePairwiseOverview("linear_relationship");
   ASSERT_TRUE(overview.ok());
   EXPECT_EQ(overview->attribute_names.size(), 24u);
 }

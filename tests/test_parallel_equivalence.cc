@@ -145,8 +145,8 @@ TEST_F(ParallelEquivalenceTest, FilteredQueryIdentical) {
 
 TEST_F(ParallelEquivalenceTest, OverviewMatricesIdenticalBothModes) {
   for (ExecutionMode mode : {ExecutionMode::kExact, ExecutionMode::kSketch}) {
-    auto serial = serial_->ComputeCorrelationOverview(mode);
-    auto parallel = parallel_->ComputeCorrelationOverview(mode);
+    auto serial = serial_->ComputePairwiseOverview("linear_relationship", "", mode);
+    auto parallel = parallel_->ComputePairwiseOverview("linear_relationship", "", mode);
     ASSERT_TRUE(serial.ok());
     ASSERT_TRUE(parallel.ok());
     EXPECT_EQ(serial->attribute_names, parallel->attribute_names);

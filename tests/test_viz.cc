@@ -102,7 +102,8 @@ TEST_F(VizTest, ParetoSpecHasCumulativeShare) {
 }
 
 TEST_F(VizTest, CorrelationHeatmapSpecIsComplete) {
-  auto overview = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
+  auto overview = engine_->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
   ASSERT_TRUE(overview.ok());
   JsonValue spec = CorrelationHeatmapSpec(*overview, "Figure 2");
   size_t d = overview->attribute_names.size();
@@ -115,7 +116,8 @@ TEST_F(VizTest, CorrelationHeatmapSpecIsComplete) {
 }
 
 TEST_F(VizTest, AsciiHeatmapShowsStrongCells) {
-  auto overview = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
+  auto overview = engine_->ComputePairwiseOverview(
+      "linear_relationship", "", ExecutionMode::kExact);
   ASSERT_TRUE(overview.ok());
   std::string ascii = RenderCorrelationHeatmapAscii(*overview);
   // Diagonal is rho = 1 -> '#' glyphs must appear.
