@@ -32,7 +32,7 @@ double OverviewError(const InsightEngine& engine) {
       total += std::abs(exact->at(i, j) - sketch->at(i, j));
     }
   }
-  return total / (d * (d - 1) / 2);
+  return total / static_cast<double>(d * (d - 1) / 2);
 }
 
 /// Mean |sketch - exact| of the monotonic (Spearman) metric over all pairs.
@@ -48,7 +48,7 @@ double SpearmanError(const InsightEngine& engine) {
       ++count;
     }
   }
-  return count > 0 ? total / count : -1.0;
+  return count > 0 ? total / static_cast<double>(count) : -1.0;
 }
 
 }  // namespace
@@ -69,7 +69,8 @@ int main() {
     if (!engine.ok()) continue;
     std::printf("%-10zu %-14.4f %-14.2f %-12.1f\n", bits,
                 OverviewError(*engine), seconds,
-                engine->profile().EstimateMemoryBytes() / 1024.0);
+                static_cast<double>(engine->profile().EstimateMemoryBytes()) /
+                    1024.0);
   }
 
   std::printf("\n[B] row_sample_size -> Spearman estimate error\n");

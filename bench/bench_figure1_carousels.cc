@@ -133,9 +133,13 @@ void RunDataset(const std::string& name, const DataTable& table) {
   }
   std::printf("  mean precision@5 over %zu classes with meaningful scores: "
               "%.2f; mean full-ranking Spearman over %zu classes: %.2f\n\n",
-              classes, classes > 0 ? total_precision / classes : 0.0,
+              classes,
+              classes > 0 ? total_precision / static_cast<double>(classes)
+                          : 0.0,
               rank_classes,
-              rank_classes > 0 ? total_rank_corr / rank_classes : 0.0);
+              rank_classes > 0
+                  ? total_rank_corr / static_cast<double>(rank_classes)
+                  : 0.0);
 }
 
 }  // namespace

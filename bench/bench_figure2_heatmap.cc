@@ -59,7 +59,8 @@ int main() {
   size_t cells = d * (d - 1) / 2;
   std::printf("sketch vs exact: mean |error| = %.4f over %zu cells; "
               "sign agreement on strong cells = %zu/%zu\n",
-              total_error / cells, cells, strong_sign_ok, strong);
+              total_error / static_cast<double>(cells), cells, strong_sign_ok,
+              strong);
 
   // --- Part 2: planted ground truth recovery. ---
   std::printf("\nPlanted-block verification (8 blocks x 4 attrs, rho = 0.65, "

@@ -45,7 +45,7 @@ int main() {
               "%zu entries, ~%.1f KiB\n\n",
               n, d_num + d_cat, build_timer.ElapsedSeconds(),
               index->num_rankings(), index->num_entries(),
-              index->EstimateMemoryBytes() / 1024.0);
+              static_cast<double>(index->EstimateMemoryBytes()) / 1024.0);
 
   struct QueryCase {
     const char* label;

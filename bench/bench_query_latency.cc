@@ -29,7 +29,8 @@ int main() {
   }
   std::printf("one-time preprocessing: %.2f s (sketch memory %.1f MiB)\n\n",
               preprocess_timer.ElapsedSeconds(),
-              engine->profile().EstimateMemoryBytes() / (1024.0 * 1024.0));
+              static_cast<double>(engine->profile().EstimateMemoryBytes()) /
+                  (1024.0 * 1024.0));
 
   std::printf("%-42s %-12s %-10s\n", "query", "latency ms", "status");
   bool all_interactive = true;

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
   }
   std::printf("Preprocessed in %.1f ms (sketch memory ~%.1f KiB)\n\n",
               engine->profile().preprocess_seconds() * 1e3,
-              engine->profile().EstimateMemoryBytes() / 1024.0);
+              static_cast<double>(engine->profile().EstimateMemoryBytes()) /
+                  1024.0);
 
   // One carousel per insight class, strongest instances first.
   foresight::ExplorationSession session(*engine);

@@ -1,0 +1,43 @@
+// Fuzz harness for CsvReader::ReadString (data/csv.cc), the entry point for
+// user-supplied datasets.
+//
+// The first input byte selects parser options (delimiter, header, integer
+// coding) so one corpus covers the option space deterministically; the rest
+// is the CSV text.
+//
+// Invariants checked beyond "does not crash":
+//   - CsvWriter is CsvReader's inverse: a table that parsed must write out
+//     and re-parse with the same shape (rows x columns).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "data/csv.h"
+#include "util/logging.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  foresight::CsvOptions options;
+  if (size > 0) {
+    static constexpr char kDelimiters[] = {',', ';', '\t', '|'};
+    options.delimiter = kDelimiters[data[0] & 3];
+    options.has_header = (data[0] & 4) != 0;
+    options.integer_codes_as_categorical = (data[0] & 8) != 0;
+    options.max_integer_code_cardinality = 1 + (data[0] >> 4);
+    ++data;
+    --size;
+  }
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  foresight::StatusOr<foresight::DataTable> table =
+      foresight::CsvReader::ReadString(text, options);
+  if (!table.ok()) return 0;
+
+  std::string written = foresight::CsvWriter::WriteString(*table, options);
+  foresight::StatusOr<foresight::DataTable> reread =
+      foresight::CsvReader::ReadString(written, options);
+  FORESIGHT_CHECK(reread.ok());
+  FORESIGHT_CHECK(reread->num_rows() == table->num_rows());
+  FORESIGHT_CHECK(reread->num_columns() == table->num_columns());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fuzz harness for JsonValue::Parse (util/json.cc), the base of every
+// untrusted-input surface in the tree: sketch snapshots, session state and
+// chart specs all travel as JSON.
+//
+// Invariants checked beyond "does not crash":
+//   - An accepted document is a serialization fixed point: Dump() re-parses,
+//     and re-dumping yields byte-identical output (compact and pretty).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  foresight::StatusOr<foresight::JsonValue> parsed =
+      foresight::JsonValue::Parse(text);
+  if (!parsed.ok()) return 0;
+
+  std::string compact = parsed->Dump();
+  foresight::StatusOr<foresight::JsonValue> reparsed =
+      foresight::JsonValue::Parse(compact);
+  FORESIGHT_CHECK(reparsed.ok());
+  FORESIGHT_CHECK(reparsed->Dump() == compact);
+
+  foresight::StatusOr<foresight::JsonValue> pretty =
+      foresight::JsonValue::Parse(parsed->Dump(2));
+  FORESIGHT_CHECK(pretty.ok());
+  FORESIGHT_CHECK(pretty->Dump() == compact);
+  return 0;
+}

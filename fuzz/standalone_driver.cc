@@ -1,0 +1,163 @@
+// Standalone driver used when libFuzzer is unavailable (non-clang
+// toolchains). Links against the same LLVMFuzzerTestOneInput entry point as
+// the real fuzzer and provides two modes:
+//
+//   fuzz_xxx PATH...                 replay corpus files (or directories of
+//                                    them) once each — a regression runner
+//   fuzz_xxx -runs=N [-seed=S] PATH...
+//                                    additionally run N deterministic
+//                                    mutations derived from the corpus — a
+//                                    self-contained mini-fuzzer, most useful
+//                                    under ASan/UBSan builds
+//
+// Everything is deterministic: corpus files are visited in sorted order and
+// mutations come from a SplitMix64 stream seeded by -seed (default 1), so a
+// failing run can be reproduced exactly from its command line.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// SplitMix64. The driver must not use libc rand() (global state, platform-
+// varying) — reproducibility is the whole point of this mode.
+uint64_t NextRand(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+constexpr size_t kMaxInputBytes = 1 << 20;
+
+void Mutate(std::vector<uint8_t>& data, uint64_t& state) {
+  size_t edits = 1 + NextRand(state) % 4;
+  for (size_t e = 0; e < edits; ++e) {
+    switch (NextRand(state) % 6) {
+      case 0:  // Flip one bit.
+        if (!data.empty()) {
+          data[NextRand(state) % data.size()] ^=
+              static_cast<uint8_t>(1u << (NextRand(state) % 8));
+        }
+        break;
+      case 1:  // Overwrite one byte.
+        if (!data.empty()) {
+          data[NextRand(state) % data.size()] =
+              static_cast<uint8_t>(NextRand(state));
+        }
+        break;
+      case 2:  // Insert one byte.
+        if (data.size() < kMaxInputBytes) {
+          data.insert(data.begin() +
+                          static_cast<ptrdiff_t>(NextRand(state) %
+                                                 (data.size() + 1)),
+                      static_cast<uint8_t>(NextRand(state)));
+        }
+        break;
+      case 3:  // Erase one byte.
+        if (!data.empty()) {
+          data.erase(data.begin() +
+                     static_cast<ptrdiff_t>(NextRand(state) % data.size()));
+        }
+        break;
+      case 4: {  // Duplicate a chunk (grows structure: nested arrays, rows).
+        if (data.empty() || data.size() >= kMaxInputBytes) break;
+        size_t start = NextRand(state) % data.size();
+        size_t len = 1 + NextRand(state) % (data.size() - start);
+        len = std::min(len, kMaxInputBytes - data.size());
+        std::vector<uint8_t> chunk(
+            data.begin() + static_cast<ptrdiff_t>(start),
+            data.begin() + static_cast<ptrdiff_t>(start + len));
+        size_t at = NextRand(state) % (data.size() + 1);
+        data.insert(data.begin() + static_cast<ptrdiff_t>(at), chunk.begin(),
+                    chunk.end());
+        break;
+      }
+      case 5:  // Truncate.
+        if (!data.empty()) data.resize(NextRand(state) % data.size());
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> corpus_paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = std::strtoull(arg + 6, nullptr, 10);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::fprintf(stderr,
+                   "usage: %s [-runs=N] [-seed=S] FILE_OR_DIR...\n", argv[0]);
+      return 2;
+    } else {
+      corpus_paths.emplace_back(arg);
+    }
+  }
+
+  // Expand directories; sort for run-to-run determinism.
+  std::vector<std::string> files;
+  for (const std::string& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& file : files) {
+    corpus.push_back(ReadFileBytes(file));
+    const std::vector<uint8_t>& bytes = corpus.back();
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("replayed %zu corpus file(s)\n", corpus.size());
+
+  if (runs > 0 && corpus.empty()) {
+    // Mutating from nothing still explores the short-input space.
+    corpus.emplace_back();
+  }
+  uint64_t state = seed;
+  for (uint64_t i = 0; i < runs; ++i) {
+    std::vector<uint8_t> input = corpus[i % corpus.size()];
+    Mutate(input, state);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    if ((i + 1) % 100000 == 0) {
+      std::printf("  %llu/%llu mutation runs\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(runs));
+    }
+  }
+  if (runs > 0) {
+    std::printf("completed %llu mutation run(s) (seed=%llu)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -173,6 +173,7 @@ size_t InsightIndex::EstimateMemoryBytes() const {
         bytes += name.size();
       }
     }
+    // determinism-ok: integer sums are order-independent.
     for (const auto& [column, posting] : ranking.postings) {
       bytes += posting.size() * sizeof(size_t);
     }

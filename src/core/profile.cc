@@ -64,6 +64,7 @@ const std::vector<int32_t>& TableProfile::sampled_codes(size_t column) const {
 
 size_t TableProfile::EstimateMemoryBytes() const {
   size_t bytes = 0;
+  // determinism-ok: integer sums are order-independent.
   for (const auto& [col, sketch] : numeric_) {
     bytes += sketch.signature.words().size() * sizeof(uint64_t);
     bytes += sketch.hyperplane_acc.dot.size() * 2 * sizeof(double);
@@ -72,15 +73,18 @@ size_t TableProfile::EstimateMemoryBytes() const {
     bytes += sketch.sample.values().size() * sizeof(double);
     bytes += sizeof(RunningMoments);
   }
+  // determinism-ok: integer sums are order-independent.
   for (const auto& [col, sketch] : categorical_) {
     bytes += sketch.entropy.registers().size() * sizeof(double);
     bytes += sketch.frequencies.width() * sketch.frequencies.depth() *
              sizeof(uint64_t);
     bytes += sketch.heavy_hitters.num_monitored() * 64;  // rough per-counter
   }
+  // determinism-ok: integer sums are order-independent.
   for (const auto& [col, values] : sampled_numeric_) {
     bytes += values.size() * sizeof(double);
   }
+  // determinism-ok: integer sums are order-independent.
   for (const auto& [col, codes] : sampled_codes_) {
     bytes += codes.size() * sizeof(int32_t);
   }
@@ -98,15 +102,31 @@ JsonValue TableProfile::ToJson() const {
   JsonValue rows = JsonValue::Array();
   for (size_t row : sampled_rows_) rows.Append(row);
   json.Set("sampled_rows", std::move(rows));
+  // Emit sketch maps in ascending column order: serialized profiles must be
+  // byte-identical across runs and platforms, so hash order must not leak
+  // into the document.
+  std::vector<size_t> numeric_cols;
+  numeric_cols.reserve(numeric_.size());
+  // determinism-ok: key collection, sorted before use.
+  for (const auto& [column, sketch] : numeric_) numeric_cols.push_back(column);
+  std::sort(numeric_cols.begin(), numeric_cols.end());
   JsonValue numeric = JsonValue::Object();
-  for (const auto& [column, sketch] : numeric_) {
-    numeric.Set(table_->column_name(column), NumericSketchToJson(sketch));
+  for (size_t column : numeric_cols) {
+    numeric.Set(table_->column_name(column),
+                NumericSketchToJson(numeric_.at(column)));
   }
   json.Set("numeric", std::move(numeric));
-  JsonValue categorical = JsonValue::Object();
+  std::vector<size_t> categorical_cols;
+  categorical_cols.reserve(categorical_.size());
+  // determinism-ok: key collection, sorted before use.
   for (const auto& [column, sketch] : categorical_) {
+    categorical_cols.push_back(column);
+  }
+  std::sort(categorical_cols.begin(), categorical_cols.end());
+  JsonValue categorical = JsonValue::Object();
+  for (size_t column : categorical_cols) {
     categorical.Set(table_->column_name(column),
-                    CategoricalSketchToJson(sketch));
+                    CategoricalSketchToJson(categorical_.at(column)));
   }
   json.Set("categorical", std::move(categorical));
   return json;

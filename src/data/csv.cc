@@ -19,18 +19,25 @@ StatusOr<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  bool row_had_content = false;
   size_t line = 1;
 
   auto end_field = [&] {
+    row_had_content = row_had_content || field_started || !field.empty();
     row.push_back(std::move(field));
     field.clear();
     field_started = false;
   };
   auto end_row = [&] {
     end_field();
-    // Skip rows that are entirely empty (e.g. trailing newline).
-    if (!(row.size() == 1 && row[0].empty())) rows.push_back(std::move(row));
+    // Skip rows with no content at all (blank lines, trailing newline). A
+    // lone quoted-empty field ("") counts as content: it is how the writer
+    // encodes a null in a single-column table.
+    if (row.size() > 1 || !row[0].empty() || row_had_content) {
+      rows.push_back(std::move(row));
+    }
     row.clear();
+    row_had_content = false;
   };
 
   for (size_t i = 0; i < text.size(); ++i) {
@@ -230,7 +237,13 @@ std::string CsvWriter::WriteString(const DataTable& table,
     for (size_t c = 0; c < table.num_columns(); ++c) {
       if (c > 0) out += options.delimiter;
       const Column& col = table.column(c);
-      if (!col.is_valid(r)) continue;  // Empty field encodes null.
+      if (!col.is_valid(r)) {
+        // Empty field encodes null — except in a single-column table, where
+        // an entirely empty line would be dropped as blank on re-read; a
+        // quoted-empty field survives the round trip.
+        if (table.num_columns() == 1) out += "\"\"";
+        continue;
+      }
       if (col.type() == ColumnType::kNumeric) {
         out += FormatDouble(col.AsNumeric().value(r), 17);
       } else {

@@ -266,8 +266,9 @@ DataTable MakeParkinsonLike(size_t n_rows, uint64_t seed) {
     MustAddNumeric(table, "CSF_Biomarker_" + std::to_string(k), std::move(v));
   }
   for (size_t k = 0; table.num_columns() < 50; ++k) {
+    const double dk = static_cast<double>(k);
     MustAddNumeric(table, "Lab_" + std::to_string(k),
-                   Rescale(NormalColumn(n, rng), 100.0 + 7.0 * k, 10.0 + k));
+                   Rescale(NormalColumn(n, rng), 100.0 + 7.0 * dk, 10.0 + dk));
   }
   return table;
 }

@@ -1,12 +1,23 @@
 #include "sketch/serialize.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+#include <vector>
 
 namespace foresight {
 
 namespace {
+
+/// Parse-layer sanity bounds for untrusted documents. Legitimate sketches sit
+/// far below these; a corrupt or adversarial document must not be able to
+/// trigger huge allocations (sketch constructors size buffers from these
+/// fields), shift UB (KLL level weights are `1 << level`), or overflow in the
+/// geometry checks that run before buffers are filled.
+constexpr uint64_t kMaxSketchDimension = uint64_t{1} << 26;
+constexpr size_t kMaxKllLevels = 64;
 
 /// uint64 values can exceed the double mantissa, so they are serialized as
 /// decimal strings.
@@ -21,17 +32,48 @@ StatusOr<uint64_t> ParseU64(const JsonValue* json, const char* field) {
     return Status::ParseError(std::string("missing field: ") + field);
   }
   if (json->is_number()) {
-    return static_cast<uint64_t>(json->as_number());
+    // Reject NaN (the !(d >= 0) form), negatives, fractions, and values at or
+    // beyond 2^64: casting any of those to uint64_t is undefined behavior.
+    double d = json->as_number();
+    if (!(d >= 0.0) || d >= 18446744073709551616.0 || d != std::floor(d)) {
+      return Status::ParseError(std::string("field not a valid u64: ") + field);
+    }
+    return static_cast<uint64_t>(d);
   }
   if (!json->is_string()) {
     return Status::ParseError(std::string("field not u64: ") + field);
   }
-  char* end = nullptr;
-  uint64_t value = std::strtoull(json->as_string().c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
+  // Strict decimal parse: digits only, no sign/whitespace/base prefixes
+  // (strtoull would silently accept "-1" by wrapping), overflow rejected.
+  const std::string& text = json->as_string();
+  if (text.empty() || text.size() > 20) {
     return Status::ParseError(std::string("bad u64 value in field: ") + field);
   }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError(std::string("bad u64 value in field: ") +
+                                field);
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::ParseError(std::string("u64 overflow in field: ") + field);
+    }
+    value = value * 10 + digit;
+  }
   return value;
+}
+
+/// Parses a u64 used as an allocation size or array geometry and enforces the
+/// parse-layer sanity bound.
+StatusOr<size_t> ParseBoundedSize(const JsonValue* json, const char* field,
+                                  uint64_t max_value = kMaxSketchDimension) {
+  FORESIGHT_ASSIGN_OR_RETURN(uint64_t value, ParseU64(json, field));
+  if (value > max_value) {
+    return Status::ParseError(std::string("field exceeds sanity bound: ") +
+                              field);
+  }
+  return static_cast<size_t>(value);
 }
 
 StatusOr<double> ParseNumber(const JsonValue* json, const char* field) {
@@ -105,7 +147,7 @@ JsonValue KllToJson(const KllSketch& sketch) {
 }
 
 StatusOr<KllSketch> KllFromJson(const JsonValue& json) {
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t k, ParseU64(json.Get("k"), "k"));
+  FORESIGHT_ASSIGN_OR_RETURN(size_t k, ParseBoundedSize(json.Get("k"), "k"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t rng_state,
                              ParseU64(json.Get("rng_state"), "rng_state"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t count,
@@ -116,14 +158,18 @@ StatusOr<KllSketch> KllFromJson(const JsonValue& json) {
   if (levels_json == nullptr || !levels_json->is_array()) {
     return Status::ParseError("missing KLL levels");
   }
+  // Level weights are computed as `1 << level`; more than 64 levels would be
+  // shift UB (and no real stream produces them).
+  if (levels_json->size() > kMaxKllLevels) {
+    return Status::ParseError("too many KLL levels");
+  }
   std::vector<std::vector<double>> levels;
   for (size_t l = 0; l < levels_json->size(); ++l) {
     FORESIGHT_ASSIGN_OR_RETURN(std::vector<double> level,
                                ParseDoubleArray(&levels_json->at(l), "level"));
     levels.push_back(std::move(level));
   }
-  return KllSketch::FromRaw(static_cast<size_t>(k), rng_state, count, min, max,
-                            std::move(levels));
+  return KllSketch::FromRaw(k, rng_state, count, min, max, std::move(levels));
 }
 
 JsonValue ReservoirToJson(const ReservoirSample& sample) {
@@ -135,12 +181,17 @@ JsonValue ReservoirToJson(const ReservoirSample& sample) {
 }
 
 StatusOr<ReservoirSample> ReservoirFromJson(const JsonValue& json) {
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t capacity,
-                             ParseU64(json.Get("capacity"), "capacity"));
+  FORESIGHT_ASSIGN_OR_RETURN(size_t capacity,
+                             ParseBoundedSize(json.Get("capacity"), "capacity"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t seen, ParseU64(json.Get("seen"), "seen"));
   FORESIGHT_ASSIGN_OR_RETURN(std::vector<double> values,
                              ParseDoubleArray(json.Get("values"), "values"));
-  return ReservoirSample::FromRaw(static_cast<size_t>(capacity),
+  // A reservoir never holds more than its capacity; a document claiming
+  // otherwise is corrupt.
+  if (values.size() > capacity) {
+    return Status::ParseError("reservoir holds more values than capacity");
+  }
+  return ReservoirSample::FromRaw(capacity,
                                   /*seed=*/capacity * 2654435761u + seen, seen,
                                   std::move(values));
 }
@@ -159,7 +210,12 @@ JsonValue SignatureToJson(const BitSignature& signature) {
 }
 
 StatusOr<BitSignature> SignatureFromJson(const JsonValue& json) {
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t bits, ParseU64(json.Get("bits"), "bits"));
+  // Bounding `bits` first keeps the `(bits + 63) / 64` geometry check below
+  // overflow-free; without it, bits near 2^64 would wrap the expected word
+  // count to a tiny value and admit a signature whose advertised width far
+  // exceeds its backing words (an over-read for any prefix operation).
+  FORESIGHT_ASSIGN_OR_RETURN(size_t bits,
+                             ParseBoundedSize(json.Get("bits"), "bits"));
   const JsonValue* words_json = json.Get("words");
   if (words_json == nullptr || !words_json->is_array()) {
     return Status::ParseError("missing signature words");
@@ -170,16 +226,32 @@ StatusOr<BitSignature> SignatureFromJson(const JsonValue& json) {
     if (!words_json->at(i).is_string()) {
       return Status::ParseError("signature word not a hex string");
     }
-    char* end = nullptr;
-    words.push_back(std::strtoull(words_json->at(i).as_string().c_str(), &end, 16));
-    if (end == nullptr || *end != '\0') {
+    // Strict hex parse: 1-16 hex digits, nothing else (strtoull would accept
+    // signs, whitespace, and 0x prefixes).
+    const std::string& hex = words_json->at(i).as_string();
+    if (hex.empty() || hex.size() > 16) {
       return Status::ParseError("bad signature hex word");
     }
+    uint64_t word = 0;
+    for (char c : hex) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return Status::ParseError("bad signature hex word");
+      }
+      word = (word << 4) | static_cast<uint64_t>(digit);
+    }
+    words.push_back(word);
   }
   if (words.size() != (bits + 63) / 64) {
     return Status::ParseError("signature word count mismatch");
   }
-  return BitSignature::FromWords(static_cast<size_t>(bits), std::move(words));
+  return BitSignature::FromWords(bits, std::move(words));
 }
 
 JsonValue HyperplaneAccToJson(const HyperplaneAccumulator& acc) {
@@ -219,8 +291,16 @@ JsonValue SpaceSavingToJson(const SpaceSavingSketch& sketch) {
   JsonValue json = JsonValue::Object();
   json.Set("capacity", sketch.capacity());
   json.Set("total", U64(sketch.total_count()));
+  // Emit counters in lexicographic item order so the serialized sketch is
+  // byte-identical regardless of hash-map iteration order.
+  std::vector<std::string> items;
+  items.reserve(sketch.counters().size());
+  // determinism-ok: key collection, sorted before use.
+  for (const auto& [item, ce] : sketch.counters()) items.push_back(item);
+  std::sort(items.begin(), items.end());
   JsonValue counters = JsonValue::Array();
-  for (const auto& [item, ce] : sketch.counters()) {
+  for (const std::string& item : items) {
+    const auto& ce = sketch.counters().at(item);
     JsonValue entry = JsonValue::Object();
     entry.Set("item", item);
     entry.Set("count", U64(ce.first));
@@ -232,12 +312,16 @@ JsonValue SpaceSavingToJson(const SpaceSavingSketch& sketch) {
 }
 
 StatusOr<SpaceSavingSketch> SpaceSavingFromJson(const JsonValue& json) {
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t capacity,
-                             ParseU64(json.Get("capacity"), "capacity"));
+  FORESIGHT_ASSIGN_OR_RETURN(
+      size_t capacity, ParseBoundedSize(json.Get("capacity"), "capacity"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t total, ParseU64(json.Get("total"), "total"));
   const JsonValue* counters_json = json.Get("counters");
   if (counters_json == nullptr || !counters_json->is_array()) {
     return Status::ParseError("missing SpaceSaving counters");
+  }
+  // SpaceSaving maintains at most `capacity` monitored counters.
+  if (counters_json->size() > capacity) {
+    return Status::ParseError("SpaceSaving counter count exceeds capacity");
   }
   std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> counters;
   for (size_t i = 0; i < counters_json->size(); ++i) {
@@ -252,8 +336,7 @@ StatusOr<SpaceSavingSketch> SpaceSavingFromJson(const JsonValue& json) {
                                ParseU64(entry.Get("error"), "error"));
     counters[item->as_string()] = {count, error};
   }
-  return SpaceSavingSketch::FromRaw(static_cast<size_t>(capacity), total,
-                                    std::move(counters));
+  return SpaceSavingSketch::FromRaw(capacity, total, std::move(counters));
 }
 
 JsonValue CountMinToJson(const CountMinSketch& sketch) {
@@ -269,13 +352,23 @@ JsonValue CountMinToJson(const CountMinSketch& sketch) {
 }
 
 StatusOr<CountMinSketch> CountMinFromJson(const JsonValue& json) {
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t width, ParseU64(json.Get("width"), "width"));
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t depth, ParseU64(json.Get("depth"), "depth"));
+  FORESIGHT_ASSIGN_OR_RETURN(size_t width,
+                             ParseBoundedSize(json.Get("width"), "width"));
+  FORESIGHT_ASSIGN_OR_RETURN(size_t depth,
+                             ParseBoundedSize(json.Get("depth"), "depth"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t seed, ParseU64(json.Get("seed"), "seed"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t total, ParseU64(json.Get("total"), "total"));
   const JsonValue* cells_json = json.Get("cells");
   if (cells_json == nullptr || !cells_json->is_array()) {
     return Status::ParseError("missing CountMin cells");
+  }
+  // Validate the geometry before constructing: the sketch allocates
+  // width * depth cells up front, so the product must both match the payload
+  // and stay within the sanity bound. Both factors are already bounded, so
+  // the product cannot overflow size_t.
+  if (width * depth != cells_json->size() ||
+      width * depth > kMaxSketchDimension) {
+    return Status::ParseError("CountMin cell count does not match geometry");
   }
   std::vector<uint64_t> cells;
   cells.reserve(cells_json->size());
@@ -284,9 +377,7 @@ StatusOr<CountMinSketch> CountMinFromJson(const JsonValue& json) {
                                ParseU64(&cells_json->at(i), "cell"));
     cells.push_back(cell);
   }
-  return CountMinSketch::FromRaw(static_cast<size_t>(width),
-                                 static_cast<size_t>(depth), seed, total,
-                                 std::move(cells));
+  return CountMinSketch::FromRaw(width, depth, seed, total, std::move(cells));
 }
 
 JsonValue EntropyToJson(const EntropySketch& sketch) {
@@ -299,14 +390,17 @@ JsonValue EntropyToJson(const EntropySketch& sketch) {
 }
 
 StatusOr<EntropySketch> EntropyFromJson(const JsonValue& json) {
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t k, ParseU64(json.Get("k"), "k"));
+  FORESIGHT_ASSIGN_OR_RETURN(size_t k, ParseBoundedSize(json.Get("k"), "k"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t seed, ParseU64(json.Get("seed"), "seed"));
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t total, ParseU64(json.Get("total"), "total"));
   FORESIGHT_ASSIGN_OR_RETURN(
       std::vector<double> registers,
       ParseDoubleArray(json.Get("registers"), "registers"));
-  return EntropySketch::FromRaw(static_cast<size_t>(k), seed, total,
-                                std::move(registers));
+  // Validate before constructing: the sketch allocates k registers up front.
+  if (registers.size() != k) {
+    return Status::ParseError("entropy sketch register count mismatch");
+  }
+  return EntropySketch::FromRaw(k, seed, total, std::move(registers));
 }
 
 JsonValue NumericSketchToJson(const NumericColumnSketch& sketch) {
@@ -346,6 +440,13 @@ StatusOr<NumericColumnSketch> NumericSketchFromJson(const JsonValue& json) {
   if (field == nullptr) return Status::ParseError("missing projection_ones");
   FORESIGHT_ASSIGN_OR_RETURN(sketch.projection_ones,
                              ProjectionFromJson(*field));
+  // Cross-member consistency: CenteredProjection() combines the two
+  // projections component-wise and CHECK-fails on a length mismatch, so a
+  // corrupt document must be rejected here, not at query time.
+  if (sketch.projection.k() != sketch.projection_ones.k()) {
+    return Status::ParseError(
+        "projection and projection_ones dimensions differ");
+  }
   return sketch;
 }
 
@@ -392,35 +493,39 @@ JsonValue SketchConfigToJson(const SketchConfig& config) {
 }
 
 StatusOr<SketchConfig> SketchConfigFromJson(const JsonValue& json) {
+  // Every dimension is bounded at parse time: config documents come from the
+  // same untrusted files as the sketches themselves, and each of these fields
+  // sizes an allocation somewhere in preprocessing.
   SketchConfig config;
   FORESIGHT_ASSIGN_OR_RETURN(
-      uint64_t bits, ParseU64(json.Get("hyperplane_bits"), "hyperplane_bits"));
-  config.hyperplane_bits = static_cast<size_t>(bits);
+      config.hyperplane_bits,
+      ParseBoundedSize(json.Get("hyperplane_bits"), "hyperplane_bits"));
   FORESIGHT_ASSIGN_OR_RETURN(config.hyperplane_log2_factor,
                              ParseNumber(json.Get("hyperplane_log2_factor"),
                                          "hyperplane_log2_factor"));
   FORESIGHT_ASSIGN_OR_RETURN(
-      uint64_t proj, ParseU64(json.Get("projection_dims"), "projection_dims"));
-  config.projection_dims = static_cast<size_t>(proj);
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t kll, ParseU64(json.Get("kll_k"), "kll_k"));
-  config.kll_k = static_cast<size_t>(kll);
+      config.projection_dims,
+      ParseBoundedSize(json.Get("projection_dims"), "projection_dims"));
+  FORESIGHT_ASSIGN_OR_RETURN(config.kll_k,
+                             ParseBoundedSize(json.Get("kll_k"), "kll_k"));
   FORESIGHT_ASSIGN_OR_RETURN(
-      uint64_t reservoir,
-      ParseU64(json.Get("reservoir_capacity"), "reservoir_capacity"));
-  config.reservoir_capacity = static_cast<size_t>(reservoir);
+      config.reservoir_capacity,
+      ParseBoundedSize(json.Get("reservoir_capacity"), "reservoir_capacity"));
   FORESIGHT_ASSIGN_OR_RETURN(
-      uint64_t spacesaving,
-      ParseU64(json.Get("spacesaving_capacity"), "spacesaving_capacity"));
-  config.spacesaving_capacity = static_cast<size_t>(spacesaving);
+      config.spacesaving_capacity,
+      ParseBoundedSize(json.Get("spacesaving_capacity"),
+                       "spacesaving_capacity"));
   FORESIGHT_ASSIGN_OR_RETURN(
-      uint64_t width, ParseU64(json.Get("countmin_width"), "countmin_width"));
-  config.countmin_width = static_cast<size_t>(width);
+      config.countmin_width,
+      ParseBoundedSize(json.Get("countmin_width"), "countmin_width"));
   FORESIGHT_ASSIGN_OR_RETURN(
-      uint64_t depth, ParseU64(json.Get("countmin_depth"), "countmin_depth"));
-  config.countmin_depth = static_cast<size_t>(depth);
-  FORESIGHT_ASSIGN_OR_RETURN(uint64_t entropy,
-                             ParseU64(json.Get("entropy_k"), "entropy_k"));
-  config.entropy_k = static_cast<size_t>(entropy);
+      config.countmin_depth,
+      ParseBoundedSize(json.Get("countmin_depth"), "countmin_depth"));
+  if (config.countmin_width * config.countmin_depth > kMaxSketchDimension) {
+    return Status::ParseError("countmin geometry exceeds sanity bound");
+  }
+  FORESIGHT_ASSIGN_OR_RETURN(
+      config.entropy_k, ParseBoundedSize(json.Get("entropy_k"), "entropy_k"));
   FORESIGHT_ASSIGN_OR_RETURN(config.seed, ParseU64(json.Get("seed"), "seed"));
   return config;
 }

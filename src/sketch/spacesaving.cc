@@ -21,9 +21,15 @@ void SpaceSavingSketch::Update(const std::string& item, uint64_t weight) {
     return;
   }
   // Evict the minimum counter; the newcomer inherits its count as error.
+  // Ties break on the item string, not map position: hash iteration order is
+  // platform-dependent, and the evicted counter must not be.
   auto min_it = counters_.begin();
   for (auto cit = counters_.begin(); cit != counters_.end(); ++cit) {
-    if (cit->second.first < min_it->second.first) min_it = cit;
+    if (cit->second.first < min_it->second.first ||
+        (cit->second.first == min_it->second.first &&
+         cit->first < min_it->first)) {
+      min_it = cit;
+    }
   }
   uint64_t min_count = min_it->second.first;
   counters_.erase(min_it);
@@ -37,6 +43,7 @@ void SpaceSavingSketch::Merge(const SpaceSavingSketch& other) {
   // because SpaceSaving guarantees survive union-then-truncate).
   std::unordered_map<std::string, std::pair<uint64_t, uint64_t>> merged =
       counters_;
+  // determinism-ok: map-union result is independent of visit order.
   for (const auto& [item, ce] : other.counters_) {
     auto it = merged.find(item);
     if (it == merged.end()) {
@@ -70,6 +77,7 @@ uint64_t SpaceSavingSketch::EstimateCount(const std::string& item) const {
 std::vector<HeavyHitter> SpaceSavingSketch::TopK(size_t k) const {
   std::vector<HeavyHitter> hitters;
   hitters.reserve(counters_.size());
+  // determinism-ok: sorted below with a total (count, item) order.
   for (const auto& [item, ce] : counters_) {
     hitters.push_back({item, ce.first, ce.second});
   }
@@ -103,6 +111,7 @@ SpaceSavingSketch SpaceSavingSketch::FromRaw(
 uint64_t SpaceSavingSketch::MaxError() const {
   if (counters_.size() < capacity_) return 0;
   uint64_t min_count = UINT64_MAX;
+  // determinism-ok: integer min is order-independent.
   for (const auto& [item, ce] : counters_) {
     min_count = std::min(min_count, ce.first);
   }

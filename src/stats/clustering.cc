@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 #include "util/logging.h"
 #include "util/random.h"
@@ -114,7 +114,10 @@ struct GroupStats {
 double SegmentationScore(const std::vector<Point2>& points,
                          const std::vector<int32_t>& labels) {
   FORESIGHT_CHECK(points.size() == labels.size());
-  std::unordered_map<int32_t, GroupStats> groups;
+  // std::map: the ss_between reduction below is order-sensitive in
+  // floating point; ordered iteration keeps scores bit-identical
+  // across platforms and hash implementations.
+  std::map<int32_t, GroupStats> groups;
   double grand_x = 0.0, grand_y = 0.0, n = 0.0;
   for (size_t i = 0; i < points.size(); ++i) {
     if (labels[i] < 0) continue;
@@ -149,7 +152,10 @@ double SegmentationScore(const std::vector<Point2>& points,
 double CalinskiHarabasz(const std::vector<Point2>& points,
                         const std::vector<int32_t>& labels) {
   FORESIGHT_CHECK(points.size() == labels.size());
-  std::unordered_map<int32_t, GroupStats> groups;
+  // std::map: the ss_between reduction below is order-sensitive in
+  // floating point; ordered iteration keeps scores bit-identical
+  // across platforms and hash implementations.
+  std::map<int32_t, GroupStats> groups;
   double grand_x = 0.0, grand_y = 0.0, n = 0.0;
   for (size_t i = 0; i < points.size(); ++i) {
     if (labels[i] < 0) continue;

@@ -13,8 +13,8 @@ double PearsonCorrelation(const std::vector<double>& x,
   FORESIGHT_CHECK(x.size() == y.size());
   size_t n = x.size();
   if (n < 2) return 0.0;
-  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
-  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
   double sxy = 0.0, sxx = 0.0, syy = 0.0;
   for (size_t i = 0; i < n; ++i) {
     double dx = x[i] - mean_x;

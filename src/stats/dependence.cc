@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 
 #include "util/logging.h"
@@ -128,7 +129,9 @@ double CramersV(const std::vector<int32_t>& x, const std::vector<int32_t>& y) {
 double CorrelationRatio(const std::vector<double>& values,
                         const std::vector<int32_t>& codes) {
   FORESIGHT_CHECK(values.size() == codes.size());
-  std::unordered_map<int32_t, std::pair<double, double>> groups;  // sum, count
+  // std::map: the ss_between reduction below is order-sensitive in
+  // floating point; ordered iteration keeps the score deterministic.
+  std::map<int32_t, std::pair<double, double>> groups;  // sum, count
   double grand_sum = 0.0;
   double n = 0.0;
   for (size_t i = 0; i < values.size(); ++i) {

@@ -29,6 +29,7 @@ FrequencyTable::FrequencyTable(const std::vector<std::string>& values) {
   for (const std::string& v : values) ++counts[v];
   std::vector<ValueCount> entries;
   entries.reserve(counts.size());
+  // determinism-ok: BuildSorted imposes a total (count, value) order below.
   for (auto& [value, count] : counts) entries.push_back({value, count});
   BuildSorted(std::move(entries));
 }

@@ -12,8 +12,8 @@ LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
   LinearFit fit;
   size_t n = x.size();
   if (n < 2) return fit;
-  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
-  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+  double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
   double sxx = 0.0, sxy = 0.0, syy = 0.0;
   for (size_t i = 0; i < n; ++i) {
     double dx = x[i] - mean_x;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.h"
 
@@ -180,9 +181,14 @@ class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
 
+  /// Parsing recurses once per nesting level, so untrusted input like
+  /// "[[[[..." could otherwise exhaust the stack. 128 levels is far beyond
+  /// any document this codebase produces.
+  static constexpr int kMaxNestingDepth = 128;
+
   StatusOr<JsonValue> Parse() {
     SkipWhitespace();
-    FORESIGHT_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    FORESIGHT_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
     SkipWhitespace();
     if (pos_ != text_.size()) {
       return Error("trailing characters after JSON document");
@@ -219,11 +225,15 @@ class JsonParser {
     return false;
   }
 
-  StatusOr<JsonValue> ParseValue() {
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxNestingDepth) {
+      return Error("nesting depth exceeds " +
+                   std::to_string(kMaxNestingDepth));
+    }
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
     if (c == '"') {
       FORESIGHT_ASSIGN_OR_RETURN(std::string s, ParseString());
       return JsonValue(std::move(s));
@@ -234,7 +244,7 @@ class JsonParser {
     return ParseNumber();
   }
 
-  StatusOr<JsonValue> ParseObject() {
+  StatusOr<JsonValue> ParseObject(int depth) {
     Consume('{');
     JsonValue obj = JsonValue::Object();
     SkipWhitespace();
@@ -248,7 +258,7 @@ class JsonParser {
       SkipWhitespace();
       if (!Consume(':')) return Error("expected ':' after object key");
       SkipWhitespace();
-      FORESIGHT_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      FORESIGHT_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
       obj.Set(std::move(key), std::move(value));
       SkipWhitespace();
       if (Consume('}')) return obj;
@@ -256,14 +266,14 @@ class JsonParser {
     }
   }
 
-  StatusOr<JsonValue> ParseArray() {
+  StatusOr<JsonValue> ParseArray(int depth) {
     Consume('[');
     JsonValue arr = JsonValue::Array();
     SkipWhitespace();
     if (Consume(']')) return arr;
     for (;;) {
       SkipWhitespace();
-      FORESIGHT_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      FORESIGHT_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
       arr.Append(std::move(value));
       SkipWhitespace();
       if (Consume(']')) return arr;
@@ -366,6 +376,12 @@ class JsonParser {
     char* end = nullptr;
     double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return Error("invalid number");
+    if (std::isinf(value)) {
+      // Overflowing literals (e.g. "1e999") would deserialize as infinity,
+      // which Dump() cannot represent — reject instead of round-tripping
+      // to null.
+      return Error("number out of range");
+    }
     return JsonValue(value);
   }
 

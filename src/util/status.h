@@ -1,11 +1,12 @@
 #ifndef FORESIGHT_UTIL_STATUS_H_
 #define FORESIGHT_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace foresight {
 
@@ -96,7 +97,8 @@ class StatusOr {
   /// `return 42;` or `return Status::InvalidArgument(...)`.
   StatusOr(T value) : value_(std::move(value)) {}
   StatusOr(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+    FORESIGHT_DCHECK(!status_.ok() &&
+                     "StatusOr constructed from OK status without value");
     if (status_.ok()) {
       status_ = Status::Internal("StatusOr constructed from OK status");
     }
@@ -106,15 +108,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    FORESIGHT_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    FORESIGHT_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    FORESIGHT_DCHECK(ok());
     return std::move(*value_);
   }
 

@@ -116,12 +116,12 @@ std::string RenderScatterAscii(const std::vector<double>& x,
   if (ymax <= ymin) ymax = ymin + 1.0;
   std::vector<std::string> grid(height, std::string(width, ' '));
   for (size_t i = 0; i < x.size(); ++i) {
-    size_t cx = std::min(width - 1, static_cast<size_t>((x[i] - xmin) /
-                                                        (xmax - xmin) *
-                                                        (width - 1)));
-    size_t cy = std::min(height - 1, static_cast<size_t>((y[i] - ymin) /
-                                                         (ymax - ymin) *
-                                                         (height - 1)));
+    size_t cx = std::min(
+        width - 1, static_cast<size_t>((x[i] - xmin) / (xmax - xmin) *
+                                       static_cast<double>(width - 1)));
+    size_t cy = std::min(
+        height - 1, static_cast<size_t>((y[i] - ymin) / (ymax - ymin) *
+                                        static_cast<double>(height - 1)));
     char& cell = grid[height - 1 - cy][cx];
     cell = cell == ' ' ? '.' : (cell == '.' ? 'o' : '@');
   }

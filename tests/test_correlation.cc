@@ -115,7 +115,7 @@ TEST(KendallTest, MatchesNaiveImplementationWithTies) {
       if (dx * dy > 0) ++concordant; else ++discordant;
     }
   }
-  double n0 = static_cast<double>(n) * (n - 1) / 2;
+  double n0 = static_cast<double>(n) * static_cast<double>(n - 1) / 2;
   double joint_ties = n0 - concordant - discordant - tie_x - tie_y;
   double naive = (concordant - discordant) /
                  std::sqrt((n0 - (tie_x + joint_ties)) * (n0 - (tie_y + joint_ties)));

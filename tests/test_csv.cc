@@ -97,6 +97,29 @@ TEST(CsvReaderTest, AllMissingColumnBecomesCategorical) {
   EXPECT_EQ(table->column(0).null_count(), 2u);
 }
 
+TEST(CsvReaderTest, EmbeddedNewlineInsideQuotesDoesNotSplitRow) {
+  // The quoted field spans a physical newline; both rows must keep 2 fields.
+  auto table = CsvReader::ReadString("a,b\n\"line1\nline2\",1\nplain,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->column(0).AsCategorical().value(0), "line1\nline2");
+}
+
+TEST(CsvReaderTest, QuotedEmptyFieldCountsAsRowContent) {
+  // A lone "" line is a present-but-empty field (read back as null), not a
+  // blank line to skip — the writer relies on this for single-column nulls.
+  auto table = CsvReader::ReadString("v\n1\n\"\"\n3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_FALSE(table->column(0).is_valid(1));
+}
+
+TEST(CsvReaderTest, BlankLinesAreStillSkipped) {
+  auto table = CsvReader::ReadString("a,b\n1,2\n\n\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
 TEST(CsvReaderTest, MissingFileIsIOError) {
   auto table = CsvReader::ReadFile("/nonexistent/path.csv");
   ASSERT_FALSE(table.ok());
@@ -125,6 +148,27 @@ TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
   EXPECT_FALSE(reread->column(0).is_valid(1));
   EXPECT_EQ(reread->column(1).AsCategorical().value(1), "with,comma");
   EXPECT_EQ(reread->column(1).AsCategorical().value(2), "with\"quote");
+}
+
+TEST(CsvRoundTripTest, SingleColumnNullsSurviveRoundTrip) {
+  // Fuzzer-found: a null in a single-column table used to serialize as an
+  // entirely empty line, which the reader then skipped as blank — dropping
+  // the row. The writer now emits a quoted-empty field instead.
+  DataTable table;
+  NumericColumn numeric;
+  numeric.Append(1.0);
+  numeric.AppendNull();
+  numeric.Append(3.0);
+  ASSERT_TRUE(
+      table.AddColumn("v", std::make_unique<NumericColumn>(std::move(numeric)))
+          .ok());
+
+  std::string csv = CsvWriter::WriteString(table);
+  auto reread = CsvReader::ReadString(csv);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_rows(), 3u);
+  EXPECT_FALSE(reread->column(0).is_valid(1));
+  EXPECT_DOUBLE_EQ(reread->column(0).AsNumeric().value(2), 3.0);
 }
 
 TEST(CsvRoundTripTest, FileRoundTrip) {

@@ -222,7 +222,7 @@ TEST_F(EngineTest, SketchOverviewTracksExact) {
       }
     }
   }
-  double mean_error = total_error / (d * (d - 1) / 2);
+  double mean_error = total_error / static_cast<double>(d * (d - 1) / 2);
   EXPECT_LT(mean_error, 0.08);
   EXPECT_EQ(strong_sign_matches, strong_total);  // Signs of strong rho agree.
 }

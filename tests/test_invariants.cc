@@ -130,8 +130,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "monotonic_relationship", "multimodality",
                       "general_dependence", "segmentation", "low_entropy",
                       "missing_values"),
-    [](const ::testing::TestParamInfo<const char*>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      return param_info.param;
     });
 
 class AffineInvariantTest : public InvariantTest {};
@@ -163,8 +163,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("skew", "heavy_tails", "outliers",
                       "linear_relationship", "monotonic_relationship",
                       "multimodality", "general_dependence", "segmentation"),
-    [](const ::testing::TestParamInfo<const char*>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      return param_info.param;
     });
 
 TEST(DeterminismTest, TwoEnginesOverSameTableAgreeExactly) {

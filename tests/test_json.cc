@@ -112,6 +112,35 @@ TEST(JsonParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(JsonValue::Parse("{'single':1}").ok());
 }
 
+TEST(JsonParseTest, RejectsExcessiveNestingDepth) {
+  // Fuzzer-style stress input: parsing recurses per nesting level, so
+  // unbounded depth would exhaust the stack. Must be a ParseError.
+  std::string deep(100000, '[');
+  deep += std::string(100000, ']');
+  auto result = JsonValue::Parse(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+
+  // Moderate nesting stays fine.
+  std::string shallow(100, '[');
+  shallow += "1";
+  shallow += std::string(100, ']');
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+}
+
+TEST(JsonParseTest, RejectsOverflowingNumbers) {
+  // "1e999" overflows to infinity, which Dump() can only emit as null — the
+  // parser rejects it so accepted documents stay a serialization fixed point.
+  EXPECT_FALSE(JsonValue::Parse("1e999").ok());
+  EXPECT_FALSE(JsonValue::Parse("-1e999").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2, 1e999]").ok());
+  // The largest finite doubles still parse.
+  EXPECT_TRUE(JsonValue::Parse("1.7976931348623157e308").ok());
+  EXPECT_TRUE(JsonValue::Parse("-1.7976931348623157e308").ok());
+  // Underflow collapses to zero rather than erroring.
+  EXPECT_TRUE(JsonValue::Parse("1e-999").ok());
+}
+
 TEST(JsonParseTest, ErrorsCarryParseErrorCode) {
   auto result = JsonValue::Parse("{bad}");
   ASSERT_FALSE(result.ok());

@@ -87,8 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
                       KllCase{"lognormal_200", 1, 100000, 200, 0.025},
                       KllCase{"ties_200", 2, 50000, 200, 0.03},
                       KllCase{"small_stream", 0, 500, 200, 0.01}),
-    [](const ::testing::TestParamInfo<KllCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<KllCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(KllTest, MemoryStaysBounded) {
@@ -122,7 +122,8 @@ TEST(KllTest, MergePreservesCountAndAccuracy) {
   for (double q : {0.1, 0.5, 0.9}) {
     double estimate = a.Quantile(q);
     auto it = std::upper_bound(all.begin(), all.end(), estimate);
-    double true_rank = static_cast<double>(it - all.begin()) / all.size();
+    double true_rank = static_cast<double>(it - all.begin()) /
+                       static_cast<double>(all.size());
     EXPECT_NEAR(true_rank, q, 0.03) << q;
   }
 }

@@ -135,8 +135,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MergeCase{"uniform", 2, 5000, 1},
                       MergeCase{"exponential", 3, 5000, 4999},
                       MergeCase{"tiny", 0, 4, 2}),
-    [](const ::testing::TestParamInfo<MergeCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<MergeCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(RunningMomentsTest, MergeWithEmptySides) {

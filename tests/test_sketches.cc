@@ -209,7 +209,7 @@ TEST(ReservoirTest, UniformityOverStream) {
     for (int i = 0; i < 10000; ++i) sample.Add(i);
     double mean = 0.0;
     for (double v : sample.values()) mean += v;
-    total_mean += mean / sample.values().size();
+    total_mean += mean / static_cast<double>(sample.values().size());
   }
   EXPECT_NEAR(total_mean / reps, 4999.5, 300.0);
 }
@@ -227,7 +227,7 @@ TEST(ReservoirTest, MergeProducesUniformUnion) {
     EXPECT_EQ(a.seen(), 40000u);
     double b_count = 0;
     for (double v : a.values()) b_count += v;
-    b_fraction_total += b_count / a.values().size();
+    b_fraction_total += b_count / static_cast<double>(a.values().size());
   }
   EXPECT_NEAR(b_fraction_total / reps, 0.25, 0.05);
 }

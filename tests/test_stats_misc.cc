@@ -129,7 +129,9 @@ TEST(MutualInformationTest, IndependentNearZeroDependentHigh) {
 TEST(MutualInformationTest, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(NormalizedMutualInformation({}, {}), 0.0);
   std::vector<double> constant(100, 2.0), varying(100);
-  for (size_t i = 0; i < varying.size(); ++i) varying[i] = i;
+  for (size_t i = 0; i < varying.size(); ++i) {
+    varying[i] = static_cast<double>(i);
+  }
   EXPECT_DOUBLE_EQ(NormalizedMutualInformation(constant, varying), 0.0);
 }
 
@@ -185,7 +187,7 @@ TEST(KMeansTest, RecoversWellSeparatedClusters) {
   KMeansResult result = KMeans(points, 3, 99);
   ASSERT_EQ(result.centroids.size(), 3u);
   // Inertia for tight clusters should be far below total variance.
-  EXPECT_LT(result.inertia / points.size(), 1.0);
+  EXPECT_LT(result.inertia / static_cast<double>(points.size()), 1.0);
   // All three centers represented.
   std::vector<bool> near_center(3, false);
   for (const Point2& c : result.centroids) {

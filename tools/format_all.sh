@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Applies .clang-format to every C++ file in the tree (or checks it with
+# --check, which is what CI runs). Formatting-only changes should land as
+# their own commit, separate from functional changes.
+#
+# Usage: tools/format_all.sh [--check]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "format_all.sh: no clang-format executable found on PATH" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files -- 'src/**/*.h' 'src/**/*.cc' \
+  'tests/*.cc' 'bench/*.cc' 'examples/*.cpp' 'fuzz/*.cc')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "${CLANG_FORMAT}" --dry-run --Werror "${files[@]}"
+  echo "format_all.sh: ${#files[@]} files clean"
+else
+  "${CLANG_FORMAT}" -i "${files[@]}"
+  echo "format_all.sh: formatted ${#files[@]} files"
+fi

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Determinism lint for the Foresight source tree.
+
+Foresight guarantees bit-identical rankings for identical inputs (the
+parallel-equivalence and serving-layer tests gate on it), so `src/` must not
+contain hidden sources of nondeterminism. This lint enforces:
+
+  bare-assert          Use FORESIGHT_CHECK / FORESIGHT_DCHECK (util/logging.h)
+                       instead of bare assert(): CHECK semantics must not
+                       depend on NDEBUG, and release builds must not silently
+                       drop invariant checks that guard rankings.
+  libc-random          Use util/random.h (seeded PCG) instead of rand()/
+                       srand()/drand48()/random(): libc RNGs are global-state,
+                       platform-varying, and unseedable per component.
+  wall-clock           Use util/timer.h instead of time()/clock()/
+                       gettimeofday()/localtime()/gmtime() in compute paths:
+                       wall-clock reads make results time-dependent.
+  unordered-iteration  Range-for over unordered_map/unordered_set: iteration
+                       order is hash- and platform-dependent, so any
+                       order-sensitive use (serialization, floating-point
+                       reductions, result assembly) silently breaks
+                       reproducibility.
+
+Suppression: add a trailing or preceding-line comment of the form
+    // determinism-ok: <reason>
+The reason is mandatory; a bare "determinism-ok" is itself a finding.
+
+Usage: tools/lint_determinism.py [--root DIR]
+Exit code 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTENSIONS = (".h", ".cc")
+
+# Definition site of the sanctioned wrappers; bare `assert` is expected here.
+BARE_ASSERT_ALLOWED_FILES = {os.path.join("util", "logging.h")}
+
+BANNED_CALLS = [
+    # (rule, regex, message)
+    ("bare-assert", re.compile(r"(?<![\w_])assert\s*\("),
+     "bare assert(): use FORESIGHT_CHECK (always on) or FORESIGHT_DCHECK "
+     "(debug) from util/logging.h"),
+    ("libc-random", re.compile(r"(?<![\w_.:>])(?:s?rand|rand_r|random|drand48|"
+                               r"lrand48|mrand48)\s*\("),
+     "libc random source: use foresight::Rng from util/random.h with an "
+     "explicit seed"),
+    ("wall-clock", re.compile(r"(?<![\w_.:>])(?:time|clock|gettimeofday|"
+                              r"localtime|gmtime|ctime)\s*\("),
+     "wall-clock read: results must not depend on the current time (use "
+     "util/timer.h for profiling only)"),
+]
+
+SUPPRESS_RE = re.compile(r"//.*determinism-ok:\s*(\S.*)?$")
+BARE_SUPPRESS_RE = re.compile(r"determinism-ok(?!:)")
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^();]*(?:\([^()]*\))?[^();]*)\)")
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Returns (code_only_line, still_in_block_comment).
+
+    Replaces comment and string-literal contents with spaces so the banned-
+    pattern regexes only see code. Column positions are preserved.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    state_string = None  # None, '"' or "'"
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if c == "*" and nxt == "/":
+                in_block_comment = False
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            i += 1
+            continue
+        if state_string:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state_string:
+                state_string = None
+                out.append(c)
+                i += 1
+                continue
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and nxt == "/":
+            out.append(" " * (n - i))
+            break
+        if c == "/" and nxt == "*":
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+            continue
+        if c in "\"'":
+            state_string = c
+            out.append(c)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def angle_bracket_span(text, open_pos):
+    """Given text[open_pos] == '<', returns the index one past the matching '>'."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def collect_unordered_names(text):
+    """Names of variables/members/accessors declared with an unordered type."""
+    names = set()
+    flat = re.sub(r"\s+", " ", text)
+    for match in UNORDERED_DECL_RE.finditer(flat):
+        open_pos = match.end() - 1
+        end = angle_bracket_span(flat, open_pos)
+        rest = flat[end:]
+        decl = re.match(r"\s*&?\s*(\w+)\s*(\(\s*\))?", rest)
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def last_identifier(expr):
+    """Trailing identifier of a range expression, e.g. `sketch.counters()`."""
+    expr = expr.strip()
+    expr = re.sub(r"\(\s*\)\s*$", "", expr).strip()
+    ids = re.findall(r"\w+", expr)
+    return ids[-1] if ids else ""
+
+
+def paired_file(path):
+    stem, ext = os.path.splitext(path)
+    other = stem + (".cc" if ext == ".h" else ".h")
+    return other if os.path.exists(other) else None
+
+
+def lint_file(path, rel, accessor_names):
+    findings = []
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    local_names = collect_unordered_names("\n".join(raw_lines))
+    pair = paired_file(path)
+    if pair:
+        with open(pair, encoding="utf-8") as f:
+            local_names |= collect_unordered_names(f.read())
+    unordered_names = local_names | accessor_names
+
+    suppressed = set()
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            if not m.group(1):
+                findings.append((idx, "suppression",
+                                 "determinism-ok requires a reason after the "
+                                 "colon"))
+            # A suppression covers its own line and the following line.
+            suppressed.add(idx)
+            suppressed.add(idx + 1)
+        elif BARE_SUPPRESS_RE.search(line):
+            findings.append((idx, "suppression",
+                             "malformed suppression: use "
+                             "'// determinism-ok: <reason>'"))
+
+    in_block = False
+    for idx, line in enumerate(raw_lines, start=1):
+        code, in_block = strip_comments_and_strings(line, in_block)
+        if idx in suppressed:
+            continue
+        for rule, pattern, message in BANNED_CALLS:
+            if rule == "bare-assert" and rel in BARE_ASSERT_ALLOWED_FILES:
+                continue
+            if pattern.search(code):
+                findings.append((idx, rule, message))
+        for for_match in RANGE_FOR_RE.finditer(code):
+            header = for_match.group(1)
+            if ":" not in header or ";" in header:
+                continue
+            range_expr = header.rsplit(":", 1)[1]
+            name = last_identifier(range_expr)
+            if name in unordered_names:
+                findings.append(
+                    (idx, "unordered-iteration",
+                     f"range-for over unordered container '{name}': iteration "
+                     "order is hash-dependent; sort keys first, use an "
+                     "ordered container, or justify with "
+                     "'// determinism-ok: <reason>'"))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of this script)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        print(f"lint_determinism: no src/ directory under {root}",
+              file=sys.stderr)
+        return 2
+
+    files = []
+    for dirpath, _, filenames in os.walk(src_root):
+        for filename in sorted(filenames):
+            if filename.endswith(SRC_EXTENSIONS):
+                files.append(os.path.join(dirpath, filename))
+    files.sort()
+
+    # Accessors anywhere in src/ that hand out unordered containers by
+    # reference (e.g. SpaceSavingSketch::counters()): iterating their result
+    # is just as hash-ordered as iterating a local.
+    accessor_names = set()
+    for path in files:
+        if path.endswith(".h"):
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            flat = re.sub(r"\s+", " ", text)
+            for match in UNORDERED_DECL_RE.finditer(flat):
+                end = angle_bracket_span(flat, match.end() - 1)
+                decl = re.match(r"\s*&\s*(\w+)\s*\(\s*\)", flat[end:])
+                if decl:
+                    accessor_names.add(decl.group(1))
+
+    total = 0
+    for path in files:
+        rel = os.path.relpath(path, src_root)
+        for line_no, rule, message in lint_file(path, rel, accessor_names):
+            print(f"{os.path.relpath(path, root)}:{line_no}: [{rule}] "
+                  f"{message}")
+            total += 1
+
+    if total:
+        print(f"\nlint_determinism: {total} finding(s). See tools/"
+              "lint_determinism.py --help for rules and suppressions.",
+              file=sys.stderr)
+        return 1
+    print(f"lint_determinism: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Cached clang-tidy runner for CI.
+
+FORESIGHT_TIDY=ON tidies every TU on every compile, which is the right local
+workflow but wasteful in CI where most files don't change between commits.
+This runner replays the compile commands through clang-tidy directly and
+caches verdicts per translation unit, keyed by a content hash, so unchanged
+files are skipped. The cache file is what CI persists (actions/cache).
+
+Cache key per TU = sha256 of:
+  - the TU's own bytes,
+  - the bytes of every project header (any header edit invalidates all TUs —
+    coarse but sound, and headers change far less often than sources),
+  - the .clang-tidy config,
+  - the clang-tidy version string.
+
+Usage:
+  tools/run_clang_tidy.py --build-dir build-tidy [--cache-file PATH]
+                          [--jobs N] [--clang-tidy BIN] [--all]
+
+By default only TUs under src/ and fuzz/ are checked (the gate the issue
+defines); --all extends to tests/, bench/ and examples/.
+Exit code: 0 clean, 1 findings, 2 environment/usage error.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+DEFAULT_SCOPES = ("src", "fuzz")
+ALL_SCOPES = ("src", "fuzz", "tests", "bench", "examples")
+
+
+def sha256_file(path):
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def project_header_hash(root):
+    digest = hashlib.sha256()
+    for scope in ("src", "fuzz"):
+        scope_dir = os.path.join(root, scope)
+        if not os.path.isdir(scope_dir):
+            continue
+        for dirpath, _, filenames in sorted(os.walk(scope_dir)):
+            for name in sorted(filenames):
+                if name.endswith(".h"):
+                    path = os.path.join(dirpath, name)
+                    digest.update(path.encode())
+                    digest.update(sha256_file(path).encode())
+    return digest.hexdigest()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree configured with "
+                             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    parser.add_argument("--cache-file", default=None,
+                        help="verdict cache (default: "
+                             "BUILD_DIR/clang_tidy_cache.json)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy executable (default: first of "
+                             "clang-tidy, clang-tidy-19..14 on PATH)")
+    parser.add_argument("--all", action="store_true",
+                        help="also check tests/, bench/ and examples/")
+    args = parser.parse_args()
+
+    tidy = args.clang_tidy
+    if tidy is None:
+        candidates = ["clang-tidy"] + [
+            f"clang-tidy-{v}" for v in range(19, 13, -1)]
+        tidy = next((c for c in candidates if shutil.which(c)), None)
+    if tidy is None or not shutil.which(tidy):
+        print("run_clang_tidy: no clang-tidy executable found on PATH",
+              file=sys.stderr)
+        return 2
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    compdb_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(compdb_path):
+        print(f"run_clang_tidy: {compdb_path} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+    with open(compdb_path, encoding="utf-8") as f:
+        compdb = json.load(f)
+
+    scopes = ALL_SCOPES if args.all else DEFAULT_SCOPES
+    scope_dirs = tuple(os.path.join(root, scope) + os.sep for scope in scopes)
+    files = sorted({entry["file"] for entry in compdb
+                    if os.path.abspath(entry["file"]).startswith(scope_dirs)})
+    if not files:
+        print("run_clang_tidy: no translation units matched", file=sys.stderr)
+        return 2
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True, check=False).stdout.strip()
+    config_path = os.path.join(root, ".clang-tidy")
+    shared_key = hashlib.sha256()
+    shared_key.update(version.encode())
+    shared_key.update(sha256_file(config_path).encode())
+    shared_key.update(project_header_hash(root).encode())
+    shared_digest = shared_key.hexdigest()
+
+    cache_file = args.cache_file or os.path.join(args.build_dir,
+                                                 "clang_tidy_cache.json")
+    cache = {}
+    if os.path.exists(cache_file):
+        try:
+            with open(cache_file, encoding="utf-8") as f:
+                cache = json.load(f)
+        except (OSError, ValueError):
+            cache = {}
+
+    def key_for(path):
+        return hashlib.sha256(
+            (shared_digest + sha256_file(path)).encode()).hexdigest()
+
+    pending = []
+    skipped = 0
+    keys = {}
+    for path in files:
+        keys[path] = key_for(path)
+        if cache.get(os.path.relpath(path, root)) == keys[path]:
+            skipped += 1
+        else:
+            pending.append(path)
+    print(f"run_clang_tidy: {len(files)} TUs, {skipped} cached, "
+          f"{len(pending)} to check with {tidy}")
+
+    failures = []
+
+    def run_one(path):
+        result = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True, check=False)
+        return path, result.returncode, result.stdout, result.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, out, err in pool.map(run_one, pending):
+            rel = os.path.relpath(path, root)
+            if code == 0:
+                cache[rel] = keys[path]
+                print(f"  OK   {rel}")
+            else:
+                failures.append(rel)
+                cache.pop(rel, None)
+                print(f"  FAIL {rel}")
+                if out.strip():
+                    print(out.strip())
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+
+    os.makedirs(os.path.dirname(os.path.abspath(cache_file)), exist_ok=True)
+    with open(cache_file, "w", encoding="utf-8") as f:
+        json.dump(cache, f, indent=1, sort_keys=True)
+
+    if failures:
+        print(f"\nrun_clang_tidy: {len(failures)} TU(s) with findings",
+              file=sys.stderr)
+        return 1
+    print("run_clang_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
