@@ -19,6 +19,7 @@
 
 #include "core/engine.h"
 #include "data/generators.h"
+#include "util/bench_env.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -109,8 +110,8 @@ int main() {
       "pairwise overview\n");
   std::printf("workload: %zu rows x (%zu numeric + %zu categorical) columns\n",
               kRows, kNumericCols, kCategoricalCols);
-  std::printf("hardware_concurrency: %u\n\n",
-              std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency: %u (%s)\n\n",
+              std::thread::hardware_concurrency(), CpuModelName().c_str());
   DataTable table =
       MakeBenchmarkTable(kRows, kNumericCols, kCategoricalCols, kSeed);
 
@@ -118,6 +119,7 @@ int main() {
   std::printf("%-8s | %-15s %-14s %-14s\n", "workers", "preprocess (s)",
               "queries (s)", "overview (s)");
   for (size_t workers : {1, 2, 4, 8}) {
+    WarnIfOversubscribed(workers);
     runs.push_back(RunAtWorkers(table, workers));
     const RunResult& run = runs.back();
     std::printf("%-8zu | %-15.3f %-14.3f %-14.3f\n", run.workers,
@@ -155,8 +157,7 @@ int main() {
   workload.Set("categorical_cols", kCategoricalCols);
   workload.Set("seed", kSeed);
   doc.Set("workload", std::move(workload));
-  doc.Set("hardware_concurrency",
-          static_cast<size_t>(std::thread::hardware_concurrency()));
+  doc.Set("environment", BenchEnvironmentJson());
   JsonValue results = JsonValue::Array();
   for (const RunResult& run : runs) {
     JsonValue entry = JsonValue::Object();

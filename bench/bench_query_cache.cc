@@ -18,6 +18,7 @@
 
 #include "core/session.h"
 #include "data/generators.h"
+#include "util/bench_env.h"
 #include "util/json.h"
 #include "util/timer.h"
 
@@ -188,6 +189,7 @@ int main() {
 
   JsonValue doc = JsonValue::Object();
   doc.Set("bench", "query_cache");
+  doc.Set("environment", BenchEnvironmentJson());
   JsonValue workload_json = JsonValue::Object();
   workload_json.Set("rows", kRows);
   workload_json.Set("numeric_cols", kNumericCols);

@@ -62,6 +62,14 @@ class LinearRelationshipClass final : public InsightClass {
     const NumericColumnSketch& a = profile.numeric_sketch(tuple.indices[0]);
     const NumericColumnSketch& b = profile.numeric_sketch(tuple.indices[1]);
     if (metric == "pearson_projection") {
+      // Profiles finalize (or load) with the centered projection cached;
+      // recompute only if a caller hands us a stale sketch.
+      const bool cached = a.centered_projection.k() > 0 &&
+                          b.centered_projection.k() > 0;
+      if (cached) {
+        return ProjectionSketch::EstimateCorrelation(a.centered_projection,
+                                                     b.centered_projection);
+      }
       return ProjectionSketch::EstimateCorrelation(a.CenteredProjection(),
                                                    b.CenteredProjection());
     }

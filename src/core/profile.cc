@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "sketch/panel_cache.h"
 #include "sketch/serialize.h"
 #include "stats/correlation.h"
 #include "util/logging.h"
@@ -186,6 +188,9 @@ StatusOr<TableProfile> Preprocessor::LoadProfile(const DataTable& table,
     }
     FORESIGHT_ASSIGN_OR_RETURN(NumericColumnSketch sketch,
                                NumericSketchFromJson(sketch_json));
+    // The centered-projection cache is derived state and never serialized;
+    // rebuild it so loaded profiles serve pairwise metrics at full speed.
+    sketch.RefreshCenteredProjection();
     profile.numeric_.emplace(column, std::move(sketch));
   }
   const JsonValue* categorical = json.Get("categorical");
@@ -238,14 +243,24 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
   size_t parts = std::max<size_t>(1, std::min(options.num_partitions,
                                               std::max<size_t>(1, n)));
 
-  // Numeric columns: row-major passes, generating each row's random
-  // hyperplane/projection components once per pass and folding the row into
-  // every numeric column's sketch — the paper's single-pass O(|B| * n * k)
-  // preprocessing bound (§3). With a pool, columns split into one block per
-  // thread and blocks run concurrently. Each block regenerates the per-row
-  // components (they are pure functions of (seed, row)) and every column's
-  // sketches still consume their rows in ascending order with per-sketch RNG
-  // state, so the result is bit-identical to the serial pass.
+  // Numeric columns: the paper's single-pass O(|B| * n * k) preprocessing
+  // (§3). Work is tiled as (partition x column-block); each tile sweeps its
+  // partition's rows in ascending order, so every column's sketches consume
+  // their rows in the same order no matter how tiles are scheduled — the
+  // resulting profile is bit-identical across worker counts, partition
+  // counts, ingest modes, and panel block sizes.
+  //
+  // kPanelBlocked: the per-row random components are materialized once per
+  // row block in a RandomPanelCache shared by all columns and partitions,
+  // and tiles consume the cached panels through dense blocked kernels.
+  // Partitions are swept p-major with grain 1, so concurrent workers stay on
+  // the same partition's row range and share the same resident panel blocks.
+  // Columns with zero nulls additionally share the ones-side accumulation
+  // (it depends only on the row set): the column-block-0 tile accumulates it
+  // once per partition and it is copied into every fully-valid column.
+  //
+  // kRowAtATime: each tile regenerates the components row by row (the
+  // pre-panel behavior), kept as the reference and benchmark baseline.
   std::vector<size_t> numeric_cols = table.NumericColumnIndices();
   size_t n_num = numeric_cols.size();
   std::vector<const NumericColumn*> numeric_ptrs;
@@ -258,76 +273,148 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
   for (size_t i = 0; i < n_num; ++i) {
     merged_numeric.push_back(builder.MakeNumericSketch());
   }
-  // Accumulates rows [row_begin, row_end) of columns [col_begin, col_end)
-  // into `target` (indexed by absolute column position).
-  auto accumulate_numeric = [&](size_t col_begin, size_t col_end,
-                                size_t row_begin, size_t row_end,
-                                std::vector<NumericColumnSketch>& target) {
-    std::vector<double> hyperplane_row;
-    std::vector<double> projection_row;
-    for (size_t row = row_begin; row < row_end; ++row) {
-      builder.hyperplane_sketcher().GenerateRowHyperplanes(row, hyperplane_row);
-      builder.projection_sketcher().GenerateRowComponents(row, projection_row);
-      for (size_t i = col_begin; i < col_end; ++i) {
-        const NumericColumn& column = *numeric_ptrs[i];
-        if (!column.is_valid(row)) continue;
-        builder.AccumulateRowValue(column.value(row), hyperplane_row,
-                                   projection_row, target[i]);
-      }
-    }
-  };
   if (n_num > 0) {
-    if (parts == 1) {
-      auto run_block = [&](size_t col_begin, size_t col_end) {
-        accumulate_numeric(col_begin, col_end, 0, n, merged_numeric);
-      };
-      if (pool != nullptr) {
-        pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), run_block);
-      } else {
-        run_block(0, n_num);
-      }
-    } else {
-      // Partitioned: build every (partition x column-block) tile's partials
-      // concurrently, then merge each column's partials in partition order —
-      // the same merge sequence the serial path performs.
-      std::vector<NumericColumnSketch> partials;
+    size_t col_grain = BlockGrain(n_num, pool);
+    size_t num_cb = (n_num + col_grain - 1) / col_grain;
+    // parts == 1 accumulates straight into merged_numeric (offset 0);
+    // otherwise per-partition partials merge in partition order below —
+    // the same merge sequence the serial path performs.
+    std::vector<NumericColumnSketch> partials;
+    if (parts > 1) {
       partials.reserve(parts * n_num);
       for (size_t i = 0; i < parts * n_num; ++i) {
         partials.push_back(builder.MakeNumericSketch());
       }
-      size_t col_grain = BlockGrain(n_num, pool);
-      size_t num_blocks = (n_num + col_grain - 1) / col_grain;
-      auto run_tile_range = [&](size_t tile_begin, size_t tile_end) {
-        std::vector<double> hyperplane_row;
-        std::vector<double> projection_row;
+    }
+    std::vector<NumericColumnSketch>& target =
+        parts == 1 ? merged_numeric : partials;
+    auto partition_rows = [&](size_t p) {
+      return std::pair<size_t, size_t>{n * p / parts, n * (p + 1) / parts};
+    };
+
+    if (options.ingest == IngestMode::kPanelBlocked) {
+      // Auto block size: 256 rows keeps a 256-bit-hyperplane panel around
+      // half a megabyte — resident in L2 while all columns sweep it.
+      size_t block_rows =
+          options.panel_block_rows > 0 ? options.panel_block_rows : 256;
+      RandomPanelCache cache(builder.hyperplane_sketcher(),
+                             builder.projection_sketcher(), n, block_rows);
+      // Every tile of partition p acquires each panel block overlapping p's
+      // rows exactly once; plan those uses so blocks free as tiles drain.
+      std::vector<int64_t> uses(cache.num_blocks(), 0);
+      for (size_t p = 0; p < parts; ++p) {
+        auto [row_begin, row_end] = partition_rows(p);
+        if (row_begin >= row_end) continue;
+        for (size_t b = cache.block_of_row(row_begin);
+             b <= cache.block_of_row(row_end - 1); ++b) {
+          uses[b] += static_cast<int64_t>(num_cb);
+        }
+      }
+      cache.PlanUses(std::move(uses));
+      bool has_fully_valid = false;
+      for (const NumericColumn* column : numeric_ptrs) {
+        if (column->null_count() == 0) has_fully_valid = true;
+      }
+      std::vector<SharedOnes> shared_ones(parts);
+      auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
+        IngestScratch scratch;
+        std::vector<const NumericColumn*> group_columns;
+        std::vector<NumericColumnSketch*> group_sketches;
+        std::vector<size_t> null_cols;
         for (size_t t = tile_begin; t < tile_end; ++t) {
-          size_t p = t / num_blocks;
-          size_t block = t % num_blocks;
-          size_t col_begin = block * col_grain;
+          size_t p = t / num_cb;
+          size_t cb = t % num_cb;
+          size_t col_begin = cb * col_grain;
           size_t col_end = std::min(n_num, col_begin + col_grain);
-          size_t row_begin = n * p / parts;
-          size_t row_end = n * (p + 1) / parts;
+          auto [row_begin, row_end] = partition_rows(p);
+          if (row_begin >= row_end) continue;
+          size_t offset = parts == 1 ? 0 : p * n_num;
+          bool ones_rider = cb == 0 && has_fully_valid;
+          // Fully-valid columns sweep each panel slab as a group (slab hot
+          // in L1 across four column streams); null-bearing columns keep the
+          // per-column compaction path. Column order across the split is
+          // irrelevant: every sketch's accumulation sequence is unchanged.
+          group_columns.clear();
+          group_sketches.clear();
+          null_cols.clear();
+          for (size_t i = col_begin; i < col_end; ++i) {
+            if (numeric_ptrs[i]->null_count() == 0) {
+              group_columns.push_back(numeric_ptrs[i]);
+              group_sketches.push_back(&target[offset + i]);
+            } else {
+              null_cols.push_back(i);
+            }
+          }
+          for (size_t b = cache.block_of_row(row_begin);
+               b <= cache.block_of_row(row_end - 1); ++b) {
+            std::shared_ptr<const RandomPanelBlock> panel = cache.Acquire(b);
+            size_t rb = std::max(row_begin, cache.block_begin(b));
+            size_t re = std::min(row_end, cache.block_end(b));
+            builder.AccumulateNumericBlockedGroup(
+                group_columns.data(), group_sketches.data(),
+                group_columns.size(), *panel, rb, re);
+            for (size_t i : null_cols) {
+              builder.AccumulateNumericBlocked(*numeric_ptrs[i], *panel, rb,
+                                               re, target[offset + i], scratch,
+                                               /*skip_ones=*/false);
+            }
+            if (ones_rider) {
+              builder.AccumulateSharedOnes(*panel, rb, re, shared_ones[p]);
+            }
+            cache.Release(b);
+          }
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, parts * num_cb, 1, run_tiles);
+      } else {
+        run_tiles(0, parts * num_cb);
+      }
+      // Install the shared ones totals into every fully-valid column's
+      // (partial) sketch — bit-identical to self-accumulation, and done
+      // before merging so partials carry complete accumulators.
+      for (size_t p = 0; p < parts; ++p) {
+        auto [row_begin, row_end] = partition_rows(p);
+        if (row_begin >= row_end || !has_fully_valid) continue;
+        size_t offset = parts == 1 ? 0 : p * n_num;
+        for (size_t i = 0; i < n_num; ++i) {
+          if (numeric_ptrs[i]->null_count() != 0) continue;
+          builder.ApplySharedOnes(shared_ones[p], target[offset + i]);
+        }
+      }
+    } else {
+      auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
+        IngestScratch scratch;
+        for (size_t t = tile_begin; t < tile_end; ++t) {
+          size_t p = t / num_cb;
+          size_t cb = t % num_cb;
+          size_t col_begin = cb * col_grain;
+          size_t col_end = std::min(n_num, col_begin + col_grain);
+          auto [row_begin, row_end] = partition_rows(p);
+          size_t offset = parts == 1 ? 0 : p * n_num;
           for (size_t row = row_begin; row < row_end; ++row) {
             builder.hyperplane_sketcher().GenerateRowHyperplanes(
-                row, hyperplane_row);
+                row, scratch.hyperplane_row);
             builder.projection_sketcher().GenerateRowComponents(
-                row, projection_row);
+                row, scratch.projection_row);
             for (size_t i = col_begin; i < col_end; ++i) {
               const NumericColumn& column = *numeric_ptrs[i];
               if (!column.is_valid(row)) continue;
-              // Partials for partition p live at offset p * n_num.
-              builder.AccumulateRowValue(column.value(row), hyperplane_row,
-                                         projection_row,
-                                         partials[p * n_num + i]);
+              builder.AccumulateRowValue(column.value(row),
+                                         scratch.hyperplane_row,
+                                         scratch.projection_row,
+                                         target[offset + i]);
             }
           }
         }
       };
       if (pool != nullptr) {
-        pool->ParallelFor(0, parts * num_blocks, 1, run_tile_range);
+        pool->ParallelFor(0, parts * num_cb, 1, run_tiles);
       } else {
-        run_tile_range(0, parts * num_blocks);
+        run_tiles(0, parts * num_cb);
       }
+    }
+    if (parts > 1) {
       auto merge_columns = [&](size_t col_begin, size_t col_end) {
         for (size_t i = col_begin; i < col_end; ++i) {
           for (size_t p = 0; p < parts; ++p) {

@@ -91,6 +91,20 @@ class TableProfile {
   double preprocess_seconds_ = 0.0;
 };
 
+/// How numeric columns are folded into their sketches.
+enum class IngestMode {
+  /// Panel-blocked kernels: the per-row random hyperplane/projection
+  /// components are materialized once per row block in a RandomPanelCache
+  /// shared by every numeric column and every worker partition, and each
+  /// (partition x column-block) tile consumes the cached panel through dense
+  /// blocked accumulation kernels. Bit-identical to kRowAtATime.
+  kPanelBlocked,
+  /// Reference path: regenerate the random components row by row inside each
+  /// worker block (the pre-panel behavior). Kept for equivalence testing and
+  /// as the benchmark baseline.
+  kRowAtATime,
+};
+
 /// Options for preprocessing.
 struct PreprocessOptions {
   SketchConfig sketch;
@@ -99,6 +113,12 @@ struct PreprocessOptions {
   /// Number of row partitions to preprocess independently and merge; > 1
   /// exercises (and demonstrates) sketch composability. 1 = single pass.
   size_t num_partitions = 1;
+  /// Numeric ingestion strategy; both modes produce bit-identical profiles.
+  IngestMode ingest = IngestMode::kPanelBlocked;
+  /// Rows per cached random panel block under kPanelBlocked (0 = auto).
+  /// Peak panel memory is O(resident blocks * block_rows * (hyperplane_bits
+  /// + projection_dims) * 8 bytes).
+  size_t panel_block_rows = 0;
 };
 
 /// Builds TableProfiles.
@@ -110,7 +130,8 @@ class Preprocessor {
   /// feeding each merge) are built in parallel on it; because every row's
   /// random hyperplane/projection components derive only from (seed, row) and
   /// each column's sketches see their rows in the same order either way, the
-  /// resulting profile is bit-identical to the serial one.
+  /// resulting profile is bit-identical to the serial one — across worker
+  /// counts, partition counts, ingest modes, and panel block sizes.
   static StatusOr<TableProfile> Profile(const DataTable& table,
                                         const PreprocessOptions& options = {},
                                         ThreadPool* pool = nullptr);

@@ -1,7 +1,9 @@
 #include "sketch/bundle.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "sketch/ingest_kernels.h"
 #include "util/logging.h"
 
 namespace foresight {
@@ -21,6 +23,7 @@ void NumericColumnSketch::Merge(const NumericColumnSketch& other) {
   hyperplane_acc.Merge(other.hyperplane_acc);
   projection.Merge(other.projection);
   projection_ones.Merge(other.projection_ones);
+  centered_projection = ProjectionSketch();  // Mean changed; cache is stale.
 }
 
 ProjectionSketch NumericColumnSketch::CenteredProjection() const {
@@ -44,7 +47,9 @@ BundleBuilder::BundleBuilder(const SketchConfig& config, size_t n_rows)
     : config_(config),
       hyperplane_bits_(config.ResolveHyperplaneBits(n_rows)),
       hyperplane_sketcher_(hyperplane_bits_, config.seed),
-      projection_sketcher_(config.projection_dims, config.seed ^ 0xA5A5A5A5ULL) {}
+      projection_sketcher_(config.projection_dims, config.seed ^ 0xA5A5A5A5ULL),
+      projection_scale_(1.0 /
+                        std::sqrt(static_cast<double>(config.projection_dims))) {}
 
 NumericColumnSketch BundleBuilder::MakeNumericSketch() const {
   NumericColumnSketch sketch;
@@ -70,12 +75,17 @@ CategoricalColumnSketch BundleBuilder::MakeCategoricalSketch() const {
 
 void BundleBuilder::AccumulateNumeric(const NumericColumn& column,
                                       size_t row_begin, size_t row_end,
-                                      NumericColumnSketch& sketch) const {
+                                      NumericColumnSketch& sketch,
+                                      IngestScratch* scratch) const {
   FORESIGHT_CHECK(row_end <= column.size());
   // Null rows are skipped entirely: in sketch space this is mean-imputation
   // (a null contributes 0 to the centered dot products).
-  std::vector<double> hyperplane_row(hyperplane_bits_);
-  std::vector<double> projection_row(config_.projection_dims);
+  std::vector<double> local_hyperplane;
+  std::vector<double> local_projection;
+  std::vector<double>& hyperplane_row =
+      scratch ? scratch->hyperplane_row : local_hyperplane;
+  std::vector<double>& projection_row =
+      scratch ? scratch->projection_row : local_projection;
   for (size_t row = row_begin; row < row_end; ++row) {
     if (!column.is_valid(row)) continue;
     hyperplane_sketcher_.GenerateRowHyperplanes(row, hyperplane_row);
@@ -83,6 +93,151 @@ void BundleBuilder::AccumulateNumeric(const NumericColumn& column,
     AccumulateRowValue(column.value(row), hyperplane_row, projection_row,
                        sketch);
   }
+}
+
+void BundleBuilder::AccumulateNumericBlocked(const NumericColumn& column,
+                                             const RandomPanelBlock& panel,
+                                             size_t row_begin, size_t row_end,
+                                             NumericColumnSketch& sketch,
+                                             IngestScratch& scratch,
+                                             bool skip_ones) const {
+  FORESIGHT_CHECK(row_end <= column.size());
+  FORESIGHT_CHECK(row_begin >= panel.row_begin &&
+                  row_end <= panel.row_begin + panel.num_rows);
+  FORESIGHT_CHECK(panel.hyperplane_k == hyperplane_bits_);
+  FORESIGHT_CHECK(panel.projection_k == config_.projection_dims);
+  FORESIGHT_DCHECK(sketch.hyperplane_acc.dot.size() == hyperplane_bits_);
+  FORESIGHT_DCHECK(sketch.projection.k() == config_.projection_dims);
+  if (row_begin >= row_end) return;
+  const size_t local_begin = row_begin - panel.row_begin;
+  const double* values = nullptr;
+  const uint32_t* local_rows = nullptr;
+  size_t count = 0;
+  if (column.null_count() == 0) {
+    // Fully-valid fast path: stream the column's raw buffer against the
+    // contiguous panel rows starting at local_begin — no compaction copy.
+    values = column.values().data() + row_begin;
+    count = row_end - row_begin;
+    for (size_t j = 0; j < count; ++j) {
+      const double v = values[j];
+      sketch.moments.Add(v);
+      sketch.quantiles.Update(v);
+      sketch.sample.Add(v);
+    }
+  } else {
+    // Compact the valid rows; value sketches are fed inline so they see
+    // values in the same row order as the row-at-a-time path.
+    scratch.values.clear();
+    scratch.local_rows.clear();
+    for (size_t row = row_begin; row < row_end; ++row) {
+      if (!column.is_valid(row)) continue;
+      const double v = column.value(row);
+      sketch.moments.Add(v);
+      sketch.quantiles.Update(v);
+      sketch.sample.Add(v);
+      scratch.values.push_back(v);
+      scratch.local_rows.push_back(
+          static_cast<uint32_t>(row - panel.row_begin));
+    }
+    if (scratch.values.empty()) return;
+    values = scratch.values.data();
+    local_rows = scratch.local_rows.data();
+    count = scratch.values.size();
+  }
+  const double* hp_base =
+      local_rows ? panel.hyperplane.data() : panel.hyperplane_row(local_begin);
+  const double* pj_base =
+      local_rows ? panel.projection.data() : panel.projection_row(local_begin);
+  hyperplane_sketcher_.AccumulateValuesBlock(
+      hp_base, local_rows, values, count, sketch.hyperplane_acc.dot.data());
+  projection_sketcher_.AccumulateValuesBlock(
+      pj_base, local_rows, values, count, projection_scale_,
+      sketch.projection.mutable_components().data());
+  if (!skip_ones) {
+    hyperplane_sketcher_.AccumulateOnesBlock(
+        hp_base, local_rows, count, 1.0,
+        sketch.hyperplane_acc.ones_dot.data());
+    projection_sketcher_.AccumulateOnesBlock(
+        pj_base, local_rows, count, projection_scale_,
+        sketch.projection_ones.mutable_components().data());
+  }
+}
+
+void BundleBuilder::AccumulateNumericBlockedGroup(
+    const NumericColumn* const* columns, NumericColumnSketch* const* sketches,
+    size_t num_columns, const RandomPanelBlock& panel, size_t row_begin,
+    size_t row_end) const {
+  FORESIGHT_CHECK(panel.hyperplane_k == hyperplane_bits_);
+  FORESIGHT_CHECK(panel.projection_k == config_.projection_dims);
+  FORESIGHT_CHECK(row_begin >= panel.row_begin &&
+                  row_end <= panel.row_begin + panel.num_rows);
+  if (row_begin >= row_end || num_columns == 0) return;
+  const size_t local_begin = row_begin - panel.row_begin;
+  const size_t count = row_end - row_begin;
+  // Four columns per kernel call: the group's hyperplane accumulators
+  // (4 x k doubles) and each four-row panel slab stay L1-resident together.
+  constexpr size_t kGroup = 4;
+  const double* values[kGroup];
+  double* hyperplane_accs[kGroup];
+  double* projection_accs[kGroup];
+  for (size_t g = 0; g < num_columns; g += kGroup) {
+    const size_t gn = std::min(kGroup, num_columns - g);
+    for (size_t c = 0; c < gn; ++c) {
+      const NumericColumn& column = *columns[g + c];
+      FORESIGHT_CHECK(column.null_count() == 0);
+      FORESIGHT_CHECK(row_end <= column.size());
+      NumericColumnSketch& sketch = *sketches[g + c];
+      FORESIGHT_DCHECK(sketch.hyperplane_acc.dot.size() == hyperplane_bits_);
+      FORESIGHT_DCHECK(sketch.projection.k() == config_.projection_dims);
+      const double* v = column.values().data() + row_begin;
+      for (size_t j = 0; j < count; ++j) {
+        const double value = v[j];
+        sketch.moments.Add(value);
+        sketch.quantiles.Update(value);
+        sketch.sample.Add(value);
+      }
+      values[c] = v;
+      hyperplane_accs[c] = sketch.hyperplane_acc.dot.data();
+      projection_accs[c] = sketch.projection.mutable_components().data();
+    }
+    ingest_kernels::DenseValuesAxpyGroup(panel.hyperplane_row(local_begin),
+                                         values, gn, count, hyperplane_bits_,
+                                         1.0, hyperplane_accs);
+    ingest_kernels::DenseValuesAxpyGroup(
+        panel.projection_row(local_begin), values, gn, count,
+        config_.projection_dims, projection_scale_, projection_accs);
+  }
+}
+
+void BundleBuilder::AccumulateSharedOnes(const RandomPanelBlock& panel,
+                                         size_t row_begin, size_t row_end,
+                                         SharedOnes& ones) const {
+  FORESIGHT_CHECK(row_begin >= panel.row_begin &&
+                  row_end <= panel.row_begin + panel.num_rows);
+  if (ones.hyperplane_ones.empty()) {
+    ones.hyperplane_ones.assign(hyperplane_bits_, 0.0);
+    ones.projection_ones.assign(config_.projection_dims, 0.0);
+  }
+  if (row_begin >= row_end) return;
+  const size_t local_begin = row_begin - panel.row_begin;
+  const size_t count = row_end - row_begin;
+  hyperplane_sketcher_.AccumulateOnesBlock(panel.hyperplane_row(local_begin),
+                                           nullptr, count, 1.0,
+                                           ones.hyperplane_ones.data());
+  projection_sketcher_.AccumulateOnesBlock(panel.projection_row(local_begin),
+                                           nullptr, count, projection_scale_,
+                                           ones.projection_ones.data());
+}
+
+void BundleBuilder::ApplySharedOnes(const SharedOnes& ones,
+                                    NumericColumnSketch& sketch) const {
+  // Overwrites: the target's ones accumulators must still be all-zero (the
+  // column was ingested with skip_ones). The copy equals replaying the same
+  // additions from zero, so the result is bit-identical to self-accumulation.
+  FORESIGHT_CHECK(ones.hyperplane_ones.size() == hyperplane_bits_);
+  FORESIGHT_CHECK(ones.projection_ones.size() == config_.projection_dims);
+  sketch.hyperplane_acc.ones_dot = ones.hyperplane_ones;
+  sketch.projection_ones.mutable_components() = ones.projection_ones;
 }
 
 void BundleBuilder::AccumulateRowValue(
@@ -101,20 +256,19 @@ void BundleBuilder::AccumulateRowValue(
     dot[i] += value * hp[i];
     ones_dot[i] += hp[i];
   }
-  double projection_scale =
-      1.0 / std::sqrt(static_cast<double>(config_.projection_dims));
-  double scaled = value * projection_scale;
+  double scaled = value * projection_scale_;
   std::vector<double>& proj = sketch.projection.mutable_components();
   std::vector<double>& ones = sketch.projection_ones.mutable_components();
   for (size_t i = 0; i < proj.size(); ++i) {
     proj[i] += scaled * projection_row[i];
-    ones[i] += projection_scale * projection_row[i];
+    ones[i] += projection_scale_ * projection_row[i];
   }
 }
 
 void BundleBuilder::FinalizeNumeric(NumericColumnSketch& sketch) const {
   sketch.signature = hyperplane_sketcher_.Finalize(sketch.hyperplane_acc,
                                                    sketch.moments.mean());
+  sketch.RefreshCenteredProjection();
 }
 
 void BundleBuilder::AccumulateCategorical(const CategoricalColumn& column,

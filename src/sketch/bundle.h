@@ -8,6 +8,7 @@
 
 #include "data/column.h"
 #include "sketch/countmin.h"
+#include "sketch/panel_cache.h"
 #include "sketch/entropy.h"
 #include "sketch/kll.h"
 #include "sketch/random_projection.h"
@@ -55,11 +56,19 @@ struct NumericColumnSketch {
   /// proj(b~) = proj(b) - mean * proj(1).
   ProjectionSketch projection;
   ProjectionSketch projection_ones;
+  /// Derived cache: CenteredProjection() materialized at finalize time so
+  /// pairwise metrics don't re-center per pair. Empty (k() == 0) when stale;
+  /// never serialized. Refresh with RefreshCenteredProjection().
+  ProjectionSketch centered_projection;
 
   /// Projection of the centered column, using the final mean.
   ProjectionSketch CenteredProjection() const;
 
-  /// Merges a sketch of a disjoint row range of the same column.
+  /// Recomputes `centered_projection` from the current members.
+  void RefreshCenteredProjection() { centered_projection = CenteredProjection(); }
+
+  /// Merges a sketch of a disjoint row range of the same column. Invalidates
+  /// `centered_projection` (the mean changes).
   void Merge(const NumericColumnSketch& other);
 };
 
@@ -72,6 +81,24 @@ struct CategoricalColumnSketch {
   uint64_t observed_count = 0;
 
   void Merge(const CategoricalColumnSketch& other);
+};
+
+/// Reusable scratch buffers for numeric ingestion, so hot loops never
+/// allocate per call. One instance per worker thread; pass it to every
+/// Accumulate call that thread makes.
+struct IngestScratch {
+  std::vector<double> values;       ///< Compacted valid values of one block.
+  std::vector<uint32_t> local_rows; ///< Panel-local rows of those values.
+  std::vector<double> hyperplane_row;
+  std::vector<double> projection_row;
+};
+
+/// Ones-side accumulators shared across fully-valid columns: ones_dot and
+/// projection_ones depend only on the ROW SET, not on column values, so one
+/// partition-wide accumulation serves every column with zero nulls.
+struct SharedOnes {
+  std::vector<double> hyperplane_ones;
+  std::vector<double> projection_ones;
 };
 
 /// Builds sketch bundles for whole columns (single pass each) or row ranges
@@ -96,8 +123,48 @@ class BundleBuilder {
   /// Folds rows [row_offset, ...) of a column into a sketch. Null rows are
   /// skipped for value sketches but still advance the absolute row index, so
   /// hyperplane/projection components stay row-aligned across columns.
+  /// `scratch` (optional) supplies reusable row buffers so repeated calls
+  /// don't reallocate.
   void AccumulateNumeric(const NumericColumn& column, size_t row_begin,
-                         size_t row_end, NumericColumnSketch& sketch) const;
+                         size_t row_end, NumericColumnSketch& sketch,
+                         IngestScratch* scratch = nullptr) const;
+
+  /// Panel-blocked ingestion of rows [row_begin, row_end), which must lie
+  /// inside `panel`'s row range. Bit-identical to AccumulateNumeric over the
+  /// same rows: value sketches see values in row order and every dot/ones
+  /// accumulator receives one addition per valid row in ascending row order.
+  /// With `skip_ones` true the ones-side accumulators are left untouched —
+  /// only valid for columns with zero nulls, where the caller applies a
+  /// SharedOnes partition total instead (see AccumulateSharedOnes).
+  void AccumulateNumericBlocked(const NumericColumn& column,
+                                const RandomPanelBlock& panel,
+                                size_t row_begin, size_t row_end,
+                                NumericColumnSketch& sketch,
+                                IngestScratch& scratch,
+                                bool skip_ones = false) const;
+
+  /// Panel-blocked ingestion for a group of fully-valid (zero-null) columns
+  /// over one panel span. Equivalent to AccumulateNumericBlocked with
+  /// skip_ones=true per column — value sketches are fed per column in row
+  /// order and each accumulator receives the identical addition sequence —
+  /// but the dense kernels sweep each panel slab once per group of four
+  /// columns instead of once per column, keeping it hot in L1.
+  void AccumulateNumericBlockedGroup(const NumericColumn* const* columns,
+                                     NumericColumnSketch* const* sketches,
+                                     size_t num_columns,
+                                     const RandomPanelBlock& panel,
+                                     size_t row_begin, size_t row_end) const;
+
+  /// Accumulates the ones-side contribution of rows [row_begin, row_end)
+  /// (inside `panel`) into `ones`, sized/zeroed on first use. Streaming the
+  /// same blocks in the same order as a fully-valid column's row loop makes
+  /// the result bit-identical to that column's own ones accumulation.
+  void AccumulateSharedOnes(const RandomPanelBlock& panel, size_t row_begin,
+                            size_t row_end, SharedOnes& ones) const;
+
+  /// Copies a finished SharedOnes total into a fully-valid column's sketch.
+  void ApplySharedOnes(const SharedOnes& ones,
+                       NumericColumnSketch& sketch) const;
 
   /// Row-major fast path: folds one value into a sketch given this row's
   /// pre-generated hyperplane and projection components. Generating each
@@ -124,6 +191,7 @@ class BundleBuilder {
   size_t hyperplane_bits_;
   HyperplaneSketcher hyperplane_sketcher_;
   ProjectionSketcher projection_sketcher_;
+  double projection_scale_;  ///< 1/sqrt(projection_dims), hoisted off the row loop.
 };
 
 }  // namespace foresight

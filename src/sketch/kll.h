@@ -57,6 +57,11 @@ class KllSketch {
  private:
   void Compress();
   void CompactLevel(size_t level);
+  /// Recomputes the cached per-level capacities for the current level count.
+  /// Update() is the ingestion hot path, so capacities (which involve a pow()
+  /// per level) are cached and refreshed only when the level structure
+  /// changes; compaction decisions are identical to recomputing them fresh.
+  void RefreshCapacities();
   /// All retained (value, weight) pairs sorted by value.
   std::vector<std::pair<double, uint64_t>> SortedWeightedItems() const;
 
@@ -68,6 +73,13 @@ class KllSketch {
   /// levels_[h] holds items with weight 2^h. Level 0 is the unsorted buffer;
   /// higher levels are kept sorted.
   std::vector<std::vector<double>> levels_;
+  /// Total retained items across levels, maintained incrementally (equals
+  /// RetainedItems(); cached so Update() stays O(1) off the compaction path).
+  size_t retained_ = 0;
+  /// Cached capacity schedule for the current levels_.size() (see
+  /// RefreshCapacities).
+  std::vector<size_t> capacity_;
+  size_t total_capacity_ = 0;
 };
 
 }  // namespace foresight

@@ -1,0 +1,68 @@
+#include "sketch/panel_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace foresight {
+
+RandomPanelCache::RandomPanelCache(const HyperplaneSketcher& hyperplane,
+                                   const ProjectionSketcher& projection,
+                                   size_t n_rows, size_t block_rows)
+    : hyperplane_(&hyperplane),
+      projection_(&projection),
+      n_rows_(n_rows),
+      block_rows_(std::max<size_t>(1, block_rows)),
+      num_blocks_((n_rows + block_rows_ - 1) / block_rows_),
+      slots_(num_blocks_ > 0 ? std::make_unique<Slot[]>(num_blocks_)
+                             : nullptr) {}
+
+void RandomPanelCache::PlanUses(std::vector<int64_t> uses_per_block) {
+  FORESIGHT_CHECK(uses_per_block.size() == num_blocks_);
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    slots_[b].remaining_uses.store(uses_per_block[b],
+                                   std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const RandomPanelBlock> RandomPanelCache::Acquire(
+    size_t block) {
+  FORESIGHT_CHECK(block < num_blocks_);
+  Slot& slot = slots_[block];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.block == nullptr) {
+    auto panel = std::make_shared<RandomPanelBlock>();
+    panel->row_begin = block_begin(block);
+    panel->num_rows = block_end(block) - panel->row_begin;
+    panel->hyperplane_k = hyperplane_->k();
+    panel->projection_k = projection_->k();
+    panel->hyperplane.resize(panel->num_rows * panel->hyperplane_k);
+    panel->projection.resize(panel->num_rows * panel->projection_k);
+    for (size_t j = 0; j < panel->num_rows; ++j) {
+      size_t row = panel->row_begin + j;
+      hyperplane_->GenerateRowHyperplanes(
+          row, panel->hyperplane.data() + j * panel->hyperplane_k);
+      projection_->GenerateRowComponents(
+          row, panel->projection.data() + j * panel->projection_k);
+    }
+    slot.block = std::move(panel);
+    blocks_generated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot.block;
+}
+
+void RandomPanelCache::Release(size_t block) {
+  FORESIGHT_CHECK(block < num_blocks_);
+  Slot& slot = slots_[block];
+  int64_t planned = slot.remaining_uses.load(std::memory_order_relaxed);
+  if (planned < 0) return;  // No plan: keep resident for the cache lifetime.
+  int64_t remaining =
+      slot.remaining_uses.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  FORESIGHT_CHECK(remaining >= 0);
+  if (remaining == 0) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.block.reset();
+  }
+}
+
+}  // namespace foresight

@@ -1,0 +1,107 @@
+#ifndef FORESIGHT_SKETCH_PANEL_CACHE_H_
+#define FORESIGHT_SKETCH_PANEL_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sketch/random_projection.h"
+#include "sketch/simhash.h"
+
+namespace foresight {
+
+/// One materialized block of the shared random panels: the hyperplane panel
+/// (num_rows × hyperplane_k) and the projection panel (num_rows × projection_k)
+/// for absolute rows [row_begin, row_begin + num_rows). Both are row-major, so
+/// the blocked accumulation kernels stream them contiguously. Rows are pure
+/// functions of (sketcher seed, absolute row) — a block's contents are
+/// identical no matter which thread generates it or when.
+struct RandomPanelBlock {
+  size_t row_begin = 0;
+  size_t num_rows = 0;
+  size_t hyperplane_k = 0;
+  size_t projection_k = 0;
+  std::vector<double> hyperplane;  ///< num_rows × hyperplane_k, row-major.
+  std::vector<double> projection;  ///< num_rows × projection_k, row-major.
+
+  const double* hyperplane_row(size_t local_row) const {
+    return hyperplane.data() + local_row * hyperplane_k;
+  }
+  const double* projection_row(size_t local_row) const {
+    return projection.data() + local_row * projection_k;
+  }
+};
+
+/// Generates and shares RandomPanelBlocks across all numeric columns and all
+/// worker partitions of one preprocessing pass.
+///
+/// Why: both panels are pure functions of (seed, row), yet the pre-blocked
+/// ingestion regenerated them once per worker block — d numeric columns and
+/// w workers paid up to w (historically d) times the n·k Gaussian draws the
+/// math requires. The cache materializes each block exactly once (first
+/// Acquire generates under a per-block mutex; concurrent acquirers wait and
+/// share) and frees it once every planned use has been released, so peak
+/// memory tracks the set of blocks in flight, not the whole table.
+///
+/// Thread safety: Acquire/Release are safe from any thread. Lifetime: the
+/// returned shared_ptr keeps a block alive even after the cache drops it.
+class RandomPanelCache {
+ public:
+  /// Blocks cover [0, n_rows) in chunks of block_rows (the last block may be
+  /// partial). The sketchers must outlive the cache.
+  RandomPanelCache(const HyperplaneSketcher& hyperplane,
+                   const ProjectionSketcher& projection, size_t n_rows,
+                   size_t block_rows);
+
+  size_t n_rows() const { return n_rows_; }
+  size_t block_rows() const { return block_rows_; }
+  size_t num_blocks() const { return num_blocks_; }
+  size_t block_of_row(size_t row) const { return row / block_rows_; }
+  size_t block_begin(size_t block) const { return block * block_rows_; }
+  size_t block_end(size_t block) const {
+    return std::min(n_rows_, (block + 1) * block_rows_);
+  }
+
+  /// Declares how many Acquire/Release pairs each block will see, so storage
+  /// can be freed after the last one. Without a plan, blocks stay resident
+  /// until the cache is destroyed.
+  void PlanUses(std::vector<int64_t> uses_per_block);
+
+  /// Returns the materialized block, generating it on first use. Exactly one
+  /// thread generates a given block; concurrent acquirers block briefly and
+  /// share the result.
+  std::shared_ptr<const RandomPanelBlock> Acquire(size_t block);
+
+  /// Signals one planned use finished; the last release frees the cache's
+  /// reference to the block (outstanding shared_ptrs stay valid).
+  void Release(size_t block);
+
+  /// Total block generations so far. With a correct plan this never exceeds
+  /// num_blocks(); it is telemetry for tests and benches, not a correctness
+  /// input (regeneration is bit-identical by construction).
+  uint64_t blocks_generated() const {
+    return blocks_generated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::shared_ptr<const RandomPanelBlock> block;
+    std::atomic<int64_t> remaining_uses{-1};  ///< -1 = no plan (keep forever).
+  };
+
+  const HyperplaneSketcher* hyperplane_;
+  const ProjectionSketcher* projection_;
+  size_t n_rows_;
+  size_t block_rows_;
+  size_t num_blocks_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> blocks_generated_{0};
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SKETCH_PANEL_CACHE_H_

@@ -1,0 +1,70 @@
+#include "util/bench_env.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace foresight {
+
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string BuildTypeString() {
+#ifdef FORESIGHT_BUILD_TYPE
+  return FORESIGHT_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release(assumed)";
+#else
+  return "Debug(assumed)";
+#endif
+}
+
+}  // namespace
+
+std::string CpuModelName() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string_view key = Trim(std::string_view(line).substr(0, colon));
+    if (key == "model name" || key == "Model" || key == "Hardware") {
+      return std::string(Trim(std::string_view(line).substr(colon + 1)));
+    }
+  }
+  return "unknown";
+}
+
+JsonValue BenchEnvironmentJson() {
+  JsonValue env = JsonValue::Object();
+  env.Set("hardware_concurrency",
+          static_cast<size_t>(std::thread::hardware_concurrency()));
+  env.Set("cpu_model", CpuModelName());
+  env.Set("compiler", CompilerString());
+  env.Set("build_type", BuildTypeString());
+  return env;
+}
+
+bool WarnIfOversubscribed(size_t workers) {
+  size_t cores = static_cast<size_t>(std::thread::hardware_concurrency());
+  if (cores == 0 || workers <= cores) return false;
+  std::fprintf(stderr,
+               "WARNING: %zu workers on %zu hardware thread(s) — timings "
+               "beyond %zu workers measure oversubscription, not scaling\n",
+               workers, cores, cores);
+  return true;
+}
+
+}  // namespace foresight

@@ -1,0 +1,28 @@
+#ifndef FORESIGHT_UTIL_BENCH_ENV_H_
+#define FORESIGHT_UTIL_BENCH_ENV_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/json.h"
+
+namespace foresight {
+
+/// Machine/build facts every benchmark JSON must embed so numbers are
+/// interpretable after the fact: a "0.5x speedup at 8 workers" is a bug on an
+/// 8-core box and expected oversubscription on a 1-core one.
+///   {"hardware_concurrency": N, "cpu_model": "...", "compiler": "...",
+///    "build_type": "..."}
+JsonValue BenchEnvironmentJson();
+
+/// CPU model string from /proc/cpuinfo ("unknown" when unavailable).
+std::string CpuModelName();
+
+/// Prints a stderr warning when `workers` exceeds hardware_concurrency —
+/// timings at that point measure context-switching, not scaling. Returns true
+/// if oversubscribed.
+bool WarnIfOversubscribed(size_t workers);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_BENCH_ENV_H_

@@ -36,8 +36,16 @@ class Rng {
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi);
 
-  /// Standard normal deviate (Marsaglia polar method, internally cached pair).
+  /// Standard normal deviate (Marsaglia–Tsang ziggurat, 128 layers). The
+  /// common case costs one 32-bit draw, one table compare, and one multiply;
+  /// layer-edge and tail cases fall back to exact rejection sampling.
   double Normal();
+
+  /// Fills out[0, n) with standard normal deviates — the identical sequence
+  /// n calls to Normal() would produce, but generated in a batch loop that
+  /// lets the generator's state recurrence overlap the ziggurat table work.
+  /// This is the hot path for random panel generation.
+  void FillNormals(double* out, size_t n);
 
   /// Normal deviate with the given mean and standard deviation.
   double Normal(double mean, double stddev);
@@ -71,10 +79,12 @@ class Rng {
   }
 
  private:
+  // Wedge-rejection / tail-inversion path of the ziggurat, entered when the
+  // one-compare fast path fails for draw `hz` in layer `i`.
+  double NormalSlow(int32_t hz, size_t i);
+
   uint64_t state_;
   uint64_t inc_;
-  bool has_cached_normal_ = false;
-  double cached_normal_ = 0.0;
   // Lazily built Zipf CDF, reused while (n, s) stay fixed.
   uint64_t zipf_n_ = 0;
   double zipf_s_ = -1.0;

@@ -1,5 +1,6 @@
 // Tests for the per-column sketch bundles and the table preprocessor.
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -194,8 +195,13 @@ TEST(PreprocessorTest, PartitionedPreprocessingMatchesSinglePass) {
   for (size_t c : table.NumericColumnIndices()) {
     const auto& a = profile_single->numeric_sketch(c);
     const auto& b = profile_partitioned->numeric_sketch(c);
-    EXPECT_NEAR(a.moments.mean(), b.moments.mean(), 1e-9);
-    EXPECT_NEAR(a.moments.variance(), b.moments.variance(), 1e-6);
+    // Merging per-partition moments reassociates the sums, so match to
+    // relative precision: columns like gdp_per_capita have variances ~1e9
+    // where a fixed absolute slack is tighter than double rounding.
+    EXPECT_NEAR(a.moments.mean(), b.moments.mean(),
+                1e-12 * std::max(1.0, std::abs(b.moments.mean())));
+    EXPECT_NEAR(a.moments.variance(), b.moments.variance(),
+                1e-12 * std::max(1.0, b.moments.variance()));
     EXPECT_EQ(BitSignature::HammingDistance(a.signature, b.signature), 0u);
   }
 }
