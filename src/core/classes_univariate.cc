@@ -248,7 +248,9 @@ class MultimodalityClass final : public InsightClass {
     if (metric == "bimodality_coefficient") {
       const RunningMoments& m = sketch.moments;
       double kurt = m.kurtosis();
-      if (kurt <= 0.0) return 0.0;
+      // NaN kurtosis (constant column) compares false and returns 0.0, same
+      // as the exact-path BimodalityCoefficient: not bimodal.
+      if (!(kurt > 0.0)) return 0.0;
       return (m.skewness() * m.skewness() + 1.0) / kurt;
     }
     return MultimodalityScore(sketch.sample.values());

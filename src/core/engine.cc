@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <tuple>
 
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace foresight {
 
@@ -74,12 +76,16 @@ StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
                                       ? std::move(*options.registry)
                                       : InsightClassRegistry::CreateDefault();
   InsightEngine engine(table, std::move(registry));
+  if (options.collect_metrics) {
+    engine.metrics_ = std::make_shared<MetricsRegistry>();
+  }
   engine.set_num_workers(options.num_workers);
   if (options.build_profile) {
     FORESIGHT_ASSIGN_OR_RETURN(
         TableProfile profile,
         Preprocessor::Profile(table, options.preprocess, engine.pool_.get()));
     engine.profile_.emplace(std::move(profile));
+    if (engine.metrics_ != nullptr) engine.RecordProfileMetrics();
   }
   return engine;
 }
@@ -91,6 +97,7 @@ void InsightEngine::set_num_workers(size_t workers) {
   if (workers == num_workers_ && (workers == 1 || pool_ != nullptr)) return;
   num_workers_ = workers;
   pool_ = workers > 1 ? std::make_unique<ThreadPool>(workers) : nullptr;
+  if (pool_ != nullptr) pool_->AttachMetrics(metrics_);
   // Results are bit-identical across worker counts, but cached telemetry
   // (elapsed_ms, parallel path taken) is not; invalidate conservatively.
   ++engine_epoch_;
@@ -111,8 +118,10 @@ StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
                                       ? std::move(*registry)
                                       : InsightClassRegistry::CreateDefault();
   InsightEngine engine(table, std::move(resolved));
+  engine.metrics_ = std::make_shared<MetricsRegistry>();
   engine.set_num_workers(0);  // Auto-size, same default as Create().
   engine.profile_.emplace(std::move(profile));
+  engine.RecordProfileMetrics();
   return engine;
 }
 
@@ -217,6 +226,14 @@ InsightQueryResult InsightEngine::AssembleResult(
   result.mode_used = resolved.mode;
   result.candidates_evaluated = candidates.size();
   for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!std::isfinite(raw_values[i])) {
+      // The metric is undefined for this tuple (e.g. kurtosis of a constant
+      // column evaluates to the NaN sentinel). A NaN score would break the
+      // strict weak ordering below — UB in nth_element/sort — so undefined
+      // values are excluded from ranking and counted instead.
+      ++result.undefined_excluded;
+      continue;
+    }
     double score = insight_class.Score(raw_values[i]);
     if (query.min_score.has_value() && score < *query.min_score) continue;
     if (query.max_score.has_value() && score > *query.max_score) continue;
@@ -248,42 +265,114 @@ InsightQueryResult InsightEngine::AssembleResult(
   return result;
 }
 
+void InsightEngine::RecordQueryMetrics(const InsightClass& insight_class,
+                                       const InsightQueryResult& result) const {
+  MetricsRegistry& registry = *metrics_;
+  registry.counter("engine.queries_total").Increment();
+  registry.counter("engine.candidates_evaluated_total")
+      .Increment(result.candidates_evaluated);
+  registry.counter("engine.undefined_excluded_total")
+      .Increment(result.undefined_excluded);
+  registry.counter("engine.evaluations." + insight_class.name())
+      .Increment(result.candidates_evaluated);
+  registry.histogram("engine.execute_ms").Record(result.elapsed_ms);
+  AccumulateTrace(result.trace, registry);
+}
+
+void InsightEngine::RecordProfileMetrics() const {
+  MetricsRegistry& registry = *metrics_;
+  registry.histogram("engine.preprocess_ms")
+      .Record(profile_->preprocess_seconds() * 1e3);
+  registry.gauge("engine.profile_bytes")
+      .Set(static_cast<double>(profile_->EstimateMemoryBytes()));
+  const RandomPanelCache::Stats& panel = profile_->panel_stats();
+  registry.counter("panel_cache.acquires_total").Increment(panel.acquires);
+  registry.counter("panel_cache.hits_total").Increment(panel.hits);
+  registry.counter("panel_cache.generations_total").Increment(panel.generations);
+  registry.counter("panel_cache.regenerations_total")
+      .Increment(panel.regenerations);
+}
+
+std::string InsightEngine::DumpMetrics(MetricsFormat format) const {
+  if (metrics_ == nullptr) {
+    return format == MetricsFormat::kJson ? "{}" : "";
+  }
+  return format == MetricsFormat::kJson ? metrics_->ToJson().Dump(2)
+                                        : metrics_->ToPrometheusText();
+}
+
 StatusOr<InsightQueryResult> InsightEngine::Execute(
     const InsightQuery& query) const {
-  WallTimer timer;
-  FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query));
-  std::vector<AttributeTuple> candidates =
-      resolved.insight_class->EnumerateCandidates(*table_);
-  // Structural filters first (cheap checks before any metric evaluation).
-  if (!resolved.fixed_indices.empty() || !query.required_tags.empty()) {
-    std::vector<AttributeTuple> filtered;
-    filtered.reserve(candidates.size());
-    for (AttributeTuple& tuple : candidates) {
-      if (TupleMatches(*table_, tuple, resolved.fixed_indices,
-                       query.required_tags)) {
-        filtered.push_back(std::move(tuple));
+  // determinism-ok: per-query latency telemetry, gated on collect_metrics
+  WallTimer timer{kDeferredStart};
+  QueryTrace* trace = nullptr;
+  InsightQueryResult result;
+  if (metrics_ != nullptr) {
+    timer.Restart();
+    trace = &result.trace;
+  }
+  ResolvedQuery resolved;
+  {
+    StageSpan span(trace, QueryStage::kResolve);
+    FORESIGHT_ASSIGN_OR_RETURN(resolved, ResolveQuery(query));
+  }
+  std::vector<AttributeTuple> candidates;
+  {
+    StageSpan span(trace, QueryStage::kEnumerate);
+    candidates = resolved.insight_class->EnumerateCandidates(*table_);
+    // Structural filters first (cheap checks before any metric evaluation).
+    if (!resolved.fixed_indices.empty() || !query.required_tags.empty()) {
+      std::vector<AttributeTuple> filtered;
+      filtered.reserve(candidates.size());
+      for (AttributeTuple& tuple : candidates) {
+        if (TupleMatches(*table_, tuple, resolved.fixed_indices,
+                         query.required_tags)) {
+          filtered.push_back(std::move(tuple));
+        }
       }
+      candidates = std::move(filtered);
     }
-    candidates = std::move(filtered);
   }
   std::vector<double> raw_values;
-  FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
-      *resolved.insight_class, resolved.metric, resolved.mode, candidates,
-      &raw_values));
-  InsightQueryResult result =
-      AssembleResult(query, resolved, candidates, raw_values);
-  result.elapsed_ms = timer.ElapsedMillis();
+  {
+    StageSpan span(trace, QueryStage::kEvaluate);
+    FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
+        *resolved.insight_class, resolved.metric, resolved.mode, candidates,
+        &raw_values));
+  }
+  {
+    StageSpan span(trace, QueryStage::kAssemble);
+    QueryTrace saved = result.trace;  // AssembleResult builds a fresh result.
+    result = AssembleResult(query, resolved, candidates, raw_values);
+    result.trace = saved;
+  }
+  if (metrics_ != nullptr) {
+    result.elapsed_ms = timer.ElapsedMillis();
+    result.trace.total_ms = result.elapsed_ms;
+    RecordQueryMetrics(*resolved.insight_class, result);
+  }
   return result;
 }
 
 StatusOr<std::vector<InsightQueryResult>> InsightEngine::ExecuteBatch(
     std::span<const InsightQuery> queries) const {
-  WallTimer timer;
+  // determinism-ok: batch latency telemetry, gated on collect_metrics.
+  WallTimer timer{kDeferredStart};
+  const bool collect = metrics_ != nullptr;
+  if (collect) timer.Restart();
+  // Per-query traces. Shared group stages (enumerate, evaluate) are measured
+  // once per group and copied to every member — each query's trace reports
+  // the cost of the work that produced its result, not a 1/N attribution.
+  std::vector<QueryTrace> traces(collect ? queries.size() : 0);
+  auto trace_of = [&](size_t q) -> QueryTrace* {
+    return collect ? &traces[q] : nullptr;
+  };
   // Validate and resolve everything up front: the first invalid query (in
   // batch order) fails the batch before any evaluation work starts.
   std::vector<ResolvedQuery> resolved;
   resolved.reserve(queries.size());
   for (const InsightQuery& query : queries) {
+    StageSpan span(trace_of(resolved.size()), QueryStage::kResolve);
     FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery r, ResolveQuery(query));
     resolved.push_back(std::move(r));
   }
@@ -304,35 +393,45 @@ StatusOr<std::vector<InsightQueryResult>> InsightEngine::ExecuteBatch(
   for (const std::vector<size_t>& group : groups) {
     const ResolvedQuery& lead = resolved[group.front()];
     const InsightClass& insight_class = *lead.insight_class;
-    // One enumeration for the whole group.
-    std::vector<AttributeTuple> candidates =
-        insight_class.EnumerateCandidates(*table_);
-    // Per-query structural masks, and the union of candidates anyone needs.
+    // Shared stages are timed once into a group-local trace and copied to
+    // every member below.
+    QueryTrace group_trace;
+    QueryTrace* group_tp = collect ? &group_trace : nullptr;
+    std::vector<AttributeTuple> candidates;
     std::vector<std::vector<char>> keep(group.size());
-    std::vector<char> needed(candidates.size(), 0);
-    for (size_t g = 0; g < group.size(); ++g) {
-      size_t q = group[g];
-      keep[g].assign(candidates.size(), 0);
+    std::vector<AttributeTuple> union_tuples;
+    std::vector<size_t> union_positions;
+    {
+      StageSpan span(group_tp, QueryStage::kEnumerate);
+      // One enumeration for the whole group.
+      candidates = insight_class.EnumerateCandidates(*table_);
+      // Per-query structural masks, and the union of candidates anyone needs.
+      std::vector<char> needed(candidates.size(), 0);
+      for (size_t g = 0; g < group.size(); ++g) {
+        size_t q = group[g];
+        keep[g].assign(candidates.size(), 0);
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (TupleMatches(*table_, candidates[i], resolved[q].fixed_indices,
+                           queries[q].required_tags)) {
+            keep[g][i] = 1;
+            needed[i] = 1;
+          }
+        }
+      }
       for (size_t i = 0; i < candidates.size(); ++i) {
-        if (TupleMatches(*table_, candidates[i], resolved[q].fixed_indices,
-                         queries[q].required_tags)) {
-          keep[g][i] = 1;
-          needed[i] = 1;
+        if (needed[i]) {
+          union_tuples.push_back(candidates[i]);
+          union_positions.push_back(i);
         }
       }
     }
     // Evaluate each shared candidate once, in enumeration order on the pool.
-    std::vector<AttributeTuple> union_tuples;
-    std::vector<size_t> union_positions;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (needed[i]) {
-        union_tuples.push_back(candidates[i]);
-        union_positions.push_back(i);
-      }
-    }
     std::vector<double> union_values;
-    FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
-        insight_class, lead.metric, lead.mode, union_tuples, &union_values));
+    {
+      StageSpan span(group_tp, QueryStage::kEvaluate);
+      FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
+          insight_class, lead.metric, lead.mode, union_tuples, &union_values));
+    }
     std::vector<double> value_at(candidates.size(), 0.0);
     for (size_t u = 0; u < union_positions.size(); ++u) {
       value_at[union_positions[u]] = union_values[u];
@@ -350,9 +449,26 @@ StatusOr<std::vector<InsightQueryResult>> InsightEngine::ExecuteBatch(
           mine_values.push_back(value_at[i]);
         }
       }
-      results[q] = AssembleResult(queries[q], resolved[q], mine, mine_values);
-      results[q].elapsed_ms = timer.ElapsedMillis();
+      {
+        StageSpan span(trace_of(q), QueryStage::kAssemble);
+        results[q] =
+            AssembleResult(queries[q], resolved[q], mine, mine_values);
+      }
+      if (collect) {
+        traces[q].stage_ms[static_cast<size_t>(QueryStage::kEnumerate)] +=
+            group_trace.stage(QueryStage::kEnumerate);
+        traces[q].stage_ms[static_cast<size_t>(QueryStage::kEvaluate)] +=
+            group_trace.stage(QueryStage::kEvaluate);
+        results[q].elapsed_ms = timer.ElapsedMillis();
+        traces[q].total_ms = results[q].elapsed_ms;
+        results[q].trace = traces[q];
+        RecordQueryMetrics(insight_class, results[q]);
+      }
     }
+  }
+  if (collect) {
+    metrics_->counter("engine.batches_total").Increment();
+    metrics_->histogram("engine.batch_ms").Record(timer.ElapsedMillis());
   }
   return results;
 }

@@ -11,6 +11,7 @@
 #include "core/profile.h"
 #include "core/query.h"
 #include "data/table.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -21,6 +22,12 @@ struct EngineOptions {
   /// Build a sketch profile at construction (enables the approximate path).
   bool build_profile = true;
   PreprocessOptions preprocess;
+  /// Collect observability data: a MetricsRegistry (counters, gauges, latency
+  /// histograms — see DumpMetrics) plus per-query stage traces on every
+  /// InsightQueryResult. When false the engine reads no wall clocks at all:
+  /// elapsed_ms and traces stay zero. Ranked output is bit-identical either
+  /// way (gated by test); only telemetry differs.
+  bool collect_metrics = true;
   /// Registry to use; when empty (default) the 12 built-in classes are used.
   /// Additional classes can be registered afterwards via mutable_registry().
   std::optional<InsightClassRegistry> registry;
@@ -62,6 +69,12 @@ struct ResolvedQuery {
   std::string metric;
   ExecutionMode mode = ExecutionMode::kExact;
   std::vector<size_t> fixed_indices;
+};
+
+/// Export format for InsightEngine::DumpMetrics.
+enum class MetricsFormat {
+  kJson,        ///< MetricsRegistry::ToJson().Dump() — structured snapshot.
+  kPrometheus,  ///< Prometheus text exposition format.
 };
 
 /// The insight recommendation engine: enumerates candidate tuples per class,
@@ -159,6 +172,19 @@ class InsightEngine {
   /// preprocessing, Execute, overviews, and the exploration session.
   ThreadPool* thread_pool() const { return pool_.get(); }
 
+  /// The engine's metrics registry — nullptr when the engine was built with
+  /// collect_metrics = false. Components layered on top (QuerySession) attach
+  /// their own metrics here so one DumpMetrics covers the whole stack. The
+  /// shared_ptr keeps the registry alive for late exporters even if the
+  /// engine is destroyed first.
+  const std::shared_ptr<MetricsRegistry>& metrics() const { return metrics_; }
+  bool collect_metrics() const { return metrics_ != nullptr; }
+
+  /// Serializes the current metrics snapshot — engine, query-cache (when a
+  /// QuerySession is attached), thread-pool, and panel-cache metrics — in the
+  /// requested format. "{}" / "" when metrics are disabled.
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kJson) const;
+
  private:
   InsightEngine(const DataTable& table, InsightClassRegistry registry)
       : table_(&table), registry_(std::move(registry)) {}
@@ -191,11 +217,22 @@ class InsightEngine {
                                     const std::vector<AttributeTuple>& candidates,
                                     const std::vector<double>& raw_values) const;
 
+  /// Folds one finished query's telemetry (count, candidates, per-class
+  /// evaluations, latency, stage histograms) into the registry. Caller has
+  /// already checked metrics are enabled.
+  void RecordQueryMetrics(const InsightClass& insight_class,
+                          const InsightQueryResult& result) const;
+
+  /// Publishes the one-shot preprocessing telemetry (preprocess latency,
+  /// profile footprint, panel-cache counters) after a profile is installed.
+  void RecordProfileMetrics() const;
+
   const DataTable* table_;
   InsightClassRegistry registry_;
   std::optional<TableProfile> profile_;
   size_t num_workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<MetricsRegistry> metrics_;
   /// Engine-local slice of the serving epoch (registry/worker mutations); the
   /// schema's mutation counter contributes the table-side slice.
   uint64_t engine_epoch_ = 0;

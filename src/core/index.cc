@@ -60,6 +60,7 @@ bool InsightIndex::Covers(const std::string& class_name,
 
 StatusOr<InsightQueryResult> InsightIndex::Execute(
     const InsightQuery& query) const {
+  // determinism-ok: elapsed_ms telemetry only; never feeds ranking
   WallTimer timer;
   const InsightClass* insight_class =
       engine_->registry().Find(query.class_name);

@@ -231,6 +231,7 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
   if (options.num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
+  // determinism-ok: preprocess_seconds is reporting-only telemetry
   WallTimer timer;
   TableProfile profile;
   profile.table_ = &table;
@@ -382,6 +383,9 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
           builder.ApplySharedOnes(shared_ones[p], target[offset + i]);
         }
       }
+      // The cache dies with this scope; snapshot its telemetry so the
+      // engine can surface panel hit/regeneration counts later.
+      profile.panel_stats_ = cache.stats();
     } else {
       auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
         IngestScratch scratch;

@@ -8,6 +8,7 @@
 
 #include "data/table.h"
 #include "sketch/bundle.h"
+#include "sketch/panel_cache.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -66,6 +67,11 @@ class TableProfile {
   /// Wall-clock seconds spent preprocessing (for E2/E8 reporting).
   double preprocess_seconds() const { return preprocess_seconds_; }
 
+  /// Telemetry snapshot of the panel cache used during ingestion (the cache
+  /// itself is transient to the preprocessing pass). All-zero under
+  /// kRowAtATime or for tables with no numeric columns.
+  const RandomPanelCache::Stats& panel_stats() const { return panel_stats_; }
+
   /// Approximate total sketch memory in bytes (for E8 reporting).
   size_t EstimateMemoryBytes() const;
 
@@ -89,6 +95,7 @@ class TableProfile {
   std::unordered_map<size_t, std::vector<double>> sampled_ranks_;
   std::unordered_map<size_t, std::vector<int32_t>> sampled_codes_;
   double preprocess_seconds_ = 0.0;
+  RandomPanelCache::Stats panel_stats_;
 };
 
 /// How numeric columns are folded into their sketches.

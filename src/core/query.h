@@ -7,6 +7,7 @@
 
 #include "core/insight.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace foresight {
 
@@ -68,6 +69,9 @@ struct InsightQuery {
 struct InsightQueryResult {
   std::vector<Insight> insights;  ///< Sorted by descending score.
   size_t candidates_evaluated = 0;
+  /// Candidates whose metric evaluated to a non-finite raw value (undefined —
+  /// e.g. kurtosis of a constant column) and were excluded from ranking.
+  size_t undefined_excluded = 0;
   /// End-to-end latency of the call that produced this result. On a
   /// QuerySession cache hit this is the measured hit-path latency (resolve +
   /// lookup + copy), never a stale or zero value.
@@ -80,6 +84,11 @@ struct InsightQueryResult {
   /// Cache shard the result's key maps to (set by QuerySession on both the
   /// hit and the store-after-miss path; deterministic across platforms).
   size_t cache_shard = 0;
+  /// Per-stage timing breakdown (observability only; all-zero when the engine
+  /// runs with collect_metrics = false). On a QuerySession cache hit the
+  /// engine stages describe the original computing call and kCacheLookup
+  /// describes this serving call — see QueryTrace.
+  QueryTrace trace;
 };
 
 }  // namespace foresight

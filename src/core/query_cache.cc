@@ -75,15 +75,35 @@ std::optional<InsightQueryResult> QueryCache::Lookup(const std::string& key,
 
 void QueryCache::Insert(const std::string& key, uint64_t epoch,
                         const InsightQueryResult& result) {
-  size_t bytes = key.capacity() + sizeof(Entry) + ApproxResultBytes(result);
+  // Build the stored copy first and size THAT: the copied key/result
+  // generally have different capacities than the caller's originals (copies
+  // shrink to fit), and shard.bytes must account for what the shard actually
+  // holds or it drifts from reality on every insert.
+  Entry entry{key, epoch, 0, result};
+  entry.bytes =
+      entry.key.capacity() + sizeof(Entry) + ApproxResultBytes(entry.result);
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto found = shard.index.find(key);
+  if (entry.bytes > per_shard_bytes_) {  // Would evict the whole shard.
+    // An existing entry for the key still has to go — it is stale relative
+    // to the newer result we cannot store — but the drop is counted (stale
+    // epoch: invalidation; otherwise: capacity eviction) instead of
+    // disappearing from the books.
+    if (found != shard.index.end()) {
+      if (found->second->epoch != epoch) {
+        ++shard.invalidations;
+      } else {
+        ++shard.evictions;
+      }
+      EraseEntry(shard, found->second);
+    }
+    return;
+  }
   if (found != shard.index.end()) EraseEntry(shard, found->second);
-  if (bytes > per_shard_bytes_) return;  // Would evict the whole shard.
-  shard.lru.push_front(Entry{key, epoch, bytes, result});
+  shard.bytes += entry.bytes;
+  shard.lru.push_front(std::move(entry));
   shard.index.emplace(key, shard.lru.begin());
-  shard.bytes += bytes;
   while (shard.bytes > per_shard_bytes_ && shard.lru.size() > 1) {
     EraseEntry(shard, std::prev(shard.lru.end()));
     ++shard.evictions;
@@ -100,6 +120,18 @@ QueryCacheStats QueryCache::stats() const {
     total.invalidations += shard->invalidations;
     total.entries += shard->lru.size();
     total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+size_t QueryCache::RecomputeBytes() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      total += entry.key.capacity() + sizeof(Entry) +
+               ApproxResultBytes(entry.result);
+    }
   }
   return total;
 }

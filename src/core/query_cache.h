@@ -65,6 +65,12 @@ class QueryCache {
 
   QueryCacheStats stats() const;
 
+  /// Recomputes the byte footprint of every live entry from its actual stored
+  /// contents (not the cached per-entry size) and returns the total. A test
+  /// hook: stats().bytes must equal this at any quiescent point, or the
+  /// maintained accounting has drifted from reality.
+  size_t RecomputeBytes() const;
+
   /// Drops every entry (counters are preserved).
   void Clear();
 

@@ -4,57 +4,139 @@
 #include <utility>
 
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace foresight {
 
+namespace {
+
+constexpr size_t kCacheLookupIdx =
+    static_cast<size_t>(QueryStage::kCacheLookup);
+
+}  // namespace
+
 QuerySession::QuerySession(const InsightEngine& engine,
                            QuerySessionOptions options)
-    : engine_(&engine), cache_(options.cache) {}
+    : engine_(&engine), cache_(options.cache) {
+  metrics_ = engine.metrics();
+  if (metrics_ == nullptr) return;
+  // The cache already maintains exact per-shard counters under its shard
+  // mutexes; callback metrics surface them at export time instead of double
+  // bookkeeping on the lookup hot path.
+  auto add = [&](const char* name, CallbackKind kind,
+                 std::function<double()> fn) {
+    callback_tokens_.emplace_back(
+        name, metrics_->RegisterCallback(name, kind, std::move(fn)));
+  };
+  add("query_cache.hits_total", CallbackKind::kCounter,
+      [this] { return static_cast<double>(cache_.stats().hits); });
+  add("query_cache.misses_total", CallbackKind::kCounter,
+      [this] { return static_cast<double>(cache_.stats().misses); });
+  add("query_cache.evictions_total", CallbackKind::kCounter,
+      [this] { return static_cast<double>(cache_.stats().evictions); });
+  add("query_cache.invalidations_total", CallbackKind::kCounter,
+      [this] { return static_cast<double>(cache_.stats().invalidations); });
+  add("query_cache.entries", CallbackKind::kGauge,
+      [this] { return static_cast<double>(cache_.stats().entries); });
+  add("query_cache.bytes", CallbackKind::kGauge,
+      [this] { return static_cast<double>(cache_.stats().bytes); });
+}
+
+QuerySession::~QuerySession() {
+  if (metrics_ == nullptr) return;
+  for (const auto& [name, token] : callback_tokens_) {
+    metrics_->RemoveCallback(name, token);
+  }
+}
 
 StatusOr<InsightQueryResult> QuerySession::Execute(
     const InsightQuery& query) const {
-  WallTimer timer;
+  const bool collect = engine_->collect_metrics();
+  // determinism-ok: serving latency telemetry, gated on collect_metrics.
+  WallTimer timer{kDeferredStart};
+  if (collect) timer.Restart();
   FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery resolved,
                              engine_->ResolveQuery(query));
   const std::string key = query.CacheKey(resolved.metric, resolved.mode);
   const uint64_t epoch = engine_->serving_epoch();
   const size_t shard = cache_.ShardOf(key);
-  if (std::optional<InsightQueryResult> cached = cache_.Lookup(key, epoch)) {
+  QueryTrace lookup_trace;
+  std::optional<InsightQueryResult> cached;
+  {
+    StageSpan span(collect ? &lookup_trace : nullptr,
+                   QueryStage::kCacheLookup);
+    cached = cache_.Lookup(key, epoch);
+  }
+  const double lookup_ms = lookup_trace.stage_ms[kCacheLookupIdx];
+  if (cached.has_value()) {
     cached->cache_hit = true;
     cached->cache_shard = shard;
-    // End-to-end hit latency (resolve + lookup + copy), not the stale
-    // compute time — and mode_used stays the resolved mode it was stored
-    // with, so cached and computed results are indistinguishable modulo
-    // the cache telemetry.
-    cached->elapsed_ms = timer.ElapsedMillis();
+    if (collect) {
+      // End-to-end hit latency (resolve + lookup + copy), not the stale
+      // compute time — and mode_used stays the resolved mode it was stored
+      // with, so cached and computed results are indistinguishable modulo
+      // the cache telemetry. The engine-side stage timings keep describing
+      // the call that computed the payload; only the lookup stage and the
+      // totals describe this serving call.
+      cached->trace.stage_ms[kCacheLookupIdx] = lookup_ms;
+      cached->elapsed_ms = timer.ElapsedMillis();
+      cached->trace.total_ms = cached->elapsed_ms;
+      metrics_->histogram("engine.stage.cache_lookup_ms").Record(lookup_ms);
+      metrics_->histogram("session.hit_ms").Record(cached->elapsed_ms);
+    }
     return std::move(*cached);
   }
   FORESIGHT_ASSIGN_OR_RETURN(InsightQueryResult result,
                              engine_->Execute(query));
   result.cache_hit = false;
   result.cache_shard = shard;
+  // Inserted before the lookup stage is folded in, so the cached entry keeps
+  // the pure compute-path trace.
   cache_.Insert(key, epoch, result);
-  result.elapsed_ms = timer.ElapsedMillis();
+  if (collect) {
+    result.trace.stage_ms[kCacheLookupIdx] += lookup_ms;
+    result.elapsed_ms = timer.ElapsedMillis();
+    result.trace.total_ms = result.elapsed_ms;
+    metrics_->histogram("engine.stage.cache_lookup_ms").Record(lookup_ms);
+  }
   return result;
 }
 
 StatusOr<std::vector<InsightQueryResult>> QuerySession::ExecuteBatch(
     std::span<const InsightQuery> queries) const {
-  WallTimer timer;
+  const bool collect = engine_->collect_metrics();
+  // determinism-ok: serving latency telemetry, gated on collect_metrics.
+  WallTimer timer{kDeferredStart};
+  if (collect) timer.Restart();
   const uint64_t epoch = engine_->serving_epoch();
   std::vector<InsightQueryResult> results(queries.size());
   std::vector<std::string> keys(queries.size());
+  std::vector<double> lookup_ms(queries.size(), 0.0);
   std::vector<size_t> miss_indices;
   std::vector<InsightQuery> miss_queries;
   for (size_t q = 0; q < queries.size(); ++q) {
     FORESIGHT_ASSIGN_OR_RETURN(ResolvedQuery resolved,
                                engine_->ResolveQuery(queries[q]));
     keys[q] = queries[q].CacheKey(resolved.metric, resolved.mode);
-    if (std::optional<InsightQueryResult> cached =
-            cache_.Lookup(keys[q], epoch)) {
+    QueryTrace lookup_trace;
+    std::optional<InsightQueryResult> cached;
+    {
+      StageSpan span(collect ? &lookup_trace : nullptr,
+                     QueryStage::kCacheLookup);
+      cached = cache_.Lookup(keys[q], epoch);
+    }
+    lookup_ms[q] = lookup_trace.stage_ms[kCacheLookupIdx];
+    if (collect) {
+      metrics_->histogram("engine.stage.cache_lookup_ms").Record(lookup_ms[q]);
+    }
+    if (cached.has_value()) {
       cached->cache_hit = true;
       cached->cache_shard = cache_.ShardOf(keys[q]);
-      cached->elapsed_ms = timer.ElapsedMillis();
+      if (collect) {
+        cached->trace.stage_ms[kCacheLookupIdx] = lookup_ms[q];
+        cached->elapsed_ms = timer.ElapsedMillis();
+        cached->trace.total_ms = cached->elapsed_ms;
+      }
       results[q] = std::move(*cached);
     } else {
       miss_indices.push_back(q);
@@ -69,7 +151,11 @@ StatusOr<std::vector<InsightQueryResult>> QuerySession::ExecuteBatch(
       computed[m].cache_hit = false;
       computed[m].cache_shard = cache_.ShardOf(keys[q]);
       cache_.Insert(keys[q], epoch, computed[m]);
-      computed[m].elapsed_ms = timer.ElapsedMillis();
+      if (collect) {
+        computed[m].trace.stage_ms[kCacheLookupIdx] += lookup_ms[q];
+        computed[m].elapsed_ms = timer.ElapsedMillis();
+        computed[m].trace.total_ms = computed[m].elapsed_ms;
+      }
       results[q] = std::move(computed[m]);
     }
   }

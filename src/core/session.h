@@ -2,6 +2,8 @@
 #define FORESIGHT_CORE_SESSION_H_
 
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -30,8 +32,17 @@ struct QuerySessionOptions {
 /// result can never be served. `engine` must outlive the session.
 class QuerySession {
  public:
+  /// When the engine collects metrics, the session registers callback metrics
+  /// on the engine's registry (query_cache.* counters and occupancy gauges)
+  /// that pull from this session's cache at export time; they are
+  /// deregistered in the destructor. The session is therefore pinned in
+  /// memory (no copy/move).
   explicit QuerySession(const InsightEngine& engine,
                         QuerySessionOptions options = {});
+  ~QuerySession();
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
 
   const InsightEngine& engine() const { return *engine_; }
 
@@ -57,6 +68,10 @@ class QuerySession {
   /// Logically the session is a read-through view of the engine; the cache
   /// mutates under the hood (it is internally synchronized).
   mutable QueryCache cache_;
+  /// Shares ownership of the engine's registry so the destructor can always
+  /// deregister the callbacks below, even if the engine died first.
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::vector<std::pair<std::string, uint64_t>> callback_tokens_;
 };
 
 }  // namespace foresight

@@ -28,9 +28,14 @@ void RandomPanelCache::PlanUses(std::vector<int64_t> uses_per_block) {
 std::shared_ptr<const RandomPanelBlock> RandomPanelCache::Acquire(
     size_t block) {
   FORESIGHT_CHECK(block < num_blocks_);
+  acquires_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[block];
   std::lock_guard<std::mutex> lock(slot.mutex);
   if (slot.block == nullptr) {
+    if (slot.generated_before) {
+      regenerations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.generated_before = true;
     auto panel = std::make_shared<RandomPanelBlock>();
     panel->row_begin = block_begin(block);
     panel->num_rows = block_end(block) - panel->row_begin;

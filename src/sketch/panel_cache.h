@@ -86,11 +86,30 @@ class RandomPanelCache {
     return blocks_generated_.load(std::memory_order_relaxed);
   }
 
+  /// Point-in-time telemetry snapshot. Counters are observability only;
+  /// regeneration is bit-identical by construction, so none of these values
+  /// can affect results.
+  struct Stats {
+    uint64_t acquires = 0;       ///< Total Acquire() calls.
+    uint64_t hits = 0;           ///< Acquires served by a resident block.
+    uint64_t generations = 0;    ///< Blocks materialized (== blocks_generated).
+    uint64_t regenerations = 0;  ///< Generations of a block freed earlier.
+  };
+  Stats stats() const {
+    Stats s;
+    s.acquires = acquires_.load(std::memory_order_relaxed);
+    s.generations = blocks_generated_.load(std::memory_order_relaxed);
+    s.hits = s.acquires - s.generations;
+    s.regenerations = regenerations_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct Slot {
     std::mutex mutex;
     std::shared_ptr<const RandomPanelBlock> block;
     std::atomic<int64_t> remaining_uses{-1};  ///< -1 = no plan (keep forever).
+    bool generated_before = false;  ///< Guarded by mutex; regeneration flag.
   };
 
   const HyperplaneSketcher* hyperplane_;
@@ -100,6 +119,8 @@ class RandomPanelCache {
   size_t num_blocks_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> blocks_generated_{0};
+  std::atomic<uint64_t> acquires_{0};
+  std::atomic<uint64_t> regenerations_{0};
 };
 
 }  // namespace foresight

@@ -66,19 +66,29 @@ double RunningMoments::variance() const {
 double RunningMoments::stddev() const { return std::sqrt(variance()); }
 
 double RunningMoments::skewness() const {
-  if (n_ < 1) return 0.0;
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  if (n_ < 1) return nan;
   double var = variance();
-  if (var <= 0.0) return 0.0;
+  if (var <= 0.0) return nan;  // Constant column: gamma_1 is undefined.
   double n = static_cast<double>(n_);
-  return (m3_ / n) / std::pow(var, 1.5);
+  double value = (m3_ / n) / std::pow(var, 1.5);
+  // A denormal variance passes the var > 0 guard yet underflows pow(var, 1.5)
+  // (and m3/n) to 0, producing 0/0 = NaN or +-Inf here. Either way the
+  // standardized moment is numerically undefined — normalize to the NaN
+  // sentinel so callers have one case to exclude.
+  return std::isfinite(value) ? value : nan;
 }
 
 double RunningMoments::kurtosis() const {
-  if (n_ < 1) return 0.0;
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  if (n_ < 1) return nan;
   double var = variance();
-  if (var <= 0.0) return 0.0;
+  if (var <= 0.0) return nan;  // Constant column: kurtosis is undefined.
   double n = static_cast<double>(n_);
-  return (m4_ / n) / (var * var);
+  double value = (m4_ / n) / (var * var);
+  // Same denormal-variance underflow as skewness: var * var -> 0 and
+  // m4 / n -> 0 give 0/0 = NaN (e.g. the two-value column {0, 1e-160}).
+  return std::isfinite(value) ? value : nan;
 }
 
 double RunningMoments::coefficient_of_variation() const {

@@ -36,14 +36,18 @@ class RunningMoments {
   double variance() const;
   double stddev() const;
 
-  /// Standardized skewness gamma_1; 0 when sigma == 0.
+  /// Standardized skewness gamma_1. NaN when undefined — empty input, zero
+  /// variance (constant column), or a variance so small the standardization
+  /// underflows. Callers rank on these values and must exclude non-finite
+  /// results (a NaN score breaks the strict weak ordering the deterministic
+  /// top-k relies on).
   double skewness() const;
 
-  /// Non-excess kurtosis (Normal -> 3); 0 when sigma == 0.
+  /// Non-excess kurtosis (Normal -> 3). NaN when undefined; see skewness().
   double kurtosis() const;
 
-  /// Excess kurtosis (Normal -> 0).
-  double excess_kurtosis() const { return n_ > 0 ? kurtosis() - 3.0 : 0.0; }
+  /// Excess kurtosis (Normal -> 0). NaN when kurtosis() is undefined.
+  double excess_kurtosis() const { return kurtosis() - 3.0; }
 
   /// |sigma / mu|; infinity when mean == 0 and sigma > 0, 0 for empty input.
   double coefficient_of_variation() const;

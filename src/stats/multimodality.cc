@@ -119,7 +119,9 @@ double BimodalityCoefficient(const std::vector<double>& values) {
   if (values.size() < 4) return 0.0;
   RunningMoments m = MomentsOf(values);
   double kurt = m.kurtosis();
-  if (kurt <= 0.0) return 0.0;
+  // NaN kurtosis (constant column) compares false here and falls through to
+  // the 0.0 return: a constant column is simply not bimodal.
+  if (!(kurt > 0.0)) return 0.0;
   double skew = m.skewness();
   return (skew * skew + 1.0) / kurt;
 }

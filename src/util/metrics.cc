@@ -1,0 +1,206 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace foresight {
+
+namespace {
+
+/// Shortest round-trip-safe rendering for export output.
+std::string MetricDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string MetricUint(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+/// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+/// (the registry's '.' separators in particular) maps to '_'.
+std::string PrometheusName(const std::string& prefix, const std::string& name) {
+  std::string out = prefix;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  cells_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LatencyHistogram::Record(double value) {
+  size_t cell = bounds_.size();  // +Inf overflow bucket.
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      cell = i;
+      break;
+    }
+  }
+  cells_[cell].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> LatencyHistogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = cells_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  std::vector<double> bounds;
+  double bound = 0.001;
+  for (int i = 0; i < 12; ++i) {
+    bounds.push_back(bound);
+    bound *= 4.0;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bucket_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bucket_bounds.empty()) bucket_bounds = DefaultLatencyBucketsMs();
+    slot = std::make_unique<LatencyHistogram>(std::move(bucket_bounds));
+  }
+  return *slot;
+}
+
+uint64_t MetricsRegistry::RegisterCallback(const std::string& name,
+                                           CallbackKind kind,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t token = next_token_++;
+  callbacks_[name] = CallbackEntry{kind, std::move(fn), token};
+  return token;
+}
+
+void MetricsRegistry::RemoveCallback(const std::string& name, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = callbacks_.find(name);
+  if (it != callbacks_.end() && it->second.token == token) {
+    callbacks_.erase(it);
+  }
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue counters = JsonValue::Object();
+  JsonValue gauges = JsonValue::Object();
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, JsonValue(counter->value()));
+  }
+  for (const auto& [name, entry] : callbacks_) {
+    JsonValue value(entry.fn());
+    if (entry.kind == CallbackKind::kCounter) {
+      counters.Set(name, std::move(value));
+    } else {
+      gauges.Set(name, std::move(value));
+    }
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, JsonValue(gauge->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    JsonValue h = JsonValue::Object();
+    h.Set("count", JsonValue(histogram->count()));
+    h.Set("sum", JsonValue(histogram->sum()));
+    JsonValue buckets = JsonValue::Array();
+    const std::vector<double>& bounds = histogram->bucket_bounds();
+    std::vector<uint64_t> counts = histogram->bucket_counts();
+    for (size_t i = 0; i <= bounds.size(); ++i) {
+      JsonValue bucket = JsonValue::Object();
+      bucket.Set("le",
+                 i < bounds.size() ? JsonValue(bounds[i]) : JsonValue("inf"));
+      bucket.Set("count", JsonValue(counts[i]));
+      buckets.Append(std::move(bucket));
+    }
+    h.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(h));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string MetricsRegistry::ToPrometheusText(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  auto emit_scalar = [&](const std::string& name, const char* type,
+                         const std::string& value) {
+    std::string prom = PrometheusName(prefix, name);
+    out += "# TYPE " + prom + " " + type + "\n";
+    out += prom + " " + value + "\n";
+  };
+  for (const auto& [name, counter] : counters_) {
+    emit_scalar(name, "counter", MetricUint(counter->value()));
+  }
+  for (const auto& [name, entry] : callbacks_) {
+    emit_scalar(name,
+                entry.kind == CallbackKind::kCounter ? "counter" : "gauge",
+                MetricDouble(entry.fn()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    emit_scalar(name, "gauge", MetricDouble(gauge->value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string prom = PrometheusName(prefix, name);
+    out += "# TYPE " + prom + " histogram\n";
+    const std::vector<double>& bounds = histogram->bucket_bounds();
+    std::vector<uint64_t> counts = histogram->bucket_counts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += prom + "_bucket{le=\"" + MetricDouble(bounds[i]) + "\"} " +
+             MetricUint(cumulative) + "\n";
+    }
+    cumulative += counts[bounds.size()];
+    out += prom + "_bucket{le=\"+Inf\"} " + MetricUint(cumulative) + "\n";
+    out += prom + "_sum " + MetricDouble(histogram->sum()) + "\n";
+    out += prom + "_count " + MetricUint(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace foresight

@@ -1,0 +1,151 @@
+#ifndef FORESIGHT_UTIL_METRICS_H_
+#define FORESIGHT_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace foresight {
+
+/// Monotonic event counter. Increments are lock-free atomic adds; reading is
+/// a relaxed load (export sees a near-point-in-time snapshot).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (bytes resident, queue depth, ...). Set/Add are
+/// lock-free; Add uses a CAS loop so it works for double on every toolchain.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are frozen at construction
+/// (plus an implicit +Inf overflow bucket), so Record() is allocation-free —
+/// one linear bound scan over a small array and three relaxed atomic adds.
+/// Designed for latency distributions; the default bounds cover 1 µs – 4 s
+/// in powers of four (see DefaultLatencyBucketsMs).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> bucket_bounds);
+
+  /// Adds one observation. Thread-safe, lock-free, allocation-free.
+  void Record(double value);
+
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Cumulative-free per-bucket counts; index bounds_.size() is the +Inf
+  /// overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;  ///< bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Latency bucket bounds in milliseconds: 0.001, 0.004, ..., 4096 (powers of
+/// four). Twelve buckets span sub-microsecond cache hits to multi-second
+/// preprocessing passes.
+std::vector<double> DefaultLatencyBucketsMs();
+
+/// Whether a registered callback metric exports as a monotonic counter or a
+/// point-in-time gauge.
+enum class CallbackKind { kCounter, kGauge };
+
+/// A named registry of counters, gauges, and histograms, plus callback
+/// metrics that pull a value from a component at export time (used to surface
+/// counters a component already maintains internally — e.g. the QueryCache's
+/// sharded hit/miss/eviction counters — without double bookkeeping).
+///
+/// Thread safety: metric creation (counter()/gauge()/histogram()) takes a
+/// registry mutex; the returned references are stable for the registry's
+/// lifetime, so hot paths resolve a metric once and then mutate it lock-free.
+/// Export (ToJson / ToPrometheusText) is safe concurrently with updates and
+/// sees a near-point-in-time snapshot.
+///
+/// Determinism note: everything in here is observability — values may come
+/// from wall clocks and thread timing, and they must NEVER feed ranking or
+/// any other query result payload (tools/lint_determinism.py enforces the
+/// clock side of this).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. References remain valid for the registry's
+  /// lifetime (entries are never removed).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bucket_bounds` applies only on first creation; empty selects
+  /// DefaultLatencyBucketsMs().
+  LatencyHistogram& histogram(const std::string& name,
+                       std::vector<double> bucket_bounds = {});
+
+  /// Registers (or replaces) a callback metric. Returns a registration token;
+  /// RemoveCallback removes the entry only while the token is current, so a
+  /// stale owner being destroyed cannot tear down its successor's metric.
+  uint64_t RegisterCallback(const std::string& name, CallbackKind kind,
+                            std::function<double()> fn);
+  void RemoveCallback(const std::string& name, uint64_t token);
+
+  /// Structured JSON export:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count": c, "sum": s,
+  ///                          "buckets": [{"le": bound|"inf", "count": c}]}}}
+  /// Callback metrics land in "counters" or "gauges" per their kind. Key
+  /// order is deterministic for a given registry state (name-sorted within
+  /// each storage class).
+  JsonValue ToJson() const;
+
+  /// Prometheus text exposition format. Metric names are prefixed with
+  /// `prefix` and sanitized ('.' and other invalid characters become '_');
+  /// histograms emit cumulative _bucket{le=...}, _sum, and _count series.
+  std::string ToPrometheusText(const std::string& prefix = "foresight_") const;
+
+ private:
+  struct CallbackEntry {
+    CallbackKind kind = CallbackKind::kGauge;
+    std::function<double()> fn;
+    uint64_t token = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, CallbackEntry> callbacks_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_METRICS_H_

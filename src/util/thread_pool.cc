@@ -4,6 +4,9 @@
 #include <exception>
 #include <memory>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+
 namespace foresight {
 
 /// Shared state of one ParallelFor call. Kept alive by shared_ptr until the
@@ -47,6 +50,27 @@ ThreadPool::~ThreadPool() {
   for (std::thread& thread : threads_) thread.join();
 }
 
+void ThreadPool::AttachMetrics(std::shared_ptr<MetricsRegistry> registry) {
+  if (registry == nullptr) {
+    tasks_executed_.store(nullptr, std::memory_order_relaxed);
+    parallel_fors_.store(nullptr, std::memory_order_relaxed);
+    parallel_for_ms_.store(nullptr, std::memory_order_relaxed);
+    queue_depth_.store(nullptr, std::memory_order_relaxed);
+    metrics_registry_.reset();
+    return;
+  }
+  metrics_registry_ = registry;
+  registry->gauge("thread_pool.threads").Set(static_cast<double>(num_threads_));
+  tasks_executed_.store(&registry->counter("thread_pool.tasks_executed_total"),
+                        std::memory_order_relaxed);
+  parallel_fors_.store(&registry->counter("thread_pool.parallel_fors_total"),
+                       std::memory_order_relaxed);
+  parallel_for_ms_.store(&registry->histogram("thread_pool.parallel_for_ms"),
+                         std::memory_order_relaxed);
+  queue_depth_.store(&registry->gauge("thread_pool.queue_depth"),
+                     std::memory_order_relaxed);
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -56,6 +80,12 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (Gauge* depth = queue_depth_.load(std::memory_order_relaxed)) {
+        depth->Set(static_cast<double>(queue_.size()));
+      }
+    }
+    if (Counter* tasks = tasks_executed_.load(std::memory_order_relaxed)) {
+      tasks->Increment();
     }
     task();
   }
@@ -88,6 +118,17 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>& fn) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
+
+  LatencyHistogram* for_ms = parallel_for_ms_.load(std::memory_order_relaxed);
+  if (Counter* fors = parallel_fors_.load(std::memory_order_relaxed)) {
+    fors->Increment();
+  }
+  // ParallelFor wall time is observability-only; the clock read is gated on
+  // an attached registry, so metrics-free runs stay clock-free.
+  // determinism-ok: observability timing, never feeds ranking
+  WallTimer timer{kDeferredStart};
+  if (for_ms != nullptr) timer.Restart();
+
   size_t span = end - begin;
   size_t num_chunks = (span + grain - 1) / grain;
   if (num_threads_ <= 1 || num_chunks <= 1) {
@@ -95,6 +136,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       size_t chunk_begin = begin + chunk * grain;
       fn(chunk_begin, std::min(end, chunk_begin + grain));
     }
+    if (for_ms != nullptr) for_ms->Record(timer.ElapsedMillis());
     return;
   }
 
@@ -111,6 +153,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     for (size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([job] { RunJob(*job); });
     }
+    if (Gauge* depth = queue_depth_.load(std::memory_order_relaxed)) {
+      depth->Set(static_cast<double>(queue_.size()));
+    }
   }
   if (helpers == 1) {
     queue_cv_.notify_one();
@@ -122,11 +167,20 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // deadlock-free: progress never depends on a free worker existing.
   RunJob(*job);
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&] {
-    return job->chunks_done.load(std::memory_order_acquire) == job->num_chunks;
-  });
-  if (job->error) std::rethrow_exception(job->error);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->chunks_done.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+    // Steal the error so this thread owns the exception object's lifetime: a
+    // straggler helper dropping the last ForJob reference must not be the one
+    // to destroy an exception the caller is still examining.
+    error = std::move(job->error);
+  }
+  if (for_ms != nullptr) for_ms->Record(timer.ElapsedMillis());
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace foresight

@@ -1,15 +1,22 @@
 #ifndef FORESIGHT_UTIL_THREAD_POOL_H_
 #define FORESIGHT_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace foresight {
+
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class MetricsRegistry;
 
 /// A persistent pool of worker threads with one blocking primitive,
 /// `ParallelFor`. Replaces the previous per-query `std::thread` spawn/join
@@ -55,6 +62,15 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  /// Points the pool at a registry for observability: tasks executed, queue
+  /// depth, ParallelFor count and wall time, and a static thread-count gauge
+  /// ("thread_pool.*"). Pass nullptr to detach. The pool shares ownership of
+  /// the registry, so workers draining the queue during shutdown can still
+  /// touch their metrics even if every other owner is gone. When detached —
+  /// the default — ParallelFor reads no clock, keeping metrics-free runs
+  /// clock-free.
+  void AttachMetrics(std::shared_ptr<MetricsRegistry> registry);
+
  private:
   struct ForJob;
 
@@ -68,6 +84,16 @@ class ThreadPool {
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+
+  // Observability hooks; null when no registry is attached. Relaxed atomics:
+  // a worker observing a half-attached set of hooks only means a few early
+  // events go uncounted, which is acceptable for metrics. The shared_ptr
+  // keeps the hooked objects alive for the pool's whole lifetime.
+  std::shared_ptr<MetricsRegistry> metrics_registry_;
+  std::atomic<Counter*> tasks_executed_{nullptr};
+  std::atomic<Counter*> parallel_fors_{nullptr};
+  std::atomic<LatencyHistogram*> parallel_for_ms_{nullptr};
+  std::atomic<Gauge*> queue_depth_{nullptr};
 };
 
 }  // namespace foresight

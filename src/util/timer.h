@@ -5,10 +5,19 @@
 
 namespace foresight {
 
+/// Tag selecting the WallTimer constructor that does not read the clock.
+struct DeferredStart {};
+inline constexpr DeferredStart kDeferredStart{};
+
 /// Monotonic wall-clock timer for benchmark reporting.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
+
+  /// Constructs without touching the clock; call Restart() before reading
+  /// elapsed time. Lets conditional timing paths (metrics disabled) stay
+  /// entirely clock-free.
+  explicit WallTimer(DeferredStart) : start_{} {}
 
   /// Resets the start point to now.
   void Restart() { start_ = Clock::now(); }

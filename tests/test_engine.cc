@@ -6,6 +6,7 @@
 
 #include "data/generators.h"
 #include "stats/correlation.h"
+#include "util/random.h"
 
 namespace foresight {
 namespace {
@@ -293,6 +294,100 @@ TEST_F(EngineTest, QueryTelemetryIsPopulated) {
   size_t d = table_->NumericColumnIndices().size();
   EXPECT_EQ(result->candidates_evaluated, d * (d - 1) / 2);
   EXPECT_GE(result->elapsed_ms, 0.0);
+}
+
+// Regression tests for the NaN-rank bug: shape metrics are undefined (0/0)
+// on zero- or denormal-variance columns. Before the fix the NaN leaked into
+// the ranking and poisoned the deterministic top-k comparator; now such
+// candidates are excluded and counted in `undefined_excluded`.
+class NaNExclusionTest : public ::testing::Test {
+ protected:
+  static DataTable MakeTable() {
+    Rng rng(11);
+    DataTable table;
+    const size_t n = 600;
+    std::vector<double> normal(n), skewed(n), constant(n, 7.5), denormal(n);
+    for (size_t i = 0; i < n; ++i) {
+      normal[i] = rng.Normal(10.0, 2.0);
+      skewed[i] = rng.LogNormal(0.0, 0.8);
+      // variance > 0 but variance^2 underflows to 0 -> kurtosis = 0/0.
+      denormal[i] = (i % 2 == 0) ? 0.0 : 1e-160;
+    }
+    EXPECT_TRUE(table.AddNumericColumn("normal", normal).ok());
+    EXPECT_TRUE(table.AddNumericColumn("skewed", skewed).ok());
+    EXPECT_TRUE(table.AddNumericColumn("constant", constant).ok());
+    EXPECT_TRUE(table.AddNumericColumn("denormal", denormal).ok());
+    return table;
+  }
+};
+
+TEST_F(NaNExclusionTest, UndefinedShapeMetricsNeverRanked) {
+  DataTable table = MakeTable();
+  auto engine = InsightEngine::Create(table, EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  for (const char* class_name :
+       {"skew", "heavy_tails", "dispersion", "multimodality"}) {
+    for (ExecutionMode mode : {ExecutionMode::kExact, ExecutionMode::kSketch}) {
+      InsightQuery query;
+      query.class_name = class_name;
+      query.top_k = 10;
+      query.mode = mode;
+      auto result = engine->Execute(query);
+      ASSERT_TRUE(result.ok()) << class_name;
+      for (const Insight& insight : result->insights) {
+        EXPECT_TRUE(std::isfinite(insight.raw_value))
+            << class_name << "/" << insight.attribute_names[0];
+        EXPECT_TRUE(std::isfinite(insight.score))
+            << class_name << "/" << insight.attribute_names[0];
+      }
+    }
+  }
+}
+
+TEST_F(NaNExclusionTest, ConstantAndDenormalColumnsCountedAsExcluded) {
+  DataTable table = MakeTable();
+  auto engine = InsightEngine::Create(table, EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  for (const char* class_name : {"skew", "heavy_tails"}) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.top_k = 10;
+    query.mode = ExecutionMode::kExact;
+    auto result = engine->Execute(query);
+    ASSERT_TRUE(result.ok()) << class_name;
+    // Both the constant and the denormal-variance column are undefined.
+    EXPECT_EQ(result->undefined_excluded, 2u) << class_name;
+    EXPECT_EQ(result->insights.size(), 2u) << class_name;
+    for (const Insight& insight : result->insights) {
+      EXPECT_NE(insight.attribute_names[0], "constant") << class_name;
+      EXPECT_NE(insight.attribute_names[0], "denormal") << class_name;
+    }
+  }
+}
+
+TEST_F(NaNExclusionTest, TwoRowTableHasDefinedShape) {
+  // A two-row column has positive representable variance: shape metrics are
+  // defined (skewness exactly 0, kurtosis exactly 1) and must be ranked.
+  DataTable table;
+  ASSERT_TRUE(table.AddNumericColumn("pair", {1.0, 2.0}).ok());
+  ASSERT_TRUE(table.AddNumericColumn("other", {5.0, -3.0}).ok());
+  EngineOptions options;
+  options.build_profile = false;  // 2 rows is below any sketching regime.
+  auto engine = InsightEngine::Create(table, std::move(options));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  for (const char* class_name : {"skew", "heavy_tails"}) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.top_k = 10;
+    query.mode = ExecutionMode::kExact;
+    auto result = engine->Execute(query);
+    ASSERT_TRUE(result.ok()) << class_name;
+    EXPECT_EQ(result->undefined_excluded, 0u) << class_name;
+    EXPECT_EQ(result->insights.size(), 2u) << class_name;
+    for (const Insight& insight : result->insights) {
+      EXPECT_TRUE(std::isfinite(insight.raw_value)) << class_name;
+    }
+  }
 }
 
 }  // namespace

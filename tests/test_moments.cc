@@ -50,24 +50,55 @@ TEST(RunningMomentsTest, MatchesNaiveOnSmallData) {
 }
 
 TEST(RunningMomentsTest, EmptyAndSingleton) {
+  // Shape of an empty or single-value column is undefined: skewness and
+  // kurtosis must be the NaN sentinel, never a silently-wrong 0.0 that a
+  // ranking comparator would treat as a real value.
   RunningMoments empty;
   EXPECT_EQ(empty.count(), 0u);
   EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
-  EXPECT_DOUBLE_EQ(empty.skewness(), 0.0);
-  EXPECT_DOUBLE_EQ(empty.kurtosis(), 0.0);
+  EXPECT_TRUE(std::isnan(empty.skewness()));
+  EXPECT_TRUE(std::isnan(empty.kurtosis()));
   RunningMoments one;
   one.Add(5.0);
   EXPECT_DOUBLE_EQ(one.mean(), 5.0);
   EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(one.skewness()));
+  EXPECT_TRUE(std::isnan(one.kurtosis()));
 }
 
-TEST(RunningMomentsTest, ConstantColumnHasZeroHigherMoments) {
+TEST(RunningMomentsTest, ConstantColumnHasUndefinedShape) {
+  // gamma_1 and kappa are 0/0 for a zero-variance column; the sentinel makes
+  // that explicit so the engine can exclude the candidate instead of ranking
+  // a fabricated 0.0.
   RunningMoments m;
   for (int i = 0; i < 100; ++i) m.Add(3.0);
   EXPECT_DOUBLE_EQ(m.variance(), 0.0);
-  EXPECT_DOUBLE_EQ(m.skewness(), 0.0);
-  EXPECT_DOUBLE_EQ(m.kurtosis(), 0.0);
+  EXPECT_TRUE(std::isnan(m.skewness()));
+  EXPECT_TRUE(std::isnan(m.kurtosis()));
+  EXPECT_TRUE(std::isnan(m.excess_kurtosis()));
   EXPECT_DOUBLE_EQ(m.coefficient_of_variation(), 0.0);
+}
+
+TEST(RunningMomentsTest, DenormalVarianceDoesNotLeakNaNRatio) {
+  // Regression: {0, 1e-160} has variance > 0 (so the old `sigma > 0` guard
+  // passed) but variance^2 underflows to 0, making kurtosis 0/0 = NaN via the
+  // ratio itself. The sentinel path must catch this non-finite ratio too —
+  // before the fix the raw NaN escaped into rankings and broke deterministic
+  // ordering of the top-k.
+  RunningMoments m;
+  m.Add(0.0);
+  m.Add(1e-160);
+  ASSERT_GT(m.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(m.kurtosis()));
+  EXPECT_TRUE(std::isnan(m.skewness()));
+  // A two-row column with a representable spread stays well-defined.
+  RunningMoments two;
+  two.Add(1.0);
+  two.Add(2.0);
+  EXPECT_TRUE(std::isfinite(two.skewness()));
+  EXPECT_TRUE(std::isfinite(two.kurtosis()));
+  EXPECT_DOUBLE_EQ(two.skewness(), 0.0);
+  EXPECT_DOUBLE_EQ(two.kurtosis(), 1.0);
 }
 
 TEST(RunningMomentsTest, CoefficientOfVariation) {

@@ -1,0 +1,129 @@
+// foresight_stats: exercise the engine on a synthetic workload and dump the
+// metrics registry — the CLI face of InsightEngine::DumpMetrics().
+//
+// Usage:
+//   foresight_stats --smoke [--format=json|prom|both] [--rows=N] [--trace]
+//
+//   --smoke        Build a MakeOecdLike table, run a representative query mix
+//                  (per-class queries, a batch, repeated queries through a
+//                  QuerySession so the cache sees hits), then dump metrics.
+//   --format=F     json (default): pretty-printed registry JSON on stdout —
+//                  nothing else, so the output pipes straight into jq or the
+//                  schema validator. prom: Prometheus text exposition. both:
+//                  JSON followed by the Prometheus text.
+//   --rows=N       Synthetic table rows (default 800).
+//   --trace        Also print one query's five-stage trace JSON to stderr.
+//
+// Exit status: 0 on success, 1 on usage error or any failed query.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/session.h"
+#include "data/generators.h"
+#include "util/trace.h"
+
+namespace foresight {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: foresight_stats --smoke [--format=json|prom|both] "
+               "[--rows=N] [--trace]\n");
+  return 1;
+}
+
+int RunSmoke(const std::string& format, size_t rows, bool print_trace) {
+  DataTable table = MakeOecdLike(rows, 17);
+  EngineOptions options;
+  options.num_workers = 2;
+  auto engine = InsightEngine::Create(table, std::move(options));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "foresight_stats: engine creation failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  QuerySession session(*engine);
+
+  const std::vector<std::string> classes = {
+      "linear_relationship", "dispersion", "skew",
+      "heavy_tails",         "outliers",   "multimodality"};
+  QueryTrace last_trace;
+  for (const std::string& class_name : classes) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.top_k = 8;
+    // Twice through the session: one miss (computed), one cache hit.
+    for (int pass = 0; pass < 2; ++pass) {
+      auto result = session.Execute(query);
+      if (!result.ok()) {
+        std::fprintf(stderr, "foresight_stats: query '%s' failed: %s\n",
+                     class_name.c_str(), result.status().ToString().c_str());
+        return 1;
+      }
+      last_trace = result->trace;
+    }
+  }
+  // One batch so the batched path is represented in the dump too.
+  std::vector<InsightQuery> batch;
+  for (const std::string& class_name : classes) {
+    InsightQuery query;
+    query.class_name = class_name;
+    query.top_k = 4;
+    query.mode = ExecutionMode::kSketch;
+    batch.push_back(query);
+  }
+  auto batch_results = session.ExecuteBatch(batch);
+  if (!batch_results.ok()) {
+    std::fprintf(stderr, "foresight_stats: batch failed: %s\n",
+                 batch_results.status().ToString().c_str());
+    return 1;
+  }
+
+  if (print_trace) {
+    std::fprintf(stderr, "%s\n", last_trace.ToJson().Dump(2).c_str());
+  }
+  if (format == "json" || format == "both") {
+    std::printf("%s\n", engine->DumpMetrics(MetricsFormat::kJson).c_str());
+  }
+  if (format == "prom" || format == "both") {
+    std::printf("%s", engine->DumpMetrics(MetricsFormat::kPrometheus).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool print_trace = false;
+  std::string format = "json";
+  size_t rows = 800;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--trace") {
+      print_trace = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "json" && format != "prom" && format != "both") {
+        return Usage();
+      }
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      long parsed = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (parsed < 10) return Usage();
+      rows = static_cast<size_t>(parsed);
+    } else {
+      return Usage();
+    }
+  }
+  if (!smoke) return Usage();
+  return RunSmoke(format, rows, print_trace);
+}
+
+}  // namespace
+}  // namespace foresight
+
+int main(int argc, char** argv) { return foresight::Main(argc, argv); }

@@ -15,6 +15,11 @@ contain hidden sources of nondeterminism. This lint enforces:
   wall-clock           Use util/timer.h instead of time()/clock()/
                        gettimeofday()/localtime()/gmtime() in compute paths:
                        wall-clock reads make results time-dependent.
+  chrono-clock         Every WallTimer / std::chrono ::now() read outside
+                       util/timer.h must carry an explicit suppression: timing
+                       is observability-only and must never feed ranking, so
+                       each site states that justification where it reads the
+                       clock.
   unordered-iteration  Range-for over unordered_map/unordered_set: iteration
                        order is hash- and platform-dependent, so any
                        order-sensitive use (serialization, floating-point
@@ -39,6 +44,10 @@ SRC_EXTENSIONS = (".h", ".cc")
 # Definition site of the sanctioned wrappers; bare `assert` is expected here.
 BARE_ASSERT_ALLOWED_FILES = {os.path.join("util", "logging.h")}
 
+# Definition site of WallTimer itself; its steady_clock reads need no
+# per-site suppression.
+CHRONO_CLOCK_ALLOWED_FILES = {os.path.join("util", "timer.h")}
+
 BANNED_CALLS = [
     # (rule, regex, message)
     ("bare-assert", re.compile(r"(?<![\w_])assert\s*\("),
@@ -52,6 +61,11 @@ BANNED_CALLS = [
                               r"localtime|gmtime|ctime)\s*\("),
      "wall-clock read: results must not depend on the current time (use "
      "util/timer.h for profiling only)"),
+    ("chrono-clock", re.compile(r"\bWallTimer\b|\b(?:steady_clock|"
+                                r"system_clock|high_resolution_clock)\s*::"
+                                r"\s*now\s*\("),
+     "clock read: timing is observability-only and must never feed ranking; "
+     "justify each site with '// determinism-ok: <reason>'"),
 ]
 
 SUPPRESS_RE = re.compile(r"//.*determinism-ok:\s*(\S.*)?$")
@@ -190,6 +204,8 @@ def lint_file(path, rel, accessor_names):
             continue
         for rule, pattern, message in BANNED_CALLS:
             if rule == "bare-assert" and rel in BARE_ASSERT_ALLOWED_FILES:
+                continue
+            if rule == "chrono-clock" and rel in CHRONO_CLOCK_ALLOWED_FILES:
                 continue
             if pattern.search(code):
                 findings.append((idx, rule, message))

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate InsightEngine::DumpMetrics(kJson) output against the contract in
+tools/metrics_schema.json.
+
+Checks, in order:
+  1. The document parses and has "counters" / "gauges" / "histograms" objects.
+  2. Every counter and gauge value is a finite number; counters are >= 0.
+  3. Every histogram has numeric "count" and "sum" plus a "buckets" array
+     whose entries are {"le": number | "inf", "count": number}, with bounds
+     strictly increasing and per-bucket counts summing to "count".
+  4. Every metric name listed in the schema's required_* arrays is present in
+     the matching storage class.
+
+Usage:
+  validate_metrics_schema.py --binary PATH   # runs PATH --smoke --format=json
+  validate_metrics_schema.py --input FILE    # validates an existing dump
+  ... | validate_metrics_schema.py           # validates stdin
+
+Exit code 0 = valid, 1 = violations (each printed), 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "metrics_schema.json")
+
+
+def is_finite_number(value):
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def validate(doc, schema):
+    errors = []
+
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"missing or non-object top-level '{section}'")
+    if errors:
+        return errors
+
+    for name, value in doc["counters"].items():
+        if not is_finite_number(value) or value < 0:
+            errors.append(f"counter '{name}' is not a non-negative number: "
+                          f"{value!r}")
+    for name, value in doc["gauges"].items():
+        if not is_finite_number(value):
+            errors.append(f"gauge '{name}' is not a finite number: {value!r}")
+
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            errors.append(f"histogram '{name}' is not an object")
+            continue
+        for field in ("count", "sum"):
+            if not is_finite_number(hist.get(field)):
+                errors.append(f"histogram '{name}' missing numeric '{field}'")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            errors.append(f"histogram '{name}' missing 'buckets' array")
+            continue
+        previous_bound = None
+        bucket_total = 0
+        for i, bucket in enumerate(buckets):
+            if not isinstance(bucket, dict):
+                errors.append(f"histogram '{name}' bucket {i} is not an object")
+                continue
+            le = bucket.get("le")
+            if not (is_finite_number(le) or le == "inf"):
+                errors.append(f"histogram '{name}' bucket {i} has bad "
+                              f"'le': {le!r}")
+            elif le != "inf":
+                if previous_bound is not None and le <= previous_bound:
+                    errors.append(f"histogram '{name}' bounds not strictly "
+                                  f"increasing at bucket {i}")
+                previous_bound = le
+            elif i != len(buckets) - 1:
+                errors.append(f"histogram '{name}' has 'inf' before the "
+                              "final bucket")
+            if not is_finite_number(bucket.get("count")):
+                errors.append(f"histogram '{name}' bucket {i} missing "
+                              "numeric 'count'")
+            else:
+                bucket_total += bucket["count"]
+        if is_finite_number(hist.get("count")) and bucket_total != hist["count"]:
+            errors.append(f"histogram '{name}' bucket counts sum to "
+                          f"{bucket_total}, expected count={hist['count']}")
+
+    for schema_key, section in (("required_counters", "counters"),
+                                ("required_gauges", "gauges"),
+                                ("required_histograms", "histograms")):
+        for name in schema.get(schema_key, []):
+            if name not in doc[section]:
+                errors.append(f"required {section[:-1]} '{name}' absent "
+                              "from dump")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default=None,
+                        help="foresight_stats binary to run with "
+                             "--smoke --format=json")
+    parser.add_argument("--input", default=None,
+                        help="validate an existing JSON dump instead")
+    parser.add_argument("--schema", default=SCHEMA_PATH)
+    args = parser.parse_args()
+
+    try:
+        with open(args.schema, encoding="utf-8") as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_metrics_schema: cannot load schema: {e}",
+              file=sys.stderr)
+        return 2
+
+    if args.binary:
+        try:
+            proc = subprocess.run([args.binary, "--smoke", "--format=json"],
+                                  capture_output=True, text=True, timeout=300,
+                                  check=False)
+        except OSError as e:
+            print(f"validate_metrics_schema: cannot run {args.binary}: {e}",
+                  file=sys.stderr)
+            return 2
+        if proc.returncode != 0:
+            print(f"validate_metrics_schema: {args.binary} exited "
+                  f"{proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+            return 2
+        text = proc.stdout
+    elif args.input:
+        try:
+            with open(args.input, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"validate_metrics_schema: {e}", file=sys.stderr)
+            return 2
+    else:
+        text = sys.stdin.read()
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"validate_metrics_schema: dump is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc, schema)
+    for error in errors:
+        print(f"validate_metrics_schema: {error}")
+    if errors:
+        print(f"validate_metrics_schema: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    counters = len(doc["counters"])
+    gauges = len(doc["gauges"])
+    histograms = len(doc["histograms"])
+    print(f"validate_metrics_schema: OK ({counters} counters, {gauges} "
+          f"gauges, {histograms} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
