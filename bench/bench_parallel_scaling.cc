@@ -157,7 +157,7 @@ int main() {
   workload.Set("categorical_cols", kCategoricalCols);
   workload.Set("seed", kSeed);
   doc.Set("workload", std::move(workload));
-  doc.Set("environment", BenchEnvironmentJson());
+  doc.Set("environment", BenchEnvironmentJson(widest.workers));
   JsonValue results = JsonValue::Array();
   for (const RunResult& run : runs) {
     JsonValue entry = JsonValue::Object();

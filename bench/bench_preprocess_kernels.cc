@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
 
   JsonValue doc = JsonValue::Object();
   doc.Set("bench", "preprocess_kernels");
-  doc.Set("environment", BenchEnvironmentJson());
+  doc.Set("environment", BenchEnvironmentJson(/*max_workers_requested=*/8));
   JsonValue workload = JsonValue::Object();
   workload.Set("rows", kRows);
   workload.Set("numeric_cols", kNumericCols);

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/session.h"
@@ -189,7 +190,12 @@ int main() {
 
   JsonValue doc = JsonValue::Object();
   doc.Set("bench", "query_cache");
-  doc.Set("environment", BenchEnvironmentJson());
+  // Engine auto-sizes its pool to hardware_concurrency, so no measurement
+  // here requests more workers than the machine has.
+  doc.Set("environment", BenchEnvironmentJson(
+                             std::thread::hardware_concurrency() > 1
+                                 ? std::thread::hardware_concurrency()
+                                 : 0));
   JsonValue workload_json = JsonValue::Object();
   workload_json.Set("rows", kRows);
   workload_json.Set("numeric_cols", kNumericCols);

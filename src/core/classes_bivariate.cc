@@ -2,7 +2,9 @@
 // Monotonic Relationship (Spearman/Kendall), and General Dependence.
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/classes_common.h"
 #include "core/insight_classes.h"
@@ -48,10 +50,12 @@ class LinearRelationshipClass final : public InsightClass {
                                  const std::string& metric) const override {
     FORESIGHT_RETURN_IF_ERROR(ExpectNumeric(table, tuple, 2));
     FORESIGHT_RETURN_IF_ERROR(ExpectMetric(metric, metric_names()));
-    PairedValues pairs =
-        ExtractPairedValid(table.column(tuple.indices[0]).AsNumeric(),
-                           table.column(tuple.indices[1]).AsNumeric());
-    return PearsonCorrelation(pairs.x, pairs.y);
+    // Blocked SIMD two-pass Pearson; no compaction copy when both columns
+    // are null-free. This is also the refine kernel of the sketch-first
+    // prune pipeline — pruned and exhaustive paths share it, so their exact
+    // values are bit-identical by construction.
+    return PearsonPairedBlocked(table.column(tuple.indices[0]).AsNumeric(),
+                                table.column(tuple.indices[1]).AsNumeric());
   }
 
   StatusOr<double> EvaluateSketch(const TableProfile& profile,
@@ -77,6 +81,102 @@ class LinearRelationshipClass final : public InsightClass {
   }
 
   bool SupportsSketch() const override { return true; }
+
+  bool SupportsSketchPruning(const TableProfile& profile,
+                             const std::string& metric) const override {
+    (void)profile;
+    // Only the signature-backed default metric has an error-bounded
+    // estimator; "pearson_projection" has no distribution-free deviation
+    // bound, so pruning stays off there.
+    return metric == "pearson";
+  }
+
+  void EstimateScoreBounds(const TableProfile& profile,
+                           const std::vector<AttributeTuple>& tuples,
+                           const std::string& metric, size_t prefix_bits,
+                           double delta,
+                           std::vector<SketchScoreBound>& bounds) const override {
+    bounds.assign(tuples.size(), SketchScoreBound{});
+    if (metric != "pearson") return;
+    const DataTable& table = profile.table();
+
+    // Per-column pruning safety, resolved once per batch: the signature
+    // estimator targets the cosine of the CENTERED full columns, which equals
+    // the exact pairwise-deletion Pearson only when both columns are
+    // null-free (deletion drops nothing) and non-constant (the exact metric
+    // returns the 0.0 sentinel for constant sides, outside any cosine
+    // bound). Unsafe tuples are never pruned — the planner refines them.
+    std::vector<int8_t> column_safe(table.num_columns(), -1);
+    auto is_safe_column = [&](size_t c) -> bool {
+      if (column_safe[c] < 0) {
+        bool safe = profile.has_numeric_sketch(c);
+        if (safe) {
+          const NumericColumn& column = table.column(c).AsNumeric();
+          const NumericColumnSketch& sketch = profile.numeric_sketch(c);
+          safe = column.null_count() == 0 && column.size() >= 2 &&
+                 sketch.moments.variance() > 0.0 &&
+                 sketch.signature.num_bits() > 0;
+        }
+        column_safe[c] = safe ? 1 : 0;
+      }
+      return column_safe[c] == 1;
+    };
+
+    // Batch popcounts over maximal runs of tuples sharing their first
+    // column (NumericPairCandidates enumerates pairs in i<j row-major order,
+    // so runs are long), keeping the anchor signature's words hot.
+    std::vector<const BitSignature*> run_signatures;
+    std::vector<uint64_t> run_hamming;
+    size_t t = 0;
+    while (t < tuples.size()) {
+      const size_t anchor = tuples[t].indices[0];
+      size_t run_end = t;
+      while (run_end < tuples.size() &&
+             tuples[run_end].indices.size() == 2 &&
+             tuples[run_end].indices[0] == anchor &&
+             profile.has_numeric_sketch(tuples[run_end].indices[1])) {
+        ++run_end;
+      }
+      if (run_end == t || !profile.has_numeric_sketch(anchor)) {
+        // Malformed tuple or missing sketch: leave the unsafe default.
+        ++t;
+        continue;
+      }
+      const BitSignature& anchor_sig = profile.numeric_sketch(anchor).signature;
+      const size_t k = anchor_sig.num_bits();
+      const size_t bits =
+          (prefix_bits == 0 || prefix_bits > k) ? k : prefix_bits;
+      run_signatures.clear();
+      for (size_t r = t; r < run_end; ++r) {
+        run_signatures.push_back(
+            &profile.numeric_sketch(tuples[r].indices[1]).signature);
+      }
+      run_hamming.resize(run_signatures.size());
+      BitSignature::BatchHammingPrefix(anchor_sig, run_signatures.data(),
+                                       run_signatures.size(), bits,
+                                       run_hamming.data());
+      for (size_t r = t; r < run_end; ++r) {
+        const uint64_t h = run_hamming[r - t];
+        SketchScoreBound& bound = bounds[r];
+        bound.estimate =
+            HyperplaneSketcher::EstimateCorrelationFromHamming(h, bits);
+        double rho_lo = 0.0, rho_hi = 0.0;
+        HyperplaneSketcher::EstimateCorrelationInterval(h, bits, delta,
+                                                        &rho_lo, &rho_hi);
+        // Score = |rho|: the score interval is the image of [rho_lo, rho_hi]
+        // under |.| — it contains 0 iff the rho interval straddles 0.
+        bound.score_hi = std::max(std::abs(rho_lo), std::abs(rho_hi));
+        bound.score_lo = (rho_lo <= 0.0 && rho_hi >= 0.0)
+                             ? 0.0
+                             : std::min(std::abs(rho_lo), std::abs(rho_hi));
+        const size_t other = tuples[r].indices[1];
+        bound.safe =
+            anchor != other && is_safe_column(anchor) && is_safe_column(other);
+      }
+      t = run_end;
+    }
+  }
+
   VisualizationKind visualization() const override {
     return VisualizationKind::kScatterWithFit;
   }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <tuple>
 
@@ -68,6 +71,141 @@ bool TupleMatches(const DataTable& table, const AttributeTuple& tuple,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Sketch-first prune planner (DESIGN.md "Sketch-first pruning").
+//
+// Two-phase estimate → prune → refine: a coarse prefix-bits pass bounds every
+// pair cheaply, pairs provably below the top-k threshold are dropped, the
+// survivors are re-bounded at full sketch precision and filtered again, and
+// only the final survivors reach the exact metric kernels. Pruning is sound
+// per pair with probability >= 1 - kPairDelta: a pair is dropped only when
+// its score UPPER bound falls strictly below a threshold T chosen so that at
+// least top_k other pairs have score LOWER bounds >= T — so the dropped pair
+// cannot displace any of them from the exact top-k (see the design doc for
+// the full argument, including why max_score disqualifies a query).
+
+/// Per-pair failure probability for the Hoeffding bounds. At 1e-9 even a
+/// 10^6-pair workload keeps the any-pair failure probability below ~1e-3,
+/// and the cost is only a ~1.6x wider epsilon than delta = 1e-3.
+constexpr double kPairDelta = 1e-9;
+
+/// Coarse first-pass prefix width (bits). Cheap enough to score every pair,
+/// wide enough (epsilon_p ~ 0.2) to discard clearly-null pairs before the
+/// full-k escalation.
+constexpr size_t kCoarsePrefixBits = 256;
+
+/// Absorbs floating-point rounding between the bound math and the exact
+/// kernels: a pair is pruned only when score_hi + kBoundSlack < T, so ties
+/// and hairline cases always refine.
+constexpr double kBoundSlack = 1e-9;
+
+struct PrunePlan {
+  /// Candidate indices to evaluate exactly, ascending (enumeration order).
+  std::vector<size_t> refine;
+  /// Latest sketch estimate per candidate (full precision for survivors of
+  /// the coarse pass; used by overviews to fill pruned cells).
+  std::vector<double> estimates;
+  std::vector<char> pruned;  ///< 1 = dropped by the planner.
+  PruneTelemetry telemetry;
+};
+
+/// k-th largest element of `values` (1-based k); -inf when there are fewer
+/// than k values (no threshold contribution).
+double KthLargest(const std::vector<double>& values, size_t k) {
+  if (k == 0 || values.size() < k) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> copy = values;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(k - 1),
+                   copy.end(), std::greater<double>());
+  return copy[k - 1];
+}
+
+PrunePlan PlanPairwisePrune(const InsightClass& insight_class,
+                            const TableProfile& profile,
+                            const std::vector<AttributeTuple>& tuples,
+                            const std::string& metric, size_t top_k,
+                            std::optional<double> min_score,
+                            std::optional<double> fixed_threshold,
+                            size_t coarse_bits) {
+  PrunePlan plan;
+  const size_t n = tuples.size();
+  plan.estimates.assign(n, 0.0);
+  plan.pruned.assign(n, 0);
+  plan.telemetry.used = true;
+  plan.telemetry.pairs_total = n;
+
+  std::vector<char> alive(n, 1);
+  std::vector<SketchScoreBound> bounds;
+
+  // One pruning round over the currently-alive pairs at `prefix_bits`
+  // precision. The threshold is either the caller-fixed score floor
+  // (overviews) or the k-th largest score LOWER bound among alive pairs,
+  // strengthened by min_score: every pair it prunes is provably (w.h.p.)
+  // outside the exact top-k. Because the k pairs defining the threshold have
+  // score_hi >= score_lo >= T, they are never pruned themselves — at least
+  // top_k pairs always survive, which also keeps the next round's threshold
+  // well-defined.
+  auto prune_round = [&](size_t prefix_bits, bool escalation) {
+    std::vector<AttributeTuple> round_tuples;
+    std::vector<size_t> round_index;
+    round_tuples.reserve(n);
+    round_index.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i]) {
+        round_tuples.push_back(tuples[i]);
+        round_index.push_back(i);
+      }
+    }
+    insight_class.EstimateScoreBounds(profile, round_tuples, metric,
+                                      prefix_bits, kPairDelta, bounds);
+    if (escalation) {
+      plan.telemetry.pairs_escalated = round_tuples.size();
+    } else {
+      plan.telemetry.pairs_estimated = round_tuples.size();
+      for (const SketchScoreBound& bound : bounds) {
+        if (!bound.safe) ++plan.telemetry.pairs_unsafe;
+      }
+    }
+    double threshold;
+    if (fixed_threshold.has_value()) {
+      threshold = *fixed_threshold;
+    } else {
+      std::vector<double> lows;
+      lows.reserve(bounds.size());
+      for (const SketchScoreBound& bound : bounds) {
+        lows.push_back(bound.score_lo);
+      }
+      threshold = KthLargest(lows, top_k);
+      if (min_score.has_value()) {
+        threshold = std::max(threshold, *min_score);
+      }
+    }
+    for (size_t r = 0; r < bounds.size(); ++r) {
+      const size_t i = round_index[r];
+      plan.estimates[i] = bounds[r].estimate;
+      if (bounds[r].safe && bounds[r].score_hi + kBoundSlack < threshold) {
+        alive[i] = 0;
+        plan.pruned[i] = 1;
+      }
+    }
+  };
+
+  prune_round(coarse_bits, /*escalation=*/false);
+  if (coarse_bits != 0) {
+    // Escalate survivors to full sketch precision (prefix_bits = 0), which
+    // tightens both the bounds and the threshold before the exact stage.
+    prune_round(0, /*escalation=*/true);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) plan.refine.push_back(i);
+  }
+  plan.telemetry.pairs_refined = plan.refine.size();
+  plan.telemetry.pairs_pruned = n - plan.refine.size();
+  return plan;
+}
+
 }  // namespace
 
 StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
@@ -76,6 +214,7 @@ StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
                                       ? std::move(*options.registry)
                                       : InsightClassRegistry::CreateDefault();
   InsightEngine engine(table, std::move(registry));
+  engine.pairwise_pruning_ = options.enable_pairwise_pruning;
   if (options.collect_metrics) {
     engine.metrics_ = std::make_shared<MetricsRegistry>();
   }
@@ -100,6 +239,14 @@ void InsightEngine::set_num_workers(size_t workers) {
   if (pool_ != nullptr) pool_->AttachMetrics(metrics_);
   // Results are bit-identical across worker counts, but cached telemetry
   // (elapsed_ms, parallel path taken) is not; invalidate conservatively.
+  ++engine_epoch_;
+}
+
+void InsightEngine::set_pairwise_pruning(bool enabled) {
+  if (enabled == pairwise_pruning_) return;
+  pairwise_pruning_ = enabled;
+  // Ranked output is provably identical with pruning on or off, but cached
+  // telemetry (prune counts, provenance of overview cells) is not.
   ++engine_epoch_;
 }
 
@@ -215,6 +362,70 @@ Status InsightEngine::EvaluateCandidates(
       });
   if (first_error.has_error()) return first_error.status();
   return Status::OK();
+}
+
+bool InsightEngine::PruneEligible(const InsightQuery& query,
+                                  const ResolvedQuery& resolved,
+                                  size_t num_candidates) const {
+  return pairwise_pruning_ && profile_.has_value() &&
+         resolved.mode == ExecutionMode::kExact &&
+         resolved.insight_class->arity() == 2 &&
+         // An upper score filter breaks the top-k threshold argument: with
+         // strong pairs filtered OUT by max_score, a pair below the sketch
+         // threshold could still make the final ranking. Bypass entirely.
+         !query.max_score.has_value() &&
+         // With top_k >= the candidate count nothing can be pruned anyway.
+         query.top_k > 0 && num_candidates > query.top_k &&
+         resolved.insight_class->SupportsSketchPruning(*profile_,
+                                                       resolved.metric);
+}
+
+Status InsightEngine::ExecutePrunedPairwise(
+    const InsightQuery& query, const ResolvedQuery& resolved,
+    std::vector<AttributeTuple>* candidates, std::vector<double>* raw_values,
+    PruneTelemetry* telemetry) const {
+  // determinism-ok: prune-stage latency telemetry, gated on collect_metrics
+  WallTimer timer{kDeferredStart};
+  if (metrics_ != nullptr) timer.Restart();
+  PrunePlan plan = PlanPairwisePrune(
+      *resolved.insight_class, *profile_, *candidates, resolved.metric,
+      query.top_k, query.min_score, /*fixed_threshold=*/std::nullopt,
+      kCoarsePrefixBits);
+  if (metrics_ != nullptr) {
+    metrics_->histogram("engine.prune.estimate_ms")
+        .Record(timer.ElapsedMillis());
+    timer.Restart();
+  }
+  std::vector<AttributeTuple> survivors;
+  survivors.reserve(plan.refine.size());
+  for (size_t index : plan.refine) survivors.push_back((*candidates)[index]);
+  // Survivors keep enumeration order, so the pool's first-error semantics
+  // and the assembled ranking are identical to an exhaustive run that had
+  // dropped the same pairs post-hoc.
+  FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(*resolved.insight_class,
+                                               resolved.metric, resolved.mode,
+                                               survivors, raw_values));
+  if (metrics_ != nullptr) {
+    metrics_->histogram("engine.prune.refine_ms").Record(timer.ElapsedMillis());
+    RecordPruneMetrics(plan.telemetry);
+  }
+  *candidates = std::move(survivors);
+  *telemetry = plan.telemetry;
+  return Status::OK();
+}
+
+void InsightEngine::RecordPruneMetrics(const PruneTelemetry& telemetry) const {
+  MetricsRegistry& registry = *metrics_;
+  registry.counter("engine.pairwise_estimated_total")
+      .Increment(telemetry.pairs_estimated);
+  registry.counter("engine.pairwise_escalated_total")
+      .Increment(telemetry.pairs_escalated);
+  registry.counter("engine.pairwise_pruned_total")
+      .Increment(telemetry.pairs_pruned);
+  registry.counter("engine.pairwise_refined_total")
+      .Increment(telemetry.pairs_refined);
+  registry.counter("engine.pairwise_unsafe_total")
+      .Increment(telemetry.pairs_unsafe);
 }
 
 InsightQueryResult InsightEngine::AssembleResult(
@@ -334,17 +545,30 @@ StatusOr<InsightQueryResult> InsightEngine::Execute(
     }
   }
   std::vector<double> raw_values;
+  PruneTelemetry prune_telemetry;
   {
     StageSpan span(trace, QueryStage::kEvaluate);
-    FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
-        *resolved.insight_class, resolved.metric, resolved.mode, candidates,
-        &raw_values));
+    if (PruneEligible(query, resolved, candidates.size())) {
+      FORESIGHT_RETURN_IF_ERROR(ExecutePrunedPairwise(
+          query, resolved, &candidates, &raw_values, &prune_telemetry));
+    } else {
+      FORESIGHT_RETURN_IF_ERROR(EvaluateCandidates(
+          *resolved.insight_class, resolved.metric, resolved.mode, candidates,
+          &raw_values));
+    }
   }
   {
     StageSpan span(trace, QueryStage::kAssemble);
     QueryTrace saved = result.trace;  // AssembleResult builds a fresh result.
     result = AssembleResult(query, resolved, candidates, raw_values);
     result.trace = saved;
+  }
+  if (prune_telemetry.used) {
+    result.prune = prune_telemetry;
+    // Report the full considered-candidate count (see query.h): the planner
+    // eliminated some pairs without exact evaluation, but the query examined
+    // them all, and this keeps the field comparable with exhaustive runs.
+    result.candidates_evaluated = prune_telemetry.pairs_total;
   }
   if (metrics_ != nullptr) {
     result.elapsed_ms = timer.ElapsedMillis();
@@ -511,6 +735,15 @@ StatusOr<CorrelationOverview> InsightEngine::ComputeCorrelationOverview(
 StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
     const std::string& class_name, const std::string& metric,
     ExecutionMode mode) const {
+  PairwiseOverviewOptions options;
+  options.metric = metric;
+  options.mode = mode;
+  return ComputePairwiseOverview(class_name, options);
+}
+
+StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
+    const std::string& class_name,
+    const PairwiseOverviewOptions& options) const {
   const InsightClass* insight_class = registry_.Find(class_name);
   if (insight_class == nullptr) {
     return Status::NotFound("unknown insight class: " + class_name);
@@ -519,9 +752,14 @@ StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
     return Status::InvalidArgument(
         "pairwise overviews require an arity-2 insight class");
   }
-  std::string resolved_metric =
-      metric.empty() ? insight_class->metric_names().front() : metric;
-  FORESIGHT_ASSIGN_OR_RETURN(ExecutionMode resolved_mode, ResolveMode(mode));
+  if (options.refine_min_score < 0.0) {
+    return Status::InvalidArgument("refine_min_score must be >= 0");
+  }
+  std::string resolved_metric = options.metric.empty()
+                                    ? insight_class->metric_names().front()
+                                    : options.metric;
+  FORESIGHT_ASSIGN_OR_RETURN(ExecutionMode resolved_mode,
+                             ResolveMode(options.mode));
 
   CorrelationOverview overview;
   overview.class_name = class_name;
@@ -545,11 +783,63 @@ StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = i; j < d; ++j) cells.emplace_back(i, j);
   }
+
+  // Sketch-first pruning (exact mode only): cells whose score upper bound is
+  // provably below refine_min_score keep their full-precision sketch
+  // estimate; every cell that could reach the threshold is refined exactly.
+  // Diagonal and null/constant-touched cells are unsafe by contract and
+  // always refine. A single full-precision round (coarse_bits = 0) plans the
+  // whole triangle, so pruned cells carry full-k estimates.
+  const bool prune = pairwise_pruning_ && options.refine_min_score > 0.0 &&
+                     profile_.has_value() &&
+                     resolved_mode == ExecutionMode::kExact &&
+                     insight_class->SupportsSketchPruning(*profile_,
+                                                          resolved_metric);
+  // Cell indices to evaluate with the metric (all of them when not pruning).
+  std::vector<size_t> work;
+  PrunePlan plan;
+  if (prune) {
+    // determinism-ok: prune-stage latency telemetry, gated on collect_metrics
+    WallTimer timer{kDeferredStart};
+    if (metrics_ != nullptr) timer.Restart();
+    std::vector<AttributeTuple> cell_tuples;
+    cell_tuples.reserve(cells.size());
+    for (const auto& [i, j] : cells) {
+      cell_tuples.push_back(AttributeTuple{
+          {overview.column_indices[i], overview.column_indices[j]}});
+    }
+    plan = PlanPairwisePrune(*insight_class, *profile_, cell_tuples,
+                             resolved_metric, /*top_k=*/0,
+                             /*min_score=*/std::nullopt,
+                             options.refine_min_score, /*coarse_bits=*/0);
+    if (metrics_ != nullptr) {
+      metrics_->histogram("engine.prune.estimate_ms")
+          .Record(timer.ElapsedMillis());
+      RecordPruneMetrics(plan.telemetry);
+    }
+    work = plan.refine;
+    overview.prune = plan.telemetry;
+    overview.cell_provenance.assign(d * d, Provenance::kExact);
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (!plan.pruned[c]) continue;
+      auto [i, j] = cells[c];
+      overview.matrix[i * d + j] = plan.estimates[c];
+      overview.cell_provenance[i * d + j] = Provenance::kSketch;
+      overview.cell_provenance[j * d + i] = Provenance::kSketch;
+    }
+  } else {
+    work.resize(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) work[c] = c;
+  }
+
+  // determinism-ok: refine-stage latency telemetry, gated on collect_metrics
+  WallTimer refine_timer{kDeferredStart};
+  if (prune && metrics_ != nullptr) refine_timer.Restart();
   auto evaluate_cells = [&](size_t chunk_begin, size_t chunk_end,
                             FirstError* first_error) {
-    for (size_t c = chunk_begin; c < chunk_end; ++c) {
-      if (first_error != nullptr && first_error->ShadowedAt(c)) return;
-      auto [i, j] = cells[c];
+    for (size_t w = chunk_begin; w < chunk_end; ++w) {
+      if (first_error != nullptr && first_error->ShadowedAt(w)) return;
+      auto [i, j] = cells[work[w]];
       // The diagonal is the metric of an attribute with itself (1 for
       // correlation and NMI-style metrics).
       AttributeTuple tuple{
@@ -557,24 +847,28 @@ StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
       StatusOr<double> value =
           Evaluate(*insight_class, tuple, resolved_metric, resolved_mode);
       if (!value.ok()) {
-        if (first_error != nullptr) first_error->Record(c, value.status());
+        if (first_error != nullptr) first_error->Record(w, value.status());
         return;
       }
       overview.matrix[i * d + j] = *value;
     }
   };
-  if (pool_ == nullptr || cells.size() < 2) {
+  if (pool_ == nullptr || work.size() < 2) {
     FirstError first_error;
-    evaluate_cells(0, cells.size(), &first_error);
+    evaluate_cells(0, work.size(), &first_error);
     if (first_error.has_error()) return first_error.status();
   } else {
     FirstError first_error;
-    pool_->ParallelFor(0, cells.size(),
-                       BalancedGrain(cells.size(), num_workers_),
+    pool_->ParallelFor(0, work.size(),
+                       BalancedGrain(work.size(), num_workers_),
                        [&](size_t chunk_begin, size_t chunk_end) {
                          evaluate_cells(chunk_begin, chunk_end, &first_error);
                        });
     if (first_error.has_error()) return first_error.status();
+  }
+  if (prune && metrics_ != nullptr) {
+    metrics_->histogram("engine.prune.refine_ms")
+        .Record(refine_timer.ElapsedMillis());
   }
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = i + 1; j < d; ++j) {

@@ -38,6 +38,25 @@ struct EngineOptions {
   /// std::thread::hardware_concurrency(), 1 = serial. Results are
   /// bit-identical to serial execution regardless of worker count.
   size_t num_workers = 0;
+  /// Enable the sketch-first prune planner for eligible exact-mode pairwise
+  /// queries (DESIGN.md "Sketch-first pruning"). Ranked output is provably
+  /// identical either way; disabling only forces exhaustive exact
+  /// evaluation. Toggle later via set_pairwise_pruning().
+  bool enable_pairwise_pruning = true;
+};
+
+/// Options for InsightEngine::ComputePairwiseOverview.
+struct PairwiseOverviewOptions {
+  /// Ranking metric; empty selects the class default.
+  std::string metric;
+  ExecutionMode mode = ExecutionMode::kAuto;
+  /// Sketch-first pruning threshold for EXACT-mode overviews: cells whose
+  /// score upper bound is provably below this threshold keep their full-k
+  /// sketch estimate (marked kSketch in cell_provenance) instead of being
+  /// refined exactly. 0 (default) disables pruning — every cell is exact.
+  /// Cells at or above the threshold are guaranteed exact, so the overview's
+  /// strong entries are bit-identical to the exhaustive exact matrix.
+  double refine_min_score = 0.0;
 };
 
 /// Pairwise overview (§2.1: "an insight may optionally have one or more
@@ -52,7 +71,16 @@ struct CorrelationOverview {
   std::vector<size_t> column_indices;
   /// Row-major d x d matrix of raw metric values (signed for correlations).
   std::vector<double> matrix;
+  /// Provenance of the requested execution mode. When the prune planner ran
+  /// (prune.used), individual cells may differ — cell_provenance is then the
+  /// per-cell authority.
   Provenance provenance = Provenance::kExact;
+  /// Per-cell provenance, row-major d x d, filled ONLY when the prune
+  /// planner ran (empty otherwise): kExact for refined cells, kSketch for
+  /// cells served by their full-k signature estimate.
+  std::vector<Provenance> cell_provenance;
+  /// Prune planner telemetry (used == false for exhaustive overviews).
+  PruneTelemetry prune;
 
   double at(size_t i, size_t j) const {
     return matrix[i * attribute_names.size() + j];
@@ -162,6 +190,18 @@ class InsightEngine {
       const std::string& class_name, const std::string& metric = "",
       ExecutionMode mode = ExecutionMode::kAuto) const;
 
+  /// Options form of the pairwise overview, adding sketch-first pruning for
+  /// exact-mode overviews (see PairwiseOverviewOptions::refine_min_score).
+  StatusOr<CorrelationOverview> ComputePairwiseOverview(
+      const std::string& class_name,
+      const PairwiseOverviewOptions& options) const;
+
+  /// Whether the sketch-first prune planner may serve eligible exact-mode
+  /// pairwise queries. Toggling bumps the serving epoch (results are
+  /// identical, but cached telemetry is not).
+  bool pairwise_pruning() const { return pairwise_pruning_; }
+  void set_pairwise_pruning(bool enabled);
+
   /// Resolved worker-thread count used by every parallel path (>= 1).
   size_t num_workers() const { return num_workers_; }
   /// Resizes the engine's thread pool; 0 = hardware_concurrency. Bumps the
@@ -209,6 +249,29 @@ class InsightEngine {
                             const std::vector<AttributeTuple>& tuples,
                             std::vector<double>* raw_values) const;
 
+  /// True when `query`/`resolved` qualify for the sketch-first prune planner:
+  /// pruning enabled, profile present, exact mode, an arity-2 class that
+  /// supports bounded estimation for the metric, no max_score (an upper
+  /// score filter breaks the top-k threshold argument — see DESIGN.md), and
+  /// more candidates than top_k.
+  bool PruneEligible(const InsightQuery& query, const ResolvedQuery& resolved,
+                     size_t num_candidates) const;
+
+  /// The estimate→prune→refine pipeline for one eligible query: plans over
+  /// `*candidates`, exactly evaluates only the survivors, and replaces
+  /// `*candidates`/`*raw_values` with the survivor tuples and their exact
+  /// values (enumeration order preserved). Fills `*telemetry` and records
+  /// prune metrics.
+  Status ExecutePrunedPairwise(const InsightQuery& query,
+                               const ResolvedQuery& resolved,
+                               std::vector<AttributeTuple>* candidates,
+                               std::vector<double>* raw_values,
+                               PruneTelemetry* telemetry) const;
+
+  /// Folds prune telemetry into the registry (pairwise_* counters). Caller
+  /// has already checked metrics are enabled.
+  void RecordPruneMetrics(const PruneTelemetry& telemetry) const;
+
   /// Applies score-range filters, builds Insight records, and ranks the top
   /// k. `candidates`/`raw_values` are the query's structurally filtered
   /// candidate list in enumeration order. Shared by Execute and ExecuteBatch.
@@ -231,6 +294,7 @@ class InsightEngine {
   InsightClassRegistry registry_;
   std::optional<TableProfile> profile_;
   size_t num_workers_ = 1;
+  bool pairwise_pruning_ = true;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<MetricsRegistry> metrics_;
   /// Engine-local slice of the serving epoch (registry/worker mutations); the

@@ -13,6 +13,19 @@ StatusOr<double> InsightClass::EvaluateSketch(const TableProfile& profile,
   return EvaluateExact(profile.table(), tuple, metric);
 }
 
+void InsightClass::EstimateScoreBounds(
+    const TableProfile& profile, const std::vector<AttributeTuple>& tuples,
+    const std::string& metric, size_t prefix_bits, double delta,
+    std::vector<SketchScoreBound>& bounds) const {
+  (void)profile;
+  (void)metric;
+  (void)prefix_bits;
+  (void)delta;
+  // Default: no bounded estimator — every tuple is unsafe, so a planner
+  // consulting this class refines everything exactly.
+  bounds.assign(tuples.size(), SketchScoreBound{});
+}
+
 double InsightClass::Score(double raw_value) const {
   return std::abs(raw_value);
 }

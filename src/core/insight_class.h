@@ -12,6 +12,20 @@
 
 namespace foresight {
 
+/// Error-bounded sketch estimate of one tuple's EXACT ranking score, produced
+/// by InsightClass::EstimateScoreBounds for the sketch-first prune planner
+/// (DESIGN.md "Sketch-first pruning"). Contract: when `safe` is true, the
+/// exact score Score(EvaluateExact(tuple)) lies in [score_lo, score_hi] with
+/// probability >= 1 - delta. `safe == false` means the class cannot bound
+/// this tuple (nulls, constant columns, ...) and the planner must refine it
+/// exactly; lo/hi are then the vacuous [0, +inf of the score scale].
+struct SketchScoreBound {
+  double estimate = 0.0;  ///< Point estimate of the raw metric value.
+  double score_lo = 0.0;  ///< Lower confidence bound on the ranking score.
+  double score_hi = 1.0;  ///< Upper confidence bound on the ranking score.
+  bool safe = false;      ///< Bounds are trustworthy for pruning.
+};
+
 /// One insight class (§2.1-2.2): the set of attribute tuples compatible with
 /// a distributional property, plus its ranking metric(s) and preferred
 /// visualization. Foresight is extensible: data scientists "plug in" new
@@ -54,6 +68,30 @@ class InsightClass {
 
   /// True when EvaluateSketch avoids touching raw column data.
   virtual bool SupportsSketch() const { return false; }
+
+  /// True when EstimateScoreBounds can produce error-bounded score intervals
+  /// for `metric` from this profile — the precondition for the engine's
+  /// sketch-first prune planner. Default: no pruning support.
+  virtual bool SupportsSketchPruning(const TableProfile& profile,
+                                     const std::string& metric) const {
+    (void)profile;
+    (void)metric;
+    return false;
+  }
+
+  /// Fills `bounds` (resized to tuples.size()) with error-bounded score
+  /// estimates from the profile's sketches. `prefix_bits` is a hint for a
+  /// cheaper coarse pass: use only the first prefix_bits sketch bits (0 or
+  /// anything >= the sketch size means full precision). `delta` is the
+  /// per-tuple failure probability the bounds must honor. Batch-level so
+  /// implementations can amortize per-column work (validity checks, signature
+  /// lookups) across runs of tuples sharing a column. The default marks every
+  /// tuple unsafe, which makes the planner refine everything.
+  virtual void EstimateScoreBounds(const TableProfile& profile,
+                                   const std::vector<AttributeTuple>& tuples,
+                                   const std::string& metric,
+                                   size_t prefix_bits, double delta,
+                                   std::vector<SketchScoreBound>& bounds) const;
 
   /// Ranking strength from the raw metric value. Defaults to |raw|.
   virtual double Score(double raw_value) const;

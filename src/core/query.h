@@ -65,9 +65,28 @@ struct InsightQuery {
                        ExecutionMode resolved_mode) const;
 };
 
+/// Telemetry of the sketch-first prune planner (DESIGN.md "Sketch-first
+/// pruning"). All-zero with used == false when the planner did not run
+/// (ineligible query, pruning disabled, or no profile). Counts are a pure
+/// function of the query and profile — deterministic across worker counts.
+struct PruneTelemetry {
+  bool used = false;          ///< The estimate→prune→refine pipeline ran.
+  size_t pairs_total = 0;     ///< Candidate pairs the planner considered.
+  size_t pairs_estimated = 0; ///< Pairs scored from sketch signatures.
+  size_t pairs_escalated = 0; ///< Coarse-pass survivors re-scored at full k.
+  size_t pairs_pruned = 0;    ///< Pairs whose score upper bound missed top-k.
+  size_t pairs_refined = 0;   ///< Pairs evaluated with the exact metric.
+  size_t pairs_unsafe = 0;    ///< Pairs with no valid bound (always refined).
+};
+
 /// Query outcome: ranked insights plus execution telemetry.
 struct InsightQueryResult {
   std::vector<Insight> insights;  ///< Sorted by descending score.
+  /// Candidates the query CONSIDERED (post structural filters). When the
+  /// prune planner ran (prune.used), sketch bounds eliminated some of these
+  /// without exact evaluation — prune.pairs_refined counts the exact
+  /// evaluations — but this field still reports the full considered count so
+  /// it is comparable across pruned and exhaustive executions.
   size_t candidates_evaluated = 0;
   /// Candidates whose metric evaluated to a non-finite raw value (undefined —
   /// e.g. kurtosis of a constant column) and were excluded from ranking.
@@ -89,6 +108,8 @@ struct InsightQueryResult {
   /// engine stages describe the original computing call and kCacheLookup
   /// describes this serving call — see QueryTrace.
   QueryTrace trace;
+  /// Sketch-first prune planner telemetry (used == false when it didn't run).
+  PruneTelemetry prune;
 };
 
 }  // namespace foresight

@@ -1,5 +1,7 @@
 #include "sketch/ingest_kernels.h"
 
+#include "util/simd_clones.h"
+
 namespace foresight {
 namespace ingest_kernels {
 
@@ -8,26 +10,6 @@ namespace ingest_kernels {
 // order stays strictly row-ascending (a = ((acc[i] + c0) + c1) + ... exactly
 // as the row-at-a-time path), so the compiler may vectorize across i but
 // never reassociates across rows.
-
-// Sanitizer builds must not multi-version: the ifunc resolver target_clones
-// emits runs before the sanitizer runtime initializes and crashes at load.
-// Plain scalar code there is fine — sanitizer jobs test semantics, not SIMD.
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-#define FORESIGHT_NO_KERNEL_CLONES 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
-    __has_feature(memory_sanitizer)
-#define FORESIGHT_NO_KERNEL_CLONES 1
-#endif
-#endif
-
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
-    !defined(FORESIGHT_NO_KERNEL_CLONES)
-#define FORESIGHT_KERNEL_CLONES \
-  __attribute__((target_clones("avx2", "default")))
-#else
-#define FORESIGHT_KERNEL_CLONES
-#endif
 
 FORESIGHT_KERNEL_CLONES
 void DenseValuesAxpy(const double* panel, const double* values, size_t count,
@@ -172,8 +154,6 @@ void GatherOnesAxpy(const double* panel, const uint32_t* local_rows,
     for (size_t i = 0; i < k; ++i) acc[i] += scale * p[i];
   }
 }
-
-#undef FORESIGHT_KERNEL_CLONES
 
 }  // namespace ingest_kernels
 }  // namespace foresight

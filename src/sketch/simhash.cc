@@ -1,5 +1,6 @@
 #include "sketch/simhash.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -59,6 +60,31 @@ uint64_t BitSignature::HammingDistancePrefix(const BitSignature& a,
         std::popcount((a.words_[full_words] ^ b.words_[full_words]) & mask));
   }
   return distance;
+}
+
+void BitSignature::BatchHammingPrefix(const BitSignature& a,
+                                      const BitSignature* const* others,
+                                      size_t count, size_t bits,
+                                      uint64_t* out) {
+  FORESIGHT_CHECK(bits <= a.num_bits_);
+  const size_t full_words = bits / 64;
+  const size_t tail = bits % 64;
+  const uint64_t tail_mask = tail > 0 ? (uint64_t{1} << tail) - 1 : 0;
+  const uint64_t* aw = a.words_.data();
+  for (size_t j = 0; j < count; ++j) {
+    const BitSignature& b = *others[j];
+    FORESIGHT_CHECK(b.num_bits_ == a.num_bits_);
+    const uint64_t* bw = b.words_.data();
+    uint64_t distance = 0;
+    for (size_t w = 0; w < full_words; ++w) {
+      distance += static_cast<uint64_t>(std::popcount(aw[w] ^ bw[w]));
+    }
+    if (tail > 0) {
+      distance += static_cast<uint64_t>(
+          std::popcount((aw[full_words] ^ bw[full_words]) & tail_mask));
+    }
+    out[j] = distance;
+  }
 }
 
 void HyperplaneAccumulator::Merge(const HyperplaneAccumulator& other) {
@@ -160,16 +186,42 @@ double HyperplaneSketcher::EstimateCorrelation(const BitSignature& a,
                                                const BitSignature& b) {
   FORESIGHT_CHECK(a.num_bits() == b.num_bits());
   FORESIGHT_CHECK(a.num_bits() > 0);
-  double h = static_cast<double>(BitSignature::HammingDistance(a, b));
-  return std::cos(kPi * h / static_cast<double>(a.num_bits()));
+  return EstimateCorrelationFromHamming(BitSignature::HammingDistance(a, b),
+                                        a.num_bits());
 }
 
 double HyperplaneSketcher::EstimateCorrelationPrefix(const BitSignature& a,
                                                      const BitSignature& b,
                                                      size_t bits) {
+  return EstimateCorrelationFromHamming(
+      BitSignature::HammingDistancePrefix(a, b, bits), bits);
+}
+
+double HyperplaneSketcher::EstimateCorrelationFromHamming(uint64_t hamming,
+                                                          size_t bits) {
   FORESIGHT_CHECK(bits > 0);
-  double h = static_cast<double>(BitSignature::HammingDistancePrefix(a, b, bits));
-  return std::cos(kPi * h / static_cast<double>(bits));
+  return std::cos(kPi * static_cast<double>(hamming) /
+                  static_cast<double>(bits));
+}
+
+double HyperplaneSketcher::HammingFractionBound(size_t bits, double delta) {
+  FORESIGHT_CHECK(bits > 0);
+  FORESIGHT_CHECK(delta > 0.0 && delta < 1.0);
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(bits)));
+}
+
+void HyperplaneSketcher::EstimateCorrelationInterval(uint64_t hamming,
+                                                     size_t bits, double delta,
+                                                     double* lo, double* hi) {
+  const double p_hat =
+      static_cast<double>(hamming) / static_cast<double>(bits);
+  const double eps = HammingFractionBound(bits, delta);
+  // cos is decreasing on [0, pi]: the largest plausible p gives the lower
+  // correlation bound and vice versa.
+  const double p_max = std::min(1.0, p_hat + eps);
+  const double p_min = std::max(0.0, p_hat - eps);
+  *lo = std::clamp(std::cos(kPi * p_max), -1.0, 1.0);
+  *hi = std::clamp(std::cos(kPi * p_min), -1.0, 1.0);
 }
 
 }  // namespace foresight

@@ -43,6 +43,15 @@ class BitSignature {
   static uint64_t HammingDistancePrefix(const BitSignature& a,
                                         const BitSignature& b, size_t bits);
 
+  /// Batched prefix Hamming: out[j] = HammingDistancePrefix(a, *others[j],
+  /// bits) for j < count. One word-at-a-time popcount sweep per signature
+  /// with `a`'s words hot in registers/L1 — the estimate pass of the
+  /// sketch-first prune planner scores an entire run of pairs sharing their
+  /// first column with a single call (DESIGN.md "Sketch-first pruning").
+  static void BatchHammingPrefix(const BitSignature& a,
+                                 const BitSignature* const* others,
+                                 size_t count, size_t bits, uint64_t* out);
+
  private:
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;
@@ -134,6 +143,27 @@ class HyperplaneSketcher {
   /// smaller-k sketch; see BitSignature::HammingDistancePrefix).
   static double EstimateCorrelationPrefix(const BitSignature& a,
                                           const BitSignature& b, size_t bits);
+
+  /// The same estimator from a precomputed Hamming distance over `bits`
+  /// hyperplanes — the batched-popcount path (BatchHammingPrefix) uses this
+  /// so each pair's bits are counted exactly once.
+  static double EstimateCorrelationFromHamming(uint64_t hamming, size_t bits);
+
+  /// Hoeffding deviation bound on the Hamming FRACTION p = H/k: with
+  /// probability >= 1 - delta, |p_hat - p| <= sqrt(ln(2/delta) / (2k)).
+  /// Each signature bit agreement is an independent Bernoulli trial (the
+  /// hyperplanes are drawn independently), so the bound needs no
+  /// distributional assumption about the data.
+  static double HammingFractionBound(size_t bits, double delta);
+
+  /// Error-bounded correlation estimate: given a Hamming distance `hamming`
+  /// over `bits` prefix hyperplanes, writes an interval [lo, hi] (clamped to
+  /// [-1, 1]) containing the population value cos(pi * p) with probability
+  /// >= 1 - delta. cos is monotone decreasing on [0, pi], so the interval is
+  /// the image of the clamped Hoeffding interval on p.
+  static void EstimateCorrelationInterval(uint64_t hamming, size_t bits,
+                                          double delta, double* lo,
+                                          double* hi);
 
  private:
   size_t k_;

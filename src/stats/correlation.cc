@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/simd_clones.h"
 
 namespace foresight {
 
@@ -150,6 +151,136 @@ double KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
   double denominator = std::sqrt((n0 - n1) * (n0 - n2));
   if (denominator <= 0.0) return 0.0;
   return std::clamp(numerator / denominator, -1.0, 1.0);
+}
+
+namespace {
+
+// Blocked kernels for PairedMomentsBlocked. Each accumulator is split into
+// four lanes; row j lands in lane j mod 4, and lanes combine in the fixed
+// order ((l0 + l1) + (l2 + l3)) at the end. That lane partition is the
+// rounding specification: the AVX2 clone vectorizes across lanes only, and
+// AVX2 has no FMA, so both clones produce identical bits.
+
+FORESIGHT_KERNEL_CLONES
+void PairSumsKernel(const double* x, const double* y, size_t n,
+                    double* sum_x, double* sum_y) {
+  double sx0 = 0.0, sx1 = 0.0, sx2 = 0.0, sx3 = 0.0;
+  double sy0 = 0.0, sy1 = 0.0, sy2 = 0.0, sy3 = 0.0;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    sx0 += x[j];
+    sx1 += x[j + 1];
+    sx2 += x[j + 2];
+    sx3 += x[j + 3];
+    sy0 += y[j];
+    sy1 += y[j + 1];
+    sy2 += y[j + 2];
+    sy3 += y[j + 3];
+  }
+  for (; j < n; ++j) {
+    switch (j & 3) {
+      case 0: sx0 += x[j]; sy0 += y[j]; break;
+      case 1: sx1 += x[j]; sy1 += y[j]; break;
+      case 2: sx2 += x[j]; sy2 += y[j]; break;
+      default: sx3 += x[j]; sy3 += y[j]; break;
+    }
+  }
+  *sum_x = (sx0 + sx1) + (sx2 + sx3);
+  *sum_y = (sy0 + sy1) + (sy2 + sy3);
+}
+
+FORESIGHT_KERNEL_CLONES
+void CenteredProductsKernel(const double* x, const double* y, size_t n,
+                            double mean_x, double mean_y, double* sxy,
+                            double* sxx, double* syy) {
+  double xy0 = 0.0, xy1 = 0.0, xy2 = 0.0, xy3 = 0.0;
+  double xx0 = 0.0, xx1 = 0.0, xx2 = 0.0, xx3 = 0.0;
+  double yy0 = 0.0, yy1 = 0.0, yy2 = 0.0, yy3 = 0.0;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const double dx0 = x[j] - mean_x, dy0 = y[j] - mean_y;
+    const double dx1 = x[j + 1] - mean_x, dy1 = y[j + 1] - mean_y;
+    const double dx2 = x[j + 2] - mean_x, dy2 = y[j + 2] - mean_y;
+    const double dx3 = x[j + 3] - mean_x, dy3 = y[j + 3] - mean_y;
+    xy0 += dx0 * dy0;
+    xy1 += dx1 * dy1;
+    xy2 += dx2 * dy2;
+    xy3 += dx3 * dy3;
+    xx0 += dx0 * dx0;
+    xx1 += dx1 * dx1;
+    xx2 += dx2 * dx2;
+    xx3 += dx3 * dx3;
+    yy0 += dy0 * dy0;
+    yy1 += dy1 * dy1;
+    yy2 += dy2 * dy2;
+    yy3 += dy3 * dy3;
+  }
+  for (; j < n; ++j) {
+    const double dx = x[j] - mean_x;
+    const double dy = y[j] - mean_y;
+    switch (j & 3) {
+      case 0: xy0 += dx * dy; xx0 += dx * dx; yy0 += dy * dy; break;
+      case 1: xy1 += dx * dy; xx1 += dx * dx; yy1 += dy * dy; break;
+      case 2: xy2 += dx * dy; xx2 += dx * dx; yy2 += dy * dy; break;
+      default: xy3 += dx * dy; xx3 += dx * dx; yy3 += dy * dy; break;
+    }
+  }
+  *sxy = (xy0 + xy1) + (xy2 + xy3);
+  *sxx = (xx0 + xx1) + (xx2 + xx3);
+  *syy = (yy0 + yy1) + (yy2 + yy3);
+}
+
+}  // namespace
+
+PairedMoments PairedMomentsBlocked(const NumericColumn& a,
+                                   const NumericColumn& b) {
+  FORESIGHT_CHECK(a.size() == b.size());
+  // Per-worker scratch: the engine pool refines many pairs per thread, and
+  // reusing the compaction buffers keeps the hot path allocation-free.
+  static thread_local std::vector<double> xs_scratch;
+  static thread_local std::vector<double> ys_scratch;
+
+  const double* x = nullptr;
+  const double* y = nullptr;
+  size_t count = 0;
+  if (a.null_count() == 0 && b.null_count() == 0) {
+    // Dense fast path: kernels read the raw buffers directly.
+    x = a.values().data();
+    y = b.values().data();
+    count = a.size();
+  } else {
+    xs_scratch.clear();
+    ys_scratch.clear();
+    xs_scratch.reserve(a.size());
+    ys_scratch.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a.is_valid(i) && b.is_valid(i)) {
+        xs_scratch.push_back(a.value(i));
+        ys_scratch.push_back(b.value(i));
+      }
+    }
+    x = xs_scratch.data();
+    y = ys_scratch.data();
+    count = xs_scratch.size();
+  }
+
+  PairedMoments moments;
+  moments.count = count;
+  if (count == 0) return moments;
+  double sum_x = 0.0, sum_y = 0.0;
+  PairSumsKernel(x, y, count, &sum_x, &sum_y);
+  moments.mean_x = sum_x / static_cast<double>(count);
+  moments.mean_y = sum_y / static_cast<double>(count);
+  CenteredProductsKernel(x, y, count, moments.mean_x, moments.mean_y,
+                         &moments.sxy, &moments.sxx, &moments.syy);
+  return moments;
+}
+
+double PearsonPairedBlocked(const NumericColumn& a, const NumericColumn& b) {
+  PairedMoments m = PairedMomentsBlocked(a, b);
+  if (m.count < 2) return 0.0;
+  if (m.sxx <= 0.0 || m.syy <= 0.0) return 0.0;
+  return std::clamp(m.sxy / std::sqrt(m.sxx * m.syy), -1.0, 1.0);
 }
 
 PairedValues ExtractPairedValid(const NumericColumn& a,

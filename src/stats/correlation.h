@@ -36,6 +36,38 @@ struct PairedValues {
 };
 PairedValues ExtractPairedValid(const NumericColumn& a, const NumericColumn& b);
 
+/// Two-pass moment sums over the pairwise-valid rows of two columns: count,
+/// means, and the centered products sxy/sxx/syy that Pearson is assembled
+/// from. Produced by PairedMomentsBlocked.
+struct PairedMoments {
+  size_t count = 0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+};
+
+/// Blocked two-pass paired moments. Columns with zero nulls feed the kernels
+/// straight from their raw buffers (no compaction copy); otherwise the
+/// pairwise-valid rows are compacted into thread-local scratch first. The
+/// kernels accumulate into four independent lanes (row i to lane i mod 4),
+/// which is what lets the AVX2 clone vectorize — the lane-partitioned
+/// addition order IS the definition, so the scalar and AVX2 clones are
+/// bit-identical (same no-FMA target_clones pattern as sketch ingestion).
+/// Note the lane split means sums round differently from the sequential
+/// PearsonCorrelation; both are exact two-pass algorithms, but they are
+/// distinct rounding specifications.
+PairedMoments PairedMomentsBlocked(const NumericColumn& a,
+                                   const NumericColumn& b);
+
+/// Exact Pearson over the pairwise-valid rows of two columns via
+/// PairedMomentsBlocked — the SIMD refine kernel of the sketch-first prune
+/// pipeline and the exact path of the linear-relationship class. Same edge
+/// semantics as PearsonCorrelation: 0 for fewer than 2 paired rows or a
+/// constant side, result clamped to [-1, 1].
+double PearsonPairedBlocked(const NumericColumn& a, const NumericColumn& b);
+
 }  // namespace foresight
 
 #endif  // FORESIGHT_STATS_CORRELATION_H_

@@ -47,22 +47,35 @@ std::string CpuModelName() {
   return "unknown";
 }
 
-JsonValue BenchEnvironmentJson() {
+JsonValue BenchEnvironmentJson(size_t max_workers_requested) {
   JsonValue env = JsonValue::Object();
   env.Set("hardware_concurrency",
           static_cast<size_t>(std::thread::hardware_concurrency()));
   env.Set("cpu_model", CpuModelName());
   env.Set("compiler", CompilerString());
   env.Set("build_type", BuildTypeString());
+  env.Set("max_workers_requested", max_workers_requested);
+  env.Set("scaling_claims_valid", ScalingClaimsValid(max_workers_requested));
   return env;
+}
+
+bool ScalingClaimsValid(size_t workers) {
+  size_t cores = static_cast<size_t>(std::thread::hardware_concurrency());
+  // Unknown core count cannot substantiate a multi-worker claim either.
+  if (workers <= 1) return true;
+  return cores >= workers;
 }
 
 bool WarnIfOversubscribed(size_t workers) {
   size_t cores = static_cast<size_t>(std::thread::hardware_concurrency());
   if (cores == 0 || workers <= cores) return false;
   std::fprintf(stderr,
+               "================================================================\n"
                "WARNING: %zu workers on %zu hardware thread(s) — timings "
-               "beyond %zu workers measure oversubscription, not scaling\n",
+               "beyond\n%zu workers measure oversubscription, not scaling. "
+               "Parallel-speedup\nclaims from this run are INVALID "
+               "(scaling_claims_valid = false in\nthe emitted JSON).\n"
+               "================================================================\n",
                workers, cores, cores);
   return true;
 }

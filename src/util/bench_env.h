@@ -12,15 +12,26 @@ namespace foresight {
 /// interpretable after the fact: a "0.5x speedup at 8 workers" is a bug on an
 /// 8-core box and expected oversubscription on a 1-core one.
 ///   {"hardware_concurrency": N, "cpu_model": "...", "compiler": "...",
-///    "build_type": "..."}
-JsonValue BenchEnvironmentJson();
+///    "build_type": "...", "max_workers_requested": W,
+///    "scaling_claims_valid": bool}
+/// `max_workers_requested` is the largest worker count any measurement in the
+/// emitting bench used; scaling_claims_valid is ScalingClaimsValid(W). Pass 0
+/// for single-threaded benches (flag stays true).
+JsonValue BenchEnvironmentJson(size_t max_workers_requested = 0);
+
+/// True when this machine can substantiate a parallel-scaling claim at
+/// `workers` threads: hardware_concurrency >= workers. On an undersized box
+/// (e.g. a 1-core CI runner) multi-worker timings measure context-switching,
+/// so any "Nx at W workers" line derived from them is invalid.
+bool ScalingClaimsValid(size_t workers);
 
 /// CPU model string from /proc/cpuinfo ("unknown" when unavailable).
 std::string CpuModelName();
 
-/// Prints a stderr warning when `workers` exceeds hardware_concurrency —
-/// timings at that point measure context-switching, not scaling. Returns true
-/// if oversubscribed.
+/// Prints a LOUD stderr warning when `workers` exceeds hardware_concurrency —
+/// timings at that point measure context-switching, not scaling, and any
+/// bench JSON recorded this way carries scaling_claims_valid = false. Returns
+/// true if oversubscribed.
 bool WarnIfOversubscribed(size_t workers);
 
 }  // namespace foresight

@@ -1,0 +1,36 @@
+#ifndef FORESIGHT_UTIL_SIMD_CLONES_H_
+#define FORESIGHT_UTIL_SIMD_CLONES_H_
+
+// FORESIGHT_KERNEL_CLONES: function multi-versioning for hot numeric
+// kernels. The annotated function is compiled once per target ("avx2" and
+// "default") and dispatched by CPU feature at load time via ifunc.
+//
+// Bit-identity contract shared by every kernel that uses this macro: the
+// AVX2 clone may vectorize only ACROSS independent accumulators/lanes, never
+// reassociate a single accumulator's addition sequence — and AVX2 carries no
+// FMA instruction set, so no fused multiply-add can alter roundings either.
+// (AVX-512 is deliberately excluded: its feature set brings FMA, which would
+// let the compiler contract mul+add pairs and break bit-identity with the
+// scalar reference path.)
+//
+// Sanitizer builds must not multi-version: the ifunc resolver target_clones
+// emits runs before the sanitizer runtime initializes and crashes at load.
+// Plain scalar code there is fine — sanitizer jobs test semantics, not SIMD.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define FORESIGHT_NO_KERNEL_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define FORESIGHT_NO_KERNEL_CLONES 1
+#endif
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(FORESIGHT_NO_KERNEL_CLONES)
+#define FORESIGHT_KERNEL_CLONES \
+  __attribute__((target_clones("avx2", "default")))
+#else
+#define FORESIGHT_KERNEL_CLONES
+#endif
+
+#endif  // FORESIGHT_UTIL_SIMD_CLONES_H_

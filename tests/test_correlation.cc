@@ -46,6 +46,57 @@ TEST(PearsonTest, RecoversPlantedCorrelation) {
   }
 }
 
+TEST(PearsonBlockedTest, AgreesWithSequentialWithinRounding) {
+  // The 4-lane blocked kernel reassociates the sums, so it is NOT bit-equal
+  // to the sequential path — but it must agree to ~1e-12 on well-conditioned
+  // data (the engine's tests compare at that tolerance too).
+  for (double rho : {-0.9, 0.0, 0.6}) {
+    CorrelatedPair pair = MakeGaussianPair(10007, rho, 42);  // Odd tail.
+    NumericColumn a(pair.x), b(pair.y);
+    EXPECT_NEAR(PearsonPairedBlocked(a, b),
+                PearsonCorrelation(pair.x, pair.y), 1e-12)
+        << "rho " << rho;
+  }
+}
+
+TEST(PearsonBlockedTest, PairwiseDeletionMatchesExtractPairedValid) {
+  // With nulls, the blocked kernel must implement the same pairwise-deletion
+  // semantics as ExtractPairedValid + sequential Pearson.
+  CorrelatedPair pair = MakeGaussianPair(5000, 0.5, 17);
+  NumericColumn a, b;
+  for (size_t i = 0; i < 5000; ++i) {
+    if (i % 11 == 0) {
+      a.AppendNull();
+    } else {
+      a.Append(pair.x[i]);
+    }
+    if (i % 13 == 0) {
+      b.AppendNull();
+    } else {
+      b.Append(pair.y[i]);
+    }
+  }
+  PairedValues paired = ExtractPairedValid(a, b);
+  EXPECT_NEAR(PearsonPairedBlocked(a, b),
+              PearsonCorrelation(paired.x, paired.y), 1e-12);
+  PairedMoments moments = PairedMomentsBlocked(a, b);
+  EXPECT_EQ(moments.count, paired.x.size());
+}
+
+TEST(PearsonBlockedTest, DegenerateInputsReturnZero) {
+  NumericColumn empty_a, empty_b;
+  EXPECT_DOUBLE_EQ(PearsonPairedBlocked(empty_a, empty_b), 0.0);
+  NumericColumn constant(std::vector<double>{2.0, 2.0, 2.0});
+  NumericColumn varying(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(PearsonPairedBlocked(constant, varying), 0.0);
+  NumericColumn all_null_a, all_null_b;
+  for (int i = 0; i < 4; ++i) {
+    all_null_a.AppendNull();
+    all_null_b.AppendNull();
+  }
+  EXPECT_DOUBLE_EQ(PearsonPairedBlocked(all_null_a, all_null_b), 0.0);
+}
+
 TEST(FractionalRanksTest, MidrankTies) {
   std::vector<double> v{10.0, 20.0, 20.0, 30.0};
   std::vector<double> ranks = FractionalRanks(v);

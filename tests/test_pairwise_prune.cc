@@ -1,0 +1,333 @@
+// Equivalence gate for the sketch-first prune planner (DESIGN.md
+// "Sketch-first pruning"): for every eligible exact-mode pairwise query the
+// pruned execution must be BIT-IDENTICAL to exhaustive exact evaluation —
+// same top-k set, same ranks, same raw values — across seeds, null patterns,
+// worker counts, and adversarial near-threshold ties. The planner is only
+// allowed to change how much work is done, never the answer.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "data/table.h"
+#include "stats/correlation.h"
+
+namespace foresight {
+namespace {
+
+constexpr size_t kBits = 2048;  // Tight Hoeffding bounds so pruning triggers.
+
+InsightEngine MakeEngine(const DataTable& table, bool pruning,
+                         size_t workers = 1) {
+  EngineOptions options;
+  options.preprocess.sketch.hyperplane_bits = kBits;
+  options.num_workers = workers;
+  options.enable_pairwise_pruning = pruning;
+  auto engine = InsightEngine::Create(table, std::move(options));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+InsightQuery ExactTopK(size_t k) {
+  InsightQuery query;
+  query.class_name = "linear_relationship";
+  query.metric = "pearson";
+  query.mode = ExecutionMode::kExact;
+  query.top_k = k;
+  return query;
+}
+
+/// Set AND ranks AND values: every position must match bit-for-bit.
+void ExpectSameRanking(const InsightQueryResult& pruned,
+                       const InsightQueryResult& exhaustive) {
+  ASSERT_EQ(pruned.insights.size(), exhaustive.insights.size());
+  for (size_t i = 0; i < pruned.insights.size(); ++i) {
+    EXPECT_EQ(pruned.insights[i].attributes.indices,
+              exhaustive.insights[i].attributes.indices)
+        << "rank " << i;
+    EXPECT_EQ(pruned.insights[i].raw_value, exhaustive.insights[i].raw_value)
+        << "rank " << i;
+    EXPECT_EQ(pruned.insights[i].score, exhaustive.insights[i].score)
+        << "rank " << i;
+  }
+}
+
+/// Telemetry invariants: the pruned result reports the full considered count
+/// (comparable with exhaustive runs) and every considered pair is accounted
+/// for as either pruned or refined.
+void ExpectTelemetryConsistent(const InsightQueryResult& pruned,
+                               const InsightQueryResult& exhaustive) {
+  const PruneTelemetry& t = pruned.prune;
+  EXPECT_TRUE(t.used);
+  EXPECT_FALSE(exhaustive.prune.used);
+  EXPECT_EQ(pruned.candidates_evaluated, exhaustive.candidates_evaluated);
+  EXPECT_EQ(t.pairs_total, exhaustive.candidates_evaluated);
+  EXPECT_EQ(t.pairs_pruned + t.pairs_refined, t.pairs_total);
+  EXPECT_GE(t.pairs_refined, pruned.insights.size());
+  EXPECT_GE(t.pairs_estimated, t.pairs_total - t.pairs_unsafe);
+}
+
+TEST(PairwisePruneTest, TopKBitIdenticalAcrossSeeds) {
+  for (uint64_t seed : {uint64_t{1}, uint64_t{7}, uint64_t{13}}) {
+    DataTable table = MakeCorrelatedBlocks(3000, 24, 4, 0.7, seed);
+    InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+    InsightQuery query = ExactTopK(10);
+
+    engine.set_pairwise_pruning(false);
+    auto exhaustive = engine.Execute(query);
+    ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+    engine.set_pairwise_pruning(true);
+    auto pruned = engine.Execute(query);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+
+    ExpectSameRanking(*pruned, *exhaustive);
+    ExpectTelemetryConsistent(*pruned, *exhaustive);
+    // The test must actually exercise the planner, not vacuously pass.
+    EXPECT_GT(pruned->prune.pairs_pruned, 0u) << "seed " << seed;
+  }
+}
+
+TEST(PairwisePruneTest, WorkerCountsPreserveEquivalence) {
+  DataTable table = MakeCorrelatedBlocks(3000, 24, 4, 0.7, 7);
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+  InsightQuery query = ExactTopK(10);
+
+  engine.set_pairwise_pruning(false);
+  auto exhaustive = engine.Execute(query);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  engine.set_pairwise_pruning(true);
+
+  for (size_t workers : {size_t{1}, size_t{8}}) {
+    engine.set_num_workers(workers);
+    auto pruned = engine.Execute(query);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    ExpectSameRanking(*pruned, *exhaustive);
+    ExpectTelemetryConsistent(*pruned, *exhaustive);
+    EXPECT_GT(pruned->prune.pairs_pruned, 0u) << "workers " << workers;
+  }
+}
+
+TEST(PairwisePruneTest, NullAndConstantColumnsAlwaysRefinedExactly) {
+  // Columns with nulls (cosine estimator != pairwise-deletion Pearson) or
+  // zero variance have no valid bound: their pairs are flagged unsafe and
+  // must reach the exact kernel regardless of their estimates.
+  CorrelatedPair strong = MakeGaussianPair(2000, 0.95, 5);
+  CorrelatedPair second = MakeGaussianPair(2000, 0.9, 6);
+  CorrelatedPair noise = MakeGaussianPair(2000, 0.0, 8);
+
+  DataTable table;
+  ASSERT_TRUE(table.AddNumericColumn("x", strong.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("y", strong.y).ok());
+  ASSERT_TRUE(table.AddNumericColumn("u", second.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("v", second.y).ok());
+  std::vector<double> scaled = strong.x;
+  for (double& value : scaled) value = 2.5 * value + 1.0;
+  ASSERT_TRUE(table.AddNumericColumn("x_scaled", scaled).ok());
+  ASSERT_TRUE(table.AddNumericColumn("noise_a", noise.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("noise_b", noise.y).ok());
+  auto holey = std::make_unique<NumericColumn>();
+  for (size_t i = 0; i < 2000; ++i) {
+    if (i % 37 == 0) {
+      holey->AppendNull();
+    } else {
+      holey->Append(strong.y[i] + second.x[i]);
+    }
+  }
+  ASSERT_TRUE(table.AddColumn("holey", std::move(holey)).ok());
+  ASSERT_TRUE(
+      table.AddNumericColumn("flat", std::vector<double>(2000, 3.0)).ok());
+
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+  InsightQuery query = ExactTopK(3);
+  engine.set_pairwise_pruning(false);
+  auto exhaustive = engine.Execute(query);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  engine.set_pairwise_pruning(true);
+  auto pruned = engine.Execute(query);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+
+  ExpectSameRanking(*pruned, *exhaustive);
+  ExpectTelemetryConsistent(*pruned, *exhaustive);
+  EXPECT_GT(pruned->prune.pairs_unsafe, 0u);
+  EXPECT_GT(pruned->prune.pairs_pruned, 0u);
+}
+
+TEST(PairwisePruneTest, NearThresholdTiesStayIdentical) {
+  // Adversarial ties: three mutually |rho| = 1 columns put identical scores
+  // at (and above) the top-k boundary, and min_score sits exactly ON a
+  // planted pair's score. Inclusive filters + deterministic tie-breaking
+  // must survive pruning bit-for-bit.
+  CorrelatedPair base = MakeGaussianPair(2000, 0.0, 21);
+  std::vector<double> negated = base.x;
+  for (double& value : negated) value = -value;
+  std::vector<double> rescaled = base.x;
+  for (double& value : rescaled) value = 0.5 * value - 2.0;
+  std::vector<double> mixed(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    mixed[i] = 0.6 * base.x[i] + 0.8 * base.y[i];
+  }
+
+  DataTable table;
+  ASSERT_TRUE(table.AddNumericColumn("c0", base.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c1", negated).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c2", rescaled).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c3", mixed).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c4", base.y).ok());
+  CorrelatedPair filler = MakeGaussianPair(2000, 0.0, 22);
+  ASSERT_TRUE(table.AddNumericColumn("c5", filler.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c6", filler.y).ok());
+
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+  for (size_t top_k : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    InsightQuery query = ExactTopK(top_k);
+    engine.set_pairwise_pruning(false);
+    auto exhaustive = engine.Execute(query);
+    ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+    engine.set_pairwise_pruning(true);
+    auto pruned = engine.Execute(query);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    ExpectSameRanking(*pruned, *exhaustive);
+    ExpectTelemetryConsistent(*pruned, *exhaustive);
+  }
+
+  // min_score exactly equal to the c0-c3 pair's exact score (inclusive
+  // bound): that pair must appear in both executions. The boundary comes
+  // from the engine itself — the blocked refine kernel's rounding differs
+  // from sequential PearsonCorrelation in the last bit, and the filter
+  // compares engine scores.
+  AttributeTuple boundary_tuple;
+  boundary_tuple.indices = {0, 3};
+  auto boundary_insight = engine.EvaluateTuple(
+      "linear_relationship", boundary_tuple, "pearson", ExecutionMode::kExact);
+  ASSERT_TRUE(boundary_insight.ok()) << boundary_insight.status().ToString();
+  double boundary = boundary_insight->raw_value;
+  InsightQuery query = ExactTopK(10);
+  query.min_score = std::abs(boundary);
+  engine.set_pairwise_pruning(false);
+  auto exhaustive = engine.Execute(query);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  engine.set_pairwise_pruning(true);
+  auto pruned = engine.Execute(query);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  ExpectSameRanking(*pruned, *exhaustive);
+  bool boundary_present = false;
+  for (const Insight& insight : pruned->insights) {
+    if (insight.score == std::abs(boundary)) boundary_present = true;
+  }
+  EXPECT_TRUE(boundary_present);
+}
+
+TEST(PairwisePruneTest, OverviewRefinedCellsBitIdenticalPrunedCellsBounded) {
+  DataTable table = MakeCorrelatedBlocks(3000, 20, 4, 0.7, 11);
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+
+  PairwiseOverviewOptions exhaustive_options;
+  exhaustive_options.metric = "pearson";
+  exhaustive_options.mode = ExecutionMode::kExact;
+  auto exhaustive =
+      engine.ComputePairwiseOverview("linear_relationship", exhaustive_options);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  EXPECT_FALSE(exhaustive->prune.used);
+  EXPECT_TRUE(exhaustive->cell_provenance.empty());
+
+  PairwiseOverviewOptions pruned_options = exhaustive_options;
+  pruned_options.refine_min_score = 0.4;
+
+  std::vector<double> serial_matrix;
+  for (size_t workers : {size_t{1}, size_t{8}}) {
+    engine.set_num_workers(workers);
+    auto pruned =
+        engine.ComputePairwiseOverview("linear_relationship", pruned_options);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    ASSERT_TRUE(pruned->prune.used);
+    const size_t d = pruned->attribute_names.size();
+    ASSERT_EQ(pruned->cell_provenance.size(), d * d);
+    size_t estimated_cells = 0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        size_t c = i * d + j;
+        if (pruned->cell_provenance[c] == Provenance::kExact) {
+          EXPECT_EQ(pruned->matrix[c], exhaustive->matrix[c])
+              << "cell " << i << "," << j;
+        } else {
+          ++estimated_cells;
+          // The planner may only serve an estimate when the exact value is
+          // provably below the refinement threshold.
+          EXPECT_LT(std::abs(exhaustive->matrix[c]),
+                    pruned_options.refine_min_score)
+              << "cell " << i << "," << j;
+        }
+        if (i == j) {
+          EXPECT_EQ(pruned->cell_provenance[c], Provenance::kExact);
+        }
+      }
+    }
+    EXPECT_GT(estimated_cells, 0u) << "planner pruned nothing";
+    EXPECT_EQ(pruned->prune.pairs_pruned + pruned->prune.pairs_refined,
+              pruned->prune.pairs_total);
+    if (workers == 1) {
+      serial_matrix = pruned->matrix;
+    } else {
+      EXPECT_EQ(pruned->matrix, serial_matrix);  // Bit-identical across pools.
+    }
+  }
+}
+
+TEST(PairwisePruneTest, PlannerBypassedWhenIneligible) {
+  DataTable table = MakeCorrelatedBlocks(2000, 12, 4, 0.7, 3);
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+
+  // max_score breaks the top-k threshold argument: exhaustive fallback.
+  InsightQuery capped = ExactTopK(5);
+  capped.max_score = 0.9;
+  auto capped_result = engine.Execute(capped);
+  ASSERT_TRUE(capped_result.ok()) << capped_result.status().ToString();
+  EXPECT_FALSE(capped_result->prune.used);
+
+  // Sketch mode has no exact refinement to prune toward.
+  InsightQuery sketch = ExactTopK(5);
+  sketch.mode = ExecutionMode::kSketch;
+  auto sketch_result = engine.Execute(sketch);
+  ASSERT_TRUE(sketch_result.ok()) << sketch_result.status().ToString();
+  EXPECT_FALSE(sketch_result->prune.used);
+
+  // top_k covering every candidate leaves nothing to prune.
+  auto full_result = engine.Execute(ExactTopK(1000));
+  ASSERT_TRUE(full_result.ok()) << full_result.status().ToString();
+  EXPECT_FALSE(full_result->prune.used);
+
+  // Runtime toggle off and back on.
+  engine.set_pairwise_pruning(false);
+  auto disabled = engine.Execute(ExactTopK(5));
+  ASSERT_TRUE(disabled.ok()) << disabled.status().ToString();
+  EXPECT_FALSE(disabled->prune.used);
+  engine.set_pairwise_pruning(true);
+  auto enabled = engine.Execute(ExactTopK(5));
+  ASSERT_TRUE(enabled.ok()) << enabled.status().ToString();
+  EXPECT_TRUE(enabled->prune.used);
+
+  // Engines built with pruning disabled never plan.
+  InsightEngine frozen = MakeEngine(table, /*pruning=*/false);
+  auto frozen_result = frozen.Execute(ExactTopK(5));
+  ASSERT_TRUE(frozen_result.ok()) << frozen_result.status().ToString();
+  EXPECT_FALSE(frozen_result->prune.used);
+  EXPECT_FALSE(frozen.pairwise_pruning());
+}
+
+TEST(PairwisePruneTest, InvalidOverviewThresholdRejected) {
+  DataTable table = MakeCorrelatedBlocks(500, 8, 4, 0.7, 2);
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+  PairwiseOverviewOptions options;
+  options.metric = "pearson";
+  options.mode = ExecutionMode::kExact;
+  options.refine_min_score = -0.5;
+  auto overview = engine.ComputePairwiseOverview("linear_relationship", options);
+  EXPECT_FALSE(overview.ok());
+}
+
+}  // namespace
+}  // namespace foresight

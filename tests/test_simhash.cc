@@ -156,6 +156,140 @@ TEST(HyperplaneAccumulatorTest, MergeIntoEmpty) {
   EXPECT_EQ(BitSignature::HammingDistance(from_empty, direct), 0u);
 }
 
+TEST(PrefixEstimateTest, PrefixAgreesWithFreshSmallerSketcher) {
+  // The first k bits of a K-bit signature must BE the k-bit signature: the
+  // per-row hyperplane components are drawn sequentially from the same
+  // (seed, row) stream, so a fresh sketcher with smaller k reproduces the
+  // prefix exactly. This is what lets the prune planner sweep precision
+  // without re-sketching.
+  CorrelatedPair pair = MakeGaussianPair(2000, 0.4, 9);
+  double mean_x = MomentsOf(pair.x).mean();
+  double mean_y = MomentsOf(pair.y).mean();
+  HyperplaneSketcher big(1024, 77), small(192, 77);
+  BitSignature ax = big.Sketch(pair.x, mean_x);
+  BitSignature ay = big.Sketch(pair.y, mean_y);
+  BitSignature bx = small.Sketch(pair.x, mean_x);
+  BitSignature by = small.Sketch(pair.y, mean_y);
+  for (size_t i = 0; i < 192; ++i) {
+    ASSERT_EQ(ax.bit(i), bx.bit(i)) << i;
+    ASSERT_EQ(ay.bit(i), by.bit(i)) << i;
+  }
+  EXPECT_EQ(BitSignature::HammingDistancePrefix(ax, ay, 192),
+            BitSignature::HammingDistance(bx, by));
+  EXPECT_DOUBLE_EQ(HyperplaneSketcher::EstimateCorrelationPrefix(ax, ay, 192),
+                   HyperplaneSketcher::EstimateCorrelation(bx, by));
+  // Full-width prefix degenerates to the plain estimator.
+  EXPECT_DOUBLE_EQ(HyperplaneSketcher::EstimateCorrelationPrefix(ax, ay, 1024),
+                   HyperplaneSketcher::EstimateCorrelation(ax, ay));
+}
+
+TEST(PrefixEstimateTest, BatchHammingPrefixMatchesScalar) {
+  // The planner's batched popcount path must agree with the scalar prefix
+  // distance for every signature and every prefix width, including tails
+  // that straddle word boundaries.
+  constexpr size_t kBits = 256;
+  HyperplaneSketcher sketcher(kBits, 13);
+  std::vector<BitSignature> signatures;
+  for (uint64_t s = 0; s < 7; ++s) {
+    CorrelatedPair pair =
+        MakeGaussianPair(500, -0.8 + 0.25 * static_cast<double>(s), 40 + s);
+    signatures.push_back(sketcher.Sketch(pair.x, MomentsOf(pair.x).mean()));
+  }
+  std::vector<const BitSignature*> others;
+  for (size_t j = 1; j < signatures.size(); ++j) others.push_back(&signatures[j]);
+  for (size_t bits : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                      size_t{100}, size_t{255}, kBits}) {
+    std::vector<uint64_t> batch(others.size());
+    BitSignature::BatchHammingPrefix(signatures[0], others.data(),
+                                     others.size(), bits, batch.data());
+    for (size_t j = 0; j < others.size(); ++j) {
+      EXPECT_EQ(batch[j], BitSignature::HammingDistancePrefix(
+                              signatures[0], *others[j], bits))
+          << "bits=" << bits << " j=" << j;
+    }
+  }
+}
+
+TEST(PrefixEstimateTest, ErrorShrinksWithPrefixWidth) {
+  // On the SAME signatures, mean |estimate - exact| must fall as the prefix
+  // widens 64 -> 256 -> 2048 (each prefix is a valid smaller sketch whose
+  // standard error scales as 1/sqrt(bits)).
+  double err_64 = 0.0, err_256 = 0.0, err_2048 = 0.0;
+  const int trials = 10;
+  HyperplaneSketcher sketcher(2048, 7);
+  for (int t = 0; t < trials; ++t) {
+    double rho = -0.9 + 1.8 * t / (trials - 1);
+    CorrelatedPair pair = MakeGaussianPair(3000, rho, 200 + t);
+    double exact = PearsonCorrelation(pair.x, pair.y);
+    BitSignature a = sketcher.Sketch(pair.x, MomentsOf(pair.x).mean());
+    BitSignature b = sketcher.Sketch(pair.y, MomentsOf(pair.y).mean());
+    err_64 += std::abs(
+        HyperplaneSketcher::EstimateCorrelationPrefix(a, b, 64) - exact);
+    err_256 += std::abs(
+        HyperplaneSketcher::EstimateCorrelationPrefix(a, b, 256) - exact);
+    err_2048 += std::abs(
+        HyperplaneSketcher::EstimateCorrelationPrefix(a, b, 2048) - exact);
+  }
+  EXPECT_LT(err_256, err_64);
+  EXPECT_LT(err_2048, err_256);
+}
+
+TEST(PrefixEstimateTest, HammingFractionBoundFormula) {
+  // eps(k, delta) = sqrt(ln(2/delta) / (2k)): spot-check the closed form and
+  // its monotonicity in both arguments.
+  EXPECT_NEAR(HyperplaneSketcher::HammingFractionBound(512, 0.05),
+              std::sqrt(std::log(2.0 / 0.05) / 1024.0), 1e-15);
+  EXPECT_LT(HyperplaneSketcher::HammingFractionBound(2048, 0.05),
+            HyperplaneSketcher::HammingFractionBound(512, 0.05));
+  EXPECT_GT(HyperplaneSketcher::HammingFractionBound(512, 1e-9),
+            HyperplaneSketcher::HammingFractionBound(512, 1e-3));
+}
+
+TEST(PrefixEstimateTest, IntervalBracketsEstimateAndClamps) {
+  const size_t bits = 512;
+  for (uint64_t hamming : {uint64_t{0}, uint64_t{100}, uint64_t{256},
+                           uint64_t{400}, uint64_t{512}}) {
+    double lo = 0.0, hi = 0.0;
+    HyperplaneSketcher::EstimateCorrelationInterval(hamming, bits, 1e-6, &lo,
+                                                    &hi);
+    double estimate =
+        HyperplaneSketcher::EstimateCorrelationFromHamming(hamming, bits);
+    EXPECT_GE(lo, -1.0);
+    EXPECT_LE(hi, 1.0);
+    EXPECT_LE(lo, estimate);
+    EXPECT_GE(hi, estimate);
+  }
+  double lo = 0.0, hi = 0.0;
+  HyperplaneSketcher::EstimateCorrelationInterval(0, bits, 1e-6, &lo, &hi);
+  EXPECT_DOUBLE_EQ(hi, 1.0);  // Zero disagreement: upper end clamps at +1.
+  HyperplaneSketcher::EstimateCorrelationInterval(bits, bits, 1e-6, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, -1.0);  // Total disagreement: lower end clamps at -1.
+}
+
+TEST(PrefixEstimateTest, HoeffdingIntervalCoversExactEmpirically) {
+  // Over many independently seeded (data, sketcher) trials, the delta = 0.05
+  // interval must cover the exact Pearson value in at least a 1 - delta
+  // fraction — Hoeffding is conservative, so observed violations should be
+  // well under trials * delta.
+  const int trials = 200;
+  const double delta = 0.05;
+  int violations = 0;
+  for (int t = 0; t < trials; ++t) {
+    double rho = -0.9 + 1.8 * t / (trials - 1);
+    CorrelatedPair pair = MakeGaussianPair(400, rho, 1000 + t);
+    double exact = PearsonCorrelation(pair.x, pair.y);
+    HyperplaneSketcher sketcher(512, 3000 + t);
+    BitSignature a = sketcher.Sketch(pair.x, MomentsOf(pair.x).mean());
+    BitSignature b = sketcher.Sketch(pair.y, MomentsOf(pair.y).mean());
+    uint64_t hamming = BitSignature::HammingDistance(a, b);
+    double lo = 0.0, hi = 0.0;
+    HyperplaneSketcher::EstimateCorrelationInterval(hamming, 512, delta, &lo,
+                                                    &hi);
+    if (exact < lo || exact > hi) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(trials * delta));
+}
+
 TEST(HyperplaneSketcherTest, RowHyperplanesSharedAcrossCalls) {
   HyperplaneSketcher sketcher(32, 9);
   std::vector<double> row1, row2;

@@ -67,6 +67,27 @@ int RunSmoke(const std::string& format, size_t rows, bool print_trace) {
       last_trace = result->trace;
     }
   }
+  // One eligible exact-mode pairwise query so the sketch-first prune
+  // planner's telemetry (engine.pairwise_*_total counters and the
+  // engine.prune.*_ms histograms) is represented in the dump.
+  InsightQuery exact_pairwise;
+  exact_pairwise.class_name = "linear_relationship";
+  exact_pairwise.metric = "pearson";
+  exact_pairwise.mode = ExecutionMode::kExact;
+  exact_pairwise.top_k = 8;
+  auto exact_result = session.Execute(exact_pairwise);
+  if (!exact_result.ok()) {
+    std::fprintf(stderr, "foresight_stats: exact pairwise query failed: %s\n",
+                 exact_result.status().ToString().c_str());
+    return 1;
+  }
+  if (!exact_result->prune.used) {
+    std::fprintf(stderr,
+                 "foresight_stats: prune planner unexpectedly bypassed the "
+                 "exact pairwise query\n");
+    return 1;
+  }
+
   // One batch so the batched path is represented in the dump too.
   std::vector<InsightQuery> batch;
   for (const std::string& class_name : classes) {
