@@ -160,6 +160,15 @@ class LinearRelationshipClass final : public InsightClass {
         SketchScoreBound& bound = bounds[r];
         bound.estimate =
             HyperplaneSketcher::EstimateCorrelationFromHamming(h, bits);
+        const size_t other = tuples[r].indices[1];
+        bound.safe =
+            anchor != other && is_safe_column(anchor) && is_safe_column(other);
+        // Contract (insight_class.h): unsafe bounds stay vacuous [0, 1].
+        // A constant column's all-set signature can agree perfectly with
+        // another's while the exact Pearson is the 0.0 sentinel — a
+        // sketch-derived score_lo here would poison the planner's top-k
+        // threshold.
+        if (!bound.safe) continue;
         double rho_lo = 0.0, rho_hi = 0.0;
         HyperplaneSketcher::EstimateCorrelationInterval(h, bits, delta,
                                                         &rho_lo, &rho_hi);
@@ -169,9 +178,6 @@ class LinearRelationshipClass final : public InsightClass {
         bound.score_lo = (rho_lo <= 0.0 && rho_hi >= 0.0)
                              ? 0.0
                              : std::min(std::abs(rho_lo), std::abs(rho_hi));
-        const size_t other = tuples[r].indices[1];
-        bound.safe =
-            anchor != other && is_safe_column(anchor) && is_safe_column(other);
       }
       t = run_end;
     }

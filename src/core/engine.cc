@@ -80,14 +80,20 @@ bool TupleMatches(const DataTable& table, const AttributeTuple& tuple,
 // only the final survivors reach the exact metric kernels. Pruning is sound
 // per pair with probability >= 1 - kPairDelta: a pair is dropped only when
 // its score UPPER bound falls strictly below a threshold T chosen so that at
-// least top_k other pairs have score LOWER bounds >= T — so the dropped pair
-// cannot displace any of them from the exact top-k (see the design doc for
-// the full argument, including why max_score disqualifies a query).
+// least top_k other pairs have SAFE score LOWER bounds >= T — so the dropped
+// pair cannot displace any of them from the exact top-k (see the design doc
+// for the full argument, including why max_score disqualifies a query).
+// A pair sees at most two bound computations (coarse pass + full-precision
+// escalation), so each round runs at kPairDelta / 2 and the union bound
+// keeps the total per-pair failure probability <= kPairDelta.
 
-/// Per-pair failure probability for the Hoeffding bounds. At 1e-9 even a
-/// 10^6-pair workload keeps the any-pair failure probability below ~1e-3,
-/// and the cost is only a ~1.6x wider epsilon than delta = 1e-3.
+/// Per-pair failure probability budget across BOTH pruning rounds. At 1e-9
+/// even a 10^6-pair workload keeps the any-pair failure probability below
+/// ~1e-3, and the cost is only a ~1.6x wider epsilon than delta = 1e-3.
 constexpr double kPairDelta = 1e-9;
+
+/// What each of the (up to) two rounds actually spends.
+constexpr double kRoundDelta = kPairDelta / 2;
 
 /// Coarse first-pass prefix width (bits). Cheap enough to score every pair,
 /// wide enough (epsilon_p ~ 0.2) to discard clearly-null pairs before the
@@ -140,8 +146,9 @@ PrunePlan PlanPairwisePrune(const InsightClass& insight_class,
 
   // One pruning round over the currently-alive pairs at `prefix_bits`
   // precision. The threshold is either the caller-fixed score floor
-  // (overviews) or the k-th largest score LOWER bound among alive pairs,
-  // strengthened by min_score: every pair it prunes is provably (w.h.p.)
+  // (overviews) or the k-th largest score LOWER bound among alive SAFE
+  // pairs, strengthened by min_score: every pair it prunes is provably
+  // (w.h.p.)
   // outside the exact top-k. Because the k pairs defining the threshold have
   // score_hi >= score_lo >= T, they are never pruned themselves — at least
   // top_k pairs always survive, which also keeps the next round's threshold
@@ -158,7 +165,7 @@ PrunePlan PlanPairwisePrune(const InsightClass& insight_class,
       }
     }
     insight_class.EstimateScoreBounds(profile, round_tuples, metric,
-                                      prefix_bits, kPairDelta, bounds);
+                                      prefix_bits, kRoundDelta, bounds);
     if (escalation) {
       plan.telemetry.pairs_escalated = round_tuples.size();
     } else {
@@ -171,10 +178,16 @@ PrunePlan PlanPairwisePrune(const InsightClass& insight_class,
     if (fixed_threshold.has_value()) {
       threshold = *fixed_threshold;
     } else {
+      // Only SAFE lower bounds may raise the threshold: unsafe bounds are
+      // vacuous by contract (insight_class.h), and an unsafe pair's sketch
+      // can agree spuriously (e.g. two constant columns share an all-set
+      // signature while their exact Pearson is the 0.0 sentinel). Since
+      // unsafe pairs are never pruned, excluding them loses no pruning
+      // power — it only keeps the threshold honest.
       std::vector<double> lows;
       lows.reserve(bounds.size());
       for (const SketchScoreBound& bound : bounds) {
-        lows.push_back(bound.score_lo);
+        if (bound.safe) lows.push_back(bound.score_lo);
       }
       threshold = KthLargest(lows, top_k);
       if (min_score.has_value()) {

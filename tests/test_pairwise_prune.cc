@@ -156,6 +156,60 @@ TEST(PairwisePruneTest, NullAndConstantColumnsAlwaysRefinedExactly) {
   EXPECT_GT(pruned->prune.pairs_pruned, 0u);
 }
 
+TEST(PairwisePruneTest, AgreeingUnsafePairsCannotInflateThreshold) {
+  // Adversarial threshold contamination: constant (zero-variance) columns get
+  // identical all-set signatures, so every constant-constant pair sits at
+  // Hamming 0 — a sketch-derived score_lo near 1.0 — while its exact Pearson
+  // is the 0.0 sentinel. With top_k such mutually-agreeing UNSAFE pairs, a
+  // threshold built from all lower bounds would rise above the genuine top-k
+  // pairs' upper bounds (|rho| ~ 0.65 has score_hi ~ 0.85 at 2048 bits) and
+  // prune them. Unsafe bounds must stay vacuous and must not contribute to
+  // the threshold, so the pruned top-k still matches exhaustive exactly.
+  CorrelatedPair first = MakeGaussianPair(2000, 0.7, 31);
+  CorrelatedPair second = MakeGaussianPair(2000, 0.65, 32);
+  CorrelatedPair third = MakeGaussianPair(2000, 0.6, 33);
+
+  DataTable table;
+  ASSERT_TRUE(table.AddNumericColumn("a0", first.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("a1", first.y).ok());
+  ASSERT_TRUE(table.AddNumericColumn("b0", second.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("b1", second.y).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c0", third.x).ok());
+  ASSERT_TRUE(table.AddNumericColumn("c1", third.y).ok());
+  // Power-of-two constants so `dot - mean * ones_dot` cancels EXACTLY in the
+  // sketcher (scaling by 2^k is rounding-free): every hyperplane projection
+  // centers to +0.0, all three signatures come out all-set, and the three
+  // flat-flat pairs mutually agree at Hamming 0.
+  ASSERT_TRUE(
+      table.AddNumericColumn("flat0", std::vector<double>(2000, 1.0)).ok());
+  ASSERT_TRUE(
+      table.AddNumericColumn("flat1", std::vector<double>(2000, 2.0)).ok());
+  ASSERT_TRUE(
+      table.AddNumericColumn("flat2", std::vector<double>(2000, 4.0)).ok());
+
+  InsightEngine engine = MakeEngine(table, /*pruning=*/true);
+  InsightQuery query = ExactTopK(3);
+  engine.set_pairwise_pruning(false);
+  auto exhaustive = engine.Execute(query);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  engine.set_pairwise_pruning(true);
+  auto pruned = engine.Execute(query);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+
+  // The exhaustive top-3 must be the three planted pairs, all nonzero —
+  // i.e. none of the constant-column pairs (exact score 0.0).
+  ASSERT_EQ(exhaustive->insights.size(), 3u);
+  for (const Insight& insight : exhaustive->insights) {
+    EXPECT_GT(insight.score, 0.4);
+  }
+  ExpectSameRanking(*pruned, *exhaustive);
+  ExpectTelemetryConsistent(*pruned, *exhaustive);
+  // Constant-constant and constant-numeric pairs are all unsafe; a healthy
+  // planner still prunes the weak safe (cross) pairs.
+  EXPECT_GE(pruned->prune.pairs_unsafe, 3u);
+  EXPECT_GT(pruned->prune.pairs_pruned, 0u);
+}
+
 TEST(PairwisePruneTest, NearThresholdTiesStayIdentical) {
   // Adversarial ties: three mutually |rho| = 1 columns put identical scores
   // at (and above) the top-k boundary, and min_score sits exactly ON a
