@@ -19,6 +19,16 @@
 
 using namespace foresight;
 
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
+
 int main() {
   // --- Part 1: the figure itself, on the OECD analogue. ---
   std::printf("E5: Figure 2 overview heatmap (synthetic OECD, 24 numeric "
@@ -30,9 +40,9 @@ int main() {
   if (!engine.ok()) return 1;
 
   auto exact = engine->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kExact);
+      "linear_relationship", OverviewOptions(ExecutionMode::kExact));
   auto sketch = engine->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kSketch);
+      "linear_relationship", OverviewOptions(ExecutionMode::kSketch));
   if (!exact.ok() || !sketch.ok()) return 1;
 
   std::printf("%s\n", RenderCorrelationHeatmapAscii(*exact).c_str());
@@ -74,10 +84,10 @@ int main() {
   if (!block_engine.ok()) return 1;
   auto block_exact =
       block_engine->ComputePairwiseOverview(
-          "linear_relationship", "", ExecutionMode::kExact);
+      "linear_relationship", OverviewOptions(ExecutionMode::kExact));
   auto block_sketch =
       block_engine->ComputePairwiseOverview(
-          "linear_relationship", "", ExecutionMode::kSketch);
+      "linear_relationship", OverviewOptions(ExecutionMode::kSketch));
   if (!block_exact.ok() || !block_sketch.ok()) return 1;
 
   size_t in_block_ok_exact = 0, in_block_total = 0;

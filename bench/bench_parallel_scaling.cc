@@ -26,6 +26,16 @@
 
 using namespace foresight;
 
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
+
 namespace {
 
 constexpr size_t kRows = 30000;
@@ -92,9 +102,9 @@ RunResult RunAtWorkers(const DataTable& table, size_t workers) {
   result.query_seconds = best;
 
   timer.Restart();
-  auto overview = engine->ComputePairwiseOverview("linear_relationship",
-                                                  "pearson",
-                                                  ExecutionMode::kExact);
+  auto overview = engine->ComputePairwiseOverview(
+      "linear_relationship",
+      OverviewOptions(ExecutionMode::kExact, "pearson"));
   result.overview_seconds = timer.ElapsedSeconds();
   if (overview.ok()) {
     for (double v : overview->matrix) result.overview_checksum += v;

@@ -15,6 +15,16 @@
 
 using namespace foresight;
 
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
+
 int main() {
   const size_t n = 100000, d_num = 90, d_cat = 10;
   std::printf("E4: insight-query latency at paper scale (%zu x %zu)\n", n,
@@ -86,7 +96,7 @@ int main() {
   {
     WallTimer timer;
     auto overview = engine->ComputePairwiseOverview(
-        "linear_relationship", "", ExecutionMode::kSketch);
+      "linear_relationship", OverviewOptions(ExecutionMode::kSketch));
     double ms = timer.ElapsedMillis();
     bool interactive = overview.ok() && ms < 500.0;
     all_interactive = all_interactive && interactive;

@@ -1,0 +1,44 @@
+// Fuzz harness for the v1 wire codec (core/query.cc FromJson + serve/wire.cc
+// ParseQueryBatchV1) — the JSON surface exposed to untrusted HTTP clients.
+//
+// Invariants checked beyond "does not crash":
+//   - An accepted single query is a round-trip fixed point: ToJson() must
+//     re-parse under the same strict decoder and re-encode byte-identically.
+//   - An accepted batch re-parses query-by-query (every element passed the
+//     strict decoder, so each must round-trip on its own).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/query.h"
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  foresight::StatusOr<foresight::JsonValue> json =
+      foresight::JsonValue::Parse(text);
+  if (!json.ok()) return 0;
+
+  foresight::StatusOr<foresight::InsightQuery> query =
+      foresight::InsightQuery::FromJson(*json);
+  if (query.ok()) {
+    foresight::JsonValue encoded = query->ToJson();
+    foresight::StatusOr<foresight::InsightQuery> again =
+        foresight::InsightQuery::FromJson(encoded);
+    FORESIGHT_CHECK(again.ok());
+    FORESIGHT_CHECK(again->ToJson().Dump() == encoded.Dump());
+  }
+
+  foresight::StatusOr<std::vector<foresight::InsightQuery>> batch =
+      foresight::ParseQueryBatchV1(*json, /*max_queries=*/64);
+  if (batch.ok()) {
+    for (const foresight::InsightQuery& q : *batch) {
+      foresight::StatusOr<foresight::InsightQuery> again =
+          foresight::InsightQuery::FromJson(q.ToJson());
+      FORESIGHT_CHECK(again.ok());
+    }
+  }
+  return 0;
+}

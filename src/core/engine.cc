@@ -737,23 +737,6 @@ StatusOr<Insight> InsightEngine::EvaluateTuple(const std::string& class_name,
                       resolved_mode);
 }
 
-StatusOr<CorrelationOverview> InsightEngine::ComputeCorrelationOverview(
-    ExecutionMode mode) const {
-  // Deprecated alias (see DESIGN.md "API deprecations"): the correlation
-  // heatmap is just the pairwise overview of the linear-relationship class
-  // with its default metric (pearson).
-  return ComputePairwiseOverview("linear_relationship", "", mode);
-}
-
-StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
-    const std::string& class_name, const std::string& metric,
-    ExecutionMode mode) const {
-  PairwiseOverviewOptions options;
-  options.metric = metric;
-  options.mode = mode;
-  return ComputePairwiseOverview(class_name, options);
-}
-
 StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
     const std::string& class_name,
     const PairwiseOverviewOptions& options) const {

@@ -176,25 +176,17 @@ class InsightEngine {
                                   const std::string& metric = "",
                                   ExecutionMode mode = ExecutionMode::kAuto) const;
 
-  /// DEPRECATED: thin alias for ComputePairwiseOverview("linear_relationship")
-  /// kept for source compatibility; new code should call the generalized
-  /// overview directly (see DESIGN.md "API deprecations"). Figure 2 overview:
-  /// all pairwise correlations among numeric columns.
-  StatusOr<CorrelationOverview> ComputeCorrelationOverview(
-      ExecutionMode mode = ExecutionMode::kAuto) const;
-
   /// Generalized overview: the metric values of ANY arity-2 numeric insight
   /// class over all attribute pairs (§2.1's per-class overview
-  /// visualizations). Empty metric selects the class default.
-  StatusOr<CorrelationOverview> ComputePairwiseOverview(
-      const std::string& class_name, const std::string& metric = "",
-      ExecutionMode mode = ExecutionMode::kAuto) const;
-
-  /// Options form of the pairwise overview, adding sketch-first pruning for
-  /// exact-mode overviews (see PairwiseOverviewOptions::refine_min_score).
+  /// visualizations). This is the single overview entry point (the former
+  /// ComputeCorrelationOverview alias and the metric/mode convenience
+  /// overloads are gone — see DESIGN.md "API deprecations"); Figure 2's
+  /// correlation heatmap is ComputePairwiseOverview("linear_relationship").
+  /// Default-constructed options select the class default metric, kAuto
+  /// mode, and no sketch-first cell pruning (refine_min_score = 0).
   StatusOr<CorrelationOverview> ComputePairwiseOverview(
       const std::string& class_name,
-      const PairwiseOverviewOptions& options) const;
+      const PairwiseOverviewOptions& options = {}) const;
 
   /// Whether the sketch-first prune planner may serve eligible exact-mode
   /// pairwise queries. Toggling bumps the serving epoch (results are

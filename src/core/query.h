@@ -3,9 +3,11 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/insight.h"
+#include "util/json.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -20,6 +22,12 @@ enum class ExecutionMode {
   kSketch,  ///< Sketch/sample estimates (§3).
   kAuto,    ///< Engine default (sketch when a profile is available).
 };
+
+/// Stable v1 wire name of an execution mode: "exact", "sketch", or "auto".
+const char* ExecutionModeName(ExecutionMode mode);
+
+/// Parses a v1 wire mode name; InvalidArgument for anything else.
+StatusOr<ExecutionMode> ParseExecutionMode(std::string_view name);
 
 /// An insight query (§2.1): "A basic insight query returns the visualizations
 /// for the highest-ranked feature tuples according to the insight metric
@@ -63,6 +71,24 @@ struct InsightQuery {
   /// `metric = ""` / `mode = kAuto` alias their explicit spellings.
   std::string CacheKey(const std::string& resolved_metric,
                        ExecutionMode resolved_mode) const;
+
+  /// v1 wire encoding (DESIGN.md "Wire API v1"):
+  ///   {"class": "...", "top_k": N, "mode": "exact|sketch|auto",
+  ///    "metric"?: "...", "fixed_attributes"?: [...],
+  ///    "required_tags"?: [...], "min_score"?: x, "max_score"?: x}
+  /// `class`, `top_k`, and `mode` are always emitted; empty metric, empty
+  /// attribute/tag lists, and unset score bounds are omitted.
+  /// FromJson(ToJson()) is the identity.
+  JsonValue ToJson() const;
+
+  /// Strict v1 decoder — the single JSON entry point shared by the HTTP
+  /// server, the fuzz harnesses, and the tests (no ad-hoc parsing in
+  /// handlers). Rejects with InvalidArgument: non-object documents, unknown
+  /// fields (typos must not silently run a default query), wrong field
+  /// types, non-integral / negative / > 1e9 top_k, unknown mode names, and
+  /// anything the context-free Validate() rejects. Field semantics are
+  /// frozen: additions to the v1 schema may only be new optional fields.
+  static StatusOr<InsightQuery> FromJson(const JsonValue& json);
 };
 
 /// Telemetry of the sketch-first prune planner (DESIGN.md "Sketch-first

@@ -1,0 +1,86 @@
+#ifndef FORESIGHT_SERVE_HTTP_H_
+#define FORESIGHT_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace foresight {
+
+/// Hard limits on a single HTTP request. Exceeding a limit is a protocol
+/// error (431 / 413), not a "need more bytes" state, so a hostile client
+/// cannot make the server buffer unbounded input.
+struct HttpLimits {
+  size_t max_header_bytes = 8 * 1024;        ///< Request line + all headers.
+  size_t max_body_bytes = 1024 * 1024;       ///< Content-Length ceiling.
+};
+
+/// A parsed HTTP/1.x request. Header names are lower-cased at parse time
+/// (HTTP headers are case-insensitive); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< Verbatim, e.g. "GET", "POST".
+  std::string target;   ///< Request target, e.g. "/v1/query?x=1".
+  std::string path;     ///< `target` with any "?query" suffix removed.
+  int minor_version = 1;  ///< HTTP/1.<minor>; only 0 and 1 are accepted.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lower-case), or "" when absent.
+  std::string_view Header(std::string_view name) const;
+
+  /// Connection persistence per HTTP/1.1 defaults: 1.1 is keep-alive unless
+  /// "Connection: close"; 1.0 is close unless "Connection: keep-alive".
+  bool KeepAlive() const;
+};
+
+/// Outcome of one ParseRequest call over the connection's receive buffer.
+enum class ParseState {
+  kNeedMore,   ///< Prefix of a valid request; read more bytes and re-parse.
+  kComplete,   ///< One full request parsed; `consumed` bytes were used.
+  kError,      ///< Protocol violation; respond with `error_status` and close.
+};
+
+/// Result of ParseRequest. On kError, `error_status`/`error_reason` describe
+/// the HTTP response to send before closing the connection.
+struct ParseResult {
+  ParseState state = ParseState::kNeedMore;
+  size_t consumed = 0;          ///< Valid only for kComplete.
+  int error_status = 0;         ///< Valid only for kError (e.g. 431).
+  std::string error_reason;     ///< Human-readable parse failure.
+};
+
+/// Incremental HTTP/1.x request parser, stateless by design: callers
+/// accumulate bytes in a buffer and re-parse from the start after every read
+/// (kNeedMore costs a re-scan of at most max_header_bytes + max_body_bytes —
+/// irrelevant next to query execution). On kComplete, `out` holds the request
+/// and `consumed` tells the caller how much buffer to discard; leftover bytes
+/// are the start of the next pipelined request.
+///
+/// Deliberate scope: HTTP/1.0 and 1.1 only; Content-Length bodies only
+/// (Transfer-Encoding is rejected with 501 — chunked parsing is attack
+/// surface the v1 API does not need); no multi-line header folding (431).
+ParseResult ParseRequest(std::string_view buffer, const HttpLimits& limits,
+                         HttpRequest* out);
+
+/// The response side: status + reason, headers, body.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes the server emits
+/// ("Unknown" for anything else).
+std::string_view HttpReasonPhrase(int status);
+
+/// Serializes `response` as an HTTP/1.1 message. Content-Length and
+/// Connection are always emitted (from `response.body` and `keep_alive`);
+/// other headers come from `response.headers`.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SERVE_HTTP_H_

@@ -1,0 +1,176 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace foresight {
+
+namespace {
+
+std::string ToLowerAscii(std::string_view input) {
+  std::string out(input);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimOws(std::string_view value) {
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view ClientResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+Status HttpClient::Connect(uint16_t port) {
+  Disconnect();
+  buffer_.clear();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+  }
+  fd_ = std::move(fd);
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  if (!fd_.valid()) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Disconnect();
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<ClientResponse> HttpClient::ReadResponse() {
+  if (!fd_.valid()) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    // Try to parse a complete response out of the buffer.
+    const size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      std::string_view view(buffer_);
+      const size_t line_end = view.find("\r\n");
+      std::string_view line = view.substr(0, line_end);
+      // "HTTP/1.1 200 OK"
+      if (line.size() < 12 || line.substr(0, 5) != "HTTP/") {
+        Disconnect();
+        return Status::ParseError("malformed status line");
+      }
+      ClientResponse response;
+      response.status = (line[9] - '0') * 100 + (line[10] - '0') * 10 +
+                        (line[11] - '0');
+
+      size_t cursor = line_end + 2;
+      while (cursor < header_end) {
+        const size_t eol = view.find("\r\n", cursor);
+        std::string_view field = view.substr(cursor, eol - cursor);
+        cursor = eol + 2;
+        const size_t colon = field.find(':');
+        if (colon == std::string_view::npos) {
+          Disconnect();
+          return Status::ParseError("malformed response header");
+        }
+        response.headers.emplace_back(
+            ToLowerAscii(field.substr(0, colon)),
+            std::string(TrimOws(field.substr(colon + 1))));
+      }
+
+      size_t content_length = 0;
+      const std::string_view length = response.Header("content-length");
+      for (char c : length) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          Disconnect();
+          return Status::ParseError("malformed Content-Length");
+        }
+        content_length = content_length * 10 + static_cast<size_t>(c - '0');
+      }
+
+      const size_t body_begin = header_end + 4;
+      if (buffer_.size() - body_begin >= content_length) {
+        response.body = buffer_.substr(body_begin, content_length);
+        buffer_.erase(0, body_begin + content_length);
+        if (ToLowerAscii(response.Header("connection")) == "close") {
+          Disconnect();
+        }
+        return response;
+      }
+    }
+
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Disconnect();
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+StatusOr<ClientResponse> HttpClient::Request(
+    std::string_view method, std::string_view target, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string request;
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name;
+    request += ": ";
+    request += value;
+    request += "\r\n";
+  }
+  if (!body.empty()) {
+    request += "Content-Type: application/json\r\nContent-Length: ";
+    request += std::to_string(body.size());
+    request += "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  FORESIGHT_RETURN_IF_ERROR(SendRaw(request));
+  return ReadResponse();
+}
+
+}  // namespace foresight

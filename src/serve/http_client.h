@@ -1,0 +1,63 @@
+#ifndef FORESIGHT_SERVE_HTTP_CLIENT_H_
+#define FORESIGHT_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/fd.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// One parsed HTTP response.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< Lower-cased.
+  std::string body;
+
+  /// First value of `name` (lower-case), or "" when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection to
+/// 127.0.0.1 — the shared transport for the serve tests, the load bench, and
+/// the CI smoke probe (so they all exercise real sockets, not an in-process
+/// shortcut). Intentionally not a general client: loopback only,
+/// Content-Length bodies only, single-threaded use.
+class HttpClient {
+ public:
+  HttpClient() = default;
+
+  /// Opens (or reopens) the connection.
+  Status Connect(uint16_t port);
+
+  bool connected() const { return fd_.valid(); }
+  void Disconnect() { fd_.Reset(); }
+
+  /// Sends one request and blocks for the response. `body` non-empty implies
+  /// a Content-Length header. IOError if the server closed mid-exchange; the
+  /// caller may Connect() again (the server closes on protocol errors and
+  /// idle timeouts by design).
+  StatusOr<ClientResponse> Request(
+      std::string_view method, std::string_view target,
+      std::string_view body = {},
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Sends raw bytes verbatim (hostile-input tests: truncated requests,
+  /// pipelining, slowloris drips).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one response off the wire (for use after SendRaw).
+  StatusOr<ClientResponse> ReadResponse();
+
+ private:
+  UniqueFd fd_;
+  std::string buffer_;  ///< Bytes read but not yet consumed by a response.
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SERVE_HTTP_CLIENT_H_

@@ -1,0 +1,76 @@
+#ifndef FORESIGHT_SERVE_REQUEST_QUEUE_H_
+#define FORESIGHT_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace foresight {
+
+/// Bounded MPMC FIFO — the serve front-end's admission control. The event
+/// loop TryPushes accepted work; when the queue is full the push fails
+/// *immediately* and the caller answers 503 + Retry-After, so a request burst
+/// is rejected at the door instead of growing an unbounded backlog (the
+/// /healthz handler stays responsive because it never enters this queue).
+/// Workers block in Pop; Close() wakes them all with std::nullopt.
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Nonblocking push. False when the queue is at capacity or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained;
+  /// std::nullopt means "shut down" (a closed queue still hands out the
+  /// items already admitted — admitted requests get answers, not resets).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all blocked Pop callers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_SERVE_REQUEST_QUEUE_H_

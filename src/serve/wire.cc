@@ -1,0 +1,184 @@
+#include "serve/wire.h"
+
+namespace foresight {
+
+namespace {
+
+const char* ProvenanceName(Provenance provenance) {
+  return provenance == Provenance::kSketch ? "sketch" : "exact";
+}
+
+JsonValue StringArray(const std::vector<std::string>& values) {
+  JsonValue array = JsonValue::Array();
+  for (const std::string& value : values) array.Append(value);
+  return array;
+}
+
+JsonValue InsightJson(const Insight& insight) {
+  JsonValue json = JsonValue::Object();
+  json.Set("class", insight.class_name);
+  json.Set("metric", insight.metric_name);
+  JsonValue indices = JsonValue::Array();
+  for (size_t index : insight.attributes.indices) indices.Append(index);
+  json.Set("attribute_indices", std::move(indices));
+  json.Set("attributes", StringArray(insight.attribute_names));
+  json.Set("score", insight.score);
+  json.Set("raw_value", insight.raw_value);
+  json.Set("provenance", ProvenanceName(insight.provenance));
+  json.Set("description", insight.description);
+  return json;
+}
+
+JsonValue PruneJson(const PruneTelemetry& prune) {
+  JsonValue json = JsonValue::Object();
+  json.Set("used", prune.used);
+  json.Set("pairs_total", prune.pairs_total);
+  json.Set("pairs_estimated", prune.pairs_estimated);
+  json.Set("pairs_escalated", prune.pairs_escalated);
+  json.Set("pairs_pruned", prune.pairs_pruned);
+  json.Set("pairs_refined", prune.pairs_refined);
+  json.Set("pairs_unsafe", prune.pairs_unsafe);
+  return json;
+}
+
+JsonValue Envelope() {
+  JsonValue json = JsonValue::Object();
+  json.Set("api_version", kWireApiVersion);
+  return json;
+}
+
+}  // namespace
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+      return 500;
+  }
+  return 500;
+}
+
+JsonValue WireErrorV1(const Status& status) {
+  JsonValue json = Envelope();
+  JsonValue error = JsonValue::Object();
+  error.Set("code", StatusCodeToString(status.code()));
+  error.Set("message", status.message());
+  json.Set("error", std::move(error));
+  return json;
+}
+
+JsonValue WireResultV1(const InsightQueryResult& result) {
+  JsonValue json = JsonValue::Object();
+  JsonValue insights = JsonValue::Array();
+  for (const Insight& insight : result.insights) {
+    insights.Append(InsightJson(insight));
+  }
+  json.Set("insights", std::move(insights));
+  json.Set("candidates_evaluated", result.candidates_evaluated);
+  json.Set("undefined_excluded", result.undefined_excluded);
+  return json;
+}
+
+JsonValue WireTelemetryV1(const InsightQueryResult& result) {
+  JsonValue json = JsonValue::Object();
+  json.Set("elapsed_ms", result.elapsed_ms);
+  json.Set("mode_used", ExecutionModeName(result.mode_used));
+  json.Set("cache_hit", result.cache_hit);
+  json.Set("cache_shard", result.cache_shard);
+  json.Set("prune", PruneJson(result.prune));
+  return json;
+}
+
+JsonValue WireQueryResponseV1(const InsightQueryResult& result) {
+  JsonValue json = Envelope();
+  json.Set("result", WireResultV1(result));
+  json.Set("telemetry", WireTelemetryV1(result));
+  return json;
+}
+
+JsonValue WireBatchResponseV1(std::span<const InsightQueryResult> results) {
+  JsonValue json = Envelope();
+  JsonValue encoded = JsonValue::Array();
+  JsonValue telemetry = JsonValue::Array();
+  for (const InsightQueryResult& result : results) {
+    encoded.Append(WireResultV1(result));
+    telemetry.Append(WireTelemetryV1(result));
+  }
+  json.Set("results", std::move(encoded));
+  json.Set("telemetry", std::move(telemetry));
+  return json;
+}
+
+JsonValue WireOverviewResponseV1(const CorrelationOverview& overview) {
+  JsonValue result = JsonValue::Object();
+  result.Set("class", overview.class_name);
+  result.Set("metric", overview.metric_name);
+  result.Set("attributes", StringArray(overview.attribute_names));
+  JsonValue matrix = JsonValue::Array();
+  for (double value : overview.matrix) matrix.Append(value);
+  result.Set("matrix", std::move(matrix));
+  result.Set("provenance", ProvenanceName(overview.provenance));
+  if (!overview.cell_provenance.empty()) {
+    JsonValue cells = JsonValue::Array();
+    for (Provenance cell : overview.cell_provenance) {
+      cells.Append(ProvenanceName(cell));
+    }
+    result.Set("cell_provenance", std::move(cells));
+  }
+
+  JsonValue json = Envelope();
+  json.Set("result", std::move(result));
+  JsonValue telemetry = JsonValue::Object();
+  telemetry.Set("prune", PruneJson(overview.prune));
+  json.Set("telemetry", std::move(telemetry));
+  return json;
+}
+
+StatusOr<std::vector<InsightQuery>> ParseQueryBatchV1(const JsonValue& json,
+                                                      size_t max_queries) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("batch request must be a JSON object");
+  }
+  const JsonValue* queries = nullptr;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "queries") {
+      queries = &value;
+    } else {
+      return Status::InvalidArgument("unknown batch field '" + key + "'");
+    }
+  }
+  if (queries == nullptr || !queries->is_array()) {
+    return Status::InvalidArgument("batch request needs a 'queries' array");
+  }
+  if (queries->size() > max_queries) {
+    return Status::InvalidArgument(
+        "batch exceeds the limit of " + std::to_string(max_queries) +
+        " queries");
+  }
+  std::vector<InsightQuery> parsed;
+  parsed.reserve(queries->size());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    StatusOr<InsightQuery> query = InsightQuery::FromJson(queries->at(i));
+    if (!query.ok()) {
+      return Status::InvalidArgument("queries[" + std::to_string(i) +
+                                     "]: " + query.status().message());
+    }
+    parsed.push_back(std::move(query).value());
+  }
+  return parsed;
+}
+
+}  // namespace foresight

@@ -1,0 +1,70 @@
+#include "util/fd.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace foresight {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::IOError(std::string("fcntl(F_GETFL): ") +
+                           std::strerror(errno));
+  }
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(F_SETFL): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+StatusOr<UniqueFd> CreateListenSocket(uint16_t port, int backlog,
+                                      uint16_t* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Status::IOError(std::string("setsockopt(SO_REUSEADDR): ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      return Status::IOError(std::string("getsockname: ") +
+                             std::strerror(errno));
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  FORESIGHT_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+}  // namespace foresight

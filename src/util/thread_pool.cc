@@ -71,6 +71,19 @@ void ThreadPool::AttachMetrics(std::shared_ptr<MetricsRegistry> registry) {
                      std::memory_order_relaxed);
 }
 
+bool ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ <= 1) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.emplace_back(std::move(task));
+    if (Gauge* depth = queue_depth_.load(std::memory_order_relaxed)) {
+      depth->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

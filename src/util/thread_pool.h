@@ -62,6 +62,15 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  /// Enqueues a standalone fire-and-forget task for a spawned worker (used by
+  /// the serve front-end to drain its admission queue on engine workers).
+  /// Returns false without enqueuing when the pool spawned no workers
+  /// (num_threads() == 1) — the task would never run; callers must provide
+  /// their own thread in that configuration. Tasks still queued at
+  /// destruction are drained, not dropped, so a submitted task always runs
+  /// as long as the pool outlives the Submit call; `task` must not throw.
+  bool Submit(std::function<void()> task);
+
   /// Points the pool at a registry for observability: tasks executed, queue
   /// depth, ParallelFor count and wall time, and a static thread-count gauge
   /// ("thread_pool.*"). Pass nullptr to detach. The pool shares ownership of

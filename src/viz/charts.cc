@@ -179,9 +179,11 @@ StatusOr<JsonValue> BuildOverviewChart(const InsightEngine& engine,
     return Status::NotFound("unknown insight class: " + class_name);
   }
   if (insight_class->arity() == 2) {
+    PairwiseOverviewOptions overview_options;
+    overview_options.mode = mode;
     FORESIGHT_ASSIGN_OR_RETURN(
         CorrelationOverview overview,
-        engine.ComputePairwiseOverview(class_name, "", mode));
+        engine.ComputePairwiseOverview(class_name, overview_options));
     return CorrelationHeatmapSpec(
         overview, insight_class->display_name() + " overview (" +
                       overview.metric_name + ")");
@@ -212,9 +214,11 @@ StatusOr<std::string> RenderOverviewAscii(const InsightEngine& engine,
     return Status::NotFound("unknown insight class: " + class_name);
   }
   if (insight_class->arity() == 2) {
+    PairwiseOverviewOptions overview_options;
+    overview_options.mode = mode;
     FORESIGHT_ASSIGN_OR_RETURN(
         CorrelationOverview overview,
-        engine.ComputePairwiseOverview(class_name, "", mode));
+        engine.ComputePairwiseOverview(class_name, overview_options));
     return insight_class->display_name() + " overview (" +
            overview.metric_name + "):\n" +
            RenderCorrelationHeatmapAscii(overview);

@@ -9,6 +9,16 @@
 #include "util/random.h"
 
 namespace foresight {
+
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
 namespace {
 
 class EngineTest : public ::testing::Test {
@@ -190,7 +200,7 @@ TEST_F(EngineTest, EvaluateTupleMatchesQueryResults) {
 
 TEST_F(EngineTest, CorrelationOverviewIsSymmetricWithUnitDiagonal) {
   auto overview = engine_->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kExact);
+      "linear_relationship", OverviewOptions(ExecutionMode::kExact));
   ASSERT_TRUE(overview.ok());
   size_t d = overview->attribute_names.size();
   EXPECT_EQ(d, table_->NumericColumnIndices().size());
@@ -205,9 +215,9 @@ TEST_F(EngineTest, CorrelationOverviewIsSymmetricWithUnitDiagonal) {
 
 TEST_F(EngineTest, SketchOverviewTracksExact) {
   auto exact = engine_->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kExact);
+      "linear_relationship", OverviewOptions(ExecutionMode::kExact));
   auto sketch = engine_->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kSketch);
+      "linear_relationship", OverviewOptions(ExecutionMode::kSketch));
   ASSERT_TRUE(exact.ok());
   ASSERT_TRUE(sketch.ok());
   EXPECT_EQ(sketch->provenance, Provenance::kSketch);

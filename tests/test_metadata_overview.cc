@@ -10,6 +10,16 @@
 #include "viz/charts.h"
 
 namespace foresight {
+
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
 namespace {
 
 TEST(SchemaTagsTest, TagAndQueryColumns) {
@@ -145,8 +155,8 @@ DataTable* OverviewTest::table_ = nullptr;
 InsightEngine* OverviewTest::engine_ = nullptr;
 
 TEST_F(OverviewTest, PairwiseOverviewGeneralizesBeyondPearson) {
-  auto spearman = engine_->ComputePairwiseOverview("monotonic_relationship",
-                                                   "", ExecutionMode::kExact);
+  auto spearman = engine_->ComputePairwiseOverview(
+      "monotonic_relationship", OverviewOptions(ExecutionMode::kExact));
   ASSERT_TRUE(spearman.ok());
   EXPECT_EQ(spearman->metric_name, "spearman");
   size_t d = spearman->attribute_names.size();
@@ -159,8 +169,8 @@ TEST_F(OverviewTest, PairwiseOverviewGeneralizesBeyondPearson) {
   }
   EXPECT_LT(spearman->at(work, leisure), -0.7);  // Monotone too.
 
-  auto nmi = engine_->ComputePairwiseOverview("general_dependence", "",
-                                              ExecutionMode::kExact);
+  auto nmi = engine_->ComputePairwiseOverview(
+      "general_dependence", OverviewOptions(ExecutionMode::kExact));
   ASSERT_TRUE(nmi.ok());
   // NMI is non-negative and the planted pair is strongly dependent.
   EXPECT_GT(nmi->at(work, leisure), 0.2);

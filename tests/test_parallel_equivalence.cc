@@ -16,6 +16,16 @@
 #include "util/thread_pool.h"
 
 namespace foresight {
+
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
 namespace {
 
 /// Profile JSON with the one legitimately nondeterministic field (wall-clock
@@ -145,8 +155,10 @@ TEST_F(ParallelEquivalenceTest, FilteredQueryIdentical) {
 
 TEST_F(ParallelEquivalenceTest, OverviewMatricesIdenticalBothModes) {
   for (ExecutionMode mode : {ExecutionMode::kExact, ExecutionMode::kSketch}) {
-    auto serial = serial_->ComputePairwiseOverview("linear_relationship", "", mode);
-    auto parallel = parallel_->ComputePairwiseOverview("linear_relationship", "", mode);
+    auto serial = serial_->ComputePairwiseOverview(
+      "linear_relationship", OverviewOptions(mode));
+    auto parallel = parallel_->ComputePairwiseOverview(
+      "linear_relationship", OverviewOptions(mode));
     ASSERT_TRUE(serial.ok());
     ASSERT_TRUE(parallel.ok());
     EXPECT_EQ(serial->attribute_names, parallel->attribute_names);

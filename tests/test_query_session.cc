@@ -11,6 +11,16 @@
 #include "data/generators.h"
 
 namespace foresight {
+
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
 namespace {
 
 /// Field-by-field equality of two results' payloads (everything except the
@@ -329,16 +339,19 @@ TEST_F(QuerySessionTest, SessionBatchCachesAndServesHits) {
   }
 }
 
-TEST_F(QuerySessionTest, DeprecatedOverviewAliasMatchesPairwise) {
-  auto legacy = engine_->ComputeCorrelationOverview(ExecutionMode::kExact);
-  auto general = engine_->ComputePairwiseOverview("linear_relationship", "",
-                                                  ExecutionMode::kExact);
-  ASSERT_TRUE(legacy.ok());
-  ASSERT_TRUE(general.ok());
-  EXPECT_EQ(legacy->class_name, general->class_name);
-  EXPECT_EQ(legacy->metric_name, "pearson");
-  EXPECT_EQ(legacy->attribute_names, general->attribute_names);
-  EXPECT_EQ(legacy->matrix, general->matrix);
+// The former ComputeCorrelationOverview alias is gone (DESIGN.md "API
+// deprecations"): default-constructed options must select the class default
+// metric, so the one remaining entry point still serves Figure 2 verbatim.
+TEST_F(QuerySessionTest, DefaultOverviewOptionsSelectClassDefaultMetric) {
+  auto defaulted = engine_->ComputePairwiseOverview("linear_relationship");
+  auto explicit_metric = engine_->ComputePairwiseOverview(
+      "linear_relationship", OverviewOptions(ExecutionMode::kAuto, "pearson"));
+  ASSERT_TRUE(defaulted.ok());
+  ASSERT_TRUE(explicit_metric.ok());
+  EXPECT_EQ(defaulted->class_name, explicit_metric->class_name);
+  EXPECT_EQ(defaulted->metric_name, "pearson");
+  EXPECT_EQ(defaulted->attribute_names, explicit_metric->attribute_names);
+  EXPECT_EQ(defaulted->matrix, explicit_metric->matrix);
 }
 
 TEST_F(QuerySessionTest, ExplorerSharesTheSessionCache) {

@@ -6,6 +6,16 @@
 #include "viz/vega.h"
 
 namespace foresight {
+
+/// Options-form builder for the single ComputePairwiseOverview entry point
+/// (the metric/mode convenience overloads were removed in PR 7).
+PairwiseOverviewOptions OverviewOptions(ExecutionMode mode,
+                                        std::string metric = "") {
+  PairwiseOverviewOptions options;
+  options.metric = std::move(metric);
+  options.mode = mode;
+  return options;
+}
 namespace {
 
 class VizTest : public ::testing::Test {
@@ -103,7 +113,7 @@ TEST_F(VizTest, ParetoSpecHasCumulativeShare) {
 
 TEST_F(VizTest, CorrelationHeatmapSpecIsComplete) {
   auto overview = engine_->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kExact);
+      "linear_relationship", OverviewOptions(ExecutionMode::kExact));
   ASSERT_TRUE(overview.ok());
   JsonValue spec = CorrelationHeatmapSpec(*overview, "Figure 2");
   size_t d = overview->attribute_names.size();
@@ -117,7 +127,7 @@ TEST_F(VizTest, CorrelationHeatmapSpecIsComplete) {
 
 TEST_F(VizTest, AsciiHeatmapShowsStrongCells) {
   auto overview = engine_->ComputePairwiseOverview(
-      "linear_relationship", "", ExecutionMode::kExact);
+      "linear_relationship", OverviewOptions(ExecutionMode::kExact));
   ASSERT_TRUE(overview.ok());
   std::string ascii = RenderCorrelationHeatmapAscii(*overview);
   // Diagonal is rho = 1 -> '#' glyphs must appear.

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "serve/wire.h"
+#include "util/json.h"
+
+namespace foresight {
+namespace {
+
+InsightQuery FullQuery() {
+  InsightQuery query;
+  query.class_name = "linear_relationship";
+  query.metric = "spearman";
+  query.top_k = 7;
+  query.fixed_attributes = {"colA", "colB"};
+  query.required_tags = {"currency"};
+  query.min_score = 0.25;
+  query.max_score = 0.75;
+  query.mode = ExecutionMode::kExact;
+  return query;
+}
+
+StatusOr<InsightQuery> Decode(const std::string& text) {
+  StatusOr<JsonValue> json = JsonValue::Parse(text);
+  EXPECT_TRUE(json.ok()) << json.status().ToString();
+  if (!json.ok()) return json.status();
+  return InsightQuery::FromJson(*json);
+}
+
+TEST(ExecutionModeWire, RoundTripsAllModes) {
+  for (ExecutionMode mode : {ExecutionMode::kExact, ExecutionMode::kSketch,
+                             ExecutionMode::kAuto}) {
+    auto parsed = ParseExecutionMode(ExecutionModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParseExecutionMode("EXACT").ok());
+  EXPECT_FALSE(ParseExecutionMode("").ok());
+  EXPECT_FALSE(ParseExecutionMode("approximate").ok());
+}
+
+TEST(InsightQueryJson, RoundTripsFullQuery) {
+  const InsightQuery original = FullQuery();
+  auto decoded = InsightQuery::FromJson(original.ToJson());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->class_name, original.class_name);
+  EXPECT_EQ(decoded->metric, original.metric);
+  EXPECT_EQ(decoded->top_k, original.top_k);
+  EXPECT_EQ(decoded->fixed_attributes, original.fixed_attributes);
+  EXPECT_EQ(decoded->required_tags, original.required_tags);
+  EXPECT_EQ(decoded->min_score, original.min_score);
+  EXPECT_EQ(decoded->max_score, original.max_score);
+  EXPECT_EQ(decoded->mode, original.mode);
+  // Byte-stable round trip: encode(decode(encode(q))) == encode(q).
+  EXPECT_EQ(decoded->ToJson().Dump(), original.ToJson().Dump());
+}
+
+TEST(InsightQueryJson, MinimalQueryOmitsUnsetFields) {
+  InsightQuery query;
+  query.class_name = "skew";
+  const JsonValue json = query.ToJson();
+  EXPECT_TRUE(json.Has("class"));
+  EXPECT_TRUE(json.Has("top_k"));
+  EXPECT_TRUE(json.Has("mode"));
+  EXPECT_FALSE(json.Has("metric"));
+  EXPECT_FALSE(json.Has("fixed_attributes"));
+  EXPECT_FALSE(json.Has("required_tags"));
+  EXPECT_FALSE(json.Has("min_score"));
+  EXPECT_FALSE(json.Has("max_score"));
+
+  auto decoded = InsightQuery::FromJson(json);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->class_name, "skew");
+  EXPECT_EQ(decoded->top_k, 10u);
+  EXPECT_EQ(decoded->mode, ExecutionMode::kAuto);
+}
+
+TEST(InsightQueryJson, RejectsUnknownFields) {
+  auto decoded = Decode(R"({"class": "skew", "topk": 3})");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("topk"), std::string::npos);
+}
+
+TEST(InsightQueryJson, RejectsNonObjectAndMissingClass) {
+  EXPECT_FALSE(Decode(R"([1, 2])").ok());
+  EXPECT_FALSE(Decode(R"("skew")").ok());
+  EXPECT_FALSE(Decode(R"({})").ok());            // Validate(): class required.
+  EXPECT_FALSE(Decode(R"({"class": ""})").ok());
+}
+
+TEST(InsightQueryJson, RejectsWrongFieldTypes) {
+  EXPECT_FALSE(Decode(R"({"class": 3})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "metric": 1})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "top_k": "five"})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "fixed_attributes": "a"})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "fixed_attributes": [1]})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "required_tags": [null]})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "min_score": "0.5"})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "mode": 1})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "mode": "fast"})").ok());
+}
+
+TEST(InsightQueryJson, RejectsBadTopK) {
+  EXPECT_FALSE(Decode(R"({"class": "skew", "top_k": -1})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "top_k": 2.5})").ok());
+  EXPECT_FALSE(Decode(R"({"class": "skew", "top_k": 1e10})").ok());
+  auto ok = Decode(R"({"class": "skew", "top_k": 0})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->top_k, 0u);
+}
+
+TEST(InsightQueryJson, RejectsContextFreeInvalidQueries) {
+  // min > max fails InsightQuery::Validate(), which FromJson runs.
+  auto decoded = Decode(
+      R"({"class": "skew", "min_score": 0.9, "max_score": 0.1})");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HttpStatusMapping, CoversAllStatusCodes) {
+  EXPECT_EQ(HttpStatusForStatus(Status::OK()), 200);
+  EXPECT_EQ(HttpStatusForStatus(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusForStatus(Status::ParseError("x")), 400);
+  EXPECT_EQ(HttpStatusForStatus(Status::OutOfRange("x")), 400);
+  EXPECT_EQ(HttpStatusForStatus(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusForStatus(Status::FailedPrecondition("x")), 409);
+  EXPECT_EQ(HttpStatusForStatus(Status::AlreadyExists("x")), 409);
+  EXPECT_EQ(HttpStatusForStatus(Status::Unimplemented("x")), 501);
+  EXPECT_EQ(HttpStatusForStatus(Status::Internal("x")), 500);
+  EXPECT_EQ(HttpStatusForStatus(Status::IOError("x")), 500);
+}
+
+TEST(WireEncoding, ErrorBodyCarriesCodeAndMessage) {
+  const JsonValue body = WireErrorV1(Status::NotFound("no such class"));
+  EXPECT_EQ(body.Get("api_version")->as_number(), 1.0);
+  const JsonValue* error = body.Get("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Get("code")->as_string(), "NotFound");
+  EXPECT_EQ(error->Get("message")->as_string(), "no such class");
+}
+
+TEST(WireEncoding, ResultSeparatesDeterministicFromTelemetry) {
+  InsightQueryResult result;
+  Insight insight;
+  insight.class_name = "linear_relationship";
+  insight.metric_name = "pearson";
+  insight.attributes.indices = {1, 3};
+  insight.attribute_names = {"a", "b"};
+  insight.score = 0.5;
+  insight.raw_value = -0.5;
+  insight.provenance = Provenance::kSketch;
+  insight.description = "desc";
+  result.insights.push_back(insight);
+  result.candidates_evaluated = 10;
+  result.undefined_excluded = 1;
+  result.elapsed_ms = 12.5;
+  result.cache_hit = true;
+  result.cache_shard = 3;
+
+  const JsonValue deterministic = WireResultV1(result);
+  // The deterministic half must not contain any serving-dependent field.
+  EXPECT_FALSE(deterministic.Has("elapsed_ms"));
+  EXPECT_FALSE(deterministic.Has("cache_hit"));
+  EXPECT_EQ(deterministic.Get("candidates_evaluated")->as_number(), 10.0);
+  const JsonValue* insights = deterministic.Get("insights");
+  ASSERT_NE(insights, nullptr);
+  ASSERT_EQ(insights->size(), 1u);
+  EXPECT_EQ(insights->at(0).Get("provenance")->as_string(), "sketch");
+  EXPECT_EQ(insights->at(0).Get("raw_value")->as_number(), -0.5);
+
+  const JsonValue telemetry = WireTelemetryV1(result);
+  EXPECT_EQ(telemetry.Get("elapsed_ms")->as_number(), 12.5);
+  EXPECT_TRUE(telemetry.Get("cache_hit")->as_bool());
+  EXPECT_EQ(telemetry.Get("cache_shard")->as_number(), 3.0);
+
+  const JsonValue envelope = WireQueryResponseV1(result);
+  EXPECT_EQ(envelope.Get("api_version")->as_number(), 1.0);
+  EXPECT_EQ(envelope.Get("result")->Dump(), deterministic.Dump());
+}
+
+TEST(WireEncoding, BatchKeepsRequestOrder) {
+  std::vector<InsightQueryResult> results(2);
+  results[0].candidates_evaluated = 5;
+  results[1].candidates_evaluated = 9;
+  const JsonValue envelope = WireBatchResponseV1(results);
+  const JsonValue* encoded = envelope.Get("results");
+  ASSERT_NE(encoded, nullptr);
+  ASSERT_EQ(encoded->size(), 2u);
+  EXPECT_EQ(encoded->at(0).Get("candidates_evaluated")->as_number(), 5.0);
+  EXPECT_EQ(encoded->at(1).Get("candidates_evaluated")->as_number(), 9.0);
+  EXPECT_EQ(envelope.Get("telemetry")->size(), 2u);
+}
+
+TEST(WireEncoding, OverviewCarriesMatrixAndCellProvenance) {
+  CorrelationOverview overview;
+  overview.class_name = "linear_relationship";
+  overview.metric_name = "pearson";
+  overview.attribute_names = {"a", "b"};
+  overview.column_indices = {0, 1};
+  overview.matrix = {1.0, 0.5, 0.5, 1.0};
+  overview.provenance = Provenance::kExact;
+  overview.cell_provenance = {Provenance::kExact, Provenance::kSketch,
+                              Provenance::kSketch, Provenance::kExact};
+  const JsonValue envelope = WireOverviewResponseV1(overview);
+  const JsonValue* result = envelope.Get("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Get("matrix")->size(), 4u);
+  EXPECT_EQ(result->Get("cell_provenance")->at(1).as_string(), "sketch");
+
+  overview.cell_provenance.clear();
+  const JsonValue* no_cells = nullptr;
+  const JsonValue plain = WireOverviewResponseV1(overview);
+  no_cells = plain.Get("result")->Get("cell_provenance");
+  EXPECT_EQ(no_cells, nullptr);
+}
+
+TEST(BatchDecoding, StrictEnvelopeAndBounds) {
+  auto parse = [](const std::string& text, size_t max_queries) {
+    StatusOr<JsonValue> json = JsonValue::Parse(text);
+    EXPECT_TRUE(json.ok());
+    return ParseQueryBatchV1(*json, max_queries);
+  };
+  auto ok = parse(R"({"queries": [{"class": "skew"}]})", 4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].class_name, "skew");
+
+  EXPECT_TRUE(parse(R"({"queries": []})", 4).ok());  // Empty batch is OK.
+  EXPECT_FALSE(parse(R"({})", 4).ok());
+  EXPECT_FALSE(parse(R"({"queries": [{"class": "skew"}], "x": 1})", 4).ok());
+  EXPECT_FALSE(parse(R"({"queries": {}})", 4).ok());
+  EXPECT_FALSE(
+      parse(R"({"queries": [{"class": "skew"}, {"class": "skew"}]})", 1)
+          .ok());
+  // A bad inner query is rejected with its index in the message.
+  auto bad = parse(R"({"queries": [{"class": "skew"}, {"claz": "x"}]})", 4);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("queries[1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace foresight

@@ -1,0 +1,200 @@
+// foresight_serve: the v1 HTTP/JSON front-end over a QuerySession
+// (DESIGN.md "Serve front-end"; README "Serving quick-start").
+//
+// Usage:
+//   foresight_serve [--port=N] [--port-file=PATH] [--csv=PATH | --rows=N]
+//                   [--workers=N] [--queue-capacity=N] [--idle-timeout-ms=N]
+//                   [--no-profile] [--smoke]
+//
+//   --port=N            Listen port on 127.0.0.1 (default 0 = ephemeral).
+//   --port-file=PATH    Write the bound port to PATH once listening — how CI
+//                       and scripts find an ephemeral port without racing.
+//   --csv=PATH          Serve this CSV table (default: synthetic OECD-like).
+//   --rows=N            Synthetic table rows (default 800).
+//   --workers=N         Engine worker threads (default 0 = hardware).
+//   --queue-capacity=N  Admission queue depth before 503s (default 64).
+//   --idle-timeout-ms=N Idle/slowloris connection reaper (default 10000).
+//   --no-profile        Skip sketch preprocessing (exact-only serving).
+//   --smoke             Start, answer one self-issued /healthz and
+//                       /v1/query over a real socket, then exit 0.
+//
+// The process runs until SIGINT/SIGTERM, then drains admitted requests and
+// exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/session.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "serve/http_client.h"
+#include "serve/server.h"
+
+namespace foresight {
+namespace {
+
+/// SIGINT/SIGTERM handler target: signal-safe flag the main loop watches.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: foresight_serve [--port=N] [--port-file=PATH] [--csv=PATH] "
+      "[--rows=N]\n"
+      "                       [--workers=N] [--queue-capacity=N] "
+      "[--idle-timeout-ms=N]\n"
+      "                       [--no-profile] [--smoke]\n");
+  return 1;
+}
+
+struct Args {
+  uint16_t port = 0;
+  std::string port_file;
+  std::string csv_path;
+  size_t rows = 800;
+  size_t workers = 0;
+  size_t queue_capacity = 64;
+  uint32_t idle_timeout_ms = 10'000;
+  bool build_profile = true;
+  bool smoke = false;
+};
+
+bool ParseSizeFlag(const std::string& arg, const char* prefix, size_t* out) {
+  const size_t len = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = static_cast<size_t>(std::strtoull(arg.c_str() + len, nullptr, 10));
+  return true;
+}
+
+int Smoke(uint16_t port) {
+  HttpClient client;
+  Status status = client.Connect(port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "smoke: connect failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  auto health = client.Request("GET", "/healthz");
+  if (!health.ok() || health->status != 200) {
+    std::fprintf(stderr, "smoke: /healthz failed\n");
+    return 1;
+  }
+  auto query = client.Request(
+      "POST", "/v1/query",
+      R"({"class": "linear_relationship", "top_k": 3, "mode": "exact"})");
+  if (!query.ok() || query->status != 200) {
+    std::fprintf(stderr, "smoke: /v1/query failed (%d): %s\n",
+                 query.ok() ? query->status : -1,
+                 query.ok() ? query->body.c_str()
+                            : query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("smoke ok: %s\n", query->body.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    size_t port_value = 0;
+    if (ParseSizeFlag(arg, "--port=", &port_value)) {
+      if (port_value > 65535) return Usage();
+      args.port = static_cast<uint16_t>(port_value);
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      args.port_file = arg.substr(12);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      args.csv_path = arg.substr(6);
+    } else if (ParseSizeFlag(arg, "--rows=", &args.rows) ||
+               ParseSizeFlag(arg, "--workers=", &args.workers) ||
+               ParseSizeFlag(arg, "--queue-capacity=",
+                             &args.queue_capacity)) {
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      args.idle_timeout_ms = static_cast<uint32_t>(
+          std::strtoul(arg.c_str() + 18, nullptr, 10));
+    } else if (arg == "--no-profile") {
+      args.build_profile = false;
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (args.rows < 10 || args.queue_capacity == 0) return Usage();
+
+  DataTable table = MakeOecdLike(args.rows, 17);
+  if (!args.csv_path.empty()) {
+    auto loaded = CsvReader::ReadFile(args.csv_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "foresight_serve: failed to read %s: %s\n",
+                   args.csv_path.c_str(), loaded.status().ToString().c_str());
+      return 1;
+    }
+    table = std::move(loaded).value();
+  }
+
+  EngineOptions engine_options;
+  engine_options.num_workers = args.workers;
+  engine_options.build_profile = args.build_profile;
+  auto engine = InsightEngine::Create(table, std::move(engine_options));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "foresight_serve: engine creation failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  QuerySession session(*engine);
+
+  HttpServerOptions server_options;
+  server_options.port = args.port;
+  server_options.queue_capacity = args.queue_capacity;
+  server_options.idle_timeout_ms = args.idle_timeout_ms;
+  HttpServer server(session, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "foresight_serve: start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "foresight_serve: listening on 127.0.0.1:%u "
+               "(workers=%zu queue=%zu)\n",
+               server.port(), engine->num_workers(), args.queue_capacity);
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "foresight_serve: cannot write %s\n",
+                   args.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  if (args.smoke) {
+    const int rc = Smoke(server.port());
+    server.Stop();
+    return rc;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    // Signal-driven sleep; the server threads do all the work.
+    struct timespec interval = {0, 100'000'000};
+    ::nanosleep(&interval, nullptr);
+  }
+  std::fprintf(stderr, "foresight_serve: draining and shutting down\n");
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace foresight
+
+int main(int argc, char** argv) { return foresight::Main(argc, argv); }
