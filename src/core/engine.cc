@@ -6,45 +6,17 @@
 #include <functional>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <tuple>
 
+#include "util/first_error.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
 namespace foresight {
 
 namespace {
-
-/// Collects the error of the LOWEST work-item index across concurrent
-/// workers, so a parallel run reports exactly the error a serial left-to-right
-/// scan would have hit first — regardless of thread timing.
-class FirstError {
- public:
-  bool has_error() const {
-    return min_index_.load(std::memory_order_acquire) != SIZE_MAX;
-  }
-  /// True when an error at an index <= `index` is already recorded, meaning
-  /// work item `index` cannot change the outcome and may be skipped.
-  bool ShadowedAt(size_t index) const {
-    return min_index_.load(std::memory_order_relaxed) <= index;
-  }
-  void Record(size_t index, Status status) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (index < min_index_.load(std::memory_order_relaxed)) {
-      min_index_.store(index, std::memory_order_release);
-      status_ = std::move(status);
-    }
-  }
-  const Status& status() const { return status_; }
-
- private:
-  std::atomic<size_t> min_index_{SIZE_MAX};
-  std::mutex mutex_;
-  Status status_;
-};
 
 /// Chunk size that splits `items` into a few chunks per worker (dynamic
 /// load balancing without excessive claiming overhead).
@@ -227,7 +199,7 @@ StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
                                       ? std::move(*options.registry)
                                       : InsightClassRegistry::CreateDefault();
   InsightEngine engine(table, std::move(registry));
-  engine.pairwise_pruning_ = options.enable_pairwise_pruning;
+  engine.pairwise_pruning_.store(options.enable_pairwise_pruning);
   if (options.collect_metrics) {
     engine.metrics_ = std::make_shared<MetricsRegistry>();
   }
@@ -252,19 +224,19 @@ void InsightEngine::set_num_workers(size_t workers) {
   if (pool_ != nullptr) pool_->AttachMetrics(metrics_);
   // Results are bit-identical across worker counts, but cached telemetry
   // (elapsed_ms, parallel path taken) is not; invalidate conservatively.
-  ++engine_epoch_;
+  engine_epoch_.fetch_add(1);
 }
 
 void InsightEngine::set_pairwise_pruning(bool enabled) {
-  if (enabled == pairwise_pruning_) return;
-  pairwise_pruning_ = enabled;
+  if (enabled == pairwise_pruning_.load()) return;
+  pairwise_pruning_.store(enabled);
   // Ranked output is provably identical with pruning on or off, but cached
   // telemetry (prune counts, provenance of overview cells) is not.
-  ++engine_epoch_;
+  engine_epoch_.fetch_add(1);
 }
 
 uint64_t InsightEngine::serving_epoch() const {
-  return engine_epoch_ + table_->schema().version();
+  return engine_epoch_.load() + table_->schema().version();
 }
 
 StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
@@ -380,7 +352,7 @@ Status InsightEngine::EvaluateCandidates(
 bool InsightEngine::PruneEligible(const InsightQuery& query,
                                   const ResolvedQuery& resolved,
                                   size_t num_candidates) const {
-  return pairwise_pruning_ && profile_.has_value() &&
+  return pairwise_pruning_.load() && profile_.has_value() &&
          resolved.mode == ExecutionMode::kExact &&
          resolved.insight_class->arity() == 2 &&
          // An upper score filter breaks the top-k threshold argument: with
@@ -786,7 +758,8 @@ StatusOr<CorrelationOverview> InsightEngine::ComputePairwiseOverview(
   // Diagonal and null/constant-touched cells are unsafe by contract and
   // always refine. A single full-precision round (coarse_bits = 0) plans the
   // whole triangle, so pruned cells carry full-k estimates.
-  const bool prune = pairwise_pruning_ && options.refine_min_score > 0.0 &&
+  const bool prune = pairwise_pruning_.load() &&
+                     options.refine_min_score > 0.0 &&
                      profile_.has_value() &&
                      resolved_mode == ExecutionMode::kExact &&
                      insight_class->SupportsSketchPruning(*profile_,

@@ -13,6 +13,7 @@
 #include "data/table.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace foresight {
@@ -131,7 +132,7 @@ class InsightEngine {
   /// bumps the serving epoch on every call (the caller may register or alter
   /// classes through the reference), invalidating all cached query results.
   InsightClassRegistry& mutable_registry() {
-    ++engine_epoch_;
+    engine_epoch_.fetch_add(1);
     return registry_;
   }
   bool has_profile() const { return profile_.has_value(); }
@@ -191,7 +192,7 @@ class InsightEngine {
   /// Whether the sketch-first prune planner may serve eligible exact-mode
   /// pairwise queries. Toggling bumps the serving epoch (results are
   /// identical, but cached telemetry is not).
-  bool pairwise_pruning() const { return pairwise_pruning_; }
+  bool pairwise_pruning() const { return pairwise_pruning_.load(); }
   void set_pairwise_pruning(bool enabled);
 
   /// Resolved worker-thread count used by every parallel path (>= 1).
@@ -286,12 +287,17 @@ class InsightEngine {
   InsightClassRegistry registry_;
   std::optional<TableProfile> profile_;
   size_t num_workers_ = 1;
-  bool pairwise_pruning_ = true;
+  /// Read by every serving thread (PruneEligible) while an administrative
+  /// thread may toggle it; RelaxedAtomic keeps the flag racy-read-free while
+  /// preserving the engine's defaulted move operations.
+  RelaxedAtomic<bool> pairwise_pruning_{true};
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<MetricsRegistry> metrics_;
   /// Engine-local slice of the serving epoch (registry/worker mutations); the
-  /// schema's mutation counter contributes the table-side slice.
-  uint64_t engine_epoch_ = 0;
+  /// schema's mutation counter contributes the table-side slice. Atomic:
+  /// serving threads read it through serving_epoch() concurrently with
+  /// mutable_registry() / set_* bumps on an administrative thread.
+  RelaxedAtomic<uint64_t> engine_epoch_{0};
 };
 
 }  // namespace foresight

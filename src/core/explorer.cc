@@ -1,11 +1,10 @@
 #include "core/explorer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <mutex>
 #include <optional>
 
+#include "util/first_error.h"
 #include "util/thread_pool.h"
 
 namespace foresight {
@@ -72,20 +71,14 @@ StatusOr<std::vector<Carousel>> ExplorationSession::BuildCarousels(
   // candidate evaluations out on the same pool; ParallelFor is reentrant).
   // Errors report the first class in registry order, matching a serial scan.
   std::vector<std::optional<Carousel>> slots(names.size());
-  std::atomic<size_t> error_index{SIZE_MAX};
-  std::mutex error_mutex;
-  Status error_status;
+  FirstError first_error;
   auto build_class = [&](size_t class_begin, size_t class_end) {
     for (size_t idx = class_begin; idx < class_end; ++idx) {
-      if (error_index.load(std::memory_order_relaxed) <= idx) return;
+      if (first_error.ShadowedAt(idx)) return;
       StatusOr<Carousel> carousel = BuildOneCarousel(names[idx], pool_size,
                                                      apply_focus);
       if (!carousel.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (idx < error_index.load(std::memory_order_relaxed)) {
-          error_index.store(idx, std::memory_order_relaxed);
-          error_status = carousel.status();
-        }
+        first_error.Record(idx, carousel.status());
         return;
       }
       slots[idx] = std::move(*carousel);
@@ -97,9 +90,7 @@ StatusOr<std::vector<Carousel>> ExplorationSession::BuildCarousels(
   } else {
     build_class(0, names.size());
   }
-  if (error_index.load(std::memory_order_acquire) != SIZE_MAX) {
-    return error_status;
-  }
+  if (first_error.has_error()) return first_error.status();
   std::vector<Carousel> carousels;
   carousels.reserve(names.size());
   for (std::optional<Carousel>& slot : slots) {

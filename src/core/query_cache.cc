@@ -54,7 +54,7 @@ void QueryCache::EraseEntry(Shard& shard, std::list<Entry>::iterator it) {
 std::optional<InsightQueryResult> QueryCache::Lookup(const std::string& key,
                                                      uint64_t epoch) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto found = shard.index.find(key);
   if (found == shard.index.end()) {
     ++shard.misses;
@@ -83,7 +83,7 @@ void QueryCache::Insert(const std::string& key, uint64_t epoch,
   entry.bytes =
       entry.key.capacity() + sizeof(Entry) + ApproxResultBytes(entry.result);
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto found = shard.index.find(key);
   if (entry.bytes > per_shard_bytes_) {  // Would evict the whole shard.
     // An existing entry for the key still has to go — it is stale relative
@@ -113,7 +113,7 @@ void QueryCache::Insert(const std::string& key, uint64_t epoch,
 QueryCacheStats QueryCache::stats() const {
   QueryCacheStats total;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.evictions += shard->evictions;
@@ -127,7 +127,7 @@ QueryCacheStats QueryCache::stats() const {
 size_t QueryCache::RecomputeBytes() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (const Entry& entry : shard->lru) {
       total += entry.key.capacity() + sizeof(Entry) +
                ApproxResultBytes(entry.result);
@@ -138,7 +138,7 @@ size_t QueryCache::RecomputeBytes() const {
 
 void QueryCache::Clear() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;

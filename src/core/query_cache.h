@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/query.h"
+#include "util/sync.h"
 
 namespace foresight {
 
@@ -81,19 +81,25 @@ class QueryCache {
     size_t bytes = 0;
     InsightQueryResult result;
   };
+  /// One independently locked stripe. The shard mutex sits directly below
+  /// the metrics-registry lock in the hierarchy (util/sync.h): the
+  /// QuerySession's cache-stats callback metrics call stats() during export,
+  /// while the registry lock is held. Nothing is acquired under it.
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< Front = most recently used.
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
+    mutable Mutex mutex;
+    std::list<Entry> lru FORESIGHT_GUARDED_BY(mutex);  ///< Front = MRU.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        FORESIGHT_GUARDED_BY(mutex);
+    size_t bytes FORESIGHT_GUARDED_BY(mutex) = 0;
+    uint64_t hits FORESIGHT_GUARDED_BY(mutex) = 0;
+    uint64_t misses FORESIGHT_GUARDED_BY(mutex) = 0;
+    uint64_t evictions FORESIGHT_GUARDED_BY(mutex) = 0;
+    uint64_t invalidations FORESIGHT_GUARDED_BY(mutex) = 0;
   };
 
-  /// Removes `it` from `shard` (caller holds the shard mutex).
-  static void EraseEntry(Shard& shard, std::list<Entry>::iterator it);
+  /// Removes `it` from `shard`.
+  static void EraseEntry(Shard& shard, std::list<Entry>::iterator it)
+      FORESIGHT_REQUIRES(shard.mutex);
 
   size_t per_shard_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;

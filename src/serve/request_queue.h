@@ -1,12 +1,12 @@
 #ifndef FORESIGHT_SERVE_REQUEST_QUEUE_H_
 #define FORESIGHT_SERVE_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace foresight {
 
@@ -16,6 +16,10 @@ namespace foresight {
 /// is rejected at the door instead of growing an unbounded backlog (the
 /// /healthz handler stays responsive because it never enters this queue).
 /// Workers block in Pop; Close() wakes them all with std::nullopt.
+///
+/// Locking: one leaf mutex guards the deque and the closed flag; every
+/// accessor (including size()) takes it, so no depth or state read ever
+/// races a push/pop.
 template <typename T>
 class RequestQueue {
  public:
@@ -27,11 +31,11 @@ class RequestQueue {
   /// Nonblocking push. False when the queue is at capacity or closed.
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
@@ -39,8 +43,8 @@ class RequestQueue {
   /// std::nullopt means "shut down" (a closed queue still hands out the
   /// items already admitted — admitted requests get answers, not resets).
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) cv_.Wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -50,14 +54,14 @@ class RequestQueue {
   /// Rejects future pushes and wakes all blocked Pop callers.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -65,10 +69,10 @@ class RequestQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ FORESIGHT_GUARDED_BY(mutex_);
+  bool closed_ FORESIGHT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace foresight

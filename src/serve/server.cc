@@ -218,7 +218,7 @@ void HttpServer::LoopThread() {
         listen_fd_.Reset();
         listening = false;
       }
-      std::lock_guard<std::mutex> lock(completions_mutex_);
+      MutexLock lock(completions_mutex_);
       if (jobs_active_.load(std::memory_order_acquire) == 0 &&
           completions_.empty()) {
         break;
@@ -535,7 +535,7 @@ void HttpServer::RunJob(Job job) {
   if (route_latency != nullptr) route_latency->Record(timer.ElapsedMillis());
   CountResponse(completion.response.status);
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    MutexLock lock(completions_mutex_);
     completions_.push_back(std::move(completion));
   }
   WakeLoop();
@@ -548,7 +548,7 @@ void HttpServer::DrainCompletions() {
   for (;;) {
     Completion completion;
     {
-      std::lock_guard<std::mutex> lock(completions_mutex_);
+      MutexLock lock(completions_mutex_);
       if (completions_.empty()) return;
       completion = std::move(completions_.front());
       completions_.pop_front();

@@ -7,7 +7,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -17,6 +16,7 @@
 #include "util/fd.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace foresight {
 
@@ -163,8 +163,11 @@ class HttpServer {
   std::atomic<size_t> pool_ticks_active_{0};
   std::thread drain_thread_;
 
-  std::mutex completions_mutex_;
-  std::deque<Completion> completions_;
+  /// Worker -> loop handoff. Leaf lock (lowest tier of the hierarchy in
+  /// util/sync.h): held only across deque pushes/pops, never while calling
+  /// into the engine or the metrics registry.
+  mutable Mutex completions_mutex_;
+  std::deque<Completion> completions_ FORESIGHT_GUARDED_BY(completions_mutex_);
 
   // Metric handles, resolved once at Start (null when metrics are disabled).
   Counter* accepted_total_ = nullptr;

@@ -30,7 +30,7 @@ std::shared_ptr<const RandomPanelBlock> RandomPanelCache::Acquire(
   FORESIGHT_CHECK(block < num_blocks_);
   acquires_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[block];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  MutexLock lock(slot.mutex);
   if (slot.block == nullptr) {
     if (slot.generated_before) {
       regenerations_.fetch_add(1, std::memory_order_relaxed);
@@ -65,7 +65,7 @@ void RandomPanelCache::Release(size_t block) {
       slot.remaining_uses.fetch_sub(1, std::memory_order_acq_rel) - 1;
   FORESIGHT_CHECK(remaining >= 0);
   if (remaining == 0) {
-    std::lock_guard<std::mutex> lock(slot.mutex);
+    MutexLock lock(slot.mutex);
     slot.block.reset();
   }
 }

@@ -5,11 +5,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "sketch/random_projection.h"
 #include "sketch/simhash.h"
+#include "util/sync.h"
 
 namespace foresight {
 
@@ -105,11 +105,13 @@ class RandomPanelCache {
   }
 
  private:
+  /// Per-block state. The slot mutex is a LEAF in the lock hierarchy
+  /// (util/sync.h): block generation runs under it and acquires nothing else.
   struct Slot {
-    std::mutex mutex;
-    std::shared_ptr<const RandomPanelBlock> block;
+    Mutex mutex;
+    std::shared_ptr<const RandomPanelBlock> block FORESIGHT_GUARDED_BY(mutex);
     std::atomic<int64_t> remaining_uses{-1};  ///< -1 = no plan (keep forever).
-    bool generated_before = false;  ///< Guarded by mutex; regeneration flag.
+    bool generated_before FORESIGHT_GUARDED_BY(mutex) = false;
   };
 
   const HyperplaneSketcher* hyperplane_;

@@ -80,14 +80,14 @@ std::vector<double> DefaultLatencyBucketsMs() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -95,7 +95,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bucket_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     if (bucket_bounds.empty()) bucket_bounds = DefaultLatencyBucketsMs();
@@ -107,14 +107,14 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
 uint64_t MetricsRegistry::RegisterCallback(const std::string& name,
                                            CallbackKind kind,
                                            std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   uint64_t token = next_token_++;
   callbacks_[name] = CallbackEntry{kind, std::move(fn), token};
   return token;
 }
 
 void MetricsRegistry::RemoveCallback(const std::string& name, uint64_t token) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   auto it = callbacks_.find(name);
   if (it != callbacks_.end() && it->second.token == token) {
     callbacks_.erase(it);
@@ -122,7 +122,7 @@ void MetricsRegistry::RemoveCallback(const std::string& name, uint64_t token) {
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   JsonValue counters = JsonValue::Object();
   JsonValue gauges = JsonValue::Object();
   JsonValue histograms = JsonValue::Object();
@@ -165,7 +165,7 @@ JsonValue MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToPrometheusText(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   std::string out;
   auto emit_scalar = [&](const std::string& name, const char* type,
                          const std::string& value) {

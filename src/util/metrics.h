@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace foresight {
 
@@ -84,11 +84,14 @@ enum class CallbackKind { kCounter, kGauge };
 /// counters a component already maintains internally — e.g. the QueryCache's
 /// sharded hit/miss/eviction counters — without double bookkeeping).
 ///
-/// Thread safety: metric creation (counter()/gauge()/histogram()) takes a
-/// registry mutex; the returned references are stable for the registry's
-/// lifetime, so hot paths resolve a metric once and then mutate it lock-free.
-/// Export (ToJson / ToPrometheusText) is safe concurrently with updates and
-/// sees a near-point-in-time snapshot.
+/// Thread safety: metric creation (counter()/gauge()/histogram()) takes the
+/// registry lock exclusively; the returned references are stable for the
+/// registry's lifetime, so hot paths resolve a metric once and then mutate it
+/// lock-free. Export (ToJson / ToPrometheusText) holds the lock shared —
+/// concurrent scrapes don't serialize — and is safe concurrently with
+/// updates, seeing a near-point-in-time snapshot. The registry lock is the
+/// TOP of the global lock hierarchy (util/sync.h): export invokes callback
+/// metrics under it, and those may take component locks (query-cache shards).
 ///
 /// Determinism note: everything in here is observability — values may come
 /// from wall clocks and thread timing, and they must NEVER feed ranking or
@@ -138,12 +141,16 @@ class MetricsRegistry {
     uint64_t token = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, CallbackEntry> callbacks_;
-  uint64_t next_token_ = 1;
+  mutable SharedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FORESIGHT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      FORESIGHT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      FORESIGHT_GUARDED_BY(mutex_);
+  std::map<std::string, CallbackEntry> callbacks_
+      FORESIGHT_GUARDED_BY(mutex_);
+  uint64_t next_token_ FORESIGHT_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace foresight

@@ -1,0 +1,46 @@
+#include "util/sync.h"
+
+#include "util/logging.h"
+
+namespace foresight {
+
+// The Assert* bodies live out of line so the debug checks can use
+// FORESIGHT_DCHECK without pulling util/logging.h (and <cassert>) into every
+// header that includes sync.h.
+
+void Mutex::AssertHeld() const {
+#ifndef NDEBUG
+  FORESIGHT_DCHECK(owner_.load(std::memory_order_relaxed) ==
+                   std::this_thread::get_id());
+#endif
+}
+
+void SharedMutex::AssertHeld() const {
+#ifndef NDEBUG
+  FORESIGHT_DCHECK(writer_.load(std::memory_order_relaxed) ==
+                   std::this_thread::get_id());
+#endif
+}
+
+void SharedMutex::AssertReaderHeld() const {
+#ifndef NDEBUG
+  FORESIGHT_DCHECK(readers_.load(std::memory_order_relaxed) > 0 ||
+                   writer_.load(std::memory_order_relaxed) ==
+                       std::this_thread::get_id());
+#endif
+}
+
+// Analysis-wise Wait is a no-op on the lock set (REQUIRES(mu) on entry and
+// the same on exit); at runtime it hands the raw mutex to a std::unique_lock
+// just long enough for the wait protocol, without ever letting the
+// unique_lock's destructor release what the caller's scope still owns.
+void CondVar::Wait(Mutex& mu) {
+  mu.AssertHeld();
+  mu.DebugMarkReleased();  // wait() unlocks; ownership moves to a waker.
+  std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();  // Still locked: the caller's guard owns it again.
+  mu.DebugMarkAcquired();
+}
+
+}  // namespace foresight

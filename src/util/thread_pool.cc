@@ -22,12 +22,12 @@ struct ThreadPool::ForJob {
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> chunks_done{0};
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
+  Mutex mutex;
+  CondVar done_cv;
   // First exception by chunk order (not completion order), so a rethrown
   // error is deterministic across runs.
-  std::exception_ptr error;
-  size_t error_chunk = SIZE_MAX;
+  std::exception_ptr error FORESIGHT_GUARDED_BY(mutex);
+  size_t error_chunk FORESIGHT_GUARDED_BY(mutex) = SIZE_MAX;
 };
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -43,44 +43,53 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void ThreadPool::AttachMetrics(std::shared_ptr<MetricsRegistry> registry) {
+  // Retire (never free) whatever registry the hooks currently point into: a
+  // worker may have loaded a Counter* before the stores below and increment
+  // it after them, so dropping the last reference here would be a
+  // use-after-free on that worker.
+  if (metrics_registry_ != nullptr) {
+    retired_registries_.push_back(std::move(metrics_registry_));
+  }
   if (registry == nullptr) {
-    tasks_executed_.store(nullptr, std::memory_order_relaxed);
-    parallel_fors_.store(nullptr, std::memory_order_relaxed);
-    parallel_for_ms_.store(nullptr, std::memory_order_relaxed);
-    queue_depth_.store(nullptr, std::memory_order_relaxed);
-    metrics_registry_.reset();
+    tasks_executed_.store(nullptr, std::memory_order_release);
+    parallel_fors_.store(nullptr, std::memory_order_release);
+    parallel_for_ms_.store(nullptr, std::memory_order_release);
+    queue_depth_.store(nullptr, std::memory_order_release);
     return;
   }
   metrics_registry_ = registry;
   registry->gauge("thread_pool.threads").Set(static_cast<double>(num_threads_));
+  // Release stores: each hook points at a freshly constructed metric, so the
+  // publication must carry a happens-before edge to its construction (a
+  // worker's acquire load may be its first sight of that heap object).
   tasks_executed_.store(&registry->counter("thread_pool.tasks_executed_total"),
-                        std::memory_order_relaxed);
+                        std::memory_order_release);
   parallel_fors_.store(&registry->counter("thread_pool.parallel_fors_total"),
-                       std::memory_order_relaxed);
+                       std::memory_order_release);
   parallel_for_ms_.store(&registry->histogram("thread_pool.parallel_for_ms"),
-                         std::memory_order_relaxed);
+                         std::memory_order_release);
   queue_depth_.store(&registry->gauge("thread_pool.queue_depth"),
-                     std::memory_order_relaxed);
+                     std::memory_order_release);
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   if (num_threads_ <= 1) return false;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     queue_.emplace_back(std::move(task));
-    if (Gauge* depth = queue_depth_.load(std::memory_order_relaxed)) {
+    if (Gauge* depth = queue_depth_.load(std::memory_order_acquire)) {
       depth->Set(static_cast<double>(queue_.size()));
     }
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return true;
 }
 
@@ -88,16 +97,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mutex_);
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
-      if (Gauge* depth = queue_depth_.load(std::memory_order_relaxed)) {
+      if (Gauge* depth = queue_depth_.load(std::memory_order_acquire)) {
         depth->Set(static_cast<double>(queue_.size()));
       }
     }
-    if (Counter* tasks = tasks_executed_.load(std::memory_order_relaxed)) {
+    if (Counter* tasks = tasks_executed_.load(std::memory_order_acquire)) {
       tasks->Increment();
     }
     task();
@@ -113,7 +122,7 @@ void ThreadPool::RunJob(ForJob& job) {
     try {
       (*job.fn)(chunk_begin, chunk_end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      MutexLock lock(job.mutex);
       if (chunk < job.error_chunk) {
         job.error_chunk = chunk;
         job.error = std::current_exception();
@@ -121,8 +130,8 @@ void ThreadPool::RunJob(ForJob& job) {
     }
     if (job.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_chunks) {
-      std::lock_guard<std::mutex> lock(job.mutex);
-      job.done_cv.notify_all();
+      MutexLock lock(job.mutex);
+      job.done_cv.NotifyAll();
     }
   }
 }
@@ -132,8 +141,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (begin >= end) return;
   if (grain == 0) grain = 1;
 
-  LatencyHistogram* for_ms = parallel_for_ms_.load(std::memory_order_relaxed);
-  if (Counter* fors = parallel_fors_.load(std::memory_order_relaxed)) {
+  LatencyHistogram* for_ms = parallel_for_ms_.load(std::memory_order_acquire);
+  if (Counter* fors = parallel_fors_.load(std::memory_order_acquire)) {
     fors->Increment();
   }
   // ParallelFor wall time is observability-only; the clock read is gated on
@@ -162,18 +171,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
   size_t helpers = std::min(num_threads_ - 1, num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     for (size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([job] { RunJob(*job); });
     }
-    if (Gauge* depth = queue_depth_.load(std::memory_order_relaxed)) {
+    if (Gauge* depth = queue_depth_.load(std::memory_order_acquire)) {
       depth->Set(static_cast<double>(queue_.size()));
     }
   }
   if (helpers == 1) {
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   } else {
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
 
   // The caller claims chunks too, which also makes nested ParallelFor calls
@@ -182,11 +191,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(job->mutex);
-    job->done_cv.wait(lock, [&] {
-      return job->chunks_done.load(std::memory_order_acquire) ==
-             job->num_chunks;
-    });
+    MutexLock lock(job->mutex);
+    while (job->chunks_done.load(std::memory_order_acquire) !=
+           job->num_chunks) {
+      job->done_cv.Wait(job->mutex);
+    }
     // Steal the error so this thread owns the exception object's lifetime: a
     // straggler helper dropping the last ForJob reference must not be the one
     // to destroy an exception the caller is still examining.

@@ -2,14 +2,14 @@
 #define FORESIGHT_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace foresight {
 
@@ -89,16 +89,24 @@ class ThreadPool {
   size_t num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ FORESIGHT_GUARDED_BY(queue_mutex_);
+  bool stopping_ FORESIGHT_GUARDED_BY(queue_mutex_) = false;
 
-  // Observability hooks; null when no registry is attached. Relaxed atomics:
-  // a worker observing a half-attached set of hooks only means a few early
-  // events go uncounted, which is acceptable for metrics. The shared_ptr
-  // keeps the hooked objects alive for the pool's whole lifetime.
+  // Observability hooks; null when no registry is attached. Release stores /
+  // acquire loads: each pointer publishes a freshly constructed metric, so
+  // readers need the happens-before edge to its construction (a worker
+  // observing a half-attached *set* of hooks is fine — a few early events go
+  // uncounted — but observing an unconstructed metric is not). AttachMetrics
+  // is a setup-time call (not safe against concurrent AttachMetrics), but
+  // workers may hold raw hook pointers at any moment, so every registry ever
+  // attached is retained until the pool is destroyed — see retired_registries_.
   std::shared_ptr<MetricsRegistry> metrics_registry_;
+  /// Previously attached registries, kept alive because a worker may still be
+  /// about to touch a Counter/Gauge it resolved from one of them. Bounded by
+  /// the number of AttachMetrics calls (in practice: one).
+  std::vector<std::shared_ptr<MetricsRegistry>> retired_registries_;
   std::atomic<Counter*> tasks_executed_{nullptr};
   std::atomic<Counter*> parallel_fors_{nullptr};
   std::atomic<LatencyHistogram*> parallel_for_ms_{nullptr};

@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -330,6 +333,45 @@ class NaNExclusionTest : public ::testing::Test {
     return table;
   }
 };
+
+TEST(EngineEpochTest, ServingStateReadsRaceFreeAgainstAdminToggles) {
+  // Regression (TSAN): engine_epoch_ and pairwise_pruning_ were plain fields,
+  // so serving threads reading serving_epoch()/pairwise_pruning() raced an
+  // administrative thread toggling set_pairwise_pruning() or touching
+  // mutable_registry(). Both are relaxed atomics now; this pins the pattern.
+  DataTable table = MakeOecdLike(200, 6);
+  EngineOptions options;
+  options.build_profile = false;
+  options.num_workers = 1;
+  auto created = InsightEngine::Create(table, std::move(options));
+  ASSERT_TRUE(created.ok()) << created.status();
+  InsightEngine engine = std::move(*created);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> went_backwards{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      uint64_t previous = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t epoch = engine.serving_epoch();
+        // The epoch only ever moves forward.
+        if (epoch < previous) went_backwards.store(true);
+        previous = epoch;
+        (void)engine.pairwise_pruning();
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    engine.set_pairwise_pruning(i % 2 == 0);
+    (void)engine.mutable_registry();
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_FALSE(went_backwards.load());
+  // 2000 toggles (each a bump) + 2000 registry touches happened-before join.
+  EXPECT_GE(engine.serving_epoch(), 4000u);
+}
 
 TEST_F(NaNExclusionTest, UndefinedShapeMetricsNeverRanked) {
   DataTable table = MakeTable();

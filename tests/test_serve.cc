@@ -16,11 +16,55 @@
 #include "core/session.h"
 #include "data/generators.h"
 #include "serve/http_client.h"
+#include "serve/request_queue.h"
 #include "serve/wire.h"
 #include "util/json.h"
 
 namespace foresight {
 namespace {
+
+TEST(RequestQueueTest, DepthReadsRaceFreeUnderProducerConsumerStorm) {
+  // Regression (TSAN): every RequestQueue accessor — including the size()
+  // depth probe the serve loop exports as a gauge — must hold the queue
+  // mutex; a lock-free depth read would race concurrent push/pop.
+  RequestQueue<int> queue(64);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+
+  std::atomic<int> pushed{0};
+  std::atomic<int> popped{0};
+  std::atomic<bool> stop_probing{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.TryPush(i)) pushed.fetch_add(1);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (queue.Pop().has_value()) popped.fetch_add(1);
+    });
+  }
+  std::atomic<bool> depth_overflow{false};
+  threads.emplace_back([&] {
+    while (!stop_probing.load()) {
+      if (queue.size() > queue.capacity()) depth_overflow.store(true);
+    }
+  });
+  // Join producers (the first kProducers threads), then close: a closed
+  // queue still drains admitted items, so every successful push is popped.
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(-1));
+  for (size_t t = kProducers; t < threads.size() - 1; ++t) threads[t].join();
+  stop_probing.store(true);
+  threads.back().join();
+  EXPECT_FALSE(depth_overflow.load());
+  EXPECT_EQ(popped.load(), pushed.load());
+}
 
 /// Engine + session + running server over a synthetic table. num_workers = 2
 /// exercises the engine-pool drain path (queue jobs run on pool workers);

@@ -1,0 +1,262 @@
+#include "util/sync.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/first_error.h"
+#include "util/status.h"
+
+namespace foresight {
+namespace {
+
+// The wrappers must stay drop-in for the raw primitives: exclusive mutual
+// exclusion, shared/exclusive reader-writer semantics, and condition-wait
+// with the standard spurious-wakeup contract. These tests run under TSAN in
+// CI, so a wrapper that stopped actually locking would fail loudly here.
+
+TEST(SyncTest, MutexExcludesConcurrentIncrements) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  Mutex mu;
+  long long counter = 0;  // Deliberately non-atomic: the lock is the guard.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, static_cast<long long>(kThreads) * kIterations);
+}
+
+TEST(SyncTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> acquired{true};
+  // TryLock must be exercised from another thread: self-try-lock on a held
+  // std::mutex is undefined behavior.
+  std::thread contender([&] { acquired.store(mu.TryLock()); });
+  contender.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+  std::thread retry([&] {
+    if (mu.TryLock()) {
+      acquired.store(true);
+      mu.Unlock();
+    }
+  });
+  retry.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(SyncTest, SharedMutexWriterExcludesReaders) {
+  constexpr int kReaders = 6;
+  constexpr int kRounds = 2000;
+  SharedMutex mu;
+  int value = 0;
+  std::atomic<int> active_readers{0};
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        ReaderLock lock(mu);
+        active_readers.fetch_add(1);
+        int snapshot = value;
+        // A torn write under a reader would show a half-applied pair.
+        if (snapshot % 2 != 0) overlap.store(true);
+        active_readers.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      WriterLock lock(mu);
+      if (active_readers.load() != 0) overlap.store(true);
+      // Keep `value` even outside the critical section, odd only inside.
+      ++value;
+      ++value;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(value, 2 * kRounds);
+}
+
+TEST(SyncTest, SharedMutexAdmitsConcurrentReaders) {
+  // Deterministic overlap: reader A holds the shared lock until reader B has
+  // also entered it. If LockShared were accidentally exclusive, B would
+  // block and A would give up at the deadline, failing the assertion.
+  SharedMutex mu;
+  std::atomic<bool> a_in{false};
+  std::atomic<bool> b_in{false};
+  std::thread reader_a([&] {
+    ReaderLock lock(mu);
+    a_in.store(true);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!b_in.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  });
+  std::thread reader_b([&] {
+    while (!a_in.load()) std::this_thread::yield();
+    ReaderLock lock(mu);  // Must be granted while A still holds shared.
+    b_in.store(true);
+  });
+  reader_a.join();
+  reader_b.join();
+  EXPECT_TRUE(b_in.load());
+}
+
+TEST(SyncTest, CondVarTransfersEveryItem) {
+  constexpr int kItems = 5000;
+  Mutex mu;
+  CondVar cv;
+  int ready = 0;    // Guarded by mu.
+  bool done = false;  // Guarded by mu.
+  long long consumed = 0;
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    while (true) {
+      while (ready == 0 && !done) cv.Wait(mu);
+      consumed += ready;
+      ready = 0;
+      if (done) return;
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      {
+        MutexLock lock(mu);
+        ++ready;
+      }
+      cv.NotifyOne();
+    }
+    {
+      MutexLock lock(mu);
+      done = true;
+    }
+    cv.NotifyAll();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumed, kItems);
+}
+
+TEST(SyncTest, AssertHeldAcceptsTheOwningThread) {
+  Mutex mu;
+  MutexLock lock(mu);
+  mu.AssertHeld();  // Must not fire for the actual holder.
+}
+
+TEST(SyncTest, SharedAssertsAcceptActualHolders) {
+  SharedMutex mu;
+  {
+    WriterLock lock(mu);
+    mu.AssertHeld();
+    mu.AssertReaderHeld();  // Exclusive ownership satisfies the shared claim.
+  }
+  {
+    ReaderLock lock(mu);
+    mu.AssertReaderHeld();
+  }
+}
+
+#ifndef NDEBUG
+TEST(SyncDeathTest, AssertHeldAbortsWithoutTheLock) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "");
+  SharedMutex shared;
+  EXPECT_DEATH(shared.AssertHeld(), "");
+  EXPECT_DEATH(shared.AssertReaderHeld(), "");
+}
+
+TEST(SyncDeathTest, AssertHeldAbortsForNonOwningThread) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex mu;
+  MutexLock lock(mu);
+  // Held, but by *this* thread — another thread's claim must still die.
+  EXPECT_DEATH(std::thread([&] { mu.AssertHeld(); }).join(), "");
+}
+#endif  // NDEBUG
+
+TEST(SyncTest, RelaxedAtomicIsMovableAndCounts) {
+  static_assert(std::is_move_constructible_v<RelaxedAtomic<uint64_t>>);
+  static_assert(std::is_move_assignable_v<RelaxedAtomic<uint64_t>>);
+  static_assert(std::is_copy_constructible_v<RelaxedAtomic<bool>>);
+
+  RelaxedAtomic<uint64_t> epoch{41};
+  EXPECT_EQ(epoch.fetch_add(1), 41u);
+  EXPECT_EQ(epoch.load(), 42u);
+
+  RelaxedAtomic<uint64_t> moved{std::move(epoch)};
+  EXPECT_EQ(moved.load(), 42u);
+
+  RelaxedAtomic<bool> flag{true};
+  flag.store(false);
+  EXPECT_FALSE(flag.load());
+
+  // Concurrent fetch_add must not lose increments.
+  RelaxedAtomic<uint64_t> counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) counter.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.load(), 40000u);
+}
+
+TEST(SyncTest, FirstErrorKeepsLowestIndexUnderContention) {
+  // Every thread records a distinct index; the survivor must be the global
+  // minimum regardless of arrival order — the property that makes parallel
+  // error reporting bit-identical to a serial scan.
+  for (int repeat = 0; repeat < 50; ++repeat) {
+    FirstError first_error;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&first_error, t] {
+        size_t index = static_cast<size_t>((t * 7 + 3) % 8);
+        first_error.Record(
+            index, Status::InvalidArgument("item " + std::to_string(index)));
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    ASSERT_TRUE(first_error.has_error());
+    EXPECT_TRUE(first_error.ShadowedAt(0));
+    EXPECT_EQ(first_error.status().message(), "item 0");
+  }
+}
+
+TEST(SyncTest, FirstErrorStartsClean) {
+  FirstError first_error;
+  EXPECT_FALSE(first_error.has_error());
+  EXPECT_FALSE(first_error.ShadowedAt(SIZE_MAX - 1));
+  EXPECT_TRUE(first_error.status().ok());
+  first_error.Record(7, Status::Internal("late"));
+  first_error.Record(3, Status::Internal("early"));
+  first_error.Record(5, Status::Internal("middle"));
+  EXPECT_TRUE(first_error.ShadowedAt(3));
+  EXPECT_FALSE(first_error.ShadowedAt(2));
+  EXPECT_EQ(first_error.status().message(), "early");
+}
+
+}  // namespace
+}  // namespace foresight

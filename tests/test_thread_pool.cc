@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/metrics.h"
 
 namespace foresight {
 namespace {
@@ -147,6 +150,34 @@ TEST(ThreadPoolTest, NestedParallelForMakesProgress) {
     });
   });
   EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, RetiredMetricsRegistryOutlivesInFlightTasks) {
+  // Regression (ASan/TSAN): workers cache raw Counter*/Gauge* hook pointers
+  // into the attached registry. Detaching (or replacing) the registry while
+  // a submitted task is still in flight used to free those metrics out from
+  // under the worker; retired registries must stay alive for the pool's
+  // lifetime instead.
+  std::atomic<int> ran{0};
+  int submitted = 0;
+  {
+    ThreadPool pool(4);
+    for (int round = 0; round < 100; ++round) {
+      auto registry = std::make_shared<MetricsRegistry>();
+      pool.AttachMetrics(registry);
+      registry.reset();  // The pool now holds the only reference.
+      for (int i = 0; i < 32; ++i) {
+        if (pool.Submit([&] { ran.fetch_add(1); })) ++submitted;
+      }
+      // Swap hooks mid-storm: in-flight tasks may still be counting against
+      // the registry attached above.
+      pool.AttachMetrics(nullptr);
+      pool.AttachMetrics(std::make_shared<MetricsRegistry>());
+    }
+    // Destruction drains the queue; every submitted task must have run.
+  }
+  EXPECT_EQ(ran.load(), submitted);
+  EXPECT_EQ(submitted, 100 * 32);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossManyCalls) {

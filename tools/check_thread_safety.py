@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Proves the Clang Thread Safety Analysis gate actually fires.
+
+The build turns on -Wthread-safety -Wthread-safety-beta (see
+FORESIGHT_THREAD_SAFETY in the top-level CMakeLists.txt) and CI runs it under
+-Werror, so a clean build is supposed to mean "no locking-rule violations".
+That guarantee rots silently if the warnings stop firing — a macro typo in
+util/sync.h, a compiler flag drift, a clang release changing a diagnostic
+group — because a gate that checks nothing still passes everything.
+
+This script compiles a set of deliberately-broken snippets against the real
+util/sync.h and asserts each one produces a thread-safety diagnostic, plus
+one known-good snippet asserting zero diagnostics (so we also notice the
+opposite failure: analysis so broken it flags correct code). Run it anywhere;
+without a clang on PATH it exits 77 (the ctest skip code) because GCC has no
+such analysis to prove.
+
+Usage: tools/check_thread_safety.py [--clang PATH] [--src-root DIR]
+Exit code 0 = gate proven live, 1 = gate dead or misfiring, 2 = usage error,
+77 = no clang available (skipped).
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+
+PRELUDE = """\
+#include "util/sync.h"
+using namespace foresight;
+"""
+
+# (name, must_warn, source). Each bad snippet violates exactly one rule so a
+# failure names the dead check precisely.
+SNIPPETS = [
+    ("unguarded_write", True, """\
+struct Account {
+  Mutex mu;
+  int balance FORESIGHT_GUARDED_BY(mu) = 0;
+  void Deposit(int amount) { balance += amount; }  // no lock held
+};
+"""),
+    ("pt_guarded_deref", True, """\
+struct Box {
+  Mutex mu;
+  int* value FORESIGHT_PT_GUARDED_BY(mu) = nullptr;
+  int Read() { return *value; }  // deref without the lock
+};
+"""),
+    ("missing_release", True, """\
+struct Leaky {
+  Mutex mu;
+  void Oops() { mu.Lock(); }  // still held at end of function
+};
+"""),
+    ("double_acquire", True, """\
+struct Twice {
+  Mutex mu;
+  void Oops() {
+    mu.Lock();
+    mu.Lock();  // acquiring a capability already held
+    mu.Unlock();
+    mu.Unlock();
+  }
+};
+"""),
+    ("requires_violation", True, """\
+struct Queue {
+  Mutex mu;
+  int depth FORESIGHT_GUARDED_BY(mu) = 0;
+  void DrainLocked() FORESIGHT_REQUIRES(mu) { depth = 0; }
+  void Drain() { DrainLocked(); }  // caller does not hold mu
+};
+"""),
+    ("excludes_violation", True, """\
+struct Reentrant {
+  Mutex mu;
+  void Outer() {
+    MutexLock lock(mu);
+    Inner();  // Inner promises mu is NOT held
+  }
+  void Inner() FORESIGHT_EXCLUDES(mu) {}
+};
+"""),
+    ("lock_order_inversion", True, """\
+struct Ordered {
+  Mutex first;
+  Mutex second FORESIGHT_ACQUIRED_AFTER(first);
+  void Backwards() {
+    MutexLock a(second);
+    MutexLock b(first);  // violates the declared order (beta check)
+  }
+};
+"""),
+    ("shared_write_through_reader", True, """\
+struct Registry {
+  SharedMutex mu;
+  int entries FORESIGHT_GUARDED_BY(mu) = 0;
+  void Bump() {
+    ReaderLock lock(mu);
+    entries = 1;  // write under a shared (read) lock
+  }
+};
+"""),
+    ("known_good", False, """\
+struct Clean {
+  Mutex mu;
+  CondVar cv;
+  int depth FORESIGHT_GUARDED_BY(mu) = 0;
+  void Push() {
+    {
+      MutexLock lock(mu);
+      ++depth;
+    }
+    cv.NotifyOne();
+  }
+  void PopAll() {
+    MutexLock lock(mu);
+    while (depth == 0) cv.Wait(mu);
+    depth = 0;
+  }
+  void DrainLocked() FORESIGHT_REQUIRES(mu) { depth = 0; }
+  void Drain() {
+    MutexLock lock(mu);
+    DrainLocked();
+  }
+};
+"""),
+]
+
+CLANG_CANDIDATES = ["clang++", "clang++-19", "clang++-18", "clang++-17",
+                    "clang++-16", "clang++-15", "clang++-14"]
+
+
+def find_clang(explicit):
+    if explicit:
+        path = shutil.which(explicit)
+        if not path:
+            print(f"check_thread_safety: --clang {explicit} not found",
+                  file=sys.stderr)
+            sys.exit(2)
+        return path
+    for name in CLANG_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang", default=None,
+                        help="clang++ executable (default: search PATH)")
+    parser.add_argument("--src-root", default=None,
+                        help="directory containing util/sync.h "
+                             "(default: <repo>/src)")
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("check_thread_safety: no clang++ on PATH; the thread-safety "
+              "analysis gate can only be proven with clang. SKIPPED.")
+        return SKIP
+
+    src_root = args.src_root or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if not os.path.isfile(os.path.join(src_root, "util", "sync.h")):
+        print(f"check_thread_safety: util/sync.h not found under {src_root}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, must_warn, body in SNIPPETS:
+            source = os.path.join(tmp, f"{name}.cc")
+            with open(source, "w", encoding="utf-8") as f:
+                f.write(PRELUDE + body)
+            # -fsyntax-only: the analysis is purely front-end; no codegen or
+            # linking, so each snippet checks in milliseconds.
+            cmd = [clang, "-std=c++20", "-fsyntax-only", "-I", src_root,
+                   "-Wthread-safety", "-Wthread-safety-beta", source]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode not in (0, 1):
+                failures.append(
+                    (name, f"clang crashed (rc={proc.returncode}):\n"
+                           f"{proc.stderr}"))
+                continue
+            warned = "-Wthread-safety" in proc.stderr
+            if must_warn and not warned:
+                failures.append(
+                    (name, "expected a -Wthread-safety diagnostic, got none "
+                           f"(stderr:\n{proc.stderr or '<empty>'})"))
+            elif not must_warn and proc.stderr.strip():
+                failures.append(
+                    (name, "expected a clean check, got diagnostics:\n"
+                           f"{proc.stderr}"))
+
+    if failures:
+        for name, why in failures:
+            print(f"check_thread_safety: [{name}] {why}", file=sys.stderr)
+        print(f"check_thread_safety: {len(failures)} of {len(SNIPPETS)} "
+              "snippets misbehaved — the analysis gate is not protecting "
+              "the tree.", file=sys.stderr)
+        return 1
+
+    bad = sum(1 for _, must_warn, _ in SNIPPETS if must_warn)
+    print(f"check_thread_safety: gate live — {bad} known-bad snippets each "
+          f"diagnosed, known-good snippet clean ({os.path.basename(clang)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,18 @@ contain hidden sources of nondeterminism. This lint enforces:
                        order-sensitive use (serialization, floating-point
                        reductions, result assembly) silently breaks
                        reproducibility.
+  raw-sync             Raw std::mutex / std::condition_variable / lock guards
+                       outside util/sync.{h,cc}: every lock must go through
+                       the annotated wrappers (Mutex, SharedMutex, CondVar,
+                       MutexLock, ...) so Clang Thread Safety Analysis sees
+                       it. A raw primitive is invisible to the analysis and
+                       silently exempts its critical sections from checking.
 
 Suppression: add a trailing or preceding-line comment of the form
-    // determinism-ok: <reason>
-The reason is mandatory; a bare "determinism-ok" is itself a finding.
+    // determinism-ok: <reason>     (all rules except raw-sync)
+    // sync-ok: <reason>           (raw-sync only)
+The reason is mandatory; a bare "determinism-ok"/"sync-ok" is itself a
+finding.
 
 Usage: tools/lint_determinism.py [--root DIR]
 Exit code 0 = clean, 1 = findings, 2 = usage error.
@@ -48,6 +56,11 @@ BARE_ASSERT_ALLOWED_FILES = {os.path.join("util", "logging.h")}
 # per-site suppression.
 CHRONO_CLOCK_ALLOWED_FILES = {os.path.join("util", "timer.h")}
 
+# Definition site of the annotated wrappers; the raw primitives live here and
+# nowhere else.
+RAW_SYNC_ALLOWED_FILES = {os.path.join("util", "sync.h"),
+                          os.path.join("util", "sync.cc")}
+
 BANNED_CALLS = [
     # (rule, regex, message)
     ("bare-assert", re.compile(r"(?<![\w_])assert\s*\("),
@@ -66,10 +79,23 @@ BANNED_CALLS = [
                                 r"\s*now\s*\("),
      "clock read: timing is observability-only and must never feed ranking; "
      "justify each site with '// determinism-ok: <reason>'"),
+    ("raw-sync", re.compile(r"\bstd\s*::\s*(?:mutex|shared_mutex|timed_mutex|"
+                            r"recursive_mutex|recursive_timed_mutex|"
+                            r"shared_timed_mutex|condition_variable(?:_any)?|"
+                            r"lock_guard|unique_lock|shared_lock|scoped_lock)"
+                            r"\b"),
+     "raw synchronization primitive: use the annotated wrappers from "
+     "util/sync.h (Mutex/SharedMutex/CondVar/MutexLock/...) so thread-safety "
+     "analysis sees the lock; justify exceptions with '// sync-ok: <reason>'"),
 ]
 
-SUPPRESS_RE = re.compile(r"//.*determinism-ok:\s*(\S.*)?$")
-BARE_SUPPRESS_RE = re.compile(r"determinism-ok(?!:)")
+# Which suppression tag clears which rule: raw-sync has its own tag so a
+# determinism waiver can never silently waive the lock-wrapper requirement.
+RULE_SUPPRESS_TAG = {"raw-sync": "sync-ok"}
+DEFAULT_SUPPRESS_TAG = "determinism-ok"
+
+SUPPRESS_RE = re.compile(r"//.*\b(determinism-ok|sync-ok):\s*(\S.*)?$")
+BARE_SUPPRESS_RE = re.compile(r"(?:determinism|sync)-ok(?!:)")
 
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^();]*(?:\([^()]*\))?[^();]*)\)")
@@ -181,35 +207,43 @@ def lint_file(path, rel, accessor_names):
             local_names |= collect_unordered_names(f.read())
     unordered_names = local_names | accessor_names
 
-    suppressed = set()
+    suppressed = {}  # tag -> set of covered line numbers
     for idx, line in enumerate(raw_lines, start=1):
         m = SUPPRESS_RE.search(line)
         if m:
-            if not m.group(1):
+            tag = m.group(1)
+            if not m.group(2):
                 findings.append((idx, "suppression",
-                                 "determinism-ok requires a reason after the "
-                                 "colon"))
+                                 f"{tag} requires a reason after the colon"))
             # A suppression covers its own line and the following line.
-            suppressed.add(idx)
-            suppressed.add(idx + 1)
+            suppressed.setdefault(tag, set()).update({idx, idx + 1})
         elif BARE_SUPPRESS_RE.search(line):
             findings.append((idx, "suppression",
                              "malformed suppression: use "
-                             "'// determinism-ok: <reason>'"))
+                             "'// determinism-ok: <reason>' or "
+                             "'// sync-ok: <reason>'"))
+
+    def is_suppressed(rule, idx):
+        tag = RULE_SUPPRESS_TAG.get(rule, DEFAULT_SUPPRESS_TAG)
+        return idx in suppressed.get(tag, ())
 
     in_block = False
     for idx, line in enumerate(raw_lines, start=1):
         code, in_block = strip_comments_and_strings(line, in_block)
-        if idx in suppressed:
-            continue
         for rule, pattern, message in BANNED_CALLS:
+            if is_suppressed(rule, idx):
+                continue
             if rule == "bare-assert" and rel in BARE_ASSERT_ALLOWED_FILES:
                 continue
             if rule == "chrono-clock" and rel in CHRONO_CLOCK_ALLOWED_FILES:
                 continue
+            if rule == "raw-sync" and rel in RAW_SYNC_ALLOWED_FILES:
+                continue
             if pattern.search(code):
                 findings.append((idx, rule, message))
         for for_match in RANGE_FOR_RE.finditer(code):
+            if is_suppressed("unordered-iteration", idx):
+                continue
             header = for_match.group(1)
             if ":" not in header or ";" in header:
                 continue
