@@ -1,0 +1,521 @@
+// Binary profile snapshots vs cold rebuild (DESIGN.md "Profile snapshots &
+// dataset registry", ROADMAP item 2).
+//
+// The paper's premise (§3) is that preprocessing is paid once so queries stay
+// interactive; a snapshot makes that hold across process restarts. This bench
+// measures the cold-start path both ways over the SAME table:
+//   rebuild — Preprocessor::Profile from raw columns (what a restart used to
+//             cost per dataset);
+//   load    — ReadFileBytes + LoadProfileSnapshot of the FSNAPBIN image.
+// The loaded profile must be BIT-IDENTICAL to the rebuilt one (profile
+// document bytes), and queries over the two must return bit-identical wire
+// results across every insight class and worker counts {1, 8} — a speedup can
+// never come from serving different answers.
+//
+// A registry stage then churns N snapshot-backed datasets through a
+// DatasetRegistry whose budget only fits a fraction of them, proving the
+// byte-budget invariant (peak resident bytes <= budget, with evictions
+// actually happening) and measuring per-dataset attach latency from snapshots
+// vs rebuilds.
+//
+// Workloads: 30k x 64 (headline, >= 20x target) and 100k x 128. Results are
+// printed AND written to BENCH_snapshot.json.
+//
+// --smoke: small workload, identity + budget-invariant checks only (< 5 s),
+// no JSON — for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataset_registry.h"
+#include "core/engine.h"
+#include "core/profile.h"
+#include "core/snapshot.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "data/table.h"
+#include "serve/wire.h"
+#include "util/bench_env.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace foresight;
+
+namespace {
+
+constexpr uint64_t kSeed = 11;
+constexpr double kTargetSpeedup = 20.0;  // Headline rebuild/load target.
+constexpr size_t kParallelWorkers = 8;   // Identity probe worker count.
+
+/// Every registered insight class: the identity gate runs each one over the
+/// rebuilt and the snapshot-loaded profile and compares wire documents.
+constexpr const char* kAllClasses[] = {
+    "linear_relationship", "monotonic_relationship", "general_dependence",
+    "dispersion", "skew", "heavy_tails", "outliers", "multimodality",
+    "missing_values", "heterogeneous_frequencies", "low_entropy",
+    "segmentation",
+};
+
+struct Workload {
+  const char* label;
+  size_t rows;
+  size_t numeric;
+  size_t categorical;
+  int build_reps;  // Timed repetitions; the best rep is reported.
+  int load_reps;
+  bool identity_probe;  // Run the per-class / per-worker-count query gate.
+};
+
+constexpr Workload kWorkloads[] = {
+    {"30k x 64", 30000, 56, 8, 3, 5, true},
+    {"100k x 128", 100000, 112, 16, 2, 5, false},
+};
+
+struct Measured {
+  bool ok = false;        // All statuses OK (timings are meaningful).
+  bool identical = true;  // Every identity gate passed.
+  double rebuild_s = 0.0;
+  double load_ms = 0.0;
+  double encode_ms = 0.0;
+  size_t snapshot_bytes = 0;
+  size_t profile_bytes = 0;  // TableProfile::EstimateMemoryBytes().
+  size_t identity_queries = 0;
+};
+
+/// Scratch path for this bench's snapshot files; recreated per run.
+std::filesystem::path ScratchDir() {
+  return std::filesystem::temp_directory_path() / "foresight_bench_snapshot";
+}
+
+Measured MeasureWorkload(const Workload& w) {
+  Measured m;
+  const DataTable table =
+      MakeBenchmarkTable(w.rows, w.numeric, w.categorical, kSeed);
+
+  // Cold rebuild: the price a restart pays without a snapshot.
+  WallTimer timer;
+  std::optional<TableProfile> rebuilt;
+  m.rebuild_s = 1e100;
+  for (int rep = 0; rep < w.build_reps; ++rep) {
+    timer.Restart();
+    auto profile = Preprocessor::Profile(table);
+    const double elapsed = timer.ElapsedSeconds();
+    if (!profile.ok()) {
+      std::fprintf(stderr, "profile build failed (%s): %s\n", w.label,
+                   profile.status().ToString().c_str());
+      return m;
+    }
+    m.rebuild_s = std::min(m.rebuild_s, elapsed);
+    rebuilt = std::move(*profile);
+  }
+  m.profile_bytes = rebuilt->EstimateMemoryBytes();
+
+  // Encode once (also timed — it is the snapshot write path minus the disk),
+  // then persist through the atomic file writer the registry relies on.
+  timer.Restart();
+  const std::string image = EncodeProfileSnapshot(*rebuilt);
+  m.encode_ms = timer.ElapsedMillis();
+  m.snapshot_bytes = image.size();
+  std::error_code ec;
+  std::filesystem::create_directories(ScratchDir(), ec);
+  const std::string path = (ScratchDir() / (std::string(w.label) + ".fsnap"))
+                               .string();
+  if (Status written = WriteProfileSnapshot(*rebuilt, path); !written.ok()) {
+    std::fprintf(stderr, "snapshot write failed (%s): %s\n", w.label,
+                 written.ToString().c_str());
+    return m;
+  }
+
+  // Cold load: file read + FJB1 decode + validators + sample
+  // rematerialization — everything a registry attach pays.
+  std::optional<TableProfile> loaded;
+  m.load_ms = 1e100;
+  for (int rep = 0; rep < w.load_reps; ++rep) {
+    timer.Restart();
+    auto profile = LoadProfileSnapshotFile(table, path);
+    const double elapsed = timer.ElapsedMillis();
+    if (!profile.ok()) {
+      std::fprintf(stderr, "snapshot load failed (%s): %s\n", w.label,
+                   profile.status().ToString().c_str());
+      return m;
+    }
+    m.load_ms = std::min(m.load_ms, elapsed);
+    loaded = std::move(*profile);
+  }
+
+  // Gate 1: the restored profile document is byte-identical to the one that
+  // was encoded (doubles included — that is the point of the binary path).
+  if (loaded->ToJson().Dump() != rebuilt->ToJson().Dump()) {
+    m.identical = false;
+    std::printf("IDENTITY FAILURE (%s): loaded profile document differs from "
+                "the rebuilt one\n", w.label);
+  }
+
+  // Gate 2: query results over the two profiles are bit-identical at the
+  // wire-API level, per class, per mode, per worker count.
+  if (w.identity_probe && m.identical) {
+    EngineOptions rebuild_options;
+    rebuild_options.num_workers = 1;
+    EngineOptions snapshot_options;
+    snapshot_options.num_workers = 1;
+    auto from_rebuild = InsightEngine::CreateFromProfile(
+        table, std::move(*rebuilt), std::move(rebuild_options));
+    auto from_snapshot = InsightEngine::CreateFromProfile(
+        table, std::move(*loaded), std::move(snapshot_options));
+    if (!from_rebuild.ok() || !from_snapshot.ok()) {
+      std::fprintf(stderr, "engine creation failed (%s)\n", w.label);
+      return m;
+    }
+    WarnIfOversubscribed(kParallelWorkers);
+    for (size_t workers : {size_t{1}, kParallelWorkers}) {
+      from_rebuild->set_num_workers(workers);
+      from_snapshot->set_num_workers(workers);
+      for (const char* class_name : kAllClasses) {
+        for (ExecutionMode mode : {ExecutionMode::kSketch,
+                                   ExecutionMode::kExact}) {
+          // Exact pairwise at 100k+ is a different bench; keep exact to the
+          // headline-sized probe where it costs milliseconds.
+          InsightQuery query;
+          query.class_name = class_name;
+          query.top_k = 10;
+          query.mode = mode;
+          auto a = from_rebuild->Execute(query);
+          auto b = from_snapshot->Execute(query);
+          if (!a.ok() || !b.ok()) {
+            std::fprintf(stderr, "identity query failed (%s, %s): %s\n",
+                         w.label, class_name,
+                         (!a.ok() ? a.status() : b.status())
+                             .ToString().c_str());
+            return m;
+          }
+          ++m.identity_queries;
+          if (WireResultV1(*a).Dump() != WireResultV1(*b).Dump()) {
+            m.identical = false;
+            std::printf("IDENTITY FAILURE (%s): class %s, mode %d, "
+                        "%zu workers: snapshot-served wire result differs\n",
+                        w.label, class_name, static_cast<int>(mode), workers);
+          }
+        }
+      }
+    }
+  }
+
+  m.ok = true;
+  return m;
+}
+
+struct ChurnResult {
+  bool ok = false;
+  bool invariant_held = false;
+  size_t datasets = 0;
+  size_t budget_bytes = 0;
+  size_t one_dataset_bytes = 0;
+  double attach_snapshot_ms = 0.0;  // Best cold attach from a snapshot.
+  double attach_rebuild_ms = 0.0;   // Best cold attach via rebuild.
+  DatasetRegistryStats stats;
+};
+
+/// Builds `count` CSV+snapshot dataset fixtures under ScratchDir()/datasets
+/// and churns them through a registry whose budget fits only `fit` of them.
+/// Every Acquire also runs a query through the pinned session, so eviction
+/// happens under real use, not idle pointer traffic.
+ChurnResult RunRegistryChurn(size_t count, size_t fit, size_t rows,
+                             int rounds) {
+  ChurnResult r;
+  r.datasets = count;
+  const std::filesystem::path dir = ScratchDir() / "datasets";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+
+  for (size_t i = 0; i < count; ++i) {
+    const std::string id = "churn" + std::to_string(i);
+    const std::string csv_path = (dir / (id + ".csv")).string();
+    const DataTable generated =
+        MakeBenchmarkTable(rows, 10, 2, kSeed + 100 + i);
+    if (Status s = CsvWriter::WriteFile(generated, csv_path); !s.ok()) {
+      std::fprintf(stderr, "churn fixture write failed: %s\n",
+                   s.ToString().c_str());
+      return r;
+    }
+    // Profile the CSV-parsed table, not the in-memory one: the snapshot must
+    // match the doubles a server re-reading that CSV will hold.
+    auto parsed = CsvReader::ReadFile(csv_path);
+    auto profile = parsed.ok() ? Preprocessor::Profile(*parsed)
+                               : StatusOr<TableProfile>(parsed.status());
+    if (!profile.ok()) {
+      std::fprintf(stderr, "churn fixture profile failed: %s\n",
+                   profile.status().ToString().c_str());
+      return r;
+    }
+    const std::string snap_path = (dir / (id + ".fsnap")).string();
+    if (Status s = WriteProfileSnapshot(*profile, snap_path); !s.ok()) {
+      std::fprintf(stderr, "churn fixture snapshot failed: %s\n",
+                   s.ToString().c_str());
+      return r;
+    }
+  }
+
+  auto specs = DatasetRegistry::ScanDirectory(dir.string());
+  if (!specs.ok() || specs->size() != count) {
+    std::fprintf(stderr, "churn scan failed\n");
+    return r;
+  }
+
+  // Size the budget from a real resident dataset (table + profile bytes).
+  {
+    DatasetRegistry sizing;  // Unlimited budget.
+    if (Status s = sizing.Add((*specs)[0]); !s.ok()) return r;
+    auto pin = sizing.Acquire((*specs)[0].id);
+    if (!pin.ok()) {
+      std::fprintf(stderr, "sizing acquire failed: %s\n",
+                   pin.status().ToString().c_str());
+      return r;
+    }
+    r.one_dataset_bytes = (*pin)->resident_bytes();
+  }
+  r.budget_bytes = r.one_dataset_bytes * fit + r.one_dataset_bytes / 2;
+
+  DatasetRegistryOptions options;
+  options.memory_budget_bytes = r.budget_bytes;
+  DatasetRegistry registry(options);
+  for (const DatasetSpec& spec : *specs) {
+    if (Status s = registry.Add(spec); !s.ok()) return r;
+  }
+
+  InsightQuery query;
+  query.class_name = "skew";
+  query.top_k = 5;
+  query.mode = ExecutionMode::kSketch;
+
+  bool all_queries_ok = true;
+  bool within_budget = true;
+  r.attach_snapshot_ms = 1e100;
+  WallTimer timer;
+  // Round-robin with a stride-3 overlay: enough reuse for hits, enough
+  // rotation that the LRU tail is continuously evicted.
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < count; ++i) {
+      const size_t pick = (round % 2 == 0) ? i : (i * 3) % count;
+      const std::string& id = (*specs)[pick].id;
+      const bool was_resident = [&] {
+        for (const DatasetEntryInfo& e : registry.ListEntries()) {
+          if (e.id == id) return e.resident;
+        }
+        return false;
+      }();
+      timer.Restart();
+      auto pin = registry.Acquire(id);
+      const double elapsed = timer.ElapsedMillis();
+      if (!pin.ok()) {
+        std::fprintf(stderr, "churn acquire %s failed: %s\n", id.c_str(),
+                     pin.status().ToString().c_str());
+        return r;
+      }
+      if (!was_resident && (*pin)->loaded_from_snapshot()) {
+        r.attach_snapshot_ms = std::min(r.attach_snapshot_ms, elapsed);
+      }
+      auto result = (*pin)->session().Execute(query);
+      all_queries_ok = all_queries_ok && result.ok();
+      within_budget =
+          within_budget && registry.stats().resident_bytes <= r.budget_bytes;
+    }
+  }
+
+  // Rebuild-path attach for contrast: same CSVs, snapshots withheld.
+  {
+    DatasetRegistry rebuild_registry;
+    r.attach_rebuild_ms = 1e100;
+    for (const DatasetSpec& spec : *specs) {
+      DatasetSpec stripped = spec;
+      stripped.snapshot_path.clear();
+      if (Status s = rebuild_registry.Add(std::move(stripped)); !s.ok()) {
+        return r;
+      }
+    }
+    for (const DatasetSpec& spec : *specs) {
+      timer.Restart();
+      auto pin = rebuild_registry.Acquire(spec.id);
+      const double elapsed = timer.ElapsedMillis();
+      if (!pin.ok() || (*pin)->loaded_from_snapshot()) return r;
+      r.attach_rebuild_ms = std::min(r.attach_rebuild_ms, elapsed);
+    }
+  }
+
+  r.stats = registry.stats();
+  r.invariant_held = within_budget && all_queries_ok &&
+                     r.stats.peak_resident_bytes <= r.budget_bytes &&
+                     r.stats.evictions > 0 && r.stats.load_failures == 0;
+  if (!r.invariant_held) {
+    std::printf("BUDGET FAILURE: peak %zu bytes vs budget %zu, evictions "
+                "%llu, queries ok %d, within budget during churn %d\n",
+                r.stats.peak_resident_bytes, r.budget_bytes,
+                static_cast<unsigned long long>(r.stats.evictions),
+                all_queries_ok ? 1 : 0, within_budget ? 1 : 0);
+  }
+  r.ok = true;
+  return r;
+}
+
+JsonValue ChurnJson(const ChurnResult& r) {
+  JsonValue json = JsonValue::Object();
+  json.Set("datasets", r.datasets);
+  json.Set("budget_bytes", r.budget_bytes);
+  json.Set("one_dataset_bytes", r.one_dataset_bytes);
+  json.Set("peak_resident_bytes", r.stats.peak_resident_bytes);
+  json.Set("final_resident_bytes", r.stats.resident_bytes);
+  json.Set("loads", r.stats.loads);
+  json.Set("hits", r.stats.hits);
+  json.Set("misses", r.stats.misses);
+  json.Set("evictions", r.stats.evictions);
+  json.Set("load_failures", r.stats.load_failures);
+  json.Set("attach_snapshot_ms", r.attach_snapshot_ms);
+  json.Set("attach_rebuild_ms", r.attach_rebuild_ms);
+  json.Set("invariant_held", r.invariant_held);
+  return json;
+}
+
+int RunSmoke() {
+  std::printf("bench_snapshot --smoke: identity + budget invariant only\n");
+  Workload smoke{"smoke 2k x 12", 2000, 10, 2, 1, 1, true};
+  Measured m = MeasureWorkload(smoke);
+  if (!m.ok) return 1;
+  std::printf("rebuild %.3f s, load %.1f ms, %zu identity queries, "
+              "bit-identical: %s\n", m.rebuild_s, m.load_ms,
+              m.identity_queries, m.identical ? "yes" : "NO");
+  ChurnResult churn = RunRegistryChurn(/*count=*/4, /*fit=*/2, /*rows=*/1500,
+                                       /*rounds=*/3);
+  if (!churn.ok) return 1;
+  std::printf("churn: %llu evictions, peak %zu / budget %zu bytes, "
+              "invariant held: %s\n",
+              static_cast<unsigned long long>(churn.stats.evictions),
+              churn.stats.peak_resident_bytes, churn.budget_bytes,
+              churn.invariant_held ? "yes" : "NO");
+  std::error_code ec;
+  std::filesystem::remove_all(ScratchDir(), ec);
+  return (m.identical && churn.invariant_held) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+    std::fprintf(stderr, "unknown flag: %s (supported: --smoke)\n", argv[i]);
+    return 2;
+  }
+
+  std::printf("Binary profile snapshots: cold rebuild vs FSNAPBIN load\n\n");
+
+  JsonValue workloads_json = JsonValue::Array();
+  bool all_ok = true;
+  bool all_identical = true;
+  double headline_speedup = 0.0;
+
+  std::printf("%-12s | %-12s %-11s %-9s | %-14s %-14s %-7s\n", "workload",
+              "rebuild (s)", "load (ms)", "speedup", "snapshot (B)",
+              "profile (B)", "ratio");
+  for (size_t i = 0; i < sizeof(kWorkloads) / sizeof(kWorkloads[0]); ++i) {
+    const Workload& w = kWorkloads[i];
+    Measured m = MeasureWorkload(w);
+    if (!m.ok) return 1;  // Failure already reported with its Status.
+    all_identical = all_identical && m.identical;
+
+    const double speedup =
+        m.load_ms > 0.0 ? (m.rebuild_s * 1000.0) / m.load_ms : 0.0;
+    const double size_ratio =
+        m.profile_bytes > 0
+            ? static_cast<double>(m.snapshot_bytes) /
+                  static_cast<double>(m.profile_bytes)
+            : 0.0;
+    if (i == 0) headline_speedup = speedup;
+    std::printf("%-12s | %-12.3f %-11.1f %-9.1f | %-14zu %-14zu %-7.2f\n",
+                w.label, m.rebuild_s, m.load_ms, speedup, m.snapshot_bytes,
+                m.profile_bytes, size_ratio);
+    if (w.identity_probe) {
+      std::printf("%-12s | %zu identity queries (%zu classes x 2 modes x "
+                  "workers {1,%zu}): %s\n", "", m.identity_queries,
+                  std::size(kAllClasses), kParallelWorkers,
+                  m.identical ? "bit-identical" : "DIFFER");
+    }
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("label", w.label);
+    entry.Set("rows", w.rows);
+    entry.Set("numeric_columns", w.numeric);
+    entry.Set("categorical_columns", w.categorical);
+    entry.Set("seed", kSeed);
+    entry.Set("rebuild_seconds", m.rebuild_s);
+    entry.Set("encode_ms", m.encode_ms);
+    entry.Set("load_ms", m.load_ms);
+    entry.Set("speedup", speedup);
+    entry.Set("snapshot_bytes", m.snapshot_bytes);
+    entry.Set("profile_estimate_bytes", m.profile_bytes);
+    entry.Set("snapshot_to_profile_ratio", size_ratio);
+    if (w.identity_probe) {
+      JsonValue probe = JsonValue::Object();
+      probe.Set("queries", m.identity_queries);
+      probe.Set("worker_counts", [] {
+        JsonValue counts = JsonValue::Array();
+        counts.Append(1.0);
+        counts.Append(static_cast<double>(kParallelWorkers));
+        return counts;
+      }());
+      probe.Set("scaling_claims_valid", ScalingClaimsValid(kParallelWorkers));
+      entry.Set("identity_probe", std::move(probe));
+    }
+    entry.Set("bit_identical", m.identical);
+    workloads_json.Append(std::move(entry));
+    all_ok = all_ok && m.ok;
+  }
+
+  std::printf("\nregistry churn: 8 datasets, budget fits 3\n");
+  ChurnResult churn = RunRegistryChurn(/*count=*/8, /*fit=*/3, /*rows=*/8000,
+                                       /*rounds=*/4);
+  if (!churn.ok) return 1;
+  std::printf("loads %llu, hits %llu, evictions %llu; peak resident %zu / "
+              "budget %zu bytes; invariant held: %s\n",
+              static_cast<unsigned long long>(churn.stats.loads),
+              static_cast<unsigned long long>(churn.stats.hits),
+              static_cast<unsigned long long>(churn.stats.evictions),
+              churn.stats.peak_resident_bytes, churn.budget_bytes,
+              churn.invariant_held ? "yes" : "NO");
+  std::printf("cold attach: %.1f ms from snapshot vs %.1f ms rebuilding\n",
+              churn.attach_snapshot_ms, churn.attach_rebuild_ms);
+
+  const bool target_met = headline_speedup >= kTargetSpeedup;
+  std::printf("\nheadline (%s) cold-start speedup: %.1fx (target >= %.0fx)\n",
+              kWorkloads[0].label, headline_speedup, kTargetSpeedup);
+  std::printf("snapshot-served results bit-identical: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("target met: %s\n\n", target_met ? "yes" : "NO");
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "snapshot");
+  doc.Set("environment", BenchEnvironmentJson(kParallelWorkers));
+  doc.Set("workloads", std::move(workloads_json));
+  doc.Set("registry_churn", ChurnJson(churn));
+  JsonValue summary = JsonValue::Object();
+  summary.Set("headline_workload", kWorkloads[0].label);
+  summary.Set("cold_start_speedup", headline_speedup);
+  summary.Set("target", kTargetSpeedup);
+  summary.Set("target_met", target_met);
+  doc.Set("summary", std::move(summary));
+  doc.Set("bit_identical", all_identical);
+
+  std::ofstream out("BENCH_snapshot.json");
+  out << doc.Dump(2) << "\n";
+  std::printf("wrote BENCH_snapshot.json\n");
+
+  std::error_code ec;
+  std::filesystem::remove_all(ScratchDir(), ec);
+  return (all_ok && all_identical && churn.invariant_held && target_met)
+             ? 0
+             : 1;
+}

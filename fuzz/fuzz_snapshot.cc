@@ -1,0 +1,77 @@
+// Fuzz harness for binary profile snapshots (core/snapshot.h) and the FJB1
+// binary JsonValue codec underneath them (util/json_binary.h). Snapshot
+// files cross trust boundaries — they are read back from disk at cold start
+// by every dataset the registry serves — so arbitrary bytes must come back
+// as a Status error, never abort, over-read, or allocate from an
+// attacker-chosen length field.
+//
+// Three layers are exercised per input:
+//   1. Raw FJB1 decoding of the bytes; accepted documents must re-encode
+//      and re-decode to the same logical value (canonical fixed point).
+//   2. Snapshot inspection (prelude, checksums, header document), with and
+//      without payload verification.
+//   3. Full profile loading against a fixed table; accepted profiles must
+//      re-encode to a snapshot that inspects, loads, and re-encodes
+//      byte-identically.
+//
+// The seed corpus contains a real snapshot of the same table the harness
+// loads against, so coverage reaches past the checksums into the profile
+// validators instead of dying at the prelude.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/profile.h"
+#include "core/snapshot.h"
+#include "data/generators.h"
+#include "data/table.h"
+#include "util/json.h"
+#include "util/json_binary.h"
+#include "util/logging.h"
+
+namespace foresight {
+namespace {
+
+/// The table the seed-corpus snapshot was built from (see
+/// fuzz/corpus/snapshot/). Must stay in sync with that file.
+const DataTable& FuzzTable() {
+  static const DataTable* table =
+      new DataTable(MakeBenchmarkTable(48, 3, 1, 7));
+  return *table;
+}
+
+void ExerciseJsonBinary(std::string_view bytes) {
+  StatusOr<JsonValue> decoded = JsonBinaryDecode(bytes);
+  if (!decoded.ok()) return;
+  const std::string canonical = JsonBinaryEncode(*decoded);
+  StatusOr<JsonValue> again = JsonBinaryDecode(canonical);
+  FORESIGHT_CHECK(again.ok());
+  FORESIGHT_CHECK(JsonBinaryEncode(*again) == canonical);
+  FORESIGHT_CHECK(again->Dump() == decoded->Dump());
+}
+
+void ExerciseSnapshot(std::string_view bytes) {
+  (void)InspectProfileSnapshot(bytes, /*verify_payload=*/false);
+  (void)InspectProfileSnapshot(bytes, /*verify_payload=*/true);
+
+  StatusOr<TableProfile> loaded = LoadProfileSnapshot(FuzzTable(), bytes);
+  if (!loaded.ok()) return;
+
+  // Accepted profiles must round-trip through the canonical encoding.
+  const std::string canonical = EncodeProfileSnapshot(*loaded);
+  StatusOr<SnapshotInfo> info = InspectProfileSnapshot(canonical);
+  FORESIGHT_CHECK(info.ok());
+  StatusOr<TableProfile> again = LoadProfileSnapshot(FuzzTable(), canonical);
+  FORESIGHT_CHECK(again.ok());
+  FORESIGHT_CHECK(EncodeProfileSnapshot(*again) == canonical);
+}
+
+}  // namespace
+}  // namespace foresight
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  foresight::ExerciseJsonBinary(bytes);
+  foresight::ExerciseSnapshot(bytes);
+  return 0;
+}

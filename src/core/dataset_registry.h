@@ -1,0 +1,219 @@
+#ifndef FORESIGHT_CORE_DATASET_REGISTRY_H_
+#define FORESIGHT_CORE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_cache.h"
+#include "core/session.h"
+#include "data/table.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace foresight {
+
+/// Where a dataset's bytes live on disk.
+struct DatasetSpec {
+  /// Stable identifier (the wire API's `dataset` field). For directory scans
+  /// this is the CSV file's stem.
+  std::string id;
+  /// CSV source of the table itself. Always required: profiles reference
+  /// (never contain) their table, and sample vectors rematerialize from it.
+  std::string table_path;
+  /// Optional binary profile snapshot (core/snapshot.h). Empty = none; the
+  /// profile is then rebuilt by Preprocessor::Profile on first use. A
+  /// snapshot that fails to load (corrupt, stale shape) also falls back to a
+  /// rebuild — snapshots are a cache, never the source of truth.
+  std::string snapshot_path;
+};
+
+/// Sizing and per-dataset engine knobs for a DatasetRegistry.
+struct DatasetRegistryOptions {
+  /// Global budget over every resident dataset's estimated bytes (table +
+  /// profile). 0 = unlimited. The registry admits a dataset only after
+  /// evicting least-recently-used residents until it fits, so tracked
+  /// resident bytes never exceed the budget; a single dataset larger than
+  /// the whole budget is served unpinned (loaded, used, dropped).
+  size_t memory_budget_bytes = 0;
+  /// Worker threads per resident engine. Defaults to 1 (serial): a node
+  /// holding hundreds of datasets must not spin up hundreds of
+  /// hardware-sized thread pools. 0 = hardware concurrency.
+  size_t num_workers = 1;
+  /// Per-dataset engine metrics. Off by default for the same reason; the
+  /// registry's own metrics (below) stay on regardless.
+  bool collect_metrics = false;
+  /// Result-cache sizing for each dataset's QuerySession.
+  QueryCacheOptions cache;
+  /// Registry-level metrics (registry.* counters/gauges/histogram) land
+  /// here when set — typically the serving engine's registry, so one
+  /// /metrics scrape covers the whole stack.
+  std::shared_ptr<MetricsRegistry> metrics;
+};
+
+/// A fully attached dataset: the owning table, the engine adopting its
+/// profile, and the serving session. Heap-pinned and handed out as
+/// shared_ptr<const>, so an in-flight query keeps its dataset alive even if
+/// the registry evicts it concurrently (eviction drops the registry's pin,
+/// never the object under a reader).
+class ResidentDataset {
+ public:
+  const std::string& id() const { return id_; }
+  const DataTable& table() const { return table_; }
+  const InsightEngine& engine() const { return *engine_; }
+  const QuerySession& session() const { return *session_; }
+  /// Estimated bytes this dataset pins (table + profile), the unit the
+  /// registry budget is accounted in.
+  size_t resident_bytes() const { return resident_bytes_; }
+  /// Whether the profile came from a snapshot (false = rebuilt).
+  bool loaded_from_snapshot() const { return from_snapshot_; }
+
+  /// Loads a dataset end to end: CSV -> table, snapshot (or rebuild) ->
+  /// profile, engine, session. Not registry-locked; see DatasetRegistry.
+  static StatusOr<std::shared_ptr<ResidentDataset>> Load(
+      const DatasetSpec& spec, const DatasetRegistryOptions& options);
+
+ private:
+  ResidentDataset() = default;
+
+  std::string id_;
+  DataTable table_;
+  /// optional<> defers construction past table_; neither moves again after
+  /// Load returns (the engine holds a pointer to table_, the session one to
+  /// *engine_).
+  std::optional<InsightEngine> engine_;
+  std::optional<QuerySession> session_;
+  size_t resident_bytes_ = 0;
+  bool from_snapshot_ = false;
+};
+
+/// Point-in-time registry counters (all since construction).
+struct DatasetRegistryStats {
+  size_t resident_bytes = 0;
+  size_t peak_resident_bytes = 0;
+  size_t resident_datasets = 0;
+  size_t total_datasets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+  uint64_t load_failures = 0;
+};
+
+/// One row of ListEntries() — enough for the /v1/datasets listing without
+/// touching any dataset's bytes.
+struct DatasetEntryInfo {
+  std::string id;
+  bool resident = false;
+  bool has_snapshot = false;
+  size_t resident_bytes = 0;  ///< 0 when not resident.
+};
+
+/// Byte-budgeted, lazily loading map of dataset id -> resident engine +
+/// session (ROADMAP item 2: hundreds of datasets per node, attached in
+/// milliseconds from snapshots, under a global memory budget).
+///
+/// Acquire(id) returns the resident dataset, loading it on first use:
+/// single-flight (concurrent acquirers of one id wait on a CondVar while one
+/// thread loads), with the load itself — CSV parse, snapshot decode or
+/// profile rebuild, engine construction — performed OUTSIDE the registry
+/// lock so a slow cold start never blocks hits on other datasets.
+/// Admission evicts least-recently-used residents first, in the same
+/// critical section, so the tracked resident total never exceeds the budget
+/// (generalizing the QueryCache shard pattern from per-shard result bytes to
+/// whole datasets).
+///
+/// Lock placement (util/sync.h hierarchy): DatasetRegistry::mutex_ is a
+/// LEAF. Metric handles are resolved at construction and updated lock-free;
+/// loads and evicted-dataset destruction (a QuerySession destructor takes
+/// its engine's MetricsRegistry lock) both happen with mutex_ released.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(DatasetRegistryOptions options = {});
+
+  /// Registers a dataset. Fails with AlreadyExists on a duplicate id and
+  /// InvalidArgument on an empty id or table path. Cheap: nothing loads
+  /// until the first Acquire.
+  Status Add(DatasetSpec spec);
+
+  /// Builds specs from a directory: every `<id>.csv` becomes a dataset, and
+  /// a sibling `<id>.fsnap` (if present) its snapshot. Deterministic: specs
+  /// are returned in ascending id order regardless of directory order.
+  static StatusOr<std::vector<DatasetSpec>> ScanDirectory(
+      const std::string& directory);
+
+  /// The resident dataset for `id`, loading it first if needed. The returned
+  /// pin keeps the dataset alive across concurrent eviction; callers should
+  /// hold it only for the duration of one request.
+  StatusOr<std::shared_ptr<const ResidentDataset>> Acquire(
+      const std::string& id);
+
+  bool contains(const std::string& id) const;
+  size_t size() const;
+  /// All entries in ascending id order.
+  std::vector<DatasetEntryInfo> ListEntries() const;
+  DatasetRegistryStats stats() const;
+
+  const DatasetRegistryOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    DatasetSpec spec;
+    /// The registry's pin; empty when evicted/not yet loaded.
+    std::shared_ptr<ResidentDataset> resident;
+    /// Single-flight latch: true while some thread loads this entry with
+    /// the registry lock released.
+    bool loading = false;
+    /// LRU clock value of the last Acquire touch.
+    uint64_t last_used_tick = 0;
+  };
+
+  /// Evicts LRU residents (other than `keep`) until `incoming_bytes` fits
+  /// the budget, moving dropped pins into `*doomed` for destruction after
+  /// the lock is released. Returns false when it cannot fit (dataset larger
+  /// than the whole budget).
+  bool EvictUntilFits(size_t incoming_bytes, const std::string& keep,
+                      std::vector<std::shared_ptr<ResidentDataset>>* doomed)
+      FORESIGHT_REQUIRES(mutex_);
+
+  void PublishGauges() FORESIGHT_REQUIRES(mutex_);
+
+  const DatasetRegistryOptions options_;
+
+  mutable Mutex mutex_;
+  CondVar load_cv_;
+  /// std::map: ListEntries and the eviction scan iterate it, and iteration
+  /// must be deterministic.
+  std::map<std::string, Entry> entries_ FORESIGHT_GUARDED_BY(mutex_);
+  uint64_t tick_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  size_t resident_bytes_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  size_t peak_resident_bytes_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  uint64_t hits_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  uint64_t loads_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+  uint64_t load_failures_ FORESIGHT_GUARDED_BY(mutex_) = 0;
+
+  /// Resolved once at construction (creation takes the metrics-registry
+  /// lock; updates are lock-free atomics safe under mutex_). Null when
+  /// options_.metrics is null.
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* loads_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
+  Counter* load_failures_metric_ = nullptr;
+  Gauge* resident_bytes_metric_ = nullptr;
+  Gauge* resident_datasets_metric_ = nullptr;
+  LatencyHistogram* load_ms_metric_ = nullptr;
+};
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_CORE_DATASET_REGISTRY_H_

@@ -240,20 +240,22 @@ uint64_t InsightEngine::serving_epoch() const {
 }
 
 StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
-    const DataTable& table, TableProfile profile,
-    std::optional<InsightClassRegistry> registry) {
+    const DataTable& table, TableProfile profile, EngineOptions options) {
   if (&profile.table() != &table) {
     return Status::InvalidArgument(
         "profile was not built from (or loaded against) this table");
   }
-  InsightClassRegistry resolved = registry.has_value()
-                                      ? std::move(*registry)
+  InsightClassRegistry resolved = options.registry.has_value()
+                                      ? std::move(*options.registry)
                                       : InsightClassRegistry::CreateDefault();
   InsightEngine engine(table, std::move(resolved));
-  engine.metrics_ = std::make_shared<MetricsRegistry>();
-  engine.set_num_workers(0);  // Auto-size, same default as Create().
+  engine.pairwise_pruning_.store(options.enable_pairwise_pruning);
+  if (options.collect_metrics) {
+    engine.metrics_ = std::make_shared<MetricsRegistry>();
+  }
+  engine.set_num_workers(options.num_workers);
   engine.profile_.emplace(std::move(profile));
-  engine.RecordProfileMetrics();
+  if (engine.metrics_ != nullptr) engine.RecordProfileMetrics();
   return engine;
 }
 

@@ -117,11 +117,16 @@ class InsightEngine {
                                         EngineOptions options = {});
 
   /// Builds an engine over `table` adopting an existing profile (e.g. one
-  /// restored via Preprocessor::LoadProfile), skipping preprocessing. The
-  /// profile must have been built from (or loaded against) the same table.
-  static StatusOr<InsightEngine> CreateFromProfile(
-      const DataTable& table, TableProfile profile,
-      std::optional<InsightClassRegistry> registry = std::nullopt);
+  /// restored via Preprocessor::LoadProfile or a binary snapshot), skipping
+  /// preprocessing. The profile must have been built from (or loaded against)
+  /// the same table. `options.build_profile`/`options.preprocess` are ignored
+  /// (the adopted profile takes their place); registry, metrics, worker
+  /// count, and pruning apply exactly as in Create() — so a multi-dataset
+  /// registry can attach hundreds of engines without each one spinning up a
+  /// hardware-sized thread pool.
+  static StatusOr<InsightEngine> CreateFromProfile(const DataTable& table,
+                                                   TableProfile profile,
+                                                   EngineOptions options = {});
 
   InsightEngine(InsightEngine&&) = default;
   InsightEngine& operator=(InsightEngine&&) = default;

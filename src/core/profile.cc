@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
 #include "sketch/panel_cache.h"
@@ -82,14 +83,19 @@ size_t TableProfile::EstimateMemoryBytes() const {
              sizeof(uint64_t);
     bytes += sketch.heavy_hitters.num_monitored() * 64;  // rough per-counter
   }
-  // determinism-ok: integer sums are order-independent.
-  for (const auto& [col, values] : sampled_numeric_) {
-    bytes += values.size() * sizeof(double);
-  }
-  // determinism-ok: integer sums are order-independent.
-  for (const auto& [col, codes] : sampled_codes_) {
-    bytes += codes.size() * sizeof(int32_t);
-  }
+  // Materialized per-column sample vectors all sum the same way; one helper
+  // keeps the accounting (and its suppression) in a single place.
+  auto sample_bytes = [](const auto& map, size_t element_size) {
+    size_t total = 0;
+    // determinism-ok: integer sums are order-independent.
+    for (const auto& [col, values] : map) {
+      total += values.size() * element_size;
+    }
+    return total;
+  };
+  bytes += sample_bytes(sampled_numeric_, sizeof(double));
+  bytes += sample_bytes(sampled_ranks_, sizeof(double));
+  bytes += sample_bytes(sampled_codes_, sizeof(int32_t));
   bytes += sampled_rows_.size() * sizeof(size_t);
   return bytes;
 }
@@ -101,9 +107,9 @@ JsonValue TableProfile::ToJson() const {
   json.Set("num_rows", table_->num_rows());
   json.Set("config", SketchConfigToJson(config_));
   json.Set("preprocess_seconds", preprocess_seconds_);
-  JsonValue rows = JsonValue::Array();
-  for (size_t row : sampled_rows_) rows.Append(row);
-  json.Set("sampled_rows", std::move(rows));
+  json.Set("sampled_rows",
+           JsonValue::PackedNumberArray(std::vector<double>(
+               sampled_rows_.begin(), sampled_rows_.end())));
   // Emit sketch maps in ascending column order: serialized profiles must be
   // byte-identical across runs and platforms, so hash order must not leak
   // into the document.
@@ -112,6 +118,22 @@ JsonValue TableProfile::ToJson() const {
   // determinism-ok: key collection, sorted before use.
   for (const auto& [column, sketch] : numeric_) numeric_cols.push_back(column);
   std::sort(numeric_cols.begin(), numeric_cols.end());
+  // Persist the non-null sample midranks so LoadProfile can skip the
+  // per-column sort; NaN slots are dropped (they are re-derived from the
+  // table's null mask, and NaN is not representable in text JSON).
+  JsonValue sample_ranks = JsonValue::Object();
+  for (size_t column : numeric_cols) {
+    auto it = sampled_ranks_.find(column);
+    if (it == sampled_ranks_.end()) continue;
+    std::vector<double> present;
+    present.reserve(it->second.size());
+    for (double rank : it->second) {
+      if (!std::isnan(rank)) present.push_back(rank);
+    }
+    sample_ranks.Set(table_->column_name(column),
+                     JsonValue::PackedNumberArray(std::move(present)));
+  }
+  json.Set("sample_ranks", std::move(sample_ranks));
   JsonValue numeric = JsonValue::Object();
   for (size_t column : numeric_cols) {
     numeric.Set(table_->column_name(column),
@@ -135,7 +157,8 @@ JsonValue TableProfile::ToJson() const {
 }
 
 StatusOr<TableProfile> Preprocessor::LoadProfile(const DataTable& table,
-                                                 const JsonValue& json) {
+                                                 const JsonValue& json,
+                                                 ThreadPool* pool) {
   const JsonValue* format = json.Get("format");
   if (format == nullptr || !format->is_string() ||
       format->as_string() != "foresight.profile") {
@@ -165,15 +188,25 @@ StatusOr<TableProfile> Preprocessor::LoadProfile(const DataTable& table,
   if (rows == nullptr || !rows->is_array()) {
     return Status::ParseError("missing sampled_rows");
   }
-  for (size_t i = 0; i < rows->size(); ++i) {
-    if (!rows->at(i).is_number()) {
-      return Status::ParseError("sampled_rows entries must be numbers");
-    }
-    size_t row = static_cast<size_t>(rows->at(i).as_number());
+  auto append_row = [&](double value) -> Status {
+    size_t row = static_cast<size_t>(value);
     if (row >= table.num_rows()) {
       return Status::OutOfRange("sampled row out of range");
     }
     profile.sampled_rows_.push_back(row);
+    return Status::OK();
+  };
+  if (const std::vector<double>* packed = rows->packed_numbers()) {
+    for (double value : *packed) {
+      FORESIGHT_RETURN_IF_ERROR(append_row(value));
+    }
+  } else {
+    for (size_t i = 0; i < rows->size(); ++i) {
+      if (!rows->at(i).is_number()) {
+        return Status::ParseError("sampled_rows entries must be numbers");
+      }
+      FORESIGHT_RETURN_IF_ERROR(append_row(rows->at(i).as_number()));
+    }
   }
 
   const JsonValue* numeric = json.Get("numeric");
@@ -218,7 +251,53 @@ StatusOr<TableProfile> Preprocessor::LoadProfile(const DataTable& table,
     }
   }
 
-  MaterializeSamples(table, profile);
+  // Persisted midranks let the load path skip the per-column sort that
+  // dominates rematerialization; documents without them (older docs, text
+  // round trips) just recompute.
+  std::unordered_map<size_t, std::vector<double>> preset_ranks;
+  if (const JsonValue* ranks_json = json.Get("sample_ranks");
+      ranks_json != nullptr) {
+    if (!ranks_json->is_object()) {
+      return Status::ParseError("sample_ranks must be an object");
+    }
+    const double max_rank = static_cast<double>(profile.sampled_rows_.size());
+    for (const auto& [name, column_ranks] : ranks_json->items()) {
+      FORESIGHT_ASSIGN_OR_RETURN(size_t column, table.ColumnIndex(name));
+      if (table.column(column).type() != ColumnType::kNumeric) {
+        return Status::InvalidArgument("column '" + name +
+                                       "' is not numeric in this table");
+      }
+      if (!column_ranks.is_array()) {
+        return Status::ParseError("sample_ranks entries must be arrays");
+      }
+      std::vector<double> ranks;
+      auto append_rank = [&](double value) -> Status {
+        if (!(value >= 1.0) || value > max_rank) {
+          return Status::OutOfRange("sample rank out of range");
+        }
+        ranks.push_back(value);
+        return Status::OK();
+      };
+      if (const std::vector<double>* packed = column_ranks.packed_numbers()) {
+        ranks.reserve(packed->size());
+        for (double value : *packed) {
+          FORESIGHT_RETURN_IF_ERROR(append_rank(value));
+        }
+      } else {
+        ranks.reserve(column_ranks.size());
+        for (size_t i = 0; i < column_ranks.size(); ++i) {
+          if (!column_ranks.at(i).is_number()) {
+            return Status::ParseError("sample_ranks entries must be numbers");
+          }
+          FORESIGHT_RETURN_IF_ERROR(append_rank(column_ranks.at(i).as_number()));
+        }
+      }
+      preset_ranks.emplace(column, std::move(ranks));
+    }
+  }
+
+  MaterializeSamples(table, profile, pool,
+                     preset_ranks.empty() ? nullptr : &preset_ranks);
   return profile;
 }
 
@@ -512,9 +591,10 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
   return profile;
 }
 
-void Preprocessor::MaterializeSamples(const DataTable& table,
-                                      TableProfile& profile,
-                                      ThreadPool* pool) {
+void Preprocessor::MaterializeSamples(
+    const DataTable& table, TableProfile& profile, ThreadPool* pool,
+    const std::unordered_map<size_t, std::vector<double>>*
+        preset_present_ranks) {
   // Extraction (and rank computation) runs per-column in parallel into
   // indexed slots; the map emplacement below stays serial and in table
   // order, so map contents and insertion order match the serial path.
@@ -532,25 +612,44 @@ void Preprocessor::MaterializeSamples(const DataTable& table,
         const auto& numeric = column.AsNumeric();
         std::vector<double>& values = slot.values;
         values.reserve(profile.sampled_rows_.size());
+        size_t present_count = 0;
         for (size_t row : profile.sampled_rows_) {
-          values.push_back(numeric.is_valid(row)
-                               ? numeric.value(row)
-                               : std::numeric_limits<double>::quiet_NaN());
+          if (numeric.is_valid(row)) {
+            values.push_back(numeric.value(row));
+            ++present_count;
+          } else {
+            values.push_back(std::numeric_limits<double>::quiet_NaN());
+          }
         }
-        // Midranks of the non-null sample, NaN positions preserved.
-        std::vector<double> present;
-        present.reserve(values.size());
-        for (double v : values) {
-          if (!std::isnan(v)) present.push_back(v);
+        // Midranks of the non-null sample, NaN positions preserved. A preset
+        // rank vector (from a snapshot) replaces the sort when its length
+        // matches the non-null count; otherwise the canonical recompute runs,
+        // so a stale preset can never change results.
+        const std::vector<double>* preset = nullptr;
+        if (preset_present_ranks != nullptr) {
+          auto it = preset_present_ranks->find(c);
+          if (it != preset_present_ranks->end() &&
+              it->second.size() == present_count) {
+            preset = &it->second;
+          }
         }
-        std::vector<double> present_ranks = FractionalRanks(present);
+        std::vector<double> present_ranks;
+        if (preset == nullptr) {
+          std::vector<double> present;
+          present.reserve(present_count);
+          for (double v : values) {
+            if (!std::isnan(v)) present.push_back(v);
+          }
+          present_ranks = FractionalRanks(present);
+          preset = &present_ranks;
+        }
         std::vector<double>& ranks = slot.ranks;
         ranks.resize(values.size());
         size_t next = 0;
         for (size_t i = 0; i < values.size(); ++i) {
           ranks[i] = std::isnan(values[i])
                          ? std::numeric_limits<double>::quiet_NaN()
-                         : present_ranks[next++];
+                         : (*preset)[next++];
         }
       } else {
         const auto& categorical = column.AsCategorical();

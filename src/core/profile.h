@@ -145,15 +145,24 @@ class Preprocessor {
 
   /// Restores a profile persisted by TableProfile::ToJson against `table`
   /// (which must be the table it was built from: column names/types and row
-  /// count are validated). The table must outlive the profile.
+  /// count are validated). The table must outlive the profile. When `pool` is
+  /// non-null the sample vectors rematerialize in parallel; the restored
+  /// profile is bit-identical either way (see MaterializeSamples).
   static StatusOr<TableProfile> LoadProfile(const DataTable& table,
-                                            const JsonValue& json);
+                                            const JsonValue& json,
+                                            ThreadPool* pool = nullptr);
 
  private:
   /// Fills sampled_numeric_/sampled_ranks_/sampled_codes_ from sampled_rows_,
   /// optionally extracting columns in parallel (map insertion stays ordered).
-  static void MaterializeSamples(const DataTable& table, TableProfile& profile,
-                                 ThreadPool* pool = nullptr);
+  /// `preset_present_ranks` maps column index -> the non-null sample's
+  /// midranks (as persisted under "sample_ranks"); a matching entry replaces
+  /// the rank sort for that column, a missing or length-mismatched one falls
+  /// back to the canonical recompute.
+  static void MaterializeSamples(
+      const DataTable& table, TableProfile& profile, ThreadPool* pool = nullptr,
+      const std::unordered_map<size_t, std::vector<double>>*
+          preset_present_ranks = nullptr);
 };
 
 }  // namespace foresight

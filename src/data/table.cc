@@ -125,4 +125,21 @@ DataTable DataTable::HeadRows(size_t n) const {
   return result;
 }
 
+size_t DataTable::EstimateMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& column : columns_) {
+    bytes += column->size() / 8;  // validity bitmask
+    if (column->type() == ColumnType::kNumeric) {
+      bytes += column->AsNumeric().values().size() * sizeof(double);
+    } else {
+      const auto& categorical = column->AsCategorical();
+      bytes += categorical.codes().size() * sizeof(int32_t);
+      for (const std::string& entry : categorical.dictionary()) {
+        bytes += entry.size() + sizeof(std::string);
+      }
+    }
+  }
+  return bytes;
+}
+
 }  // namespace foresight

@@ -83,6 +83,11 @@ class DataTable {
   /// New table with only the first `n` rows (or all rows if n >= num_rows).
   DataTable HeadRows(size_t n) const;
 
+  /// Rough resident footprint of the column data (value buffers, validity
+  /// masks, categorical dictionaries). Used by the dataset registry's byte
+  /// budget alongside TableProfile::EstimateMemoryBytes.
+  size_t EstimateMemoryBytes() const;
+
  private:
   Schema schema_;
   std::vector<std::unique_ptr<Column>> columns_;

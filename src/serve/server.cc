@@ -72,9 +72,11 @@ HttpResponse MethodNotAllowed(const std::string& allow) {
 
 /// Splits the "?key=value&..." suffix of a request target. Values are used
 /// verbatim (no percent-decoding): v1 parameter values are metric names,
-/// mode names, and numbers, none of which need escaping.
+/// mode names, dataset ids, and numbers, none of which need escaping.
+/// `dataset` receives the dataset selector ("" when absent).
 Status ParseOverviewParams(std::string_view target,
-                           PairwiseOverviewOptions* options) {
+                           PairwiseOverviewOptions* options,
+                           std::string* dataset) {
   const size_t question = target.find('?');
   if (question == std::string_view::npos) return Status::OK();
   std::string_view params = target.substr(question + 1);
@@ -101,12 +103,28 @@ Status ParseOverviewParams(std::string_view target,
         return Status::InvalidArgument("refine_min_score must be a number");
       }
       options->refine_min_score = parsed;
+    } else if (key == "dataset") {
+      *dataset = value;
     } else {
       return Status::InvalidArgument("unknown query parameter '" +
                                      std::string(key) + "'");
     }
   }
   return Status::OK();
+}
+
+/// Pulls the optional "dataset" selector out of a parsed POST body, so the
+/// remaining document can go through the strict unknown-field-rejecting
+/// query codecs untouched. Returns "" when absent.
+StatusOr<std::string> ExtractDatasetField(JsonValue* body) {
+  const JsonValue* dataset = body->Get("dataset");
+  if (dataset == nullptr) return std::string();
+  if (!dataset->is_string()) {
+    return Status::InvalidArgument("'dataset' must be a string");
+  }
+  std::string id = dataset->as_string();
+  body->Remove("dataset");
+  return id;
 }
 
 }  // namespace
@@ -416,6 +434,29 @@ void HttpServer::Dispatch(uint64_t conn_id, HttpRequest request) {
     SendResponse(conn_id, response, keep_alive);
     return;
   }
+  if (path == "/v1/datasets") {
+    // Inline like /metrics: a short registry-mutex listing, never a load.
+    if (request.method != "GET") {
+      CountResponse(405);
+      SendResponse(conn_id, MethodNotAllowed("GET"), keep_alive);
+      return;
+    }
+    if (options_.registry == nullptr) {
+      CountResponse(404);
+      SendResponse(conn_id,
+                   ErrorResponse(Status::NotFound(
+                       "multi-dataset serving is not enabled (start with "
+                       "--datasets)")),
+                   keep_alive);
+      return;
+    }
+    const JsonValue body = WireDatasetsResponseV1(
+        options_.registry->ListEntries(), options_.registry->stats(),
+        options_.registry->options().memory_budget_bytes);
+    CountResponse(200);
+    SendResponse(conn_id, JsonResponse(200, body), keep_alive);
+    return;
+  }
 
   const bool is_query = path == "/v1/query";
   const bool is_batch = path == "/v1/query_batch";
@@ -477,24 +518,50 @@ void HttpServer::Dispatch(uint64_t conn_id, HttpRequest request) {
   }
 }
 
+StatusOr<const QuerySession*> HttpServer::ResolveSession(
+    const std::string& dataset,
+    std::shared_ptr<const ResidentDataset>* pin) const {
+  if (dataset.empty()) return session_;
+  if (options_.registry == nullptr) {
+    return Status::InvalidArgument(
+        "this server has no dataset registry; omit 'dataset' or start with "
+        "--datasets");
+  }
+  // A cold dataset loads here, inline on the worker thread: the latency is
+  // charged to this request (and registry.load_ms), not the event loop.
+  FORESIGHT_ASSIGN_OR_RETURN(*pin, options_.registry->Acquire(dataset));
+  return &(*pin)->session();
+}
+
 HttpResponse HttpServer::HandleApi(const HttpRequest& request) const {
+  // Keeps a registry dataset alive for the duration of this request even if
+  // it is evicted concurrently.
+  std::shared_ptr<const ResidentDataset> pin;
   if (request.path == "/v1/query") {
     StatusOr<JsonValue> body = JsonValue::Parse(request.body);
     if (!body.ok()) return ErrorResponse(body.status());
+    StatusOr<std::string> dataset = ExtractDatasetField(&*body);
+    if (!dataset.ok()) return ErrorResponse(dataset.status());
+    StatusOr<const QuerySession*> session = ResolveSession(*dataset, &pin);
+    if (!session.ok()) return ErrorResponse(session.status());
     StatusOr<InsightQuery> query = InsightQuery::FromJson(*body);
     if (!query.ok()) return ErrorResponse(query.status());
-    StatusOr<InsightQueryResult> result = session_->Execute(*query);
+    StatusOr<InsightQueryResult> result = (*session)->Execute(*query);
     if (!result.ok()) return ErrorResponse(result.status());
     return JsonResponse(200, WireQueryResponseV1(*result));
   }
   if (request.path == "/v1/query_batch") {
     StatusOr<JsonValue> body = JsonValue::Parse(request.body);
     if (!body.ok()) return ErrorResponse(body.status());
+    StatusOr<std::string> dataset = ExtractDatasetField(&*body);
+    if (!dataset.ok()) return ErrorResponse(dataset.status());
+    StatusOr<const QuerySession*> session = ResolveSession(*dataset, &pin);
+    if (!session.ok()) return ErrorResponse(session.status());
     StatusOr<std::vector<InsightQuery>> queries =
         ParseQueryBatchV1(*body, options_.max_batch_queries);
     if (!queries.ok()) return ErrorResponse(queries.status());
     StatusOr<std::vector<InsightQueryResult>> results =
-        session_->ExecuteBatch(*queries);
+        (*session)->ExecuteBatch(*queries);
     if (!results.ok()) return ErrorResponse(results.status());
     return JsonResponse(200, WireBatchResponseV1(*results));
   }
@@ -502,11 +569,15 @@ HttpResponse HttpServer::HandleApi(const HttpRequest& request) const {
   const std::string class_name(
       std::string_view(request.path).substr(kOverviewPrefix.size()));
   PairwiseOverviewOptions overview_options;
-  Status params = ParseOverviewParams(request.target, &overview_options);
+  std::string dataset;
+  Status params =
+      ParseOverviewParams(request.target, &overview_options, &dataset);
   if (!params.ok()) return ErrorResponse(params);
+  StatusOr<const QuerySession*> session = ResolveSession(dataset, &pin);
+  if (!session.ok()) return ErrorResponse(session.status());
   StatusOr<CorrelationOverview> overview =
-      session_->engine().ComputePairwiseOverview(class_name,
-                                                 overview_options);
+      (*session)->engine().ComputePairwiseOverview(class_name,
+                                                   overview_options);
   if (!overview.ok()) return ErrorResponse(overview.status());
   return JsonResponse(200, WireOverviewResponseV1(*overview));
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 
+#include "core/dataset_registry.h"
 #include "core/session.h"
 #include "serve/http.h"
 #include "serve/request_queue.h"
@@ -40,6 +41,16 @@ struct HttpServerOptions {
   size_t max_batch_queries = 1024;
   /// HTTP parse limits (header/body byte ceilings).
   HttpLimits limits;
+  /// Multi-dataset serving (optional; must outlive the server). When set,
+  /// GET /v1/datasets lists the registry, and /v1/query, /v1/query_batch and
+  /// /v1/overview/{class} accept an optional `dataset` selector (body field
+  /// for POSTs, query parameter for overviews) routed through
+  /// DatasetRegistry::Acquire — the first query to a cold dataset loads its
+  /// snapshot inline on the worker thread, so that latency lands in the
+  /// request (and the registry.load_ms histogram), never on the event loop.
+  /// Requests without a `dataset` keep hitting the default session, so the
+  /// v1 wire contract is unchanged for existing clients.
+  DatasetRegistry* registry = nullptr;
 };
 
 /// The v1 HTTP/JSON front-end over a QuerySession (DESIGN.md "Serve
@@ -53,9 +64,13 @@ struct HttpServerOptions {
 ///   POST /v1/query_batch  ParseQueryBatchV1 -> QuerySession::ExecuteBatch
 ///   GET  /v1/overview/C   ComputePairwiseOverview(C) (+ metric/mode/
 ///                         refine_min_score query parameters)
+///   GET  /v1/datasets     registry listing (inline; multi-dataset mode)
 ///   GET  /healthz         liveness (answered inline on the loop thread,
 ///                         even while the queue is rejecting with 503)
 ///   GET  /metrics         Prometheus text exposition (inline)
+///
+/// With options.registry set, the three API routes additionally accept an
+/// optional `dataset` selector (see HttpServerOptions::registry).
 ///
 /// Responses use the versioned envelope from serve/wire.h. The session (and
 /// its engine) must outlive the server. Start() spawns the loop; Stop()
@@ -118,6 +133,12 @@ class HttpServer {
   /// Runs one admitted job on a worker thread and posts its Completion.
   void RunJob(Job job);
   HttpResponse HandleApi(const HttpRequest& request) const;
+  /// The session a request addresses: the default session when `dataset` is
+  /// empty, otherwise the registry-acquired dataset's (loaded on demand;
+  /// *pin keeps it alive across concurrent eviction for this request).
+  StatusOr<const QuerySession*> ResolveSession(
+      const std::string& dataset,
+      std::shared_ptr<const ResidentDataset>* pin) const;
   /// Queues `response` on the connection and flushes what the socket takes.
   void SendResponse(uint64_t conn_id, const HttpResponse& response,
                     bool keep_alive);

@@ -147,6 +147,29 @@ JsonValue WireOverviewResponseV1(const CorrelationOverview& overview) {
   return json;
 }
 
+JsonValue WireDatasetsResponseV1(const std::vector<DatasetEntryInfo>& entries,
+                                 const DatasetRegistryStats& stats,
+                                 size_t memory_budget_bytes) {
+  JsonValue json = Envelope();
+  JsonValue datasets = JsonValue::Array();
+  for (const DatasetEntryInfo& entry : entries) {
+    JsonValue row = JsonValue::Object();
+    row.Set("id", entry.id);
+    row.Set("resident", entry.resident);
+    row.Set("has_snapshot", entry.has_snapshot);
+    row.Set("resident_bytes", entry.resident_bytes);
+    datasets.Append(std::move(row));
+  }
+  json.Set("datasets", std::move(datasets));
+  JsonValue registry = JsonValue::Object();
+  registry.Set("resident_bytes", stats.resident_bytes);
+  registry.Set("memory_budget_bytes", memory_budget_bytes);
+  registry.Set("resident_datasets", stats.resident_datasets);
+  registry.Set("total_datasets", stats.total_datasets);
+  json.Set("registry", std::move(registry));
+  return json;
+}
+
 StatusOr<std::vector<InsightQuery>> ParseQueryBatchV1(const JsonValue& json,
                                                       size_t max_queries) {
   if (!json.is_object()) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dataset_registry.h"
 #include "core/engine.h"
 #include "core/query.h"
 #include "util/json.h"
@@ -51,6 +52,16 @@ JsonValue WireBatchResponseV1(std::span<const InsightQueryResult> results);
 /// {"api_version": 1, "result": {class, metric, attributes, matrix (row-major
 /// d*d), provenance, cell_provenance?}, "telemetry": {prune}}.
 JsonValue WireOverviewResponseV1(const CorrelationOverview& overview);
+
+/// v1 response for GET /v1/datasets:
+/// {"api_version": 1,
+///  "datasets": [{"id", "resident", "has_snapshot", "resident_bytes"}...]
+///  (ascending id order),
+///  "registry": {"resident_bytes", "memory_budget_bytes" (0 = unlimited),
+///               "resident_datasets", "total_datasets"}}.
+JsonValue WireDatasetsResponseV1(const std::vector<DatasetEntryInfo>& entries,
+                                 const DatasetRegistryStats& stats,
+                                 size_t memory_budget_bytes);
 
 /// Decodes the body of POST /v1/query_batch:
 /// {"queries": [InsightQuery::FromJson...]} — strict like FromJson (unknown

@@ -27,18 +27,21 @@ JsonValue U64(uint64_t value) {
   return JsonValue(std::string(buffer));
 }
 
+StatusOr<uint64_t> U64FromDouble(double d, const char* field) {
+  // Reject NaN (the !(d >= 0) form), negatives, fractions, and values at or
+  // beyond 2^64: casting any of those to uint64_t is undefined behavior.
+  if (!(d >= 0.0) || d >= 18446744073709551616.0 || d != std::floor(d)) {
+    return Status::ParseError(std::string("field not a valid u64: ") + field);
+  }
+  return static_cast<uint64_t>(d);
+}
+
 StatusOr<uint64_t> ParseU64(const JsonValue* json, const char* field) {
   if (json == nullptr) {
     return Status::ParseError(std::string("missing field: ") + field);
   }
   if (json->is_number()) {
-    // Reject NaN (the !(d >= 0) form), negatives, fractions, and values at or
-    // beyond 2^64: casting any of those to uint64_t is undefined behavior.
-    double d = json->as_number();
-    if (!(d >= 0.0) || d >= 18446744073709551616.0 || d != std::floor(d)) {
-      return Status::ParseError(std::string("field not a valid u64: ") + field);
-    }
-    return static_cast<uint64_t>(d);
+    return U64FromDouble(json->as_number(), field);
   }
   if (!json->is_string()) {
     return Status::ParseError(std::string("field not u64: ") + field);
@@ -88,6 +91,11 @@ StatusOr<std::vector<double>> ParseDoubleArray(const JsonValue* json,
   if (json == nullptr || !json->is_array()) {
     return Status::ParseError(std::string("missing array field: ") + field);
   }
+  // Snapshot-decoded (and freshly serialized) documents keep number arrays
+  // packed; copying the vector skips 2 JsonValue node walks per element.
+  if (const std::vector<double>* packed = json->packed_numbers()) {
+    return *packed;
+  }
   std::vector<double> out;
   out.reserve(json->size());
   for (size_t i = 0; i < json->size(); ++i) {
@@ -100,9 +108,7 @@ StatusOr<std::vector<double>> ParseDoubleArray(const JsonValue* json,
 }
 
 JsonValue DoubleArray(const std::vector<double>& values) {
-  JsonValue array = JsonValue::Array();
-  for (double v : values) array.Append(v);
-  return array;
+  return JsonValue::PackedNumberArray(values);
 }
 
 }  // namespace
@@ -345,9 +351,23 @@ JsonValue CountMinToJson(const CountMinSketch& sketch) {
   json.Set("depth", sketch.depth());
   json.Set("seed", U64(sketch.seed()));
   json.Set("total", U64(sketch.total_count()));
-  JsonValue cells = JsonValue::Array();
-  for (uint64_t c : sketch.cells()) cells.Append(U64(c));
-  json.Set("cells", std::move(cells));
+  // Cells are per-bucket hit counts, in practice far below 2^53, so they
+  // almost always travel as a packed number array (one node instead of
+  // thousands of decimal strings). Any cell past exact-double range falls
+  // back to the string encoding for the whole array; ParseU64 reads both.
+  bool exact_as_doubles = true;
+  for (uint64_t c : sketch.cells()) {
+    exact_as_doubles = exact_as_doubles && c < (uint64_t{1} << 53);
+  }
+  if (exact_as_doubles) {
+    json.Set("cells",
+             JsonValue::PackedNumberArray(std::vector<double>(
+                 sketch.cells().begin(), sketch.cells().end())));
+  } else {
+    JsonValue cells = JsonValue::Array();
+    for (uint64_t c : sketch.cells()) cells.Append(U64(c));
+    json.Set("cells", std::move(cells));
+  }
   return json;
 }
 
@@ -372,10 +392,17 @@ StatusOr<CountMinSketch> CountMinFromJson(const JsonValue& json) {
   }
   std::vector<uint64_t> cells;
   cells.reserve(cells_json->size());
-  for (size_t i = 0; i < cells_json->size(); ++i) {
-    FORESIGHT_ASSIGN_OR_RETURN(uint64_t cell,
-                               ParseU64(&cells_json->at(i), "cell"));
-    cells.push_back(cell);
+  if (const std::vector<double>* packed = cells_json->packed_numbers()) {
+    for (double d : *packed) {
+      FORESIGHT_ASSIGN_OR_RETURN(uint64_t cell, U64FromDouble(d, "cell"));
+      cells.push_back(cell);
+    }
+  } else {
+    for (size_t i = 0; i < cells_json->size(); ++i) {
+      FORESIGHT_ASSIGN_OR_RETURN(uint64_t cell,
+                                 ParseU64(&cells_json->at(i), "cell"));
+      cells.push_back(cell);
+    }
   }
   return CountMinSketch::FromRaw(width, depth, seed, total, std::move(cells));
 }

@@ -31,18 +31,26 @@ double PearsonCorrelation(const std::vector<double>& x,
 
 std::vector<double> FractionalRanks(const std::vector<double>& values) {
   size_t n = values.size();
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  // Sort (value, original index) pairs rather than indices with an indirect
+  // comparator: direct key compares avoid a dependent load per comparison.
+  // Ranks depend only on value-equality groups, never on the order within a
+  // tie group, so the result is bit-identical to the indirect form.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) order.emplace_back(values[i], i);
   std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return values[a] < values[b]; });
+            [](const std::pair<double, size_t>& a,
+               const std::pair<double, size_t>& b) {
+              return a.first < b.first;
+            });
   std::vector<double> ranks(n);
   size_t i = 0;
   while (i < n) {
     size_t j = i;
-    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    while (j + 1 < n && order[j + 1].first == order[i].first) ++j;
     // Average rank for the tie group [i, j] (1-based ranks).
     double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
-    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    for (size_t k = i; k <= j; ++k) ranks[order[k].second] = avg_rank;
     i = j + 1;
   }
   return ranks;

@@ -9,19 +9,47 @@
 
 namespace foresight {
 
+JsonValue JsonValue::PackedNumberArray(std::vector<double> values) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  if (!values.empty()) {
+    v.packed_ = true;
+    v.packed_numbers_ = std::move(values);
+  }
+  return v;
+}
+
+void JsonValue::UnpackNumbers() const {
+  array_.reserve(packed_numbers_.size());
+  for (double number : packed_numbers_) array_.emplace_back(number);
+  packed_numbers_.clear();
+  packed_numbers_.shrink_to_fit();
+  packed_ = false;
+}
+
 void JsonValue::Append(JsonValue value) {
   FORESIGHT_CHECK(type_ == Type::kArray);
+  if (packed_) {
+    if (value.is_number()) {
+      packed_numbers_.push_back(value.as_number());
+      return;
+    }
+    UnpackNumbers();
+  }
   array_.push_back(std::move(value));
 }
 
 size_t JsonValue::size() const {
-  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kArray) {
+    return packed_ ? packed_numbers_.size() : array_.size();
+  }
   if (type_ == Type::kObject) return object_.size();
   return 0;
 }
 
 const JsonValue& JsonValue::at(size_t index) const {
   FORESIGHT_CHECK(type_ == Type::kArray);
+  if (packed_) UnpackNumbers();
   FORESIGHT_CHECK(index < array_.size());
   return array_[index];
 }
@@ -43,6 +71,17 @@ const JsonValue* JsonValue::Get(std::string_view key) const {
     if (existing_key == key) return &value;
   }
   return nullptr;
+}
+
+bool JsonValue::Remove(std::string_view key) {
+  if (type_ != Type::kObject) return false;
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string JsonEscape(std::string_view input) {
@@ -130,6 +169,19 @@ void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
       out += '"';
       break;
     case Type::kArray: {
+      if (packed_) {
+        // Byte-identical to dumping the element-wise representation, without
+        // forcing the unpack.
+        out += '[';
+        for (size_t i = 0; i < packed_numbers_.size(); ++i) {
+          if (i > 0) out += ',';
+          AppendIndent(out, indent, depth + 1);
+          AppendNumber(out, packed_numbers_[i]);
+        }
+        AppendIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
       if (array_.empty()) {
         out += "[]";
         break;

@@ -37,6 +37,15 @@ class JsonValue {
     v.type_ = Type::kArray;
     return v;
   }
+  /// An all-number array stored packed: one vector<double> instead of one
+  /// JsonValue node per element (~12x smaller, allocation-free to walk).
+  /// Indistinguishable through the public API — size()/at()/Append()/Dump()
+  /// behave exactly like the element-wise representation — but at() and a
+  /// non-number Append() first rebuild element nodes, a one-time
+  /// representation change that is NOT safe against concurrent access to the
+  /// same value. Bulk readers use packed_numbers() to skip that entirely.
+  /// An empty input produces a plain (unpacked) empty array.
+  static JsonValue PackedNumberArray(std::vector<double> values);
   static JsonValue Object() {
     JsonValue v;
     v.type_ = Type::kObject;
@@ -59,11 +68,21 @@ class JsonValue {
   void Append(JsonValue value);
   size_t size() const;
   const JsonValue& at(size_t index) const;
+  /// Non-null iff this is a packed number array (see PackedNumberArray);
+  /// points at all elements in order. Null after at()/Append() forced the
+  /// element-wise representation.
+  const std::vector<double>* packed_numbers() const {
+    return packed_ ? &packed_numbers_ : nullptr;
+  }
 
   /// Object access. `Set` overwrites; `Get` returns nullptr when absent.
   void Set(std::string key, JsonValue value);
   const JsonValue* Get(std::string_view key) const;
   bool Has(std::string_view key) const { return Get(key) != nullptr; }
+  /// Removes `key` from an object; returns whether it was present. Lets
+  /// callers strip an envelope field before handing the document to a strict
+  /// unknown-field-rejecting decoder.
+  bool Remove(std::string_view key);
   const std::vector<std::pair<std::string, JsonValue>>& items() const {
     return object_;
   }
@@ -77,12 +96,17 @@ class JsonValue {
 
  private:
   void DumpTo(std::string& out, int indent, int depth) const;
+  /// Rebuilds array_ from packed_numbers_ (logical value unchanged, so const
+  /// with mutable storage; see the PackedNumberArray thread-safety caveat).
+  void UnpackNumbers() const;
 
   Type type_;
   bool bool_ = false;
   double number_ = 0.0;
   std::string string_;
-  std::vector<JsonValue> array_;
+  mutable bool packed_ = false;
+  mutable std::vector<double> packed_numbers_;
+  mutable std::vector<JsonValue> array_;
   std::vector<std::pair<std::string, JsonValue>> object_;
 };
 

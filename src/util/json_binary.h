@@ -1,0 +1,52 @@
+#ifndef FORESIGHT_UTIL_JSON_BINARY_H_
+#define FORESIGHT_UTIL_JSON_BINARY_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace foresight {
+
+/// Binary encoding of a JsonValue document ("FJB1").
+///
+/// Profile snapshots reuse the hostile-input-hardened per-sketch
+/// `*FromJson` validators in sketch/serialize.cc, but parsing a multi-MB
+/// JSON *text* rendering of a profile costs tens of milliseconds in number
+/// formatting alone. This codec round-trips the JsonValue tree itself:
+/// doubles travel as 8 raw little-endian bytes (bit-exact, no decimal
+/// round-trip), lengths as LEB128 varints, and homogeneous number arrays —
+/// the dominant content of a profile (sample vectors, sketch registers) —
+/// as a single packed f64 run instead of one tagged value per element.
+///
+/// Wire grammar (one value):
+///   0x00            null
+///   0x01            false
+///   0x02            true
+///   0x03 f64le      number
+///   0x04 len bytes  string (len = LEB128 varint, bytes = UTF-8)
+///   0x05 n v...     array of n tagged values
+///   0x06 n (k v)... object of n (string-key, value) pairs, insertion order
+///   0x07 n f64le... array of n numbers, packed (encoder uses this whenever
+///                   every element of an array is a number)
+///
+/// Hardening mirrors sketch/serialize.cc: every declared count is checked
+/// against the bytes actually remaining before any allocation, nesting depth
+/// is capped, and decode fails unless the document consumes the input
+/// exactly. The encoding is deterministic: encoding the same JsonValue
+/// always yields the same bytes.
+std::string JsonBinaryEncode(const JsonValue& value);
+
+/// Decodes a document produced by JsonBinaryEncode. The entire input must be
+/// consumed; trailing bytes, truncation, unknown tags, oversized counts, or
+/// nesting beyond the depth limit all return InvalidArgument.
+StatusOr<JsonValue> JsonBinaryDecode(std::string_view bytes);
+
+/// Maximum nesting depth accepted by JsonBinaryDecode (matches the text
+/// parser's guard so neither representation can stack-overflow the other).
+inline constexpr int kJsonBinaryMaxDepth = 128;
+
+}  // namespace foresight
+
+#endif  // FORESIGHT_UTIL_JSON_BINARY_H_

@@ -45,6 +45,12 @@ std::string FormatDouble(double value, int precision = 6);
 /// query cache's shard assignment — are stable in tests and telemetry.
 uint64_t Fnv1a64(std::string_view data);
 
+/// CRC-64 (ECMA-182 polynomial, reflected, init/xorout 0xFF..FF — the
+/// "CRC-64/XZ" parameterization). Used as the integrity checksum of binary
+/// profile snapshots (core/snapshot.h): unlike FNV it has guaranteed
+/// burst-error detection, and it is deterministic across platforms.
+uint64_t Crc64(std::string_view data);
+
 }  // namespace foresight
 
 #endif  // FORESIGHT_UTIL_STRING_UTIL_H_

@@ -44,7 +44,10 @@
 ///
 ///   Leaves (never held while acquiring any other lock in this table):
 ///   RandomPanelCache::Slot::mutex, ThreadPool::ForJob::mutex,
-///   FirstError::mutex_.
+///   FirstError::mutex_, DatasetRegistry::mutex_ (core/dataset_registry.h:
+///   dataset loads and evicted-dataset destruction — which takes a
+///   per-dataset MetricsRegistry lock — both run with it released, and its
+///   registry.* metric handles are pre-resolved lock-free atomics).
 ///
 /// New code must slot into this order; a function that acquires a lock while
 /// its caller may hold a lower-numbered one is a hierarchy violation even if

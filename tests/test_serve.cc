@@ -7,13 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/dataset_registry.h"
 #include "core/engine.h"
+#include "core/profile.h"
 #include "core/session.h"
+#include "core/snapshot.h"
+#include "data/csv.h"
 #include "data/generators.h"
 #include "serve/http_client.h"
 #include "serve/request_queue.h"
@@ -446,6 +451,185 @@ TEST(ServeTest, StopDrainsAdmittedWorkAndStopsListening) {
   HttpClient late;
   EXPECT_FALSE(late.Connect(port).ok());
   fixture.reset();
+}
+
+TEST(ServeTest, DatasetSelectorsRequireARegistry) {
+  // Without --datasets, the v1 surface is exactly what it was: the listing
+  // route is absent and a dataset selector is an explicit client error.
+  ServeFixture fixture(/*num_workers=*/2);
+  HttpClient client = fixture.Client();
+
+  auto listing = client.Request("GET", "/v1/datasets");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->status, 404);
+
+  auto routed = client.Request(
+      "POST", "/v1/query", R"({"class": "skew", "dataset": "x"})");
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->status, 400);
+
+  auto overview =
+      client.Request("GET", "/v1/overview/linear_relationship?dataset=x");
+  ASSERT_TRUE(overview.ok());
+  EXPECT_EQ(overview->status, 400);
+}
+
+/// ServeFixture plus a two-dataset registry scanned from a temp directory
+/// (one dataset snapshotted, one rebuilt from CSV).
+class DatasetServeFixture {
+ public:
+  DatasetServeFixture() {
+    dir_ = testing::TempDir() + "/foresight_serve_datasets";
+    std::filesystem::create_directories(dir_);
+    for (int i = 0; i < 2; ++i) {
+      const std::string id = "set" + std::to_string(i);
+      DataTable generated = MakeBenchmarkTable(150, 5, 1, 40 + i);
+      const std::string csv_path = dir_ + "/" + id + ".csv";
+      EXPECT_TRUE(CsvWriter::WriteFile(generated, csv_path).ok());
+      if (i == 0) {
+        auto table = CsvReader::ReadFile(csv_path);
+        EXPECT_TRUE(table.ok());
+        auto profile = Preprocessor::Profile(*table);
+        EXPECT_TRUE(profile.ok());
+        EXPECT_TRUE(
+            WriteProfileSnapshot(*profile, dir_ + "/" + id + ".fsnap").ok());
+      }
+    }
+    registry_ = std::make_unique<DatasetRegistry>();
+    auto specs = DatasetRegistry::ScanDirectory(dir_);
+    EXPECT_TRUE(specs.ok());
+    for (DatasetSpec& spec : *specs) {
+      EXPECT_TRUE(registry_->Add(std::move(spec)).ok());
+    }
+    HttpServerOptions options;
+    options.registry = registry_.get();
+    fixture_ = std::make_unique<ServeFixture>(/*num_workers=*/2, options);
+  }
+
+  ~DatasetServeFixture() {
+    fixture_.reset();
+    registry_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  ServeFixture& serve() { return *fixture_; }
+  DatasetRegistry& registry() { return *registry_; }
+
+ private:
+  std::string dir_;
+  std::unique_ptr<DatasetRegistry> registry_;
+  std::unique_ptr<ServeFixture> fixture_;
+};
+
+TEST(ServeTest, DatasetsRouteListsTheRegistry) {
+  DatasetServeFixture fixture;
+  HttpClient client = fixture.serve().Client();
+  auto response = client.Request("GET", "/v1/datasets");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto body = JsonValue::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Get("api_version")->as_number(), 1.0);
+  const JsonValue* datasets = body->Get("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_EQ(datasets->size(), 2u);
+  EXPECT_EQ(datasets->at(0).Get("id")->as_string(), "set0");
+  EXPECT_TRUE(datasets->at(0).Get("has_snapshot")->as_bool());
+  EXPECT_FALSE(datasets->at(0).Get("resident")->as_bool());
+  EXPECT_FALSE(datasets->at(1).Get("has_snapshot")->as_bool());
+
+  auto post = client.Request("POST", "/v1/datasets", "{}");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 405);
+}
+
+TEST(ServeTest, DatasetRoutedQueryIsBitIdenticalToInProcess) {
+  DatasetServeFixture fixture;
+  HttpClient client = fixture.serve().Client();
+
+  // Cold load happens inline on the request path; both datasets answer, and
+  // each answer matches an in-process execution against that dataset's own
+  // session byte for byte.
+  for (const char* id : {"set0", "set1"}) {
+    const std::string body =
+        std::string(R"({"class": "linear_relationship", "top_k": 4, )") +
+        R"("mode": "exact", "dataset": ")" + id + R"("})";
+    auto response = client.Request("POST", "/v1/query", body);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200) << response->body;
+    auto parsed = JsonValue::Parse(response->body);
+    ASSERT_TRUE(parsed.ok());
+
+    auto pinned = fixture.registry().Acquire(id);
+    ASSERT_TRUE(pinned.ok());
+    InsightQuery query;
+    query.class_name = "linear_relationship";
+    query.top_k = 4;
+    query.mode = ExecutionMode::kExact;
+    auto in_process = (*pinned)->session().Execute(query);
+    ASSERT_TRUE(in_process.ok());
+    EXPECT_EQ(parsed->Get("result")->Dump(), WireResultV1(*in_process).Dump())
+        << id;
+  }
+
+  // The two datasets are different tables: their answers must differ.
+  // (Guards against selector parsing silently falling back to the default.)
+  auto listing = client.Request("GET", "/v1/datasets");
+  ASSERT_TRUE(listing.ok());
+  auto parsed_listing = JsonValue::Parse(listing->body);
+  ASSERT_TRUE(parsed_listing.ok());
+  EXPECT_TRUE(
+      parsed_listing->Get("datasets")->at(0).Get("resident")->as_bool());
+}
+
+TEST(ServeTest, DatasetRoutedBatchAndOverviewWork) {
+  DatasetServeFixture fixture;
+  HttpClient client = fixture.serve().Client();
+
+  auto batch = client.Request(
+      "POST", "/v1/query_batch",
+      R"({"queries": [{"class": "skew", "top_k": 2}], "dataset": "set0"})");
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->status, 200) << batch->body;
+
+  auto overview = client.Request(
+      "GET", "/v1/overview/linear_relationship?mode=exact&dataset=set1");
+  ASSERT_TRUE(overview.ok());
+  ASSERT_EQ(overview->status, 200) << overview->body;
+  auto parsed = JsonValue::Parse(overview->body);
+  ASSERT_TRUE(parsed.ok());
+
+  auto pinned = fixture.registry().Acquire("set1");
+  ASSERT_TRUE(pinned.ok());
+  PairwiseOverviewOptions options;
+  options.mode = ExecutionMode::kExact;
+  auto in_process = (*pinned)->engine().ComputePairwiseOverview(
+      "linear_relationship", options);
+  ASSERT_TRUE(in_process.ok());
+  EXPECT_EQ(parsed->Get("result")->Dump(),
+            WireOverviewResponseV1(*in_process).Get("result")->Dump());
+}
+
+TEST(ServeTest, DatasetErrorPathsMapStatusCodes) {
+  DatasetServeFixture fixture;
+  HttpClient client = fixture.serve().Client();
+
+  auto unknown = client.Request(
+      "POST", "/v1/query", R"({"class": "skew", "dataset": "nope"})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 404);
+
+  auto non_string = client.Request(
+      "POST", "/v1/query", R"({"class": "skew", "dataset": 7})");
+  ASSERT_TRUE(non_string.ok());
+  EXPECT_EQ(non_string->status, 400);
+
+  // An absent selector still hits the default session — v1 unchanged.
+  auto default_query =
+      client.Request("POST", "/v1/query", R"({"class": "skew"})");
+  ASSERT_TRUE(default_query.ok());
+  EXPECT_EQ(default_query->status, 200);
 }
 
 }  // namespace

@@ -4,7 +4,8 @@
 // Usage:
 //   foresight_serve [--port=N] [--port-file=PATH] [--csv=PATH | --rows=N]
 //                   [--workers=N] [--queue-capacity=N] [--idle-timeout-ms=N]
-//                   [--no-profile] [--smoke]
+//                   [--datasets=DIR] [--memory-budget=BYTES]
+//                   [--dataset-workers=N] [--no-profile] [--smoke]
 //
 //   --port=N            Listen port on 127.0.0.1 (default 0 = ephemeral).
 //   --port-file=PATH    Write the bound port to PATH once listening — how CI
@@ -14,9 +15,25 @@
 //   --workers=N         Engine worker threads (default 0 = hardware).
 //   --queue-capacity=N  Admission queue depth before 503s (default 64).
 //   --idle-timeout-ms=N Idle/slowloris connection reaper (default 10000).
+//   --datasets=DIR      Multi-dataset mode: every DIR/<id>.csv becomes a
+//                       selectable dataset (sibling <id>.fsnap snapshots are
+//                       used when present), listed at GET /v1/datasets and
+//                       addressed by the optional `dataset` field/parameter
+//                       on the query routes. Datasets load lazily on first
+//                       use; the default table keeps serving requests that
+//                       name no dataset.
+//   --memory-budget=BYTES  Global budget over resident dataset bytes
+//                       (table + profile estimates); least-recently-used
+//                       datasets are evicted to admit new ones. 0 (default)
+//                       = unlimited.
+//   --dataset-workers=N Worker threads per resident dataset engine
+//                       (default 1; hundreds of datasets must not spawn
+//                       hundreds of hardware-sized pools).
 //   --no-profile        Skip sketch preprocessing (exact-only serving).
 //   --smoke             Start, answer one self-issued /healthz and
-//                       /v1/query over a real socket, then exit 0.
+//                       /v1/query over a real socket — plus /v1/datasets and
+//                       a dataset-selecting query when --datasets is set —
+//                       then exit 0.
 //
 // The process runs until SIGINT/SIGTERM, then drains admitted requests and
 // exits 0.
@@ -25,8 +42,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/dataset_registry.h"
 #include "core/engine.h"
 #include "core/session.h"
 #include "data/csv.h"
@@ -49,7 +69,9 @@ int Usage() {
       "[--rows=N]\n"
       "                       [--workers=N] [--queue-capacity=N] "
       "[--idle-timeout-ms=N]\n"
-      "                       [--no-profile] [--smoke]\n");
+      "                       [--datasets=DIR] [--memory-budget=BYTES]\n"
+      "                       [--dataset-workers=N] [--no-profile] "
+      "[--smoke]\n");
   return 1;
 }
 
@@ -57,9 +79,12 @@ struct Args {
   uint16_t port = 0;
   std::string port_file;
   std::string csv_path;
+  std::string datasets_dir;
   size_t rows = 800;
   size_t workers = 0;
   size_t queue_capacity = 64;
+  size_t memory_budget = 0;
+  size_t dataset_workers = 1;
   uint32_t idle_timeout_ms = 10'000;
   bool build_profile = true;
   bool smoke = false;
@@ -72,7 +97,7 @@ bool ParseSizeFlag(const std::string& arg, const char* prefix, size_t* out) {
   return true;
 }
 
-int Smoke(uint16_t port) {
+int Smoke(uint16_t port, const DatasetRegistry* registry) {
   HttpClient client;
   Status status = client.Connect(port);
   if (!status.ok()) {
@@ -95,6 +120,31 @@ int Smoke(uint16_t port) {
                             : query.status().ToString().c_str());
     return 1;
   }
+  if (registry != nullptr) {
+    auto listing = client.Request("GET", "/v1/datasets");
+    if (!listing.ok() || listing->status != 200) {
+      std::fprintf(stderr, "smoke: /v1/datasets failed\n");
+      return 1;
+    }
+    const std::vector<DatasetEntryInfo> entries = registry->ListEntries();
+    if (!entries.empty()) {
+      const std::string body =
+          R"({"class": "linear_relationship", "top_k": 3, "mode": "exact", )"
+          R"("dataset": ")" +
+          entries.front().id + R"("})";
+      auto routed = client.Request("POST", "/v1/query", body);
+      if (!routed.ok() || routed->status != 200) {
+        std::fprintf(stderr, "smoke: dataset query failed (%d): %s\n",
+                     routed.ok() ? routed->status : -1,
+                     routed.ok() ? routed->body.c_str()
+                                 : routed.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("smoke ok (dataset %s): %s\n", entries.front().id.c_str(),
+                  routed->body.c_str());
+      return 0;
+    }
+  }
   std::printf("smoke ok: %s\n", query->body.c_str());
   return 0;
 }
@@ -111,8 +161,13 @@ int Main(int argc, char** argv) {
       args.port_file = arg.substr(12);
     } else if (arg.rfind("--csv=", 0) == 0) {
       args.csv_path = arg.substr(6);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      args.datasets_dir = arg.substr(11);
     } else if (ParseSizeFlag(arg, "--rows=", &args.rows) ||
                ParseSizeFlag(arg, "--workers=", &args.workers) ||
+               ParseSizeFlag(arg, "--memory-budget=", &args.memory_budget) ||
+               ParseSizeFlag(arg, "--dataset-workers=",
+                             &args.dataset_workers) ||
                ParseSizeFlag(arg, "--queue-capacity=",
                              &args.queue_capacity)) {
     } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
@@ -150,10 +205,38 @@ int Main(int argc, char** argv) {
   }
   QuerySession session(*engine);
 
+  std::unique_ptr<DatasetRegistry> registry;
+  if (!args.datasets_dir.empty()) {
+    DatasetRegistryOptions registry_options;
+    registry_options.memory_budget_bytes = args.memory_budget;
+    registry_options.num_workers = args.dataset_workers;
+    registry_options.metrics = engine->metrics();
+    registry = std::make_unique<DatasetRegistry>(std::move(registry_options));
+    auto specs = DatasetRegistry::ScanDirectory(args.datasets_dir);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "foresight_serve: scanning %s failed: %s\n",
+                   args.datasets_dir.c_str(),
+                   specs.status().ToString().c_str());
+      return 1;
+    }
+    for (DatasetSpec& spec : *specs) {
+      Status added = registry->Add(std::move(spec));
+      if (!added.ok()) {
+        std::fprintf(stderr, "foresight_serve: registering dataset failed: "
+                     "%s\n", added.ToString().c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "foresight_serve: %zu datasets from %s "
+                 "(budget %zu bytes)\n", registry->size(),
+                 args.datasets_dir.c_str(), args.memory_budget);
+  }
+
   HttpServerOptions server_options;
   server_options.port = args.port;
   server_options.queue_capacity = args.queue_capacity;
   server_options.idle_timeout_ms = args.idle_timeout_ms;
+  server_options.registry = registry.get();
   HttpServer server(session, server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -177,7 +260,7 @@ int Main(int argc, char** argv) {
   }
 
   if (args.smoke) {
-    const int rc = Smoke(server.port());
+    const int rc = Smoke(server.port(), registry.get());
     server.Stop();
     return rc;
   }
