@@ -1,0 +1,70 @@
+// Fuzz harness for the /v1/append wire decoder (serve/wire.cc
+// ParseAppendRowsV1) and the table growth it feeds (DataTable::AppendRows) —
+// the JSON surface through which untrusted HTTP clients mutate a served
+// table.
+//
+// Invariants checked beyond "does not crash":
+//   - An accepted delta has exactly the schema of the target table and as
+//     many rows as the request's `rows` array.
+//   - AppendRows of an accepted delta always succeeds (the decoder's schema
+//     guarantee is sufficient), grows the row count by exactly the delta,
+//     keeps every column the same length, and bumps the schema version so
+//     epoch-keyed caches invalidate.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/table.h"
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace {
+
+/// A small fixed target table: two numeric columns (one with nulls) and a
+/// categorical one, so every decode branch (number, string, null, type
+/// mismatch) is reachable.
+foresight::DataTable MakeTargetTable() {
+  foresight::DataTable table;
+  FORESIGHT_CHECK(
+      table.AddNumericColumn("price", {1.0, 2.5, -3.0, 0.0}).ok());
+  auto sparse = std::make_unique<foresight::NumericColumn>();
+  sparse->Append(7.0);
+  sparse->AppendNull();
+  sparse->Append(-0.0);
+  sparse->AppendNull();
+  FORESIGHT_CHECK(table.AddColumn("sparse", std::move(sparse)).ok());
+  FORESIGHT_CHECK(
+      table.AddCategoricalColumn("region", {"eu", "us", "eu", "apac"}).ok());
+  return table;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  foresight::StatusOr<foresight::JsonValue> json =
+      foresight::JsonValue::Parse(text);
+  if (!json.ok()) return 0;
+
+  foresight::DataTable table = MakeTargetTable();
+  foresight::StatusOr<foresight::DataTable> delta =
+      foresight::ParseAppendRowsV1(*json, table, /*max_rows=*/64);
+  if (!delta.ok()) return 0;
+
+  FORESIGHT_CHECK(delta->num_columns() == table.num_columns());
+  FORESIGHT_CHECK(delta->num_rows() >= 1);
+  FORESIGHT_CHECK(delta->num_rows() <= 64);
+
+  const size_t rows_before = table.num_rows();
+  const uint64_t version_before = table.schema().version();
+  foresight::Status appended = table.AppendRows(*delta);
+  FORESIGHT_CHECK(appended.ok());
+  FORESIGHT_CHECK(table.num_rows() == rows_before + delta->num_rows());
+  FORESIGHT_CHECK(table.schema().version() != version_before);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    FORESIGHT_CHECK(table.column(c).size() == table.num_rows());
+  }
+  return 0;
+}

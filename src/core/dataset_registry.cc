@@ -57,9 +57,28 @@ StatusOr<std::shared_ptr<ResidentDataset>> ResidentDataset::Load(
   dataset->engine_.emplace(std::move(engine));
   dataset->session_.emplace(*dataset->engine_,
                             QuerySessionOptions{options.cache});
-  dataset->resident_bytes_ = dataset->table_.EstimateMemoryBytes() +
-                             dataset->engine_->profile().EstimateMemoryBytes();
+  dataset->resident_bytes_.store(
+      dataset->table_.EstimateMemoryBytes() +
+      dataset->engine_->profile().EstimateMemoryBytes());
   return dataset;
+}
+
+StatusOr<DatasetAppendOutcome> ResidentDataset::Append(
+    const DataTable& delta) {
+  WriterLock lock(data_mutex_);
+  FORESIGHT_ASSIGN_OR_RETURN(AppendStats stats,
+                             engine_->AppendPartition(table_, delta));
+  if (stats.rows_appended > 0) mutated_.store(true);
+  resident_bytes_.store(table_.EstimateMemoryBytes() +
+                        engine_->profile().EstimateMemoryBytes());
+  DatasetAppendOutcome outcome;
+  outcome.rows_before = stats.rows_before;
+  outcome.rows_appended = stats.rows_appended;
+  outcome.num_rows = stats.num_rows;
+  outcome.delta_merged = stats.delta_merged;
+  outcome.serving_epoch = engine_->serving_epoch();
+  outcome.resident_bytes = resident_bytes_.load();
+  return outcome;
 }
 
 DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
@@ -139,13 +158,17 @@ bool DatasetRegistry::EvictUntilFits(
     Entry* victim = nullptr;
     for (auto& [id, entry] : entries_) {
       if (entry.resident == nullptr || id == keep) continue;
+      // A mutated dataset's on-disk sources no longer describe its resident
+      // state; evicting it would silently drop appended rows on reload.
+      if (entry.resident->mutated()) continue;
       if (victim == nullptr ||
           entry.last_used_tick < victim->last_used_tick) {
         victim = &entry;
       }
     }
     if (victim == nullptr) return false;  // Nothing left to evict.
-    resident_bytes_ -= victim->resident->resident_bytes();
+    resident_bytes_ -= victim->accounted_bytes;
+    victim->accounted_bytes = 0;
     doomed->push_back(std::move(victim->resident));
     victim->resident = nullptr;
     ++evictions_;
@@ -166,6 +189,13 @@ void DatasetRegistry::PublishGauges() {
 
 StatusOr<std::shared_ptr<const ResidentDataset>> DatasetRegistry::Acquire(
     const std::string& id) {
+  FORESIGHT_ASSIGN_OR_RETURN(std::shared_ptr<ResidentDataset> dataset,
+                             AcquireMutable(id));
+  return std::shared_ptr<const ResidentDataset>(std::move(dataset));
+}
+
+StatusOr<std::shared_ptr<ResidentDataset>> DatasetRegistry::AcquireMutable(
+    const std::string& id) {
   DatasetSpec spec;
   {
     MutexLock lock(mutex_);
@@ -182,7 +212,7 @@ StatusOr<std::shared_ptr<const ResidentDataset>> DatasetRegistry::Acquire(
         entry.last_used_tick = ++tick_;
         ++hits_;
         if (hits_metric_ != nullptr) hits_metric_->Increment();
-        return std::shared_ptr<const ResidentDataset>(entry.resident);
+        return entry.resident;
       }
       if (!entry.loading) break;
       load_cv_.Wait(mutex_);
@@ -204,7 +234,7 @@ StatusOr<std::shared_ptr<const ResidentDataset>> DatasetRegistry::Acquire(
 
   std::vector<std::shared_ptr<ResidentDataset>> doomed;
   Status result_status = Status::OK();
-  std::shared_ptr<const ResidentDataset> result;
+  std::shared_ptr<ResidentDataset> result;
   {
     MutexLock lock(mutex_);
     Entry& entry = entries_.at(id);
@@ -221,17 +251,26 @@ StatusOr<std::shared_ptr<const ResidentDataset>> DatasetRegistry::Acquire(
       if (loads_metric_ != nullptr) loads_metric_->Increment();
       if (load_ms_metric_ != nullptr) load_ms_metric_->Record(load_ms);
       std::shared_ptr<ResidentDataset> dataset = std::move(loaded).value();
-      if (EvictUntilFits(dataset->resident_bytes(), id, &doomed)) {
+      if (entry.resident != nullptr) {
+        // An Append reinstalled a mutated copy while this load ran; the
+        // mutated state wins, and the fresh (pre-append) load is dropped.
+        entry.last_used_tick = ++tick_;
+        result = entry.resident;
+        doomed.push_back(std::move(dataset));
+      } else if (EvictUntilFits(dataset->resident_bytes(), id, &doomed)) {
         entry.resident = dataset;
         entry.last_used_tick = ++tick_;
-        resident_bytes_ += dataset->resident_bytes();
+        entry.accounted_bytes = dataset->resident_bytes();
+        resident_bytes_ += entry.accounted_bytes;
         peak_resident_bytes_ = std::max(peak_resident_bytes_,
                                         resident_bytes_);
+        result = std::move(dataset);
+      } else {
+        // Larger than the whole budget — serve this acquisition unpinned;
+        // the dataset dies with the caller's reference.
+        result = std::move(dataset);
       }
-      // else: larger than the whole budget — serve this acquisition
-      // unpinned; the dataset dies with the caller's reference.
       PublishGauges();
-      result = std::move(dataset);
     }
   }
   // Evicted datasets (and a failed load's partial state) destruct outside
@@ -240,6 +279,50 @@ StatusOr<std::shared_ptr<const ResidentDataset>> DatasetRegistry::Acquire(
   doomed.clear();
   if (!result_status.ok()) return result_status;
   return result;
+}
+
+StatusOr<DatasetAppendOutcome> DatasetRegistry::Append(
+    const std::string& id, const DataTable& delta) {
+  FORESIGHT_ASSIGN_OR_RETURN(std::shared_ptr<ResidentDataset> dataset,
+                             AcquireMutable(id));
+  // The append — table growth, delta profile build, sketch merges — runs
+  // with the registry unlocked; the dataset's own data_mutex() (held
+  // exclusively inside Append) serializes it against that dataset's
+  // queries and other appends without stalling the rest of the registry.
+  FORESIGHT_ASSIGN_OR_RETURN(DatasetAppendOutcome outcome,
+                             dataset->Append(delta));
+
+  std::vector<std::shared_ptr<ResidentDataset>> doomed;
+  {
+    MutexLock lock(mutex_);
+    Entry& entry = entries_.at(id);
+    if (entry.resident != dataset) {
+      // Evicted (or served unpinned) mid-append. The appended state must
+      // not be lost — the client already got an acknowledgement — so the
+      // mutated copy is (re)installed, displacing any reloaded one.
+      if (entry.resident != nullptr) {
+        resident_bytes_ -= entry.accounted_bytes;
+        doomed.push_back(std::move(entry.resident));
+      }
+      entry.resident = dataset;
+      entry.accounted_bytes = 0;
+    }
+    // Re-account the grown footprint: subtract exactly what this entry had
+    // added, then add its current (atomic) estimate.
+    resident_bytes_ -= entry.accounted_bytes;
+    entry.accounted_bytes = entry.resident->resident_bytes();
+    resident_bytes_ += entry.accounted_bytes;
+    entry.last_used_tick = ++tick_;
+    peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes_);
+    // The growth may push the total over budget; shed other residents. A
+    // false return (everything else is mutated or this dataset alone now
+    // exceeds the budget) is tolerated: appended rows must not be lost, so
+    // the budget temporarily overshoots rather than dropping data.
+    EvictUntilFits(0, id, &doomed);
+    PublishGauges();
+  }
+  doomed.clear();
+  return outcome;
 }
 
 bool DatasetRegistry::contains(const std::string& id) const {

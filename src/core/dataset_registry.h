@@ -56,11 +56,32 @@ struct DatasetRegistryOptions {
   std::shared_ptr<MetricsRegistry> metrics;
 };
 
+/// What one append did to a resident dataset (the /v1/append response body
+/// and the registry's re-accounting input).
+struct DatasetAppendOutcome {
+  size_t rows_before = 0;
+  size_t rows_appended = 0;
+  size_t num_rows = 0;
+  /// True when the delta was merged into the existing profile; false when
+  /// the engine fell back to a full re-preprocess (still correct, slower).
+  bool delta_merged = false;
+  /// The engine's serving epoch after the append (query caches keyed to an
+  /// earlier epoch are now stale).
+  uint64_t serving_epoch = 0;
+  /// Re-estimated bytes after the append, for registry budget accounting.
+  size_t resident_bytes = 0;
+};
+
 /// A fully attached dataset: the owning table, the engine adopting its
 /// profile, and the serving session. Heap-pinned and handed out as
 /// shared_ptr<const>, so an in-flight query keeps its dataset alive even if
 /// the registry evicts it concurrently (eviction drops the registry's pin,
 /// never the object under a reader).
+///
+/// Appendable: Append() grows the table in place under an internal
+/// SharedMutex held exclusively; concurrent queries must hold the same
+/// mutex shared (ReaderLock on data_mutex()) for the duration of each
+/// request. The serving layer (serve/server.cc) enforces this pairing.
 class ResidentDataset {
  public:
   const std::string& id() const { return id_; }
@@ -68,10 +89,29 @@ class ResidentDataset {
   const InsightEngine& engine() const { return *engine_; }
   const QuerySession& session() const { return *session_; }
   /// Estimated bytes this dataset pins (table + profile), the unit the
-  /// registry budget is accounted in.
-  size_t resident_bytes() const { return resident_bytes_; }
+  /// registry budget is accounted in. Atomic: re-estimated by Append while
+  /// registry bookkeeping reads it.
+  size_t resident_bytes() const { return resident_bytes_.load(); }
   /// Whether the profile came from a snapshot (false = rebuilt).
   bool loaded_from_snapshot() const { return from_snapshot_; }
+  /// True once any Append succeeded. A mutated dataset's on-disk sources
+  /// (CSV, snapshot) no longer describe its resident state, so the registry
+  /// exempts it from eviction — reloading would silently drop rows.
+  bool mutated() const { return mutated_.load(); }
+
+  /// The append/query exclusion lock. Readers (query execution) take it
+  /// shared; Append takes it exclusively itself. Exposed so the serving
+  /// layer can hold the shared side across a whole request.
+  SharedMutex& data_mutex() const { return data_mutex_; }
+
+  /// Appends `delta` (same schema as table()) and folds it into the
+  /// serving profile via InsightEngine::AppendPartition, taking
+  /// data_mutex() exclusively for the duration. On success the dataset is
+  /// permanently `mutated()` and resident_bytes() is re-estimated. On
+  /// failure the table and profile are unchanged (AppendPartition's
+  /// contract) unless the engine's internal rebuild also failed, in which
+  /// case the error is surfaced and the dataset should be dropped.
+  StatusOr<DatasetAppendOutcome> Append(const DataTable& delta);
 
   /// Loads a dataset end to end: CSV -> table, snapshot (or rebuild) ->
   /// profile, engine, session. Not registry-locked; see DatasetRegistry.
@@ -88,7 +128,11 @@ class ResidentDataset {
   /// *engine_).
   std::optional<InsightEngine> engine_;
   std::optional<QuerySession> session_;
-  size_t resident_bytes_ = 0;
+  /// Guards table_/engine_ state against concurrent append vs. query; see
+  /// data_mutex(). mutable so const readers can lock it.
+  mutable SharedMutex data_mutex_;
+  RelaxedAtomic<size_t> resident_bytes_;
+  RelaxedAtomic<bool> mutated_;
   bool from_snapshot_ = false;
 };
 
@@ -155,6 +199,17 @@ class DatasetRegistry {
   StatusOr<std::shared_ptr<const ResidentDataset>> Acquire(
       const std::string& id);
 
+  /// Appends `delta` to dataset `id` (loading it first if needed), folding
+  /// the new rows into its serving profile. The append itself runs with the
+  /// registry unlocked (it holds the dataset's own data_mutex()
+  /// exclusively); afterwards the registry re-accounts the dataset's grown
+  /// footprint and, if the budget is now exceeded, evicts OTHER residents —
+  /// a mutated dataset is never evicted (its on-disk sources are stale).
+  /// If the dataset was concurrently evicted mid-append, the appended state
+  /// wins: it is reinstalled and the reloaded copy is dropped.
+  StatusOr<DatasetAppendOutcome> Append(const std::string& id,
+                                        const DataTable& delta);
+
   bool contains(const std::string& id) const;
   size_t size() const;
   /// All entries in ascending id order.
@@ -173,12 +228,23 @@ class DatasetRegistry {
     bool loading = false;
     /// LRU clock value of the last Acquire touch.
     uint64_t last_used_tick = 0;
+    /// Bytes this entry contributes to the registry's resident total.
+    /// Tracked separately from resident->resident_bytes() because appends
+    /// grow a dataset while the registry lock is released; re-accounting
+    /// subtracts exactly what was added, never a stale live reading.
+    size_t accounted_bytes = 0;
   };
 
-  /// Evicts LRU residents (other than `keep`) until `incoming_bytes` fits
-  /// the budget, moving dropped pins into `*doomed` for destruction after
-  /// the lock is released. Returns false when it cannot fit (dataset larger
-  /// than the whole budget).
+  /// Acquire with a mutable pin (the single-flight load path shared by
+  /// Acquire and Append).
+  StatusOr<std::shared_ptr<ResidentDataset>> AcquireMutable(
+      const std::string& id);
+
+  /// Evicts LRU residents (other than `keep` and mutated datasets, whose
+  /// on-disk sources are stale) until `incoming_bytes` fits the budget,
+  /// moving dropped pins into `*doomed` for destruction after the lock is
+  /// released. Returns false when it cannot fit (dataset larger than the
+  /// whole budget).
   bool EvictUntilFits(size_t incoming_bytes, const std::string& keep,
                       std::vector<std::shared_ptr<ResidentDataset>>* doomed)
       FORESIGHT_REQUIRES(mutex_);

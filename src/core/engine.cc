@@ -204,6 +204,7 @@ StatusOr<InsightEngine> InsightEngine::Create(const DataTable& table,
     engine.metrics_ = std::make_shared<MetricsRegistry>();
   }
   engine.set_num_workers(options.num_workers);
+  engine.preprocess_options_ = options.preprocess;
   if (options.build_profile) {
     FORESIGHT_ASSIGN_OR_RETURN(
         TableProfile profile,
@@ -254,9 +255,55 @@ StatusOr<InsightEngine> InsightEngine::CreateFromProfile(
     engine.metrics_ = std::make_shared<MetricsRegistry>();
   }
   engine.set_num_workers(options.num_workers);
+  // Future appends and rebuild fallbacks must reproduce the adopted profile's
+  // sketch geometry, not whatever options.preprocess carried.
+  engine.preprocess_options_ = options.preprocess;
+  engine.preprocess_options_.sketch = profile.config();
   engine.profile_.emplace(std::move(profile));
   if (engine.metrics_ != nullptr) engine.RecordProfileMetrics();
   return engine;
+}
+
+StatusOr<AppendStats> InsightEngine::AppendPartition(DataTable& table,
+                                                     const DataTable& delta) {
+  if (&table != table_) {
+    return Status::InvalidArgument(
+        "AppendPartition requires the engine's own table");
+  }
+  // determinism-ok: append timing is reporting-only telemetry
+  WallTimer timer;
+  AppendStats stats;
+  stats.rows_before = table_->num_rows();
+  stats.rows_appended = delta.num_rows();
+  FORESIGHT_RETURN_IF_ERROR(table.AppendRows(delta));
+  stats.num_rows = table_->num_rows();
+  stats.delta_merged = true;
+  if (profile_.has_value() && delta.num_rows() > 0) {
+    Status merged = Preprocessor::AppendToProfile(
+        *table_, stats.rows_before, preprocess_options_, &*profile_,
+        pool_.get());
+    if (!merged.ok()) {
+      // Any merge failure (FailedPrecondition when the auto-resolved
+      // hyperplane width changed, or anything else) leaves the profile in its
+      // pre-append state; fall back to the always-correct full rebuild so the
+      // engine never serves a profile that disagrees with the table.
+      stats.delta_merged = false;
+      FORESIGHT_ASSIGN_OR_RETURN(
+          TableProfile rebuilt,
+          Preprocessor::Profile(*table_, preprocess_options_, pool_.get()));
+      profile_ = std::move(rebuilt);
+    }
+  }
+  // AppendRows bumped the schema's mutation counter, which feeds
+  // serving_epoch(): cached query results invalidate without further help.
+  stats.seconds = timer.ElapsedSeconds();
+  if (metrics_ != nullptr) {
+    metrics_->counter("engine.appends_total").Increment();
+    metrics_->counter("engine.append_rows_total").Increment(delta.num_rows());
+    metrics_->histogram("engine.append_ms").Record(stats.seconds * 1e3);
+    if (profile_.has_value()) RecordProfileMetrics();
+  }
+  return stats;
 }
 
 StatusOr<ExecutionMode> InsightEngine::ResolveMode(ExecutionMode mode) const {

@@ -46,6 +46,18 @@ struct EngineOptions {
   bool enable_pairwise_pruning = true;
 };
 
+/// Outcome of InsightEngine::AppendPartition.
+struct AppendStats {
+  size_t rows_before = 0;
+  size_t rows_appended = 0;
+  size_t num_rows = 0;  ///< Rows after the append.
+  /// True when the profile grew by delta-merge; false when the append forced
+  /// a full re-preprocess (e.g. the auto-resolved hyperplane width changed at
+  /// the new row count). Either way the profile matches the appended table.
+  bool delta_merged = false;
+  double seconds = 0.0;  ///< Wall-clock cost of the append (telemetry).
+};
+
 /// Options for InsightEngine::ComputePairwiseOverview.
 struct PairwiseOverviewOptions {
   /// Ranking metric; empty selects the class default.
@@ -145,9 +157,33 @@ class InsightEngine {
 
   /// Monotonic invalidation epoch for the QuerySession result cache. Bumped
   /// by mutable_registry() access, by set_num_workers(), and — via the
-  /// schema's mutation counter — by table tag/column changes, so a cached
-  /// result can never outlive the state that produced it.
+  /// schema's mutation counter — by table tag/column changes and row appends
+  /// (AppendPartition), so a cached result can never outlive the state that
+  /// produced it.
   uint64_t serving_epoch() const;
+
+  /// Appends `delta`'s rows to `table` — which must be the very table this
+  /// engine serves, passed mutably by its owner — and brings the profile up
+  /// to date by delta-merge: only the new rows are sketched (through the
+  /// panel-blocked kernels) and merged into the existing per-column sketches,
+  /// bit-identical to a from-scratch Preprocess of the full table with
+  /// partition boundaries replaying the append history (the contract on
+  /// Preprocessor::AppendToProfile). When the delta cannot merge — the
+  /// auto-resolved hyperplane width changed at the new row count — the
+  /// profile is rebuilt from scratch instead (delta_merged = false in the
+  /// returned stats); correct either way, just not incremental.
+  ///
+  /// The serving epoch advances via the schema's mutation counter, so cached
+  /// query results invalidate precisely. On-disk snapshots of the old profile
+  /// become stale by their row-count prelude: Preprocessor::LoadProfile and
+  /// snapshot loaders reject them against the grown table, and the dataset
+  /// registry falls back to rebuild (see `foresight_snapshot refresh`).
+  ///
+  /// NOT safe to run concurrently with queries on this engine or its table —
+  /// the serving layer holds each dataset's append/query SharedMutex
+  /// exclusively around this call (queries hold it shared).
+  StatusOr<AppendStats> AppendPartition(DataTable& table,
+                                        const DataTable& delta);
 
   /// Validates `query` and resolves its defaults (metric, kAuto mode, fixed
   /// attribute indices). Every serving path — Execute, ExecuteBatch, and the
@@ -291,6 +327,9 @@ class InsightEngine {
   const DataTable* table_;
   InsightClassRegistry registry_;
   std::optional<TableProfile> profile_;
+  /// The options the profile was (or would be) built with; AppendPartition
+  /// reuses them for delta ingestion and for the full-rebuild fallback.
+  PreprocessOptions preprocess_options_;
   size_t num_workers_ = 1;
   /// Read by every serving thread (PruneEligible) while an administrative
   /// thread may toggle it; RelaxedAtomic keeps the flag racy-read-free while

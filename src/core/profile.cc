@@ -28,6 +28,312 @@ size_t BlockGrain(size_t items, const ThreadPool* pool) {
   return std::max<size_t>(1, (items + threads - 1) / threads);
 }
 
+/// A partition layout: contiguous [begin, end) row ranges in ascending order.
+using RowRanges = std::vector<std::pair<size_t, size_t>>;
+
+/// Resolves the partition layout for a table of `n` rows: explicit
+/// partition_boundaries when given (validated: non-decreasing, ending at n),
+/// else num_partitions near-equal splits.
+StatusOr<RowRanges> ResolveRanges(size_t n, const PreprocessOptions& options) {
+  RowRanges ranges;
+  if (!options.partition_boundaries.empty()) {
+    size_t prev = 0;
+    for (size_t boundary : options.partition_boundaries) {
+      if (boundary < prev || boundary > n) {
+        return Status::InvalidArgument(
+            "partition_boundaries must be non-decreasing row offsets within "
+            "the table");
+      }
+      ranges.emplace_back(prev, boundary);
+      prev = boundary;
+    }
+    if (prev != n) {
+      return Status::InvalidArgument(
+          "the last partition boundary must equal the table's row count");
+    }
+    return ranges;
+  }
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  size_t parts = std::max<size_t>(
+      1, std::min(options.num_partitions, std::max<size_t>(1, n)));
+  ranges.reserve(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    ranges.emplace_back(n * p / parts, n * (p + 1) / parts);
+  }
+  return ranges;
+}
+
+/// The shared row sample: uniform without replacement, ascending. Depends
+/// only on (seed, n, sample size) — never on how rows arrived — so an
+/// appended profile recomputes it outright and still matches a from-scratch
+/// build bit for bit.
+std::vector<size_t> ComputeSampledRows(size_t n,
+                                       const PreprocessOptions& options) {
+  size_t sample_size = std::min(options.row_sample_size, n);
+  Rng rng(options.sketch.seed ^ 0x505A4D50ULL);
+  std::vector<size_t> sampled;
+  if (sample_size == n) {
+    sampled.resize(n);
+    for (size_t i = 0; i < n; ++i) sampled[i] = i;
+    return sampled;
+  }
+  // Floyd's algorithm for a uniform sample without replacement.
+  sampled.reserve(sample_size);
+  std::unordered_map<size_t, bool> seen;
+  for (size_t j = n - sample_size; j < n; ++j) {
+    size_t t = static_cast<size_t>(rng.UniformInt(j + 1));
+    if (seen.count(t)) {
+      sampled.push_back(j);
+      seen[j] = true;
+    } else {
+      sampled.push_back(t);
+      seen[t] = true;
+    }
+  }
+  std::sort(sampled.begin(), sampled.end());
+  return sampled;
+}
+
+/// Un-finalized per-column sketches built over a set of row ranges, plus the
+/// panel-cache telemetry of the pass.
+struct ColumnSketchSet {
+  std::vector<NumericColumnSketch> numeric;  ///< Parallel to numeric_cols.
+  std::vector<CategoricalColumnSketch> categorical;  ///< To cat_cols.
+  RandomPanelCache::Stats panel_stats;
+};
+
+/// The shared ingestion machinery behind both full builds and append deltas:
+/// accumulates every column's sketches over `ranges` and merges the
+/// per-range partials in range order. Numeric sketches are NOT finalized —
+/// callers finalize after any further merging (the append path merges the
+/// delta into existing sketches first).
+///
+/// Work is tiled as (partition x column-block); each tile sweeps its
+/// partition's rows in ascending order, so every column's sketches consume
+/// their rows in the same order no matter how tiles are scheduled — the
+/// result is bit-identical across worker counts, ingest modes, and panel
+/// block sizes for a fixed `ranges`.
+///
+/// kPanelBlocked: the per-row random components are materialized once per
+/// row block in a RandomPanelCache shared by all columns and partitions,
+/// and tiles consume the cached panels through dense blocked kernels.
+/// Partitions are swept p-major with grain 1, so concurrent workers stay on
+/// the same partition's row range and share the same resident panel blocks.
+/// Columns with zero nulls additionally share the ones-side accumulation
+/// (it depends only on the row set): the column-block-0 tile accumulates it
+/// once per partition and it is copied into every fully-valid column.
+///
+/// kRowAtATime: each tile regenerates the components row by row (the
+/// pre-panel behavior), kept as the reference and benchmark baseline.
+ColumnSketchSet BuildColumnSketches(const DataTable& table,
+                                    const BundleBuilder& builder,
+                                    const std::vector<size_t>& numeric_cols,
+                                    const std::vector<size_t>& cat_cols,
+                                    const RowRanges& ranges,
+                                    const PreprocessOptions& options,
+                                    ThreadPool* pool) {
+  ColumnSketchSet result;
+  size_t n = table.num_rows();
+  size_t parts = ranges.size();
+  size_t n_num = numeric_cols.size();
+  std::vector<const NumericColumn*> numeric_ptrs;
+  numeric_ptrs.reserve(n_num);
+  for (size_t c : numeric_cols) {
+    numeric_ptrs.push_back(&table.column(c).AsNumeric());
+  }
+  result.numeric.reserve(n_num);
+  for (size_t i = 0; i < n_num; ++i) {
+    result.numeric.push_back(builder.MakeNumericSketch());
+  }
+  if (n_num > 0) {
+    size_t col_grain = BlockGrain(n_num, pool);
+    size_t num_cb = (n_num + col_grain - 1) / col_grain;
+    // parts == 1 accumulates straight into result.numeric (offset 0);
+    // otherwise per-partition partials merge in partition order below —
+    // the same merge sequence the serial path performs.
+    std::vector<NumericColumnSketch> partials;
+    if (parts > 1) {
+      partials.reserve(parts * n_num);
+      for (size_t i = 0; i < parts * n_num; ++i) {
+        partials.push_back(builder.MakeNumericSketch());
+      }
+    }
+    std::vector<NumericColumnSketch>& target =
+        parts == 1 ? result.numeric : partials;
+
+    if (options.ingest == IngestMode::kPanelBlocked) {
+      // Auto block size: 256 rows keeps a 256-bit-hyperplane panel around
+      // half a megabyte — resident in L2 while all columns sweep it.
+      size_t block_rows =
+          options.panel_block_rows > 0 ? options.panel_block_rows : 256;
+      RandomPanelCache cache(builder.hyperplane_sketcher(),
+                             builder.projection_sketcher(), n, block_rows);
+      // Every tile of partition p acquires each panel block overlapping p's
+      // rows exactly once; plan those uses so blocks free as tiles drain.
+      std::vector<int64_t> uses(cache.num_blocks(), 0);
+      for (size_t p = 0; p < parts; ++p) {
+        auto [row_begin, row_end] = ranges[p];
+        if (row_begin >= row_end) continue;
+        for (size_t b = cache.block_of_row(row_begin);
+             b <= cache.block_of_row(row_end - 1); ++b) {
+          uses[b] += static_cast<int64_t>(num_cb);
+        }
+      }
+      cache.PlanUses(std::move(uses));
+      bool has_fully_valid = false;
+      for (const NumericColumn* column : numeric_ptrs) {
+        if (column->null_count() == 0) has_fully_valid = true;
+      }
+      std::vector<SharedOnes> shared_ones(parts);
+      auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
+        IngestScratch scratch;
+        std::vector<const NumericColumn*> group_columns;
+        std::vector<NumericColumnSketch*> group_sketches;
+        std::vector<size_t> null_cols;
+        for (size_t t = tile_begin; t < tile_end; ++t) {
+          size_t p = t / num_cb;
+          size_t cb = t % num_cb;
+          size_t col_begin = cb * col_grain;
+          size_t col_end = std::min(n_num, col_begin + col_grain);
+          auto [row_begin, row_end] = ranges[p];
+          if (row_begin >= row_end) continue;
+          size_t offset = parts == 1 ? 0 : p * n_num;
+          bool ones_rider = cb == 0 && has_fully_valid;
+          // Fully-valid columns sweep each panel slab as a group (slab hot
+          // in L1 across four column streams); null-bearing columns keep the
+          // per-column compaction path. Column order across the split is
+          // irrelevant: every sketch's accumulation sequence is unchanged.
+          group_columns.clear();
+          group_sketches.clear();
+          null_cols.clear();
+          for (size_t i = col_begin; i < col_end; ++i) {
+            if (numeric_ptrs[i]->null_count() == 0) {
+              group_columns.push_back(numeric_ptrs[i]);
+              group_sketches.push_back(&target[offset + i]);
+            } else {
+              null_cols.push_back(i);
+            }
+          }
+          for (size_t b = cache.block_of_row(row_begin);
+               b <= cache.block_of_row(row_end - 1); ++b) {
+            std::shared_ptr<const RandomPanelBlock> panel = cache.Acquire(b);
+            size_t rb = std::max(row_begin, cache.block_begin(b));
+            size_t re = std::min(row_end, cache.block_end(b));
+            builder.AccumulateNumericBlockedGroup(
+                group_columns.data(), group_sketches.data(),
+                group_columns.size(), *panel, rb, re);
+            for (size_t i : null_cols) {
+              builder.AccumulateNumericBlocked(*numeric_ptrs[i], *panel, rb,
+                                               re, target[offset + i], scratch,
+                                               /*skip_ones=*/false);
+            }
+            if (ones_rider) {
+              builder.AccumulateSharedOnes(*panel, rb, re, shared_ones[p]);
+            }
+            cache.Release(b);
+          }
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, parts * num_cb, 1, run_tiles);
+      } else {
+        run_tiles(0, parts * num_cb);
+      }
+      // Install the shared ones totals into every fully-valid column's
+      // (partial) sketch — bit-identical to self-accumulation, and done
+      // before merging so partials carry complete accumulators.
+      for (size_t p = 0; p < parts; ++p) {
+        auto [row_begin, row_end] = ranges[p];
+        if (row_begin >= row_end || !has_fully_valid) continue;
+        size_t offset = parts == 1 ? 0 : p * n_num;
+        for (size_t i = 0; i < n_num; ++i) {
+          if (numeric_ptrs[i]->null_count() != 0) continue;
+          builder.ApplySharedOnes(shared_ones[p], target[offset + i]);
+        }
+      }
+      // The cache dies with this scope; snapshot its telemetry so the
+      // engine can surface panel hit/regeneration counts later.
+      result.panel_stats = cache.stats();
+    } else {
+      auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
+        IngestScratch scratch;
+        for (size_t t = tile_begin; t < tile_end; ++t) {
+          size_t p = t / num_cb;
+          size_t cb = t % num_cb;
+          size_t col_begin = cb * col_grain;
+          size_t col_end = std::min(n_num, col_begin + col_grain);
+          auto [row_begin, row_end] = ranges[p];
+          size_t offset = parts == 1 ? 0 : p * n_num;
+          for (size_t row = row_begin; row < row_end; ++row) {
+            builder.hyperplane_sketcher().GenerateRowHyperplanes(
+                row, scratch.hyperplane_row);
+            builder.projection_sketcher().GenerateRowComponents(
+                row, scratch.projection_row);
+            for (size_t i = col_begin; i < col_end; ++i) {
+              const NumericColumn& column = *numeric_ptrs[i];
+              if (!column.is_valid(row)) continue;
+              builder.AccumulateRowValue(column.value(row),
+                                         scratch.hyperplane_row,
+                                         scratch.projection_row,
+                                         target[offset + i]);
+            }
+          }
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, parts * num_cb, 1, run_tiles);
+      } else {
+        run_tiles(0, parts * num_cb);
+      }
+    }
+    if (parts > 1) {
+      auto merge_columns = [&](size_t col_begin, size_t col_end) {
+        for (size_t i = col_begin; i < col_end; ++i) {
+          for (size_t p = 0; p < parts; ++p) {
+            result.numeric[i].Merge(partials[p * n_num + i]);
+          }
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), merge_columns);
+      } else {
+        merge_columns(0, n_num);
+      }
+    }
+  }
+
+  // Categorical columns: per-column passes (dictionary codes batch cheaply),
+  // one parallel work item per column.
+  result.categorical.reserve(cat_cols.size());
+  for (size_t i = 0; i < cat_cols.size(); ++i) {
+    result.categorical.push_back(builder.MakeCategoricalSketch());
+  }
+  auto run_categorical = [&](size_t col_begin, size_t col_end) {
+    for (size_t i = col_begin; i < col_end; ++i) {
+      const auto& categorical = table.column(cat_cols[i]).AsCategorical();
+      CategoricalColumnSketch& merged = result.categorical[i];
+      for (size_t p = 0; p < parts; ++p) {
+        auto [begin, end] = ranges[p];
+        if (parts == 1) {
+          builder.AccumulateCategorical(categorical, begin, end, merged);
+        } else {
+          CategoricalColumnSketch partial = builder.MakeCategoricalSketch();
+          builder.AccumulateCategorical(categorical, begin, end, partial);
+          merged.Merge(partial);
+        }
+      }
+    }
+  };
+  if (pool != nullptr && cat_cols.size() > 1) {
+    pool->ParallelFor(0, cat_cols.size(), 1, run_categorical);
+  } else {
+    run_categorical(0, cat_cols.size());
+  }
+  return result;
+}
+
 }  // namespace
 
 const NumericColumnSketch& TableProfile::numeric_sketch(size_t column) const {
@@ -307,9 +613,8 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
   if (table.num_columns() == 0) {
     return Status::InvalidArgument("cannot profile a table with no columns");
   }
-  if (options.num_partitions == 0) {
-    return Status::InvalidArgument("num_partitions must be >= 1");
-  }
+  FORESIGHT_ASSIGN_OR_RETURN(RowRanges ranges,
+                             ResolveRanges(table.num_rows(), options));
   // determinism-ok: preprocess_seconds is reporting-only telemetry
   WallTimer timer;
   TableProfile profile;
@@ -319,202 +624,19 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
       std::make_unique<BundleBuilder>(options.sketch, table.num_rows());
   const BundleBuilder& builder = *profile.builder_;
 
-  size_t n = table.num_rows();
-  size_t parts = std::max<size_t>(1, std::min(options.num_partitions,
-                                              std::max<size_t>(1, n)));
-
   // Numeric columns: the paper's single-pass O(|B| * n * k) preprocessing
-  // (§3). Work is tiled as (partition x column-block); each tile sweeps its
-  // partition's rows in ascending order, so every column's sketches consume
-  // their rows in the same order no matter how tiles are scheduled — the
-  // resulting profile is bit-identical across worker counts, partition
-  // counts, ingest modes, and panel block sizes.
-  //
-  // kPanelBlocked: the per-row random components are materialized once per
-  // row block in a RandomPanelCache shared by all columns and partitions,
-  // and tiles consume the cached panels through dense blocked kernels.
-  // Partitions are swept p-major with grain 1, so concurrent workers stay on
-  // the same partition's row range and share the same resident panel blocks.
-  // Columns with zero nulls additionally share the ones-side accumulation
-  // (it depends only on the row set): the column-block-0 tile accumulates it
-  // once per partition and it is copied into every fully-valid column.
-  //
-  // kRowAtATime: each tile regenerates the components row by row (the
-  // pre-panel behavior), kept as the reference and benchmark baseline.
+  // (§3); categorical columns ride the same pass. See BuildColumnSketches
+  // for the tiling and bit-identity story.
   std::vector<size_t> numeric_cols = table.NumericColumnIndices();
-  size_t n_num = numeric_cols.size();
-  std::vector<const NumericColumn*> numeric_ptrs;
-  numeric_ptrs.reserve(n_num);
-  for (size_t c : numeric_cols) {
-    numeric_ptrs.push_back(&table.column(c).AsNumeric());
-  }
-  std::vector<NumericColumnSketch> merged_numeric;
-  merged_numeric.reserve(n_num);
-  for (size_t i = 0; i < n_num; ++i) {
-    merged_numeric.push_back(builder.MakeNumericSketch());
-  }
-  if (n_num > 0) {
-    size_t col_grain = BlockGrain(n_num, pool);
-    size_t num_cb = (n_num + col_grain - 1) / col_grain;
-    // parts == 1 accumulates straight into merged_numeric (offset 0);
-    // otherwise per-partition partials merge in partition order below —
-    // the same merge sequence the serial path performs.
-    std::vector<NumericColumnSketch> partials;
-    if (parts > 1) {
-      partials.reserve(parts * n_num);
-      for (size_t i = 0; i < parts * n_num; ++i) {
-        partials.push_back(builder.MakeNumericSketch());
-      }
-    }
-    std::vector<NumericColumnSketch>& target =
-        parts == 1 ? merged_numeric : partials;
-    auto partition_rows = [&](size_t p) {
-      return std::pair<size_t, size_t>{n * p / parts, n * (p + 1) / parts};
-    };
+  std::vector<size_t> cat_cols = table.CategoricalColumnIndices();
+  ColumnSketchSet sketches = BuildColumnSketches(
+      table, builder, numeric_cols, cat_cols, ranges, options, pool);
+  profile.panel_stats_ = sketches.panel_stats;
 
-    if (options.ingest == IngestMode::kPanelBlocked) {
-      // Auto block size: 256 rows keeps a 256-bit-hyperplane panel around
-      // half a megabyte — resident in L2 while all columns sweep it.
-      size_t block_rows =
-          options.panel_block_rows > 0 ? options.panel_block_rows : 256;
-      RandomPanelCache cache(builder.hyperplane_sketcher(),
-                             builder.projection_sketcher(), n, block_rows);
-      // Every tile of partition p acquires each panel block overlapping p's
-      // rows exactly once; plan those uses so blocks free as tiles drain.
-      std::vector<int64_t> uses(cache.num_blocks(), 0);
-      for (size_t p = 0; p < parts; ++p) {
-        auto [row_begin, row_end] = partition_rows(p);
-        if (row_begin >= row_end) continue;
-        for (size_t b = cache.block_of_row(row_begin);
-             b <= cache.block_of_row(row_end - 1); ++b) {
-          uses[b] += static_cast<int64_t>(num_cb);
-        }
-      }
-      cache.PlanUses(std::move(uses));
-      bool has_fully_valid = false;
-      for (const NumericColumn* column : numeric_ptrs) {
-        if (column->null_count() == 0) has_fully_valid = true;
-      }
-      std::vector<SharedOnes> shared_ones(parts);
-      auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
-        IngestScratch scratch;
-        std::vector<const NumericColumn*> group_columns;
-        std::vector<NumericColumnSketch*> group_sketches;
-        std::vector<size_t> null_cols;
-        for (size_t t = tile_begin; t < tile_end; ++t) {
-          size_t p = t / num_cb;
-          size_t cb = t % num_cb;
-          size_t col_begin = cb * col_grain;
-          size_t col_end = std::min(n_num, col_begin + col_grain);
-          auto [row_begin, row_end] = partition_rows(p);
-          if (row_begin >= row_end) continue;
-          size_t offset = parts == 1 ? 0 : p * n_num;
-          bool ones_rider = cb == 0 && has_fully_valid;
-          // Fully-valid columns sweep each panel slab as a group (slab hot
-          // in L1 across four column streams); null-bearing columns keep the
-          // per-column compaction path. Column order across the split is
-          // irrelevant: every sketch's accumulation sequence is unchanged.
-          group_columns.clear();
-          group_sketches.clear();
-          null_cols.clear();
-          for (size_t i = col_begin; i < col_end; ++i) {
-            if (numeric_ptrs[i]->null_count() == 0) {
-              group_columns.push_back(numeric_ptrs[i]);
-              group_sketches.push_back(&target[offset + i]);
-            } else {
-              null_cols.push_back(i);
-            }
-          }
-          for (size_t b = cache.block_of_row(row_begin);
-               b <= cache.block_of_row(row_end - 1); ++b) {
-            std::shared_ptr<const RandomPanelBlock> panel = cache.Acquire(b);
-            size_t rb = std::max(row_begin, cache.block_begin(b));
-            size_t re = std::min(row_end, cache.block_end(b));
-            builder.AccumulateNumericBlockedGroup(
-                group_columns.data(), group_sketches.data(),
-                group_columns.size(), *panel, rb, re);
-            for (size_t i : null_cols) {
-              builder.AccumulateNumericBlocked(*numeric_ptrs[i], *panel, rb,
-                                               re, target[offset + i], scratch,
-                                               /*skip_ones=*/false);
-            }
-            if (ones_rider) {
-              builder.AccumulateSharedOnes(*panel, rb, re, shared_ones[p]);
-            }
-            cache.Release(b);
-          }
-        }
-      };
-      if (pool != nullptr) {
-        pool->ParallelFor(0, parts * num_cb, 1, run_tiles);
-      } else {
-        run_tiles(0, parts * num_cb);
-      }
-      // Install the shared ones totals into every fully-valid column's
-      // (partial) sketch — bit-identical to self-accumulation, and done
-      // before merging so partials carry complete accumulators.
-      for (size_t p = 0; p < parts; ++p) {
-        auto [row_begin, row_end] = partition_rows(p);
-        if (row_begin >= row_end || !has_fully_valid) continue;
-        size_t offset = parts == 1 ? 0 : p * n_num;
-        for (size_t i = 0; i < n_num; ++i) {
-          if (numeric_ptrs[i]->null_count() != 0) continue;
-          builder.ApplySharedOnes(shared_ones[p], target[offset + i]);
-        }
-      }
-      // The cache dies with this scope; snapshot its telemetry so the
-      // engine can surface panel hit/regeneration counts later.
-      profile.panel_stats_ = cache.stats();
-    } else {
-      auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
-        IngestScratch scratch;
-        for (size_t t = tile_begin; t < tile_end; ++t) {
-          size_t p = t / num_cb;
-          size_t cb = t % num_cb;
-          size_t col_begin = cb * col_grain;
-          size_t col_end = std::min(n_num, col_begin + col_grain);
-          auto [row_begin, row_end] = partition_rows(p);
-          size_t offset = parts == 1 ? 0 : p * n_num;
-          for (size_t row = row_begin; row < row_end; ++row) {
-            builder.hyperplane_sketcher().GenerateRowHyperplanes(
-                row, scratch.hyperplane_row);
-            builder.projection_sketcher().GenerateRowComponents(
-                row, scratch.projection_row);
-            for (size_t i = col_begin; i < col_end; ++i) {
-              const NumericColumn& column = *numeric_ptrs[i];
-              if (!column.is_valid(row)) continue;
-              builder.AccumulateRowValue(column.value(row),
-                                         scratch.hyperplane_row,
-                                         scratch.projection_row,
-                                         target[offset + i]);
-            }
-          }
-        }
-      };
-      if (pool != nullptr) {
-        pool->ParallelFor(0, parts * num_cb, 1, run_tiles);
-      } else {
-        run_tiles(0, parts * num_cb);
-      }
-    }
-    if (parts > 1) {
-      auto merge_columns = [&](size_t col_begin, size_t col_end) {
-        for (size_t i = col_begin; i < col_end; ++i) {
-          for (size_t p = 0; p < parts; ++p) {
-            merged_numeric[i].Merge(partials[p * n_num + i]);
-          }
-        }
-      };
-      if (pool != nullptr) {
-        pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), merge_columns);
-      } else {
-        merge_columns(0, n_num);
-      }
-    }
-  }
+  size_t n_num = numeric_cols.size();
   auto finalize_columns = [&](size_t col_begin, size_t col_end) {
     for (size_t i = col_begin; i < col_end; ++i) {
-      builder.FinalizeNumeric(merged_numeric[i]);
+      builder.FinalizeNumeric(sketches.numeric[i]);
     }
   };
   if (pool != nullptr && n_num > 1) {
@@ -523,72 +645,101 @@ StatusOr<TableProfile> Preprocessor::Profile(const DataTable& table,
     finalize_columns(0, n_num);
   }
   for (size_t i = 0; i < n_num; ++i) {
-    profile.numeric_.emplace(numeric_cols[i], std::move(merged_numeric[i]));
-  }
-
-  // Categorical columns: per-column passes (dictionary codes batch cheaply),
-  // one parallel work item per column; emplacement stays in table order.
-  std::vector<size_t> cat_cols = table.CategoricalColumnIndices();
-  std::vector<CategoricalColumnSketch> cat_sketches;
-  cat_sketches.reserve(cat_cols.size());
-  for (size_t i = 0; i < cat_cols.size(); ++i) {
-    cat_sketches.push_back(builder.MakeCategoricalSketch());
-  }
-  auto run_categorical = [&](size_t col_begin, size_t col_end) {
-    for (size_t i = col_begin; i < col_end; ++i) {
-      const auto& categorical = table.column(cat_cols[i]).AsCategorical();
-      CategoricalColumnSketch& merged = cat_sketches[i];
-      for (size_t p = 0; p < parts; ++p) {
-        size_t begin = n * p / parts;
-        size_t end = n * (p + 1) / parts;
-        if (parts == 1) {
-          builder.AccumulateCategorical(categorical, begin, end, merged);
-        } else {
-          CategoricalColumnSketch partial = builder.MakeCategoricalSketch();
-          builder.AccumulateCategorical(categorical, begin, end, partial);
-          merged.Merge(partial);
-        }
-      }
-    }
-  };
-  if (pool != nullptr && cat_cols.size() > 1) {
-    pool->ParallelFor(0, cat_cols.size(), 1, run_categorical);
-  } else {
-    run_categorical(0, cat_cols.size());
+    profile.numeric_.emplace(numeric_cols[i], std::move(sketches.numeric[i]));
   }
   for (size_t i = 0; i < cat_cols.size(); ++i) {
-    profile.categorical_.emplace(cat_cols[i], std::move(cat_sketches[i]));
+    profile.categorical_.emplace(cat_cols[i],
+                                 std::move(sketches.categorical[i]));
   }
 
-  // Shared row sample: uniform without replacement, ascending.
-  size_t sample_size = std::min(options.row_sample_size, n);
-  Rng rng(options.sketch.seed ^ 0x505A4D50ULL);
-  if (sample_size == n) {
-    profile.sampled_rows_.resize(n);
-    for (size_t i = 0; i < n; ++i) profile.sampled_rows_[i] = i;
-  } else {
-    // Floyd's algorithm for a uniform sample without replacement.
-    std::vector<size_t> chosen;
-    chosen.reserve(sample_size);
-    std::unordered_map<size_t, bool> seen;
-    for (size_t j = n - sample_size; j < n; ++j) {
-      size_t t = static_cast<size_t>(rng.UniformInt(j + 1));
-      if (seen.count(t)) {
-        chosen.push_back(j);
-        seen[j] = true;
-      } else {
-        chosen.push_back(t);
-        seen[t] = true;
-      }
-    }
-    std::sort(chosen.begin(), chosen.end());
-    profile.sampled_rows_ = std::move(chosen);
-  }
-
+  profile.sampled_rows_ = ComputeSampledRows(table.num_rows(), options);
   MaterializeSamples(table, profile, pool);
 
   profile.preprocess_seconds_ = timer.ElapsedSeconds();
   return profile;
+}
+
+Status Preprocessor::AppendToProfile(const DataTable& table, size_t old_rows,
+                                     const PreprocessOptions& options,
+                                     TableProfile* profile, ThreadPool* pool) {
+  FORESIGHT_CHECK(profile != nullptr);
+  if (profile->table_ != &table) {
+    return Status::InvalidArgument(
+        "AppendToProfile requires the table the profile was built from");
+  }
+  size_t n = table.num_rows();
+  if (old_rows > n) {
+    return Status::InvalidArgument(
+        "old_rows exceeds the table's current row count");
+  }
+  if (old_rows == n) return Status::OK();
+  // determinism-ok: preprocess_seconds is reporting-only telemetry
+  WallTimer timer;
+  // The delta must use the profile's own sketch geometry or the merge below
+  // would be meaningless; only the ingestion knobs come from `options`.
+  auto builder = std::make_unique<BundleBuilder>(profile->config_, n);
+  if (profile->builder_ == nullptr ||
+      builder->hyperplane_bits() != profile->builder_->hyperplane_bits()) {
+    return Status::FailedPrecondition(
+        "auto-resolved hyperplane width changed at the new row count; "
+        "sketches of different widths cannot merge — rebuild the profile");
+  }
+  // Validate coverage before touching anything: every error path must leave
+  // the profile exactly as it was.
+  std::vector<size_t> numeric_cols = table.NumericColumnIndices();
+  std::vector<size_t> cat_cols = table.CategoricalColumnIndices();
+  for (size_t c : numeric_cols) {
+    if (!profile->has_numeric_sketch(c)) {
+      return Status::InvalidArgument("profile missing numeric sketch for '" +
+                                     table.column_name(c) + "'");
+    }
+  }
+  for (size_t c : cat_cols) {
+    if (!profile->has_categorical_sketch(c)) {
+      return Status::InvalidArgument(
+          "profile missing categorical sketch for '" + table.column_name(c) +
+          "'");
+    }
+  }
+
+  // Sketch ONLY the appended rows through the shared machinery, then merge
+  // each delta into the existing column sketch — the same
+  // adopt-or-merge-in-partition-order sequence a from-scratch build with
+  // partition_boundaries = {old_rows, n} performs, which is exactly why the
+  // two are bit-identical (see the contract in profile.h).
+  RowRanges delta_range{{old_rows, n}};
+  ColumnSketchSet delta = BuildColumnSketches(
+      table, *builder, numeric_cols, cat_cols, delta_range, options, pool);
+
+  size_t n_num = numeric_cols.size();
+  auto merge_numeric = [&](size_t col_begin, size_t col_end) {
+    for (size_t i = col_begin; i < col_end; ++i) {
+      NumericColumnSketch& sketch = profile->numeric_.at(numeric_cols[i]);
+      sketch.Merge(delta.numeric[i]);
+      builder->FinalizeNumeric(sketch);
+    }
+  };
+  if (pool != nullptr && n_num > 1) {
+    pool->ParallelFor(0, n_num, BlockGrain(n_num, pool), merge_numeric);
+  } else {
+    merge_numeric(0, n_num);
+  }
+  for (size_t i = 0; i < cat_cols.size(); ++i) {
+    profile->categorical_.at(cat_cols[i]).Merge(delta.categorical[i]);
+  }
+
+  // The shared row sample depends only on (seed, n, sample size), not on how
+  // the rows arrived: recompute and rematerialize it outright.
+  profile->sampled_rows_ = ComputeSampledRows(n, options);
+  profile->sampled_numeric_.clear();
+  profile->sampled_ranks_.clear();
+  profile->sampled_codes_.clear();
+  MaterializeSamples(table, *profile, pool);
+
+  profile->builder_ = std::move(builder);
+  profile->panel_stats_ = delta.panel_stats;
+  profile->preprocess_seconds_ += timer.ElapsedSeconds();
+  return Status::OK();
 }
 
 void Preprocessor::MaterializeSamples(

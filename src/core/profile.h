@@ -120,6 +120,14 @@ struct PreprocessOptions {
   /// Number of row partitions to preprocess independently and merge; > 1
   /// exercises (and demonstrates) sketch composability. 1 = single pass.
   size_t num_partitions = 1;
+  /// Explicit partition layout: ascending row end-offsets, the last equal to
+  /// the table's row count (e.g. {1000, 1010} = rows [0,1000) then
+  /// [1000,1010)). Overrides num_partitions when non-empty; empty partitions
+  /// are allowed and skipped. This is how an append history is replayed as a
+  /// from-scratch build: a profile grown by AppendToProfile at these
+  /// boundaries is bit-identical to Profile() over the full table with the
+  /// same boundaries (the gate in test_append_equivalence).
+  std::vector<size_t> partition_boundaries;
   /// Numeric ingestion strategy; both modes produce bit-identical profiles.
   IngestMode ingest = IngestMode::kPanelBlocked;
   /// Rows per cached random panel block under kPanelBlocked (0 = auto).
@@ -138,10 +146,35 @@ class Preprocessor {
   /// random hyperplane/projection components derive only from (seed, row) and
   /// each column's sketches see their rows in the same order either way, the
   /// resulting profile is bit-identical to the serial one — across worker
-  /// counts, partition counts, ingest modes, and panel block sizes.
+  /// counts, ingest modes, and panel block sizes, for any fixed partition
+  /// layout. (Different partition layouts are statistically equivalent but
+  /// not bit-identical: merging independently-built sketches reassociates
+  /// floating-point sums.)
   static StatusOr<TableProfile> Profile(const DataTable& table,
                                         const PreprocessOptions& options = {},
                                         ThreadPool* pool = nullptr);
+
+  /// Extends `profile` — built from `table` back when it had `old_rows` rows,
+  /// before the new rows were appended (see DataTable::AppendRows) — by
+  /// sketching ONLY rows [old_rows, num_rows) through the same panel-blocked
+  /// kernels and merging the delta into each column's sketches in partition
+  /// order. The contract, gated by test_append_equivalence and re-gated by
+  /// bench_append: the grown profile is bit-identical to Profile() over the
+  /// full table with `partition_boundaries` replaying the same append
+  /// history. The shared row sample depends only on (seed, row count, sample
+  /// size), so it is recomputed and rematerialized outright.
+  ///
+  /// The delta uses the profile's own sketch geometry (options.sketch is
+  /// ignored); options supplies ingest mode, block size, and sample size.
+  /// Returns FailedPrecondition when the auto-resolved hyperplane width
+  /// changes at the new row count — sketches of different widths cannot
+  /// merge — in which case the profile is untouched and the caller should
+  /// fall back to a full rebuild. All other errors also leave the profile
+  /// unmodified.
+  static Status AppendToProfile(const DataTable& table, size_t old_rows,
+                                const PreprocessOptions& options,
+                                TableProfile* profile,
+                                ThreadPool* pool = nullptr);
 
   /// Restores a profile persisted by TableProfile::ToJson against `table`
   /// (which must be the table it was built from: column names/types and row

@@ -52,11 +52,18 @@ class Schema {
   /// Appends a column spec. Fails with AlreadyExists on duplicate names.
   Status AddColumn(ColumnSpec spec);
 
-  /// Monotonic mutation counter: bumped whenever the column set or any
-  /// column's tags change. Cached query results keyed on schema state (the
-  /// QuerySession serving layer) compare versions to detect staleness.
-  /// Not part of equality and not serialized.
+  /// Monotonic mutation counter: bumped whenever the column set, any
+  /// column's tags, or the table's row data change (DataTable::AppendRows
+  /// funnels row appends through NoteDataMutation). Cached query results
+  /// keyed on schema state (the QuerySession serving layer) compare versions
+  /// to detect staleness. Not part of equality and not serialized.
   uint64_t version() const { return version_; }
+
+  /// Records a data (row) mutation of the owning table. Appends change query
+  /// results without changing the column set, so they flow into the same
+  /// monotonic counter — epoch-keyed caches invalidate with no extra
+  /// plumbing.
+  void NoteDataMutation() { ++version_; }
 
   size_t num_columns() const { return columns_.size(); }
   const ColumnSpec& column(size_t index) const { return columns_[index]; }

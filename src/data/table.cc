@@ -67,6 +67,55 @@ StatusOr<const CategoricalColumn*> DataTable::CategoricalColumnByName(
   return &col.AsCategorical();
 }
 
+Status DataTable::AppendRows(const DataTable& delta) {
+  if (columns_.empty()) {
+    return Status::InvalidArgument("cannot append rows to a table with no columns");
+  }
+  if (delta.num_columns() != num_columns()) {
+    return Status::InvalidArgument(
+        "append delta has " + std::to_string(delta.num_columns()) +
+        " columns; table has " + std::to_string(num_columns()));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnSpec& ours = schema_.column(c);
+    const ColumnSpec& theirs = delta.schema().column(c);
+    if (ours.name != theirs.name || ours.type != theirs.type) {
+      return Status::InvalidArgument("append delta column " +
+                                     std::to_string(c) + " ('" + theirs.name +
+                                     "') does not match table column '" +
+                                     ours.name + "'");
+    }
+  }
+  if (delta.num_rows() == 0) return Status::OK();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& src = *delta.columns_[c];
+    if (src.type() == ColumnType::kNumeric) {
+      auto& dst = static_cast<NumericColumn&>(*columns_[c]);
+      const auto& numeric = src.AsNumeric();
+      for (size_t i = 0; i < delta.num_rows(); ++i) {
+        if (numeric.is_valid(i)) {
+          dst.Append(numeric.value(i));
+        } else {
+          dst.AppendNull();
+        }
+      }
+    } else {
+      auto& dst = static_cast<CategoricalColumn&>(*columns_[c]);
+      const auto& categorical = src.AsCategorical();
+      for (size_t i = 0; i < delta.num_rows(); ++i) {
+        if (categorical.is_valid(i)) {
+          dst.Append(categorical.value(i));
+        } else {
+          dst.AppendNull();
+        }
+      }
+    }
+  }
+  num_rows_ += delta.num_rows();
+  schema_.NoteDataMutation();
+  return Status::OK();
+}
+
 DataTable DataTable::Clone() const {
   DataTable copy;
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -128,7 +177,7 @@ DataTable DataTable::HeadRows(size_t n) const {
 size_t DataTable::EstimateMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& column : columns_) {
-    bytes += column->size() / 8;  // validity bitmask
+    bytes += (column->size() + 7) / 8;  // validity bitmask, rounded up
     if (column->type() == ColumnType::kNumeric) {
       bytes += column->AsNumeric().values().size() * sizeof(double);
     } else {

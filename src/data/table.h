@@ -74,6 +74,15 @@ class DataTable {
     return schema_.ColumnsOfType(ColumnType::kCategorical);
   }
 
+  /// Appends every row of `delta` to this table. `delta` must have the same
+  /// columns (names and types, in order); returns InvalidArgument otherwise
+  /// and leaves the table untouched. Categorical values append by string, so
+  /// the combined dictionary keeps first-occurrence order — identical to
+  /// having ingested the concatenated rows in one pass. Bumps the schema's
+  /// mutation counter (see Schema::NoteDataMutation) so epoch-keyed caches
+  /// invalidate; an empty delta is a no-op and does not bump.
+  Status AppendRows(const DataTable& delta);
+
   /// Deep copy.
   DataTable Clone() const;
 

@@ -141,6 +141,18 @@ Status HttpServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server is already running");
   }
+  const auto& appendable = options_.appendable;
+  const bool any_appendable = appendable.table != nullptr ||
+                              appendable.engine != nullptr ||
+                              appendable.mutex != nullptr;
+  const bool all_appendable = appendable.table != nullptr &&
+                              appendable.engine != nullptr &&
+                              appendable.mutex != nullptr;
+  if (any_appendable && !all_appendable) {
+    return Status::InvalidArgument(
+        "HttpServerOptions::appendable needs table, engine, and mutex all "
+        "set (or none)");
+  }
   FORESIGHT_ASSIGN_OR_RETURN(
       listen_fd_,
       CreateListenSocket(options_.port, options_.backlog, &port_));
@@ -182,6 +194,7 @@ Status HttpServer::Start() {
     query_latency_ms_ = &metrics_->histogram("serve.query_latency_ms");
     batch_latency_ms_ = &metrics_->histogram("serve.query_batch_latency_ms");
     overview_latency_ms_ = &metrics_->histogram("serve.overview_latency_ms");
+    append_latency_ms_ = &metrics_->histogram("serve.append_latency_ms");
   }
 
   ThreadPool* pool = session_->engine().thread_pool();
@@ -460,16 +473,18 @@ void HttpServer::Dispatch(uint64_t conn_id, HttpRequest request) {
 
   const bool is_query = path == "/v1/query";
   const bool is_batch = path == "/v1/query_batch";
+  const bool is_append = path == "/v1/append";
   const bool is_overview =
       path.size() > kOverviewPrefix.size() &&
       std::string_view(path).substr(0, kOverviewPrefix.size()) ==
           kOverviewPrefix;
-  if (!is_query && !is_batch && !is_overview) {
+  if (!is_query && !is_batch && !is_append && !is_overview) {
     CountResponse(404);
     SendResponse(conn_id,
                  ErrorResponse(Status::NotFound("unknown path '" + path +
                                                 "' (see /v1/query, "
                                                 "/v1/query_batch, "
+                                                "/v1/append, "
                                                 "/v1/overview/<class>)")),
                  keep_alive);
     return;
@@ -533,6 +548,62 @@ StatusOr<const QuerySession*> HttpServer::ResolveSession(
   return &(*pin)->session();
 }
 
+SharedMutex* HttpServer::DataGuard(
+    const std::string& dataset,
+    const std::shared_ptr<const ResidentDataset>& pin) const {
+  if (!dataset.empty() && pin != nullptr) return &pin->data_mutex();
+  if (dataset.empty()) return options_.appendable.mutex;
+  return nullptr;
+}
+
+HttpResponse HttpServer::HandleAppend(const JsonValue& body,
+                                      const std::string& dataset) const {
+  if (dataset.empty()) {
+    // Default dataset. Parsing only reads the schema (column names/types),
+    // which never changes after startup, so it runs before the exclusive
+    // lock; only the actual table/profile mutation excludes queries.
+    if (options_.appendable.table == nullptr) {
+      return ErrorResponse(Status::FailedPrecondition(
+          "this server's default dataset is read-only; pass 'dataset' to "
+          "append to a registry dataset, or start with --appendable"));
+    }
+    StatusOr<DataTable> delta = ParseAppendRowsV1(
+        body, *options_.appendable.table, options_.max_append_rows);
+    if (!delta.ok()) return ErrorResponse(delta.status());
+    DatasetAppendOutcome outcome;
+    {
+      WriterLock lock(*options_.appendable.mutex);
+      StatusOr<AppendStats> stats = options_.appendable.engine->AppendPartition(
+          *options_.appendable.table, *delta);
+      if (!stats.ok()) return ErrorResponse(stats.status());
+      outcome.rows_before = stats->rows_before;
+      outcome.rows_appended = stats->rows_appended;
+      outcome.num_rows = stats->num_rows;
+      outcome.delta_merged = stats->delta_merged;
+      outcome.serving_epoch = options_.appendable.engine->serving_epoch();
+    }
+    return JsonResponse(200, WireAppendResponseV1("", outcome));
+  }
+  if (options_.registry == nullptr) {
+    return ErrorResponse(Status::InvalidArgument(
+        "this server has no dataset registry; omit 'dataset' or start with "
+        "--datasets"));
+  }
+  // The pin is only for parsing against the dataset's schema (stable after
+  // load); DatasetRegistry::Append re-acquires and takes the dataset's own
+  // data_mutex() exclusively for the mutation.
+  StatusOr<std::shared_ptr<const ResidentDataset>> pin =
+      options_.registry->Acquire(dataset);
+  if (!pin.ok()) return ErrorResponse(pin.status());
+  StatusOr<DataTable> delta =
+      ParseAppendRowsV1(body, (*pin)->table(), options_.max_append_rows);
+  if (!delta.ok()) return ErrorResponse(delta.status());
+  StatusOr<DatasetAppendOutcome> outcome =
+      options_.registry->Append(dataset, *delta);
+  if (!outcome.ok()) return ErrorResponse(outcome.status());
+  return JsonResponse(200, WireAppendResponseV1(dataset, *outcome));
+}
+
 HttpResponse HttpServer::HandleApi(const HttpRequest& request) const {
   // Keeps a registry dataset alive for the duration of this request even if
   // it is evicted concurrently.
@@ -546,6 +617,9 @@ HttpResponse HttpServer::HandleApi(const HttpRequest& request) const {
     if (!session.ok()) return ErrorResponse(session.status());
     StatusOr<InsightQuery> query = InsightQuery::FromJson(*body);
     if (!query.ok()) return ErrorResponse(query.status());
+    // Shared side of the append/query exclusion: appends to this dataset
+    // wait until in-flight queries finish (and vice versa).
+    ReaderLockMaybe guard(DataGuard(*dataset, pin));
     StatusOr<InsightQueryResult> result = (*session)->Execute(*query);
     if (!result.ok()) return ErrorResponse(result.status());
     return JsonResponse(200, WireQueryResponseV1(*result));
@@ -560,10 +634,18 @@ HttpResponse HttpServer::HandleApi(const HttpRequest& request) const {
     StatusOr<std::vector<InsightQuery>> queries =
         ParseQueryBatchV1(*body, options_.max_batch_queries);
     if (!queries.ok()) return ErrorResponse(queries.status());
+    ReaderLockMaybe guard(DataGuard(*dataset, pin));
     StatusOr<std::vector<InsightQueryResult>> results =
         (*session)->ExecuteBatch(*queries);
     if (!results.ok()) return ErrorResponse(results.status());
     return JsonResponse(200, WireBatchResponseV1(*results));
+  }
+  if (request.path == "/v1/append") {
+    StatusOr<JsonValue> body = JsonValue::Parse(request.body);
+    if (!body.ok()) return ErrorResponse(body.status());
+    StatusOr<std::string> dataset = ExtractDatasetField(&*body);
+    if (!dataset.ok()) return ErrorResponse(dataset.status());
+    return HandleAppend(*body, *dataset);
   }
   // /v1/overview/<class>
   const std::string class_name(
@@ -575,6 +657,7 @@ HttpResponse HttpServer::HandleApi(const HttpRequest& request) const {
   if (!params.ok()) return ErrorResponse(params);
   StatusOr<const QuerySession*> session = ResolveSession(dataset, &pin);
   if (!session.ok()) return ErrorResponse(session.status());
+  ReaderLockMaybe guard(DataGuard(dataset, pin));
   StatusOr<CorrelationOverview> overview =
       (*session)->engine().ComputePairwiseOverview(class_name,
                                                    overview_options);
@@ -591,7 +674,9 @@ void HttpServer::RunJob(Job job) {
                         ? query_latency_ms_
                         : job.request.path == "/v1/query_batch"
                               ? batch_latency_ms_
-                              : overview_latency_ms_;
+                              : job.request.path == "/v1/append"
+                                    ? append_latency_ms_
+                                    : overview_latency_ms_;
     timer.Restart();
   }
   if (queue_depth_ != nullptr) {

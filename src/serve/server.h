@@ -51,6 +51,20 @@ struct HttpServerOptions {
   /// Requests without a `dataset` keep hitting the default session, so the
   /// v1 wire contract is unchanged for existing clients.
   DatasetRegistry* registry = nullptr;
+  /// The default dataset's mutable half, enabling POST /v1/append without a
+  /// `dataset` selector. All three pointers (or none) must be set, must
+  /// refer to the same table/engine the default session serves, and must
+  /// outlive the server. `mutex` orders appends (exclusive) against query
+  /// execution (shared) on the default dataset; when unset the default
+  /// dataset is read-only and queries skip the lock entirely.
+  struct AppendableDataset {
+    DataTable* table = nullptr;
+    InsightEngine* engine = nullptr;
+    SharedMutex* mutex = nullptr;
+  };
+  AppendableDataset appendable;
+  /// Upper bound on rows inside one /v1/append body.
+  size_t max_append_rows = 100'000;
 };
 
 /// The v1 HTTP/JSON front-end over a QuerySession (DESIGN.md "Serve
@@ -64,6 +78,9 @@ struct HttpServerOptions {
 ///   POST /v1/query_batch  ParseQueryBatchV1 -> QuerySession::ExecuteBatch
 ///   GET  /v1/overview/C   ComputePairwiseOverview(C) (+ metric/mode/
 ///                         refine_min_score query parameters)
+///   POST /v1/append       ParseAppendRowsV1 -> incremental ingestion
+///                         (registry datasets, or the default dataset when
+///                         options.appendable is set)
 ///   GET  /v1/datasets     registry listing (inline; multi-dataset mode)
 ///   GET  /healthz         liveness (answered inline on the loop thread,
 ///                         even while the queue is rejecting with 503)
@@ -139,6 +156,16 @@ class HttpServer {
   StatusOr<const QuerySession*> ResolveSession(
       const std::string& dataset,
       std::shared_ptr<const ResidentDataset>* pin) const;
+  /// The append/query exclusion lock guarding the dataset a request
+  /// resolved to: the pinned registry dataset's data_mutex(), the
+  /// appendable default dataset's mutex, or null (read-only default
+  /// dataset — no lock needed, nothing can mutate it).
+  SharedMutex* DataGuard(
+      const std::string& dataset,
+      const std::shared_ptr<const ResidentDataset>& pin) const;
+  /// POST /v1/append (runs on a worker thread like queries).
+  HttpResponse HandleAppend(const JsonValue& body,
+                            const std::string& dataset) const;
   /// Queues `response` on the connection and flushes what the socket takes.
   void SendResponse(uint64_t conn_id, const HttpResponse& response,
                     bool keep_alive);
@@ -202,6 +229,7 @@ class HttpServer {
   LatencyHistogram* query_latency_ms_ = nullptr;
   LatencyHistogram* batch_latency_ms_ = nullptr;
   LatencyHistogram* overview_latency_ms_ = nullptr;
+  LatencyHistogram* append_latency_ms_ = nullptr;
 };
 
 }  // namespace foresight

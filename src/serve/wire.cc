@@ -170,6 +170,99 @@ JsonValue WireDatasetsResponseV1(const std::vector<DatasetEntryInfo>& entries,
   return json;
 }
 
+JsonValue WireAppendResponseV1(const std::string& dataset,
+                               const DatasetAppendOutcome& outcome) {
+  JsonValue json = Envelope();
+  JsonValue append = JsonValue::Object();
+  if (!dataset.empty()) append.Set("dataset", dataset);
+  append.Set("rows_before", outcome.rows_before);
+  append.Set("rows_appended", outcome.rows_appended);
+  append.Set("num_rows", outcome.num_rows);
+  append.Set("delta_merged", outcome.delta_merged);
+  append.Set("serving_epoch", outcome.serving_epoch);
+  json.Set("append", std::move(append));
+  return json;
+}
+
+StatusOr<DataTable> ParseAppendRowsV1(const JsonValue& json,
+                                      const DataTable& table,
+                                      size_t max_rows) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("append request must be a JSON object");
+  }
+  const JsonValue* rows = nullptr;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "rows") {
+      rows = &value;
+    } else {
+      return Status::InvalidArgument("unknown append field '" + key + "'");
+    }
+  }
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("append request needs a 'rows' array");
+  }
+  if (rows->size() == 0) {
+    return Status::InvalidArgument("'rows' must not be empty");
+  }
+  if (rows->size() > max_rows) {
+    return Status::InvalidArgument("append exceeds the limit of " +
+                                   std::to_string(max_rows) + " rows");
+  }
+
+  const size_t width = table.num_columns();
+  std::vector<std::unique_ptr<Column>> columns;
+  columns.reserve(width);
+  for (size_t c = 0; c < width; ++c) {
+    if (table.column(c).type() == ColumnType::kNumeric) {
+      columns.push_back(std::make_unique<NumericColumn>());
+    } else {
+      columns.push_back(std::make_unique<CategoricalColumn>());
+    }
+  }
+
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const JsonValue& row = rows->at(i);
+    if (!row.is_array() || row.size() != width) {
+      return Status::InvalidArgument(
+          "rows[" + std::to_string(i) + "] must be an array of " +
+          std::to_string(width) + " cells (one per column)");
+    }
+    for (size_t c = 0; c < width; ++c) {
+      const JsonValue& cell = row.at(c);
+      if (table.column(c).type() == ColumnType::kNumeric) {
+        auto& column = static_cast<NumericColumn&>(*columns[c]);
+        if (cell.is_null()) {
+          column.AppendNull();
+        } else if (cell.is_number()) {
+          column.Append(cell.as_number());
+        } else {
+          return Status::InvalidArgument(
+              "rows[" + std::to_string(i) + "][" + std::to_string(c) +
+              "] ('" + table.column_name(c) + "'): expected number or null");
+        }
+      } else {
+        auto& column = static_cast<CategoricalColumn&>(*columns[c]);
+        if (cell.is_null()) {
+          column.AppendNull();
+        } else if (cell.is_string()) {
+          column.Append(cell.as_string());
+        } else {
+          return Status::InvalidArgument(
+              "rows[" + std::to_string(i) + "][" + std::to_string(c) +
+              "] ('" + table.column_name(c) + "'): expected string or null");
+        }
+      }
+    }
+  }
+
+  DataTable delta;
+  for (size_t c = 0; c < width; ++c) {
+    FORESIGHT_RETURN_IF_ERROR(
+        delta.AddColumn(table.column_name(c), std::move(columns[c])));
+  }
+  return delta;
+}
+
 StatusOr<std::vector<InsightQuery>> ParseQueryBatchV1(const JsonValue& json,
                                                       size_t max_queries) {
   if (!json.is_object()) {

@@ -63,6 +63,24 @@ JsonValue WireDatasetsResponseV1(const std::vector<DatasetEntryInfo>& entries,
                                  const DatasetRegistryStats& stats,
                                  size_t memory_budget_bytes);
 
+/// v1 response for POST /v1/append:
+/// {"api_version": 1,
+///  "append": {"dataset"? (only in registry mode), "rows_before",
+///             "rows_appended", "num_rows", "delta_merged" (false = the
+///             engine fell back to a full re-preprocess), "serving_epoch"}}.
+JsonValue WireAppendResponseV1(const std::string& dataset,
+                               const DatasetAppendOutcome& outcome);
+
+/// Decodes the body of POST /v1/append into a delta table with exactly the
+/// columns of `table` (names, types, order): {"rows": [[cell...]...]} where
+/// each row array has one cell per column — number-or-null for numeric
+/// columns, string-or-null for categorical. Strict: unknown envelope fields,
+/// a missing/empty/oversized (> `max_rows`) rows array, row arrays of the
+/// wrong width, and wrongly typed cells are all InvalidArgument.
+StatusOr<DataTable> ParseAppendRowsV1(const JsonValue& json,
+                                      const DataTable& table,
+                                      size_t max_rows);
+
 /// Decodes the body of POST /v1/query_batch:
 /// {"queries": [InsightQuery::FromJson...]} — strict like FromJson (unknown
 /// envelope fields rejected), and bounded: more than `max_queries` entries is

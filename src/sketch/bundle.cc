@@ -17,6 +17,24 @@ size_t SketchConfig::ResolveHyperplaneBits(size_t n_rows) const {
 }
 
 void NumericColumnSketch::Merge(const NumericColumnSketch& other) {
+  // Bundle-level short-circuits: a never-updated operand is an exact
+  // identity, and merging INTO a never-updated sketch adopts the operand
+  // byte-for-byte. These matter for the append path's bit-identity contract:
+  // builder-made sketches carry full-size zero dot/projection vectors, so the
+  // member-wise path below would flow the first partition through element-wise
+  // FP adds against zeros — and `0.0 + -0.0 == +0.0` silently drops the sign
+  // of negative zeros accumulated from zero-valued rows. Adoption also
+  // carries the KLL/reservoir state (including serialized RNG state) across
+  // unchanged.
+  if (other.moments.count() == 0 && other.quantiles.count() == 0 &&
+      other.sample.seen() == 0) {
+    return;
+  }
+  if (moments.count() == 0 && quantiles.count() == 0 && sample.seen() == 0) {
+    *this = other;
+    centered_projection = ProjectionSketch();  // Derived cache; keep stale.
+    return;
+  }
   moments.Merge(other.moments);
   quantiles.Merge(other.quantiles);
   sample.Merge(other.sample);
@@ -37,6 +55,18 @@ ProjectionSketch NumericColumnSketch::CenteredProjection() const {
 }
 
 void CategoricalColumnSketch::Merge(const CategoricalColumnSketch& other) {
+  // Same short-circuits as NumericColumnSketch::Merge: identity on an empty
+  // operand, byte-for-byte adoption into an empty receiver.
+  if (other.observed_count == 0 && other.heavy_hitters.total_count() == 0 &&
+      other.frequencies.total_count() == 0 &&
+      other.entropy.total_count() == 0) {
+    return;
+  }
+  if (observed_count == 0 && heavy_hitters.total_count() == 0 &&
+      frequencies.total_count() == 0 && entropy.total_count() == 0) {
+    *this = other;
+    return;
+  }
   heavy_hitters.Merge(other.heavy_hitters);
   frequencies.Merge(other.frequencies);
   entropy.Merge(other.entropy);

@@ -46,6 +46,16 @@ void EntropySketch::Update(std::string_view item, uint64_t weight) {
 
 void EntropySketch::Merge(const EntropySketch& other) {
   FORESIGHT_CHECK(k_ == other.k_ && seed_ == other.seed_);
+  // An empty operand is an exact identity and an empty receiver adopts the
+  // operand byte-for-byte: element-wise `0.0 + x` is NOT a bitwise identity
+  // for IEEE doubles (0.0 + -0.0 == +0.0 drops the sign of negative zeros),
+  // and the append path's bit-identity gates depend on these short-circuits.
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    registers_ = other.registers_;
+    total_ = other.total_;
+    return;
+  }
   for (size_t j = 0; j < k_; ++j) registers_[j] += other.registers_[j];
   total_ += other.total_;
 }

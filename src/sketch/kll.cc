@@ -234,6 +234,14 @@ void KllSketch::CompactLevel(size_t level) {
 
 void KllSketch::Merge(const KllSketch& other) {
   if (other.count_ == 0) return;
+  if (count_ == 0 && k_param_ == other.k_param_) {
+    // Merging into an empty sketch of the same accuracy adopts the operand
+    // wholesale — including its compaction RNG state, which is serialized, so
+    // the adopted sketch stays bit-identical to the original through future
+    // updates and round-trips.
+    *this = other;
+    return;
+  }
   if (count_ == 0) {
     min_ = other.min_;
     max_ = other.max_;

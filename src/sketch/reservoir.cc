@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace foresight {
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+uint64_t MixBits(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Merge randomness derives from the logical state of the two operands only —
+/// never from the member RNG, whose position depends on construction history
+/// (a freshly built reservoir and one round-tripped through FromRaw carry
+/// different RNG states but must merge identically).
+uint64_t MergeSeed(uint64_t a, uint64_t b, uint64_t c) {
+  return MixBits(a + 0x9E3779B97F4A7C15ULL * (b + 0x9E3779B97F4A7C15ULL * c));
+}
+
+}  // namespace
 
 ReservoirSample::ReservoirSample(size_t capacity, uint64_t seed)
     : capacity_(std::max<size_t>(1, capacity)), rng_(seed) {
@@ -24,6 +47,8 @@ void ReservoirSample::Add(double value) {
 ReservoirSample ReservoirSample::FromRaw(size_t capacity, uint64_t seed,
                                          uint64_t seen,
                                          std::vector<double> values) {
+  FORESIGHT_CHECK(values.size() <= std::max<size_t>(1, capacity));
+  FORESIGHT_CHECK(values.size() <= seen);
   ReservoirSample sample(capacity, seed);
   sample.seen_ = seen;
   sample.values_ = std::move(values);
@@ -33,25 +58,47 @@ ReservoirSample ReservoirSample::FromRaw(size_t capacity, uint64_t seed,
 void ReservoirSample::Merge(const ReservoirSample& other) {
   if (other.seen_ == 0) return;
   if (seen_ == 0) {
+    // Adopt the other reservoir — clamped to our capacity with an unbiased
+    // draw when it holds more elements than we may (partial Fisher-Yates:
+    // every element lands in the kept prefix with equal probability).
     values_ = other.values_;
+    if (values_.size() > capacity_) {
+      Rng rng(MergeSeed(other.seen_, values_.size(), capacity_));
+      for (size_t i = 0; i < capacity_; ++i) {
+        size_t pick =
+            i + static_cast<size_t>(rng.UniformInt(values_.size() - i));
+        std::swap(values_[i], values_[pick]);
+      }
+      values_.resize(capacity_);
+    }
     seen_ = other.seen_;
+    return;
+  }
+  if (seen_ == values_.size() && other.seen_ == other.values_.size() &&
+      values_.size() + other.values_.size() <= capacity_) {
+    // Both reservoirs hold their entire streams and the union fits: plain
+    // concatenation IS the one-pass reservoir of the concatenated stream,
+    // bit for bit (Add never evicts below capacity).
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    seen_ += other.seen_;
     return;
   }
   // Draw capacity_ elements, each taken from `this` with probability
   // seen / (seen + other.seen), from `other` otherwise — a uniform sample of
   // the concatenated stream given both inputs are uniform samples.
   uint64_t total = seen_ + other.seen_;
+  Rng rng(MergeSeed(seen_, other.seen_, capacity_));
   std::vector<double> merged;
   size_t target = std::min<uint64_t>(capacity_, total);
   merged.reserve(target);
   std::vector<double> mine = values_;
   std::vector<double> theirs = other.values_;
-  rng_.Shuffle(mine);
-  rng_.Shuffle(theirs);
+  rng.Shuffle(mine);
+  rng.Shuffle(theirs);
   size_t i = 0, j = 0;
   double p_mine = static_cast<double>(seen_) / static_cast<double>(total);
   while (merged.size() < target) {
-    bool take_mine = rng_.UniformDouble() < p_mine;
+    bool take_mine = rng.UniformDouble() < p_mine;
     if (take_mine && i < mine.size()) {
       merged.push_back(mine[i++]);
     } else if (!take_mine && j < theirs.size()) {

@@ -20,7 +20,13 @@ class ReservoirSample {
   void Add(double value);
 
   /// Merges another reservoir over a disjoint stream: the result is a uniform
-  /// sample of the union, built by weighted subsampling of the two reservoirs.
+  /// sample of the union, never exceeding this reservoir's capacity. Merge
+  /// randomness derives deterministically from the operands' logical state
+  /// (seen counts and capacity), not the member RNG, so a reservoir merged
+  /// after a FromRaw round-trip produces bit-identical results to one merged
+  /// in place. When both operands still hold their full streams and the union
+  /// fits in capacity, the merge is plain concatenation — bit-identical to
+  /// having Add()ed the concatenated stream one-pass.
   void Merge(const ReservoirSample& other);
 
   /// Elements currently held (min(capacity, stream length)).
@@ -32,6 +38,9 @@ class ReservoirSample {
 
   /// Reconstructs a reservoir from persisted state (deserialization). The
   /// internal RNG restarts from `seed`; future updates remain uniform.
+  /// CHECK-fails unless values.size() <= capacity and values.size() <= seen —
+  /// deserializers must reject such input before calling (see
+  /// sketch/serialize.cc, which treats snapshots as hostile).
   static ReservoirSample FromRaw(size_t capacity, uint64_t seed, uint64_t seen,
                                  std::vector<double> values);
 

@@ -192,10 +192,13 @@ StatusOr<ReservoirSample> ReservoirFromJson(const JsonValue& json) {
   FORESIGHT_ASSIGN_OR_RETURN(uint64_t seen, ParseU64(json.Get("seen"), "seen"));
   FORESIGHT_ASSIGN_OR_RETURN(std::vector<double> values,
                              ParseDoubleArray(json.Get("values"), "values"));
-  // A reservoir never holds more than its capacity; a document claiming
-  // otherwise is corrupt.
+  // A reservoir never holds more than its capacity, and never more values
+  // than stream elements observed; a document claiming either is corrupt.
   if (values.size() > capacity) {
     return Status::ParseError("reservoir holds more values than capacity");
+  }
+  if (values.size() > seen) {
+    return Status::ParseError("reservoir holds more values than seen");
   }
   return ReservoirSample::FromRaw(capacity,
                                   /*seed=*/capacity * 2654435761u + seen, seen,

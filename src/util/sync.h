@@ -252,6 +252,27 @@ class FORESIGHT_SCOPED_CAPABILITY ReaderLock {
   SharedMutex& mu_;
 };
 
+/// Scoped shared (reader) lock of a nullable SharedMutex pointer: a no-op
+/// when `mu` is null. For paths where a lock exists only in some
+/// configurations (e.g. the HTTP server's per-dataset append/query exclusion,
+/// present only when a dataset is appendable). Mirrors absl::MutexLockMaybe.
+class FORESIGHT_SCOPED_CAPABILITY ReaderLockMaybe {
+ public:
+  explicit ReaderLockMaybe(SharedMutex* mu) FORESIGHT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    if (mu_ != nullptr) mu_->LockShared();
+  }
+  ~ReaderLockMaybe() FORESIGHT_RELEASE_GENERIC() {
+    if (mu_ != nullptr) mu_->UnlockShared();
+  }
+
+  ReaderLockMaybe(const ReaderLockMaybe&) = delete;
+  ReaderLockMaybe& operator=(const ReaderLockMaybe&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
 /// Condition variable paired with Mutex. There is deliberately no
 /// predicate-taking Wait overload: the analysis does not propagate lock
 /// state into lambda bodies, so predicates reading guarded fields would

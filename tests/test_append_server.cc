@@ -1,0 +1,412 @@
+// POST /v1/append over real loopback sockets: opt-in gating (the default
+// dataset is read-only unless the server is started appendable), the strict
+// wire codec's rejection surface, end-to-end identity of post-append answers
+// with in-process execution, per-dataset registry routing, and — the TSAN
+// surface — concurrent appends racing queries on both the default dataset's
+// SharedMutex and the registry's per-dataset mutexes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dataset_registry.h"
+#include "core/engine.h"
+#include "core/session.h"
+#include "core/snapshot.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "data/table.h"
+#include "serve/http_client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/sync.h"
+
+namespace foresight {
+namespace {
+
+/// Server over a mutable default dataset: table + engine + append mutex wired
+/// through HttpServerOptions::appendable (what `foresight_serve --appendable`
+/// does), with the table owned here so appends can be cross-checked
+/// in-process.
+class AppendServeFixture {
+ public:
+  explicit AppendServeFixture(HttpServerOptions options = {},
+                              size_t rows = 120) {
+    table_ = MakeOecdLike(rows, 17);
+    EngineOptions engine_options;
+    engine_options.num_workers = 2;
+    engine_ = std::make_unique<InsightEngine>(
+        std::move(InsightEngine::Create(table_, std::move(engine_options)))
+            .value());
+    session_ = std::make_unique<QuerySession>(*engine_);
+    options.appendable.table = &table_;
+    options.appendable.engine = engine_.get();
+    options.appendable.mutex = &append_mutex_;
+    server_ = std::make_unique<HttpServer>(*session_, options);
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  ~AppendServeFixture() {
+    server_->Stop();
+    server_.reset();
+    session_.reset();
+    engine_.reset();
+  }
+
+  HttpClient Client() {
+    HttpClient client;
+    Status status = client.Connect(server_->port());
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return client;
+  }
+
+  DataTable& table() { return table_; }
+  QuerySession& session() { return *session_; }
+
+ private:
+  DataTable table_;
+  SharedMutex append_mutex_;
+  std::unique_ptr<InsightEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+/// One all-numeric-or-null append row matching MakeOecdLike's schema: null
+/// for categorical columns, `fill` for numeric ones.
+std::string UniformRowBody(const DataTable& table, double fill,
+                           size_t copies = 1) {
+  JsonValue rows = JsonValue::Array();
+  for (size_t r = 0; r < copies; ++r) {
+    JsonValue row = JsonValue::Array();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (table.column(c).type() == ColumnType::kNumeric) {
+        row.Append(fill);
+      } else {
+        row.Append(JsonValue());
+      }
+    }
+    rows.Append(std::move(row));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("rows", std::move(rows));
+  return body.Dump();
+}
+
+TEST(AppendServeTest, DefaultDatasetIsReadOnlyWithoutOptIn) {
+  // A server started without --appendable must refuse mutation outright —
+  // 409 (FailedPrecondition), not 404: the route exists, the state forbids.
+  DataTable table = MakeOecdLike(60, 3);
+  auto engine = InsightEngine::Create(table);
+  ASSERT_TRUE(engine.ok());
+  QuerySession session(*engine);
+  HttpServer server(session, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response =
+      client.Request("POST", "/v1/append", UniformRowBody(table, 1.0));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 409);
+  auto wrong_method = client.Request("GET", "/v1/append");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+  server.Stop();
+}
+
+TEST(AppendServeTest, AppendExtendsServedTableAndAnswersStayIdentical) {
+  AppendServeFixture fixture;
+  HttpClient client = fixture.Client();
+  const size_t rows_before = fixture.table().num_rows();
+
+  auto response =
+      client.Request("POST", "/v1/append",
+                     UniformRowBody(fixture.table(), 41.5, /*copies=*/3));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto body = JsonValue::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Get("api_version")->as_number(), 1.0);
+  const JsonValue* append = body->Get("append");
+  ASSERT_NE(append, nullptr);
+  EXPECT_EQ(append->Get("rows_before")->as_number(),
+            static_cast<double>(rows_before));
+  EXPECT_EQ(append->Get("rows_appended")->as_number(), 3.0);
+  EXPECT_EQ(append->Get("num_rows")->as_number(),
+            static_cast<double>(rows_before + 3));
+  EXPECT_TRUE(append->Get("delta_merged")->as_bool());
+  EXPECT_EQ(append->Get("dataset"), nullptr);  // Default-dataset response.
+  const double epoch_first = append->Get("serving_epoch")->as_number();
+
+  EXPECT_EQ(fixture.table().num_rows(), rows_before + 3);
+
+  // Post-append answers must match in-process execution on the grown table
+  // byte for byte (the served session and the fixture share one engine).
+  InsightQuery query;
+  query.class_name = "outliers";
+  query.top_k = 5;
+  query.mode = ExecutionMode::kExact;
+  auto in_process = fixture.session().Execute(query);
+  ASSERT_TRUE(in_process.ok());
+  auto served = client.Request("POST", "/v1/query", query.ToJson().Dump());
+  ASSERT_TRUE(served.ok());
+  ASSERT_EQ(served->status, 200) << served->body;
+  auto served_body = JsonValue::Parse(served->body);
+  ASSERT_TRUE(served_body.ok());
+  EXPECT_EQ(served_body->Get("result")->Dump(),
+            WireResultV1(*in_process).Dump());
+
+  // A second append advances the serving epoch (cache keys can never alias
+  // across appends).
+  auto second = client.Request("POST", "/v1/append",
+                               UniformRowBody(fixture.table(), -3.25));
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->status, 200) << second->body;
+  auto second_body = JsonValue::Parse(second->body);
+  ASSERT_TRUE(second_body.ok());
+  EXPECT_GT(second_body->Get("append")->Get("serving_epoch")->as_number(),
+            epoch_first);
+}
+
+TEST(AppendServeTest, StrictCodecRejectsMalformedAppends) {
+  HttpServerOptions options;
+  options.max_append_rows = 4;
+  AppendServeFixture fixture(options);
+  HttpClient client = fixture.Client();
+  const size_t rows_before = fixture.table().num_rows();
+  const size_t columns = fixture.table().num_columns();
+
+  const std::string valid_cells = [&] {
+    std::string cells;
+    for (size_t c = 0; c < columns; ++c) {
+      if (c > 0) cells += ", ";
+      cells += fixture.table().column(c).type() == ColumnType::kNumeric
+                   ? "1.0"
+                   : "null";
+    }
+    return cells;
+  }();
+
+  const std::vector<std::string> bad = {
+      R"(not json)",
+      R"({})",                                  // missing rows
+      R"({"rows": []})",                        // empty batch
+      R"({"rows": 7})",                         // rows not an array
+      R"({"rows": [7]})",                       // row not an array
+      R"({"rows": [[1.0]]})",                   // arity mismatch
+      R"({"rows": [[)" + valid_cells + R"(]], "extra": 1})",  // unknown field
+      // Five rows against max_append_rows = 4.
+      R"({"rows": [[)" + valid_cells + R"(], [)" + valid_cells + R"(], [)" +
+          valid_cells + R"(], [)" + valid_cells + R"(], [)" + valid_cells +
+          R"(]]})",
+  };
+  for (const std::string& payload : bad) {
+    SCOPED_TRACE(payload);
+    auto response = client.Request("POST", "/v1/append", payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 400) << response->body;
+  }
+
+  // Type mismatch: a string in a numeric cell (and vice versa).
+  std::string flipped_cells;
+  for (size_t c = 0; c < columns; ++c) {
+    if (c > 0) flipped_cells += ", ";
+    flipped_cells += fixture.table().column(c).type() == ColumnType::kNumeric
+                         ? R"("oops")"
+                         : "1.0";
+  }
+  auto flipped =
+      client.Request("POST", "/v1/append", R"({"rows": [[)" + flipped_cells +
+                                               R"(]]})");
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(flipped->status, 400) << flipped->body;
+
+  // Nothing above may have mutated the table.
+  EXPECT_EQ(fixture.table().num_rows(), rows_before);
+}
+
+/// Registry-backed server over two on-disk datasets (one snapshotted), the
+/// `--datasets` deployment shape; appends route per dataset id.
+class RegistryAppendFixture {
+ public:
+  RegistryAppendFixture() {
+    dir_ = testing::TempDir() + "/foresight_append_datasets";
+    std::filesystem::create_directories(dir_);
+    for (int i = 0; i < 2; ++i) {
+      const std::string id = "set" + std::to_string(i);
+      DataTable generated = MakeBenchmarkTable(150, 5, 1, 40 + i);
+      const std::string csv_path = dir_ + "/" + id + ".csv";
+      EXPECT_TRUE(CsvWriter::WriteFile(generated, csv_path).ok());
+      if (i == 0) {
+        auto table = CsvReader::ReadFile(csv_path);
+        EXPECT_TRUE(table.ok());
+        auto profile = Preprocessor::Profile(*table);
+        EXPECT_TRUE(profile.ok());
+        EXPECT_TRUE(
+            WriteProfileSnapshot(*profile, dir_ + "/" + id + ".fsnap").ok());
+      }
+    }
+    registry_ = std::make_unique<DatasetRegistry>();
+    auto specs = DatasetRegistry::ScanDirectory(dir_);
+    EXPECT_TRUE(specs.ok());
+    for (DatasetSpec& spec : *specs) {
+      EXPECT_TRUE(registry_->Add(std::move(spec)).ok());
+    }
+
+    default_table_ = MakeOecdLike(80, 9);
+    auto engine = InsightEngine::Create(default_table_);
+    EXPECT_TRUE(engine.ok());
+    engine_ = std::make_unique<InsightEngine>(std::move(*engine));
+    session_ = std::make_unique<QuerySession>(*engine_);
+    HttpServerOptions options;
+    options.registry = registry_.get();
+    server_ = std::make_unique<HttpServer>(*session_, options);
+    EXPECT_TRUE(server_->Start().ok());
+  }
+
+  ~RegistryAppendFixture() {
+    server_->Stop();
+    server_.reset();
+    session_.reset();
+    engine_.reset();
+    registry_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  HttpClient Client() {
+    HttpClient client;
+    EXPECT_TRUE(client.Connect(server_->port()).ok());
+    return client;
+  }
+
+  DatasetRegistry& registry() { return *registry_; }
+
+ private:
+  std::string dir_;
+  DataTable default_table_;
+  std::unique_ptr<DatasetRegistry> registry_;
+  std::unique_ptr<InsightEngine> engine_;
+  std::unique_ptr<QuerySession> session_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+/// An append body for MakeBenchmarkTable's 5-numeric + 1-categorical schema,
+/// with an optional dataset selector.
+std::string BenchmarkRowBody(const std::string& dataset, double fill) {
+  JsonValue row = JsonValue::Array();
+  for (int c = 0; c < 5; ++c) row.Append(fill);
+  row.Append(std::string("cat_from_append"));
+  JsonValue rows = JsonValue::Array();
+  rows.Append(std::move(row));
+  JsonValue body = JsonValue::Object();
+  if (!dataset.empty()) body.Set("dataset", dataset);
+  body.Set("rows", std::move(rows));
+  return body.Dump();
+}
+
+TEST(AppendServeTest, RegistryRoutedAppendTargetsOneDatasetOnly) {
+  RegistryAppendFixture fixture;
+  HttpClient client = fixture.Client();
+
+  // Appending to set0 (cold: the request both loads and mutates it).
+  auto response =
+      client.Request("POST", "/v1/append", BenchmarkRowBody("set0", 3.5));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto body = JsonValue::Parse(response->body);
+  ASSERT_TRUE(body.ok());
+  const JsonValue* append = body->Get("append");
+  ASSERT_NE(append, nullptr);
+  EXPECT_EQ(append->Get("dataset")->as_string(), "set0");
+  EXPECT_EQ(append->Get("rows_before")->as_number(), 150.0);
+  EXPECT_EQ(append->Get("num_rows")->as_number(), 151.0);
+
+  // set1 is untouched: its first append still starts from 150 rows.
+  auto other =
+      client.Request("POST", "/v1/append", BenchmarkRowBody("set1", 9.0));
+  ASSERT_TRUE(other.ok());
+  ASSERT_EQ(other->status, 200) << other->body;
+  auto other_body = JsonValue::Parse(other->body);
+  ASSERT_TRUE(other_body.ok());
+  EXPECT_EQ(other_body->Get("append")->Get("rows_before")->as_number(), 150.0);
+
+  // A second set0 append sees the grown table — the mutated resident (not
+  // the now-stale snapshot) serves the dataset from here on.
+  auto again =
+      client.Request("POST", "/v1/append", BenchmarkRowBody("set0", -1.0));
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->status, 200) << again->body;
+  auto again_body = JsonValue::Parse(again->body);
+  ASSERT_TRUE(again_body.ok());
+  EXPECT_EQ(again_body->Get("append")->Get("rows_before")->as_number(), 151.0);
+
+  // Queries against the mutated dataset still answer (under the same
+  // per-dataset mutex appends hold exclusively).
+  auto query = client.Request(
+      "POST", "/v1/query",
+      R"({"class": "skew", "top_k": 3, "dataset": "set0"})");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->status, 200) << query->body;
+
+  // Unknown dataset routes to 404, appendless registry default to 409.
+  auto unknown =
+      client.Request("POST", "/v1/append", BenchmarkRowBody("nope", 1.0));
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 404);
+  auto no_default =
+      client.Request("POST", "/v1/append", BenchmarkRowBody("", 1.0));
+  ASSERT_TRUE(no_default.ok());
+  EXPECT_EQ(no_default->status, 409);
+}
+
+TEST(AppendServeTest, ConcurrentAppendsAndQueriesStayCoherent) {
+  // The TSAN gate for the serving-side locking: appends (exclusive) racing
+  // queries (shared) on the default dataset's SharedMutex. Every request
+  // must succeed and the table must end exactly (initial + appends) rows —
+  // no lost updates, no torn reads.
+  AppendServeFixture fixture;
+  const size_t rows_before = fixture.table().num_rows();
+  constexpr int kAppendThreads = 2;
+  constexpr int kAppendsPerThread = 6;
+  constexpr int kQueryThreads = 2;
+  constexpr int kQueriesPerThread = 10;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kAppendThreads; ++t) {
+    threads.emplace_back([&fixture, &failures, t] {
+      HttpClient client = fixture.Client();
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        auto response = client.Request(
+            "POST", "/v1/append",
+            UniformRowBody(fixture.table(), static_cast<double>(t * 100 + i)));
+        if (!response.ok() || response->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&fixture, &failures] {
+      HttpClient client = fixture.Client();
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto response = client.Request(
+            "POST", "/v1/query",
+            R"({"class": "dispersion", "top_k": 4, "mode": "exact"})");
+        if (!response.ok() || response->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fixture.table().num_rows(),
+            rows_before + kAppendThreads * kAppendsPerThread);
+}
+
+}  // namespace
+}  // namespace foresight

@@ -328,5 +328,154 @@ TEST_F(DatasetRegistryTest, WireListingMatchesRegistryState) {
             static_cast<double>(kDatasets));
 }
 
+TEST_F(DatasetRegistryTest, AppendGrowsDatasetAndReportsOutcome) {
+  std::unique_ptr<DatasetRegistry> registry = MakeRegistry(0);
+  auto pinned = registry->Acquire("ds0");
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  const size_t bytes_before = (*pinned)->resident_bytes();
+  EXPECT_FALSE((*pinned)->mutated());
+
+  const DataTable delta = MakeBenchmarkTable(3, 6, 2, 999);
+  auto outcome = registry->Append("ds0", delta);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->rows_before, kRows);
+  EXPECT_EQ(outcome->rows_appended, 3u);
+  EXPECT_EQ(outcome->num_rows, kRows + 3);
+  EXPECT_TRUE(outcome->delta_merged);
+  EXPECT_GT(outcome->serving_epoch, 0u);
+  EXPECT_GT(outcome->resident_bytes, bytes_before);
+
+  // The same resident object grew in place: the original pin observes the
+  // appended rows, is flagged mutated, and its accounting tracks the growth.
+  EXPECT_EQ((*pinned)->table().num_rows(), kRows + 3);
+  EXPECT_TRUE((*pinned)->mutated());
+  EXPECT_EQ((*pinned)->resident_bytes(), outcome->resident_bytes);
+  EXPECT_EQ(registry->stats().resident_bytes, outcome->resident_bytes);
+
+  // Queries against the grown dataset answer normally.
+  InsightQuery query;
+  query.class_name = "skew";
+  query.top_k = 3;
+  EXPECT_TRUE((*pinned)->session().Execute(query).ok());
+
+  // Error paths: unknown id, then a schema-mismatched delta that must leave
+  // the dataset untouched.
+  EXPECT_EQ(registry->Append("nope", delta).status().code(),
+            StatusCode::kNotFound);
+  DataTable wrong;
+  ASSERT_TRUE(wrong.AddNumericColumn("imposter", {1.0}).ok());
+  EXPECT_FALSE(registry->Append("ds0", wrong).ok());
+  EXPECT_EQ((*pinned)->table().num_rows(), kRows + 3);
+}
+
+TEST_F(DatasetRegistryTest, MutatedDatasetIsExemptFromEviction) {
+  // An appended dataset's only source of truth is the resident copy — its
+  // on-disk CSV and snapshot no longer carry the appended rows, so evicting
+  // it would silently drop data on reload. Eviction must skip it even when
+  // that overshoots the byte budget.
+  const size_t one = OneDatasetBytes();
+  std::unique_ptr<DatasetRegistry> registry = MakeRegistry(2 * one + one / 2);
+
+  ASSERT_TRUE(registry->Acquire("ds0").ok());
+  const DataTable delta = MakeBenchmarkTable(2, 6, 2, 777);
+  ASSERT_TRUE(registry->Append("ds0", delta).ok());
+
+  // Churn every other dataset through the two-slot budget; ds0 would be the
+  // LRU victim each time if mutation didn't exempt it.
+  for (const char* id : {"ds1", "ds2", "ds3", "ds1", "ds2"}) {
+    ASSERT_TRUE(registry->Acquire(id).ok());
+  }
+  DatasetRegistryStats stats = registry->stats();
+  EXPECT_GT(stats.evictions, 0u);
+  std::vector<DatasetEntryInfo> entries = registry->ListEntries();
+  EXPECT_TRUE(entries[0].resident);  // ds0 survived every eviction pass.
+  auto again = registry->Acquire("ds0");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->table().num_rows(), kRows + 2);
+}
+
+TEST_F(DatasetRegistryTest, AppendsRaceQueriesAndEvictionsCoherently) {
+  // TSAN surface for the append path: concurrent appends (exclusive on the
+  // per-dataset mutex), queries (shared, as the serving layer takes it), and
+  // cold loads of other datasets churning the registry around them. Every
+  // append must land exactly once: 220 + appenders * rounds rows at the end.
+  std::unique_ptr<DatasetRegistry> registry = MakeRegistry(0);
+  constexpr int kAppenders = 2;
+  constexpr int kRounds = 4;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kAppenders; ++t) {
+    threads.emplace_back([&, t] {
+      const DataTable delta = MakeBenchmarkTable(1, 6, 2, 500 + t);
+      for (int i = 0; i < kRounds; ++i) {
+        if (!registry->Append("ds0", delta).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      InsightQuery query;
+      query.class_name = "dispersion";
+      query.top_k = 3;
+      for (int i = 0; i < 6; ++i) {
+        auto pinned = registry->Acquire("ds0");
+        if (!pinned.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        ReaderLock guard((*pinned)->data_mutex());
+        if (!(*pinned)->session().Execute(query).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 6; ++i) {
+      for (const char* id : {"ds1", "ds2", "ds3"}) {
+        if (!registry->Acquire(id).ok()) failures.fetch_add(1);
+      }
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  auto final_pin = registry->Acquire("ds0");
+  ASSERT_TRUE(final_pin.ok());
+  EXPECT_EQ((*final_pin)->table().num_rows(),
+            kRows + static_cast<size_t>(kAppenders * kRounds));
+  EXPECT_EQ(registry->stats().resident_bytes,
+            (*final_pin)->resident_bytes() + [&] {
+              size_t others = 0;
+              for (const DatasetEntryInfo& entry : registry->ListEntries()) {
+                if (entry.id != "ds0") others += entry.resident_bytes;
+              }
+              return others;
+            }());
+}
+
+TEST_F(DatasetRegistryTest, StaleSnapshotFallsBackToRebuildAfterFileGrowth) {
+  // The on-disk staleness contract: a snapshot written before rows were
+  // appended to the backing CSV must be rejected by its row-count prelude,
+  // and the registry must rebuild from the grown CSV instead of serving a
+  // profile that disagrees with the table (`foresight_snapshot refresh` is
+  // the offline repair for exactly this state).
+  const std::string csv_path = dir_ + "/ds0.csv";
+  auto table = CsvReader::ReadFile(csv_path);
+  ASSERT_TRUE(table.ok());
+  const DataTable delta = MakeBenchmarkTable(5, 6, 2, 321);
+  ASSERT_TRUE(table->AppendRows(delta).ok());
+  ASSERT_TRUE(CsvWriter::WriteFile(*table, csv_path).ok());
+
+  std::unique_ptr<DatasetRegistry> registry = MakeRegistry(0);
+  auto pinned = registry->Acquire("ds0");
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_FALSE((*pinned)->loaded_from_snapshot());  // Stale snapshot refused.
+  EXPECT_EQ((*pinned)->table().num_rows(), kRows + 5);
+  InsightQuery query;
+  query.class_name = "skew";
+  query.top_k = 3;
+  EXPECT_TRUE((*pinned)->session().Execute(query).ok());
+}
+
 }  // namespace
 }  // namespace foresight

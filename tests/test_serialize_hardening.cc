@@ -165,6 +165,20 @@ TEST_F(SerializeHardeningTest, RejectsReservoirOverfill) {
   EXPECT_FALSE(ReservoirFromJson(doc).ok());
 }
 
+TEST_F(SerializeHardeningTest, RejectsReservoirHoldingMoreValuesThanSeen) {
+  // Regression: a reservoir can never hold more elements than its stream
+  // length (values accumulate one Add at a time). A snapshot claiming
+  // seen < values.size() is corrupt — and used to reach ReservoirSample's
+  // internals, where the impossible state broke the merge path's
+  // "holds its entire stream" concatenation test.
+  JsonValue doc = ReservoirToJson(numeric_.sample);
+  ASSERT_GE(numeric_.sample.values().size(), 2u);
+  doc.Set("seen", 1);
+  auto result = ReservoirFromJson(doc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
 TEST_F(SerializeHardeningTest, RejectsSpaceSavingCounterOverflow) {
   JsonValue doc = SpaceSavingToJson(categorical_.heavy_hitters);
   doc.Set("capacity", 1);  // Fewer than the serialized counters.

@@ -29,11 +29,20 @@
 //   --dataset-workers=N Worker threads per resident dataset engine
 //                       (default 1; hundreds of datasets must not spawn
 //                       hundreds of hardware-sized pools).
+//   --appendable        Enable POST /v1/append on the default dataset:
+//                       appended rows are delta-merged into the serving
+//                       profile (full rebuild on sketch-geometry changes),
+//                       with appends and queries excluded via a
+//                       reader/writer lock. Registry datasets (--datasets)
+//                       are always appendable via the `dataset` field.
+//   --max-append-rows=N Upper bound on rows in one /v1/append body
+//                       (default 100000).
 //   --no-profile        Skip sketch preprocessing (exact-only serving).
 //   --smoke             Start, answer one self-issued /healthz and
 //                       /v1/query over a real socket — plus /v1/datasets and
-//                       a dataset-selecting query when --datasets is set —
-//                       then exit 0.
+//                       a dataset-selecting query when --datasets is set,
+//                       plus an /v1/append + re-query leg when --appendable
+//                       is set — then exit 0.
 //
 // The process runs until SIGINT/SIGTERM, then drains admitted requests and
 // exits 0.
@@ -70,7 +79,8 @@ int Usage() {
       "                       [--workers=N] [--queue-capacity=N] "
       "[--idle-timeout-ms=N]\n"
       "                       [--datasets=DIR] [--memory-budget=BYTES]\n"
-      "                       [--dataset-workers=N] [--no-profile] "
+      "                       [--dataset-workers=N] [--appendable]\n"
+      "                       [--max-append-rows=N] [--no-profile] "
       "[--smoke]\n");
   return 1;
 }
@@ -86,6 +96,8 @@ struct Args {
   size_t memory_budget = 0;
   size_t dataset_workers = 1;
   uint32_t idle_timeout_ms = 10'000;
+  size_t max_append_rows = 100'000;
+  bool appendable = false;
   bool build_profile = true;
   bool smoke = false;
 };
@@ -97,7 +109,8 @@ bool ParseSizeFlag(const std::string& arg, const char* prefix, size_t* out) {
   return true;
 }
 
-int Smoke(uint16_t port, const DatasetRegistry* registry) {
+int Smoke(uint16_t port, const DatasetRegistry* registry,
+          const DataTable* appendable) {
   HttpClient client;
   Status status = client.Connect(port);
   if (!status.ok()) {
@@ -119,6 +132,32 @@ int Smoke(uint16_t port, const DatasetRegistry* registry) {
                  query.ok() ? query->body.c_str()
                             : query.status().ToString().c_str());
     return 1;
+  }
+  if (appendable != nullptr) {
+    // One all-null row exercises the whole append path (wire decode, table
+    // growth, delta merge, epoch bump) against any schema.
+    std::string body = R"({"rows": [[)";
+    for (size_t c = 0; c < appendable->num_columns(); ++c) {
+      if (c > 0) body += ", ";
+      body += "null";
+    }
+    body += "]]}";
+    auto appended = client.Request("POST", "/v1/append", body);
+    if (!appended.ok() || appended->status != 200) {
+      std::fprintf(stderr, "smoke: /v1/append failed (%d): %s\n",
+                   appended.ok() ? appended->status : -1,
+                   appended.ok() ? appended->body.c_str()
+                                 : appended.status().ToString().c_str());
+      return 1;
+    }
+    auto requery = client.Request(
+        "POST", "/v1/query",
+        R"({"class": "linear_relationship", "top_k": 3, "mode": "exact"})");
+    if (!requery.ok() || requery->status != 200) {
+      std::fprintf(stderr, "smoke: post-append /v1/query failed\n");
+      return 1;
+    }
+    std::printf("smoke append ok: %s\n", appended->body.c_str());
   }
   if (registry != nullptr) {
     auto listing = client.Request("GET", "/v1/datasets");
@@ -168,11 +207,15 @@ int Main(int argc, char** argv) {
                ParseSizeFlag(arg, "--memory-budget=", &args.memory_budget) ||
                ParseSizeFlag(arg, "--dataset-workers=",
                              &args.dataset_workers) ||
+               ParseSizeFlag(arg, "--max-append-rows=",
+                             &args.max_append_rows) ||
                ParseSizeFlag(arg, "--queue-capacity=",
                              &args.queue_capacity)) {
     } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
       args.idle_timeout_ms = static_cast<uint32_t>(
           std::strtoul(arg.c_str() + 18, nullptr, 10));
+    } else if (arg == "--appendable") {
+      args.appendable = true;
     } else if (arg == "--no-profile") {
       args.build_profile = false;
     } else if (arg == "--smoke") {
@@ -237,6 +280,15 @@ int Main(int argc, char** argv) {
   server_options.queue_capacity = args.queue_capacity;
   server_options.idle_timeout_ms = args.idle_timeout_ms;
   server_options.registry = registry.get();
+  server_options.max_append_rows = args.max_append_rows;
+  // Outlives the server (declared before it): orders /v1/append against
+  // query execution on the default dataset.
+  SharedMutex append_mutex;
+  if (args.appendable) {
+    server_options.appendable.table = &table;
+    server_options.appendable.engine = &*engine;
+    server_options.appendable.mutex = &append_mutex;
+  }
   HttpServer server(session, server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -260,7 +312,8 @@ int Main(int argc, char** argv) {
   }
 
   if (args.smoke) {
-    const int rc = Smoke(server.port(), registry.get());
+    const int rc = Smoke(server.port(), registry.get(),
+                         args.appendable ? &table : nullptr);
     server.Stop();
     return rc;
   }

@@ -13,6 +13,9 @@
 //   build    Profile a CSV (or a generated benchmark table, written to
 //            --csv-out so serving can load the same bytes) and write the
 //            snapshot atomically to --out.
+//   foresight_snapshot refresh --csv=PATH --in=PATH [--out=PATH]
+//                              [--workers=N] [--partitions=N] [--force]
+//
 //   inspect  Print the prelude + header summary after validating both
 //            checksums; exits non-zero on any corruption.
 //   verify   Load the snapshot against the CSV it claims to describe and
@@ -20,6 +23,12 @@
 //            table and require the restored profile's JSON document to be
 //            byte-identical to the rebuilt one — the end-to-end
 //            bit-identity gate used by CI.
+//   refresh  Re-sync a snapshot with its (possibly appended-to) CSV: if the
+//            snapshot still loads against the current table it is left
+//            untouched; if it is stale — typically its row-count prelude no
+//            longer matches after /v1/append grew the table — the profile
+//            is rebuilt and rewritten (to --out when given, else in place).
+//            --force rebuilds unconditionally.
 //
 // Exit status: 0 on success, 1 on any failure (including verification
 // mismatches), 2 on usage errors.
@@ -53,7 +62,10 @@ int Usage() {
       "[--workers=N]\n"
       "       foresight_snapshot inspect --in=PATH\n"
       "       foresight_snapshot verify  --in=PATH --csv=PATH [--rebuild] "
-      "[--workers=N]\n");
+      "[--workers=N]\n"
+      "       foresight_snapshot refresh --csv=PATH --in=PATH [--out=PATH]\n"
+      "                                  [--workers=N] [--partitions=N] "
+      "[--force]\n");
   return 2;
 }
 
@@ -70,6 +82,7 @@ struct Args {
   size_t workers = 0;
   size_t partitions = 1;
   bool rebuild = false;
+  bool force = false;
 };
 
 bool ParseSizeFlag(const std::string& arg, const char* prefix, size_t* out) {
@@ -212,6 +225,40 @@ int RunVerify(const Args& args) {
   return 0;
 }
 
+int RunRefresh(const Args& args) {
+  if (args.in_path.empty() || args.csv_path.empty()) return Usage();
+  auto table = LoadCsv(args.csv_path);
+  if (!table.ok()) return Fail("reading CSV", table.status());
+
+  ThreadPool pool(args.workers);
+  if (!args.force) {
+    auto loaded = LoadProfileSnapshotFile(*table, args.in_path, &pool);
+    if (loaded.ok()) {
+      std::printf("refresh: %s is fresh (%zu rows x %zu columns)\n",
+                  args.in_path.c_str(), table->num_rows(),
+                  table->num_columns());
+      return 0;
+    }
+    std::printf("refresh: %s is stale (%s); rebuilding\n",
+                args.in_path.c_str(), loaded.status().ToString().c_str());
+  }
+
+  const std::string out =
+      args.out_path.empty() ? args.in_path : args.out_path;
+  PreprocessOptions options;
+  options.num_partitions = args.partitions;
+  // determinism-ok: refresh timing is reporting-only telemetry.
+  WallTimer timer;
+  auto profile = Preprocessor::Profile(*table, options, &pool);
+  if (!profile.ok()) return Fail("preprocessing", profile.status());
+  Status written = WriteProfileSnapshot(*profile, out);
+  if (!written.ok()) return Fail("writing snapshot", written);
+  std::printf("refreshed %s: %zu rows x %zu columns, preprocess %.3f s\n",
+              out.c_str(), table->num_rows(), table->num_columns(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
@@ -238,6 +285,8 @@ int Main(int argc, char** argv) {
       args.seed = seed_value;
     } else if (arg == "--rebuild") {
       args.rebuild = true;
+    } else if (arg == "--force") {
+      args.force = true;
     } else {
       return Usage();
     }
@@ -247,6 +296,7 @@ int Main(int argc, char** argv) {
   if (args.command == "build") return RunBuild(args);
   if (args.command == "inspect") return RunInspect(args);
   if (args.command == "verify") return RunVerify(args);
+  if (args.command == "refresh") return RunRefresh(args);
   return Usage();
 }
 
